@@ -1,0 +1,32 @@
+//! Criterion benches for the §3/§5 prose ablations: the DG threshold sweep,
+//! the STALL/FLUSH L2-declare-threshold sweep, and the DWarn hybrid rule.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smt_experiments::{ablation, ExpParams};
+
+fn bench_params() -> ExpParams {
+    ExpParams {
+        warmup: 1_500,
+        measure: 4_000,
+    }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    eprintln!("\n{}", ablation::report(&ExpParams::standard()));
+
+    let mut g = c.benchmark_group("ablation_thresholds");
+    g.sample_size(10);
+    g.bench_function("dg_threshold_sweep", |b| {
+        b.iter(|| ablation::dg_threshold_sweep(&bench_params()))
+    });
+    g.bench_function("declare_threshold_sweep", |b| {
+        b.iter(|| ablation::declare_threshold_sweep(&bench_params()))
+    });
+    g.bench_function("dwarn_hybrid", |b| {
+        b.iter(|| ablation::dwarn_hybrid_ablation(&bench_params()))
+    });
+    g.finish();
+}
+
+criterion_group!(ablations, bench_ablations);
+criterion_main!(ablations);

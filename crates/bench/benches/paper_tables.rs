@@ -1,0 +1,49 @@
+//! Criterion benches that regenerate the paper's *tables*.
+//!
+//! Each bench prints the regenerated table once (so `cargo bench` output
+//! contains the paper artefacts) and then times the regeneration with short
+//! simulation windows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smt_experiments::{table2a, table4, Campaign, ExpParams};
+
+fn bench_params() -> ExpParams {
+    ExpParams {
+        warmup: 2_000,
+        measure: 6_000,
+    }
+}
+
+fn bench_table2a(c: &mut Criterion) {
+    // Print the real (standard-window) table once.
+    let campaign = Campaign::new(ExpParams::standard());
+    eprintln!("\n{}", table2a::report(&table2a::compute(&campaign)));
+
+    let mut g = c.benchmark_group("table2a");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| {
+        b.iter(|| {
+            let campaign = Campaign::new(bench_params());
+            table2a::compute(&campaign)
+        })
+    });
+    g.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let campaign = Campaign::new(ExpParams::standard());
+    eprintln!("\n{}", table4::report(&table4::compute(&campaign)));
+
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| {
+        b.iter(|| {
+            let campaign = Campaign::new(bench_params());
+            table4::compute(&campaign)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(tables, bench_table2a, bench_table4);
+criterion_main!(tables);

@@ -1,0 +1,277 @@
+//! DC-PRED (Limousin et al. \[7\]): the LIMIT-RESOURCES cell of the paper's
+//! Table 1.
+//!
+//! An L2-miss predictor (2-bit saturating counters indexed by load PC) runs
+//! in the fetch stage; while a thread has a predicted-L2-missing load in
+//! flight, it is *restricted to a maximum share of the shared resources*
+//! (issue-queue entries and renameable registers) rather than gated. When
+//! the load resolves, the thread regains full access.
+//!
+//! The paper's §2.1 critique — which this implementation lets you reproduce
+//! — is that the fetch-stage detection moment "does not detect all loads
+//! missing in L2, and hence some loads that actually fail in the cache and
+//! that are not predicted to miss can clog the shared resources".
+
+use std::collections::HashMap;
+
+use smt_pipeline::{FetchPolicy, PolicyEvent, PolicyView};
+
+use crate::predictor::MissPredictor;
+use crate::taxonomy::{Classification, DetectionMoment, ResponseAction};
+
+/// Resource share a restricted thread may hold (fraction of each pool).
+pub const DEFAULT_CAP: f32 = 0.2;
+
+/// Per-load tracking state.
+#[derive(Debug, Clone, Copy)]
+struct TrackedLoad {
+    thread: usize,
+    counted: bool,
+}
+
+/// The DC-PRED policy.
+#[derive(Debug)]
+pub struct DcPred {
+    cap: f32,
+    /// Per-load-PC *L2*-miss predictor.
+    pub predictor: MissPredictor,
+    /// Per-thread count of in-flight predicted-L2-missing loads.
+    counts: Vec<u32>,
+    loads: HashMap<u64, TrackedLoad>,
+}
+
+impl DcPred {
+    pub fn new() -> DcPred {
+        Self::with_cap(DEFAULT_CAP)
+    }
+
+    /// DC-PRED with a custom resource cap (fraction of each shared pool).
+    pub fn with_cap(cap: f32) -> DcPred {
+        assert!((0.0..=1.0).contains(&cap), "cap is a fraction");
+        DcPred {
+            cap,
+            predictor: MissPredictor::new(),
+            counts: Vec::new(),
+            loads: HashMap::new(),
+        }
+    }
+
+    pub fn classification() -> Classification {
+        Classification::new(DetectionMoment::Fetch, ResponseAction::LimitResources)
+    }
+
+    fn ensure_threads(&mut self, n: usize) {
+        if self.counts.len() < n {
+            self.counts.resize(n, 0);
+        }
+    }
+
+    fn release(&mut self, load_id: u64) {
+        if let Some(l) = self.loads.remove(&load_id) {
+            if l.counted {
+                debug_assert!(self.counts[l.thread] > 0);
+                self.counts[l.thread] -= 1;
+            }
+        }
+    }
+}
+
+impl Default for DcPred {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FetchPolicy for DcPred {
+    fn name(&self) -> &'static str {
+        "DC-PRED"
+    }
+
+    /// DC-PRED never gates fetch — the response action lives entirely in
+    /// the resource caps — so the fetch order is plain ICOUNT.
+    fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize> {
+        self.ensure_threads(view.num_threads());
+        view.icount_order()
+    }
+
+    fn uses_resource_caps(&self) -> bool {
+        true
+    }
+
+    fn resource_caps(&mut self, view: &PolicyView) -> Vec<Option<f32>> {
+        self.ensure_threads(view.num_threads());
+        (0..view.num_threads())
+            .map(|t| {
+                if self.counts[t] > 0 {
+                    Some(self.cap)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    fn on_event(&mut self, ev: &PolicyEvent) {
+        match *ev {
+            PolicyEvent::LoadFetched { thread, pc, load_id } => {
+                self.ensure_threads(thread + 1);
+                let predicted = self.predictor.predict(pc);
+                if predicted {
+                    self.counts[thread] += 1;
+                    self.loads.insert(
+                        load_id,
+                        TrackedLoad {
+                            thread,
+                            counted: true,
+                        },
+                    );
+                }
+            }
+            PolicyEvent::LoadL1Outcome {
+                pc,
+                load_id,
+                l2_miss,
+                ..
+            } => {
+                self.predictor.train(pc, l2_miss);
+                if self.loads.contains_key(&load_id) {
+                    if !l2_miss {
+                        self.predictor.count_misprediction();
+                        // Predicted L2 miss but the access came back from L1
+                        // or L2: lift the restriction immediately.
+                        self.release(load_id);
+                    }
+                } else if l2_miss {
+                    // Undetected L2 miss — the weakness the paper calls out.
+                    self.predictor.count_misprediction();
+                }
+            }
+            PolicyEvent::LoadFilled { load_id, .. }
+            | PolicyEvent::LoadSquashed { load_id, .. } => {
+                self.release(load_id);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_pipeline::ThreadView;
+
+    fn fetched(p: &mut DcPred, thread: usize, pc: u64, id: u64) {
+        p.on_event(&PolicyEvent::LoadFetched {
+            thread,
+            pc,
+            load_id: id,
+        });
+    }
+
+    fn outcome(p: &mut DcPred, thread: usize, pc: u64, id: u64, l2: bool) {
+        p.on_event(&PolicyEvent::LoadL1Outcome {
+            thread,
+            pc,
+            load_id: id,
+            l1_miss: l2,
+            l2_miss: l2,
+        });
+    }
+
+    fn train_missing(p: &mut DcPred, pc: u64) {
+        for id in 0..4 {
+            fetched(p, 0, pc, id);
+            outcome(p, 0, pc, id, true);
+            p.on_event(&PolicyEvent::LoadFilled {
+                thread: 0,
+                pc,
+                load_id: id,
+            });
+        }
+    }
+
+    #[test]
+    fn restricts_only_predicted_missing_threads() {
+        let mut p = DcPred::new();
+        let pc = 0x400;
+        train_missing(&mut p, pc);
+        fetched(&mut p, 0, pc, 50);
+        let threads = vec![ThreadView::default(), ThreadView::default()];
+        let v = PolicyView {
+            cycle: 0,
+            threads: &threads,
+        };
+        let caps = p.resource_caps(&v);
+        assert_eq!(caps[0], Some(DEFAULT_CAP));
+        assert_eq!(caps[1], None);
+        // Fetch is never gated.
+        assert_eq!(p.fetch_order(&v).len(), 2);
+    }
+
+    #[test]
+    fn restriction_lifts_at_fill() {
+        let mut p = DcPred::new();
+        let pc = 0x500;
+        train_missing(&mut p, pc);
+        fetched(&mut p, 0, pc, 60);
+        assert_eq!(p.counts[0], 1);
+        outcome(&mut p, 0, pc, 60, true);
+        p.on_event(&PolicyEvent::LoadFilled {
+            thread: 0,
+            pc,
+            load_id: 60,
+        });
+        assert_eq!(p.counts[0], 0);
+    }
+
+    #[test]
+    fn false_prediction_lifts_at_outcome() {
+        let mut p = DcPred::new();
+        let pc = 0x600;
+        train_missing(&mut p, pc);
+        fetched(&mut p, 0, pc, 70);
+        assert_eq!(p.counts[0], 1);
+        let before = p.predictor.mispredictions;
+        outcome(&mut p, 0, pc, 70, false);
+        assert_eq!(p.counts[0], 0, "restriction lifted early");
+        assert_eq!(p.predictor.mispredictions, before + 1);
+    }
+
+    #[test]
+    fn undetected_l2_misses_are_counted_as_mispredictions() {
+        let mut p = DcPred::new();
+        let pc = 0x700;
+        fetched(&mut p, 0, pc, 80); // cold predictor: predicted hit
+        assert_eq!(p.counts.first().copied().unwrap_or(0), 0);
+        let before = p.predictor.mispredictions;
+        outcome(&mut p, 0, pc, 80, true);
+        assert_eq!(p.predictor.mispredictions, before + 1);
+        // And crucially: the thread was never restricted — the clog the
+        // paper attributes to the fetch-stage detection moment.
+        assert_eq!(p.counts[0], 0);
+    }
+
+    #[test]
+    fn squash_releases_restrictions() {
+        let mut p = DcPred::new();
+        let pc = 0x800;
+        train_missing(&mut p, pc);
+        fetched(&mut p, 0, pc, 90);
+        assert_eq!(p.counts[0], 1);
+        p.on_event(&PolicyEvent::LoadSquashed {
+            thread: 0,
+            pc,
+            load_id: 90,
+        });
+        assert_eq!(p.counts[0], 0);
+        assert!(p.loads.is_empty());
+    }
+
+    #[test]
+    fn classification_is_the_limit_resources_cell() {
+        assert_eq!(
+            DcPred::classification(),
+            Classification::new(DetectionMoment::Fetch, ResponseAction::LimitResources)
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! DWarn — the paper's contribution.
+//!
+//! **Detection moment:** the L1 data-cache miss — reliable (every L2 miss is
+//! first an L1 miss) and early (known ~5 cycles after the load is fetched,
+//! long before an L2 miss can be declared).
+//!
+//! **Response action:** *reduce priority* (a new RA in the paper's
+//! taxonomy). Each cycle the threads are classified into the **Dmiss**
+//! group (one or more in-flight L1 data misses — the per-context miss
+//! counter of the paper's hardware sketch) and the **Normal** group; Normal
+//! threads fetch first, each group internally ordered by ICOUNT. Threads
+//! are never fetch-stalled outright: if the Normal threads cannot fill the
+//! fetch bandwidth, Dmiss threads use the rest, which is what saves DWarn
+//! from DG/PDG's resource under-use when few threads run — and not every L1
+//! miss becomes an L2 miss, so the caution is warranted.
+//!
+//! **Hybrid rule (§3):** with fewer than three running threads, priority
+//! reduction alone cannot keep a Dmiss thread out of the machine (fetch
+//! fragmentation leaves bandwidth that the Dmiss thread soaks up), so a
+//! second RA kicks in: once a load is *declared* to miss in L2, its thread
+//! is gated until the load resolves. With three or more threads the
+//! priority reduction alone suffices. The paper's evaluated DWarn is this
+//! hybrid; [`DWarn::priority_only`] gives the pure-priority variant for
+//! ablation.
+
+use smt_pipeline::{FetchPolicy, PolicyView};
+
+use crate::taxonomy::{Classification, DetectionMoment, ResponseAction};
+
+/// The DWarn fetch policy.
+#[derive(Debug, Clone, Copy)]
+pub struct DWarn {
+    /// Apply the gate-on-declared-L2-miss RA when fewer than this many
+    /// threads are running (the paper uses 3: "if there are less than three
+    /// threads running").
+    hybrid_below: usize,
+}
+
+impl DWarn {
+    /// The paper's DWarn: hybrid, gating declared L2 misses for 2-thread
+    /// workloads.
+    pub fn new() -> DWarn {
+        DWarn { hybrid_below: 3 }
+    }
+
+    /// Pure priority-reduction variant (no gating at any thread count) —
+    /// the ablation of the hybrid rule.
+    pub fn priority_only() -> DWarn {
+        DWarn { hybrid_below: 0 }
+    }
+
+    /// Custom hybrid threshold (ablation).
+    pub fn with_hybrid_below(hybrid_below: usize) -> DWarn {
+        DWarn { hybrid_below }
+    }
+
+    pub fn is_hybrid(&self) -> bool {
+        self.hybrid_below > 0
+    }
+
+    pub fn classification() -> Classification {
+        Classification::new(DetectionMoment::L1, ResponseAction::ReducePriority)
+    }
+
+    /// The two-group priority order: Normal (no in-flight L1-D misses)
+    /// first, Dmiss after, ICOUNT within each group.
+    fn grouped_order(view: &PolicyView) -> Vec<usize> {
+        let mut order = view.icount_order();
+        // Stable partition: Normal group keeps ICOUNT order, then Dmiss.
+        order.sort_by_key(|&t| (view.threads[t].dmiss_count > 0) as u32);
+        order
+    }
+}
+
+impl Default for DWarn {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FetchPolicy for DWarn {
+    fn name(&self) -> &'static str {
+        "DWARN"
+    }
+
+    fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize> {
+        let order = Self::grouped_order(view);
+        if view.num_threads() < self.hybrid_below {
+            // Hybrid RA: gate threads with a declared L2 miss outstanding —
+            // but, as with STALL/FLUSH, never gate the last runnable thread.
+            crate::stall_flush::ungated_keep_one(order, view)
+        } else {
+            order
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_pipeline::ThreadView;
+
+    fn tv(icount: u32, dmiss: u32, declared: u32) -> ThreadView {
+        ThreadView {
+            icount,
+            dmiss_count: dmiss,
+            declared_l2: declared,
+            ..Default::default()
+        }
+    }
+
+    fn view(threads: &[ThreadView]) -> PolicyView<'_> {
+        PolicyView { cycle: 0, threads }
+    }
+
+    #[test]
+    fn normal_threads_fetch_before_dmiss_threads() {
+        // Thread 1 has the lowest ICOUNT but an in-flight L1 miss.
+        let threads = vec![tv(9, 0, 0), tv(1, 1, 0), tv(4, 0, 0)];
+        let order = DWarn::new().fetch_order(&view(&threads));
+        assert_eq!(order, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn icount_orders_within_each_group() {
+        let threads = vec![tv(9, 2, 0), tv(5, 1, 0), tv(7, 0, 0), tv(2, 0, 0)];
+        let order = DWarn::new().fetch_order(&view(&threads));
+        assert_eq!(order, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn dmiss_threads_are_never_dropped_at_four_threads() {
+        let threads = vec![tv(1, 3, 2), tv(2, 1, 1), tv(3, 0, 0), tv(4, 0, 0)];
+        let order = DWarn::new().fetch_order(&view(&threads));
+        assert_eq!(order.len(), 4, "DWarn never stalls threads at 4+ threads");
+    }
+
+    #[test]
+    fn hybrid_gates_declared_l2_misses_with_two_threads() {
+        let threads = vec![tv(1, 1, 1), tv(9, 0, 0)];
+        let order = DWarn::new().fetch_order(&view(&threads));
+        assert_eq!(order, vec![1], "declared thread is gated at 2 threads");
+        // Before declaration, the thread is only deprioritized.
+        let threads = vec![tv(1, 1, 0), tv(9, 0, 0)];
+        let order = DWarn::new().fetch_order(&view(&threads));
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn priority_only_never_gates() {
+        let threads = vec![tv(1, 1, 1), tv(9, 0, 0)];
+        let order = DWarn::priority_only().fetch_order(&view(&threads));
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn reduces_to_icount_when_no_misses() {
+        let threads = vec![tv(5, 0, 0), tv(2, 0, 0), tv(8, 0, 0)];
+        let order = DWarn::new().fetch_order(&view(&threads));
+        assert_eq!(order, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn classification_is_the_novel_cell() {
+        assert_eq!(
+            DWarn::classification(),
+            Classification::new(DetectionMoment::L1, ResponseAction::ReducePriority)
+        );
+    }
+}

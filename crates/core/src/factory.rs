@@ -1,0 +1,129 @@
+//! Policy registry: construct any of the paper's six policies by kind or
+//! name, in the order the figures present them.
+
+use smt_pipeline::FetchPolicy;
+
+use crate::dwarn::DWarn;
+use crate::gating::{DataGating, PredictiveDataGating};
+use crate::icount::Icount;
+use crate::stall_flush::{Flush, Stall};
+
+/// The policies evaluated in the paper, plus the pure-priority DWarn
+/// ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    Icount,
+    Stall,
+    Flush,
+    Dg,
+    Pdg,
+    DWarn,
+    /// DWarn without the hybrid gate (ablation; not a paper figure series).
+    DWarnPriorityOnly,
+    /// DC-PRED \[7\]: fetch-stage L2-miss prediction + resource limiting
+    /// (discussed in the paper's §2.1 taxonomy; not in its figure series).
+    DcPred,
+}
+
+impl PolicyKind {
+    /// The six policies in the order of the paper's figures:
+    /// IC, STALL, FLUSH, DG, PDG, DWarn.
+    pub fn paper_set() -> [PolicyKind; 6] {
+        [
+            PolicyKind::Icount,
+            PolicyKind::Stall,
+            PolicyKind::Flush,
+            PolicyKind::Dg,
+            PolicyKind::Pdg,
+            PolicyKind::DWarn,
+        ]
+    }
+
+    /// The baseline policies DWarn is compared against (figure legends:
+    /// "DWarn / IC", "DWarn / STALL", ...).
+    pub fn baselines() -> [PolicyKind; 5] {
+        [
+            PolicyKind::Icount,
+            PolicyKind::Stall,
+            PolicyKind::Flush,
+            PolicyKind::Dg,
+            PolicyKind::Pdg,
+        ]
+    }
+
+    /// Display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Icount => "ICOUNT",
+            PolicyKind::Stall => "STALL",
+            PolicyKind::Flush => "FLUSH",
+            PolicyKind::Dg => "DG",
+            PolicyKind::Pdg => "PDG",
+            PolicyKind::DWarn => "DWARN",
+            PolicyKind::DWarnPriorityOnly => "DWARN-PRIO",
+            PolicyKind::DcPred => "DC-PRED",
+        }
+    }
+
+    /// Parse a (case-insensitive) policy name.
+    pub fn parse(s: &str) -> Option<PolicyKind> {
+        match s.to_ascii_uppercase().as_str() {
+            "IC" | "ICOUNT" => Some(PolicyKind::Icount),
+            "STALL" => Some(PolicyKind::Stall),
+            "FLUSH" => Some(PolicyKind::Flush),
+            "DG" => Some(PolicyKind::Dg),
+            "PDG" => Some(PolicyKind::Pdg),
+            "DWARN" => Some(PolicyKind::DWarn),
+            "DWARN-PRIO" | "DWARNPRIO" => Some(PolicyKind::DWarnPriorityOnly),
+            "DC-PRED" | "DCPRED" => Some(PolicyKind::DcPred),
+            _ => None,
+        }
+    }
+
+    /// Instantiate the policy.
+    pub fn build(self) -> Box<dyn FetchPolicy> {
+        match self {
+            PolicyKind::Icount => Box::new(Icount::new()),
+            PolicyKind::Stall => Box::new(Stall::new()),
+            PolicyKind::Flush => Box::new(Flush::new()),
+            PolicyKind::Dg => Box::new(DataGating::new()),
+            PolicyKind::Pdg => Box::new(PredictiveDataGating::new()),
+            PolicyKind::DWarn => Box::new(DWarn::new()),
+            PolicyKind::DWarnPriorityOnly => Box::new(DWarn::priority_only()),
+            PolicyKind::DcPred => Box::new(crate::dcpred::DcPred::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_order_matches_figures() {
+        let names: Vec<&str> = PolicyKind::paper_set().iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["ICOUNT", "STALL", "FLUSH", "DG", "PDG", "DWARN"]);
+    }
+
+    #[test]
+    fn build_produces_matching_names() {
+        for k in PolicyKind::paper_set() {
+            assert_eq!(k.build().name(), k.name());
+        }
+        assert_eq!(
+            PolicyKind::DWarnPriorityOnly.build().name(),
+            "DWARN",
+            "the ablation is still DWarn"
+        );
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for k in PolicyKind::paper_set() {
+            assert_eq!(PolicyKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(PolicyKind::parse("ic"), Some(PolicyKind::Icount));
+        assert_eq!(PolicyKind::parse("dwarn"), Some(PolicyKind::DWarn));
+        assert_eq!(PolicyKind::parse("nonsense"), None);
+    }
+}

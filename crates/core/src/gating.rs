@@ -1,0 +1,373 @@
+//! DG and PDG (El-Moursy & Albonesi \[3\]).
+//!
+//! **DG (data gating)** stalls a thread while it has `n` or more outstanding
+//! L1 data-cache misses (the paper uses n = 1: "a thread is stalled on each
+//! L1 miss"). Early and reliable detection, but the response is too strict:
+//! fewer than half of L1 misses become L2 misses, so many stalls are
+//! unnecessary — the resource under-use DWarn is designed to avoid.
+//!
+//! **PDG (predictive data gating)** moves detection to the fetch stage with
+//! an L1-miss predictor (2-bit saturating counters indexed by load PC): a
+//! thread stalls while (loads predicted to miss in flight) + (loads
+//! predicted to hit that actually missed) ≥ n. Faster but unreliable, and —
+//! as the paper observes — fetch-stalling on each predicted miss serializes
+//! the misses and destroys memory-level parallelism.
+
+use std::collections::HashMap;
+
+use smt_pipeline::{FetchPolicy, PolicyEvent, PolicyView};
+
+use crate::predictor::MissPredictor;
+use crate::taxonomy::{Classification, DetectionMoment, ResponseAction};
+
+/// DG: gate a thread while it has ≥ `n` outstanding L1 data misses.
+#[derive(Debug, Clone, Copy)]
+pub struct DataGating {
+    n: u32,
+}
+
+impl DataGating {
+    /// The paper's configuration (n = 1).
+    pub fn new() -> DataGating {
+        DataGating { n: 1 }
+    }
+
+    /// DG with a custom outstanding-miss threshold (used by the threshold
+    /// ablation).
+    pub fn with_threshold(n: u32) -> DataGating {
+        assert!(n >= 1);
+        DataGating { n }
+    }
+
+    pub fn threshold(&self) -> u32 {
+        self.n
+    }
+
+    pub fn classification() -> Classification {
+        Classification::new(DetectionMoment::L1, ResponseAction::Gate)
+    }
+}
+
+impl Default for DataGating {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FetchPolicy for DataGating {
+    fn name(&self) -> &'static str {
+        "DG"
+    }
+
+    fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize> {
+        view.icount_order()
+            .into_iter()
+            .filter(|&t| view.threads[t].dmiss_count < self.n)
+            .collect()
+    }
+}
+
+/// Per-load PDG tracking state.
+#[derive(Debug, Clone, Copy)]
+struct PdgLoad {
+    thread: usize,
+    /// The load currently contributes to its thread's gate counter.
+    counted: bool,
+    predicted_miss: bool,
+}
+
+/// PDG: predictive data gating.
+#[derive(Debug)]
+pub struct PredictiveDataGating {
+    n: u32,
+    /// Per-load-PC L1-miss predictor.
+    pub predictor: MissPredictor,
+    /// Per-thread count of gating loads.
+    counts: Vec<u32>,
+    /// In-flight load state by load id.
+    loads: HashMap<u64, PdgLoad>,
+}
+
+impl PredictiveDataGating {
+    pub fn new() -> PredictiveDataGating {
+        Self::with_threshold(1)
+    }
+
+    pub fn with_threshold(n: u32) -> PredictiveDataGating {
+        assert!(n >= 1);
+        PredictiveDataGating {
+            n,
+            predictor: MissPredictor::new(),
+            counts: Vec::new(),
+            loads: HashMap::new(),
+        }
+    }
+
+    pub fn classification() -> Classification {
+        Classification::new(DetectionMoment::Fetch, ResponseAction::Gate)
+    }
+
+
+    fn ensure_threads(&mut self, n: usize) {
+        if self.counts.len() < n {
+            self.counts.resize(n, 0);
+        }
+    }
+
+    fn uncount(&mut self, load_id: u64) {
+        if let Some(l) = self.loads.remove(&load_id) {
+            if l.counted {
+                debug_assert!(self.counts[l.thread] > 0);
+                self.counts[l.thread] -= 1;
+            }
+        }
+    }
+}
+
+impl Default for PredictiveDataGating {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FetchPolicy for PredictiveDataGating {
+    fn name(&self) -> &'static str {
+        "PDG"
+    }
+
+    fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize> {
+        self.ensure_threads(view.num_threads());
+        let counts = &self.counts;
+        view.icount_order()
+            .into_iter()
+            .filter(|&t| counts[t] < self.n)
+            .collect()
+    }
+
+    fn on_event(&mut self, ev: &PolicyEvent) {
+        match *ev {
+            PolicyEvent::LoadFetched { thread, pc, load_id } => {
+                self.ensure_threads(thread + 1);
+                let predicted_miss = self.predictor.predict(pc);
+                if predicted_miss {
+                    self.counts[thread] += 1;
+                }
+                self.loads.insert(
+                    load_id,
+                    PdgLoad {
+                        thread,
+                        counted: predicted_miss,
+                        predicted_miss,
+                    },
+                );
+            }
+            PolicyEvent::LoadL1Outcome {
+                thread,
+                pc,
+                load_id,
+                l1_miss,
+                ..
+            } => {
+                self.predictor.train(pc, l1_miss);
+                let Some(l) = self.loads.get_mut(&load_id) else { return };
+                debug_assert_eq!(l.thread, thread);
+                if l.predicted_miss != l1_miss {
+                    self.predictor.count_misprediction();
+                }
+                match (l.predicted_miss, l1_miss) {
+                    (true, false) => {
+                        // Predicted miss, actually hit: release the gate.
+                        l.counted = false;
+                        self.loads.remove(&load_id);
+                        debug_assert!(self.counts[thread] > 0);
+                        self.counts[thread] -= 1;
+                    }
+                    (false, true) => {
+                        // Predicted hit, actually missed: starts gating now.
+                        l.counted = true;
+                        self.counts[thread] += 1;
+                    }
+                    (true, true) => {} // keeps gating until the fill
+                    (false, false) => {
+                        self.loads.remove(&load_id);
+                    }
+                }
+            }
+            PolicyEvent::LoadFilled { load_id, .. }
+            | PolicyEvent::LoadSquashed { load_id, .. } => {
+                self.uncount(load_id);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_pipeline::ThreadView;
+
+    fn tv(icount: u32, dmiss: u32) -> ThreadView {
+        ThreadView {
+            icount,
+            dmiss_count: dmiss,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn dg_gates_on_any_outstanding_miss() {
+        let threads = vec![tv(1, 1), tv(9, 0)];
+        let v = PolicyView {
+            cycle: 0,
+            threads: &threads,
+        };
+        assert_eq!(DataGating::new().fetch_order(&v), vec![1]);
+    }
+
+    #[test]
+    fn dg_threshold_two_tolerates_one_miss() {
+        let threads = vec![tv(1, 1), tv(9, 2)];
+        let v = PolicyView {
+            cycle: 0,
+            threads: &threads,
+        };
+        assert_eq!(DataGating::with_threshold(2).fetch_order(&v), vec![0]);
+    }
+
+    #[test]
+    fn dg_can_gate_everyone() {
+        // Unlike STALL, DG has no keep-one-running rule in [3].
+        let threads = vec![tv(1, 1), tv(2, 3)];
+        let v = PolicyView {
+            cycle: 0,
+            threads: &threads,
+        };
+        assert!(DataGating::new().fetch_order(&v).is_empty());
+    }
+
+    fn fetched(p: &mut PredictiveDataGating, thread: usize, pc: u64, id: u64) {
+        p.on_event(&PolicyEvent::LoadFetched {
+            thread,
+            pc,
+            load_id: id,
+        });
+    }
+
+    fn outcome(p: &mut PredictiveDataGating, thread: usize, pc: u64, id: u64, miss: bool) {
+        p.on_event(&PolicyEvent::LoadL1Outcome {
+            thread,
+            pc,
+            load_id: id,
+            l1_miss: miss,
+            l2_miss: false,
+        });
+    }
+
+    #[test]
+    fn pdg_learns_a_missing_load_and_gates_at_fetch() {
+        let mut p = PredictiveDataGating::new();
+        let pc = 0x100;
+        // Train: the load misses repeatedly.
+        for id in 0..4 {
+            fetched(&mut p, 0, pc, id);
+            outcome(&mut p, 0, pc, id, true);
+            p.on_event(&PolicyEvent::LoadFilled {
+                thread: 0,
+                pc,
+                load_id: id,
+            });
+        }
+        assert!(p.predictor.would_predict_miss(pc));
+        // Now a fetch of that load gates the thread immediately.
+        fetched(&mut p, 0, pc, 100);
+        let threads = vec![tv(0, 0), tv(0, 0)];
+        let v = PolicyView {
+            cycle: 0,
+            threads: &threads,
+        };
+        assert_eq!(p.fetch_order(&v), vec![1]);
+        // The fill releases the gate.
+        outcome(&mut p, 0, pc, 100, true);
+        p.on_event(&PolicyEvent::LoadFilled {
+            thread: 0,
+            pc,
+            load_id: 100,
+        });
+        assert_eq!(p.fetch_order(&v).len(), 2);
+    }
+
+    #[test]
+    fn pdg_false_miss_prediction_releases_at_outcome() {
+        let mut p = PredictiveDataGating::new();
+        let pc = 0x200;
+        for id in 0..4 {
+            fetched(&mut p, 0, pc, id);
+            outcome(&mut p, 0, pc, id, true);
+            p.on_event(&PolicyEvent::LoadFilled {
+                thread: 0,
+                pc,
+                load_id: id,
+            });
+        }
+        fetched(&mut p, 0, pc, 50);
+        assert_eq!(p.counts[0], 1);
+        // Actually hits: gate must lift at the outcome, not at a fill.
+        let before = p.predictor.mispredictions;
+        outcome(&mut p, 0, pc, 50, false);
+        assert_eq!(p.counts[0], 0);
+        assert_eq!(p.predictor.mispredictions, before + 1);
+    }
+
+    #[test]
+    fn pdg_predicted_hit_that_misses_starts_gating_late() {
+        let mut p = PredictiveDataGating::new();
+        let pc = 0x300;
+        fetched(&mut p, 1, pc, 7);
+        assert_eq!(p.counts.get(1), Some(&0));
+        outcome(&mut p, 1, pc, 7, true);
+        assert_eq!(p.counts[1], 1);
+        p.on_event(&PolicyEvent::LoadSquashed {
+            thread: 1,
+            pc,
+            load_id: 7,
+        });
+        assert_eq!(p.counts[1], 0);
+    }
+
+    #[test]
+    fn pdg_squash_of_predicted_miss_releases() {
+        let mut p = PredictiveDataGating::new();
+        let pc = 0x400;
+        for id in 0..4 {
+            fetched(&mut p, 0, pc, id);
+            outcome(&mut p, 0, pc, id, true);
+            p.on_event(&PolicyEvent::LoadFilled {
+                thread: 0,
+                pc,
+                load_id: id,
+            });
+        }
+        fetched(&mut p, 0, pc, 60);
+        assert_eq!(p.counts[0], 1);
+        p.on_event(&PolicyEvent::LoadSquashed {
+            thread: 0,
+            pc,
+            load_id: 60,
+        });
+        assert_eq!(p.counts[0], 0);
+        assert!(p.loads.is_empty());
+    }
+
+    #[test]
+    fn classifications_match_table_1() {
+        assert_eq!(
+            DataGating::classification(),
+            Classification::new(DetectionMoment::L1, ResponseAction::Gate)
+        );
+        assert_eq!(
+            PredictiveDataGating::classification(),
+            Classification::new(DetectionMoment::Fetch, ResponseAction::Gate)
+        );
+    }
+}

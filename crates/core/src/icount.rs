@@ -1,0 +1,72 @@
+//! ICOUNT (Tullsen et al. \[12\]): the base fetch policy every other policy
+//! builds on. Threads with fewer instructions in the pre-issue stages fetch
+//! first; it favours fast-moving threads but is blind to cache misses.
+
+use smt_pipeline::{FetchPolicy, PolicyView};
+
+use crate::taxonomy::{Classification, DetectionMoment, ResponseAction};
+
+/// The ICOUNT x.y fetch policy (the x and y are properties of the fetch
+/// engine, not of the priority function).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Icount;
+
+impl Icount {
+    pub fn new() -> Icount {
+        Icount
+    }
+
+    /// ICOUNT predates the paper's taxonomy; it has no long-latency DM/RA.
+    pub fn classification() -> Option<Classification> {
+        let _ = (DetectionMoment::L2, ResponseAction::Gate);
+        None
+    }
+}
+
+impl FetchPolicy for Icount {
+    fn name(&self) -> &'static str {
+        "ICOUNT"
+    }
+
+    fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize> {
+        view.icount_order()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_pipeline::ThreadView;
+
+    fn view(icounts: &[u32]) -> Vec<ThreadView> {
+        icounts
+            .iter()
+            .map(|&i| ThreadView {
+                icount: i,
+                ..Default::default()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn orders_by_ascending_icount() {
+        let threads = view(&[7, 3, 9, 0]);
+        let v = PolicyView {
+            cycle: 0,
+            threads: &threads,
+        };
+        assert_eq!(Icount::new().fetch_order(&v), vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn never_gates_anyone() {
+        let mut threads = view(&[5, 5]);
+        threads[0].dmiss_count = 10;
+        threads[1].declared_l2 = 3;
+        let v = PolicyView {
+            cycle: 0,
+            threads: &threads,
+        };
+        assert_eq!(Icount::new().fetch_order(&v).len(), 2);
+    }
+}

@@ -1,0 +1,154 @@
+//! STALL and FLUSH (Tullsen & Brown \[11\]).
+//!
+//! Both use the "X cycles after issue" detection moment: a load that has
+//! spent more than a threshold (15 cycles on the baseline) in the memory
+//! hierarchy is *declared* an L2 miss (data TLB misses exceed the threshold
+//! too and therefore also trigger, as the paper specifies). STALL's response
+//! action fetch-gates the offending thread until the load resolves (with a
+//! 2-cycle advance indication); FLUSH additionally squashes the thread's
+//! instructions after the load, freeing the shared resources they hold.
+//! Both always keep at least one thread running.
+
+use smt_pipeline::{DeclareAction, FetchPolicy, PolicyView};
+
+use crate::taxonomy::{Classification, DetectionMoment, ResponseAction};
+
+/// Drop threads with a declared long-latency load from `order`, but never
+/// gate the last runnable thread ("this mechanism always keeps one thread
+/// running"). Shared by STALL, FLUSH, DWarn's hybrid rule, and the
+/// DWarn+FLUSH extension.
+pub(crate) fn ungated_keep_one(order: Vec<usize>, view: &PolicyView) -> Vec<usize> {
+    let ungated: Vec<usize> = order
+        .iter()
+        .copied()
+        .filter(|&t| view.threads[t].declared_l2 == 0)
+        .collect();
+    if ungated.is_empty() {
+        order.into_iter().take(1).collect()
+    } else {
+        ungated
+    }
+}
+
+/// Shared gating logic: ICOUNT order, minus declared threads, keep-one.
+fn stall_order(view: &PolicyView) -> Vec<usize> {
+    ungated_keep_one(view.icount_order(), view)
+}
+
+/// STALL: declare ⇒ fetch-gate the thread until the load resolves.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Stall;
+
+impl Stall {
+    pub fn new() -> Stall {
+        Stall
+    }
+
+    pub fn classification() -> Classification {
+        Classification::new(DetectionMoment::XCyclesAfterIssue, ResponseAction::Gate)
+    }
+}
+
+impl FetchPolicy for Stall {
+    fn name(&self) -> &'static str {
+        "STALL"
+    }
+
+    fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize> {
+        stall_order(view)
+    }
+}
+
+/// FLUSH: declare ⇒ squash the thread's instructions after the offending
+/// load *and* fetch-gate until it resolves.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Flush;
+
+impl Flush {
+    pub fn new() -> Flush {
+        Flush
+    }
+
+    pub fn classification() -> Classification {
+        Classification::new(DetectionMoment::XCyclesAfterIssue, ResponseAction::Squash)
+    }
+}
+
+impl FetchPolicy for Flush {
+    fn name(&self) -> &'static str {
+        "FLUSH"
+    }
+
+    fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize> {
+        stall_order(view)
+    }
+
+    fn declare_action(&self) -> DeclareAction {
+        DeclareAction::FlushAfterLoad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_pipeline::ThreadView;
+
+    fn tv(icount: u32, declared: u32) -> ThreadView {
+        ThreadView {
+            icount,
+            declared_l2: declared,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn stall_gates_declared_threads() {
+        let threads = vec![tv(5, 0), tv(1, 2), tv(3, 0)];
+        let v = PolicyView {
+            cycle: 0,
+            threads: &threads,
+        };
+        // Thread 1 has the lowest ICOUNT but is gated.
+        assert_eq!(Stall::new().fetch_order(&v), vec![2, 0]);
+    }
+
+    #[test]
+    fn stall_keeps_one_thread_running() {
+        let threads = vec![tv(5, 1), tv(1, 2)];
+        let v = PolicyView {
+            cycle: 0,
+            threads: &threads,
+        };
+        // Both declared: keep the best-ICOUNT one.
+        assert_eq!(Stall::new().fetch_order(&v), vec![1]);
+    }
+
+    #[test]
+    fn single_thread_is_never_stopped() {
+        let threads = vec![tv(9, 4)];
+        let v = PolicyView {
+            cycle: 0,
+            threads: &threads,
+        };
+        assert_eq!(Stall::new().fetch_order(&v), vec![0]);
+        assert_eq!(Flush::new().fetch_order(&v), vec![0]);
+    }
+
+    #[test]
+    fn flush_requests_the_squash_action() {
+        assert_eq!(Flush::new().declare_action(), DeclareAction::FlushAfterLoad);
+        assert_eq!(Stall::new().declare_action(), DeclareAction::None);
+    }
+
+    #[test]
+    fn classifications_match_table_1() {
+        assert_eq!(
+            Stall::classification(),
+            Classification::new(DetectionMoment::XCyclesAfterIssue, ResponseAction::Gate)
+        );
+        assert_eq!(
+            Flush::classification(),
+            Classification::new(DetectionMoment::XCyclesAfterIssue, ResponseAction::Squash)
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! The paper's §2.1 classification of long-latency-load fetch policies:
+//! every policy is a (detection moment, response action) pair — Table 1.
+
+/// Detection moment (DM): when the policy learns (or guesses) that a load
+/// will miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetectionMoment {
+    /// At fetch, via a predictor (fast but unreliable): PDG, DC-PRED.
+    Fetch,
+    /// When the L1 data-cache outcome is known (reliable *and* early —
+    /// every L2 miss is first an L1 miss): DG, DWarn.
+    L1,
+    /// X cycles after the load issues — the load has spent longer in the
+    /// hierarchy than an L2 access needs: STALL, FLUSH.
+    XCyclesAfterIssue,
+    /// When the L2 miss is certain (fully reliable, far too late).
+    L2,
+}
+
+/// Response action (RA): what the policy does about the delinquent thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResponseAction {
+    /// Fetch-stall the thread: DG, PDG, STALL.
+    Gate,
+    /// Squash the thread's instructions after the load and stall: FLUSH.
+    Squash,
+    /// Cap the resources the thread may allocate: DC-PRED.
+    LimitResources,
+    /// Reduce the thread's fetch priority (the paper's novel RA): DWarn.
+    ReducePriority,
+}
+
+/// A cell of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Classification {
+    pub dm: DetectionMoment,
+    pub ra: ResponseAction,
+}
+
+impl Classification {
+    pub const fn new(dm: DetectionMoment, ra: ResponseAction) -> Classification {
+        Classification { dm, ra }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_cells_are_distinct() {
+        // Each policy in Table 1 occupies a distinct (DM, RA) cell.
+        let cells = [
+            Classification::new(DetectionMoment::Fetch, ResponseAction::Gate), // PDG
+            Classification::new(DetectionMoment::L1, ResponseAction::Gate),    // DG
+            Classification::new(DetectionMoment::XCyclesAfterIssue, ResponseAction::Gate), // STALL
+            Classification::new(DetectionMoment::XCyclesAfterIssue, ResponseAction::Squash), // FLUSH
+            Classification::new(DetectionMoment::Fetch, ResponseAction::LimitResources), // DC-PRED
+            Classification::new(DetectionMoment::L1, ResponseAction::ReducePriority), // DWarn
+        ];
+        for (i, a) in cells.iter().enumerate() {
+            for b in &cells[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Beyond the paper: the extension policies raced where the paper's
+//! results say they should matter.
+//!
+//! The paper's one loss for DWarn is the 6/8-thread MEM regime, where
+//! FLUSH's resource-freeing squash beats priority reduction. The natural
+//! follow-up — DWarn's early warning plus FLUSH's late cure — is
+//! `DWarnFlush`; this experiment measures whether it closes that gap
+//! without giving up DWarn's wins elsewhere.
+
+use dwarn_core::{DWarnFlush, DWarnThreshold, PolicyKind};
+use smt_metrics::table::TextTable;
+use smt_pipeline::{FetchPolicy, SimConfig, Simulator};
+use smt_workloads::{all_workloads, Workload};
+
+use crate::runner::ExpParams;
+
+fn run(params: &ExpParams, wl: &Workload, policy: Box<dyn FetchPolicy>) -> f64 {
+    let mut sim = Simulator::new(SimConfig::baseline(), policy, &wl.thread_specs());
+    sim.run(params.warmup, params.measure).throughput()
+}
+
+/// Throughput of DWarn, FLUSH, and the two extensions over all workloads.
+pub fn report(params: &ExpParams) -> String {
+    let mut t = TextTable::new(vec![
+        "workload",
+        "DWARN",
+        "FLUSH",
+        "DWARN+FLUSH",
+        "DWARN-K2",
+    ]);
+    let mut wins = 0usize;
+    let mut rows = 0usize;
+    for wl in all_workloads() {
+        let dwarn = run(params, &wl, PolicyKind::DWarn.build());
+        let flush = run(params, &wl, PolicyKind::Flush.build());
+        let combo = run(params, &wl, Box::new(DWarnFlush::new()));
+        let k2 = run(params, &wl, Box::new(DWarnThreshold::new(2)));
+        if combo >= dwarn.max(flush) * 0.99 {
+            wins += 1;
+        }
+        rows += 1;
+        t.row(vec![
+            wl.name.clone(),
+            format!("{dwarn:.2}"),
+            format!("{flush:.2}"),
+            format!("{combo:.2}"),
+            format!("{k2:.2}"),
+        ]);
+    }
+    format!(
+        "Extension study — combining DWarn's early warning with FLUSH's late cure\n\
+         (DWARN+FLUSH = DWarn priorities, plus squash-on-declared-L2-miss at 6+ threads;\n\
+         DWARN-K2 = demote a thread only at 2+ in-flight L1 misses)\n\n{}\n\
+         DWARN+FLUSH matches-or-beats the better of its two parents on {wins}/{rows} workloads.\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_workloads::{workload, WorkloadClass};
+
+    #[test]
+    fn combo_recovers_flush_advantage_on_8_mem() {
+        // The whole point of the extension: on 8-MEM, DWarn+FLUSH should
+        // behave like FLUSH (which beats plain DWarn there).
+        let params = ExpParams {
+            warmup: 8_000,
+            measure: 20_000,
+        };
+        let wl = workload(8, WorkloadClass::Mem);
+        let dwarn = run(&params, &wl, PolicyKind::DWarn.build());
+        let combo = run(&params, &wl, Box::new(DWarnFlush::new()));
+        assert!(
+            combo > dwarn,
+            "DWarn+FLUSH {combo} should beat plain DWarn {dwarn} on 8-MEM"
+        );
+    }
+
+    #[test]
+    fn combo_equals_dwarn_below_six_threads() {
+        // Below the activation point the two policies are the same machine.
+        let params = ExpParams {
+            warmup: 3_000,
+            measure: 8_000,
+        };
+        let wl = workload(4, WorkloadClass::Mix);
+        let dwarn = run(&params, &wl, PolicyKind::DWarn.build());
+        let combo = run(&params, &wl, Box::new(DWarnFlush::new()));
+        assert_eq!(dwarn, combo);
+    }
+
+    #[test]
+    fn report_renders() {
+        let params = ExpParams {
+            warmup: 500,
+            measure: 1_500,
+        };
+        let s = report(&params);
+        assert!(s.contains("DWARN+FLUSH"));
+        assert!(s.contains("8-MEM"));
+    }
+}

@@ -1,0 +1,168 @@
+//! The figure experiments: each regenerates one figure of the paper.
+//!
+//! * Figure 1(a): absolute throughput per policy on the 12 workloads.
+//! * Figure 1(b): DWarn's throughput improvement over each baseline.
+//! * Figure 2: FLUSH-squashed instructions as % of fetched.
+//! * Figure 3: DWarn's Hmean improvement over each baseline.
+//! * Figure 4: throughput + Hmean improvements on the *small* architecture
+//!   (2- and 4-thread workloads only — it is a 4-context processor).
+//! * Figure 5: throughput + Hmean improvements on the *deep* architecture.
+
+use dwarn_core::PolicyKind;
+use smt_metrics::table::TextTable;
+use smt_workloads::{all_workloads, small_arch_workloads, WorkloadClass};
+
+use crate::grid::{self, GridData, Metric};
+use crate::paper;
+use crate::runner::{Arch, Campaign, RunKey};
+
+/// Figures 1 & 3 share the baseline-architecture grid.
+pub fn baseline_grid(campaign: &Campaign) -> GridData {
+    grid::compute(campaign, Arch::Baseline, &all_workloads())
+}
+
+/// Figure 4's grid: small architecture, 2- and 4-thread workloads.
+pub fn small_grid(campaign: &Campaign) -> GridData {
+    grid::compute(campaign, Arch::Small, &small_arch_workloads())
+}
+
+/// Figure 5's grid: deep architecture, all 12 workloads.
+pub fn deep_grid(campaign: &Campaign) -> GridData {
+    grid::compute(campaign, Arch::Deep, &all_workloads())
+}
+
+/// Figure 1 report: absolute throughputs and improvements.
+pub fn fig1_report(g: &GridData) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 1(a) — throughput (sum of IPCs) per policy, baseline architecture\n\n");
+    s.push_str(&g.absolute_table(Metric::Throughput));
+    s.push('\n');
+    s.push_str(&g.chart(Metric::Throughput));
+    s.push_str("\nFigure 1(b) — throughput improvement of DWarn over each policy\n\n");
+    s.push_str(&g.improvement_table(Metric::Throughput));
+    s.push_str("\nPaper (quoted averages): ");
+    s.push_str("DWarn/IC +18% overall; DWarn/STALL +2/+6/+7 (ILP/MIX/MEM); ");
+    s.push_str("DWarn/FLUSH +3/+6/-3; DWarn/DG +3/+8/+9; DWarn/PDG +5/+13/+30.\n");
+    s
+}
+
+/// Figure 3 report: Hmean improvements.
+pub fn fig3_report(g: &GridData) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 3 — Hmean improvement of DWarn over each policy, baseline architecture\n\n");
+    s.push_str(&g.improvement_table(Metric::Hmean));
+    s.push_str("\nPaper (conclusions, MIX+MEM): IC +13%, STALL +5%, FLUSH +3%, DG +11%, PDG +36%;\n");
+    s.push_str("DWarn loses ~2% to FLUSH on MEM workloads.\n");
+    s
+}
+
+/// Figure 4 report (small architecture).
+pub fn fig4_report(g: &GridData) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 4(a) — throughput improvement of DWarn, small architecture (1.4 fetch)\n\n");
+    s.push_str(&g.improvement_table(Metric::Throughput));
+    s.push_str("\nFigure 4(b) — Hmean improvement of DWarn, small architecture\n\n");
+    s.push_str(&g.improvement_table(Metric::Hmean));
+    s.push_str("\nPaper (MIX+MEM): throughput +5% STALL, +23% DG, +10% FLUSH, +40% PDG;\n");
+    s.push_str("Hmean +5% STALL, +28% DG, +10% FLUSH, +50% PDG; ICOUNT beats DWarn by ~5% on MIX Hmean.\n");
+    s
+}
+
+/// Figure 5 report (deep architecture).
+pub fn fig5_report(g: &GridData) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 5(a) — throughput improvement of DWarn, deep architecture (16-stage)\n\n");
+    s.push_str(&g.improvement_table(Metric::Throughput));
+    s.push_str("\nFigure 5(b) — Hmean improvement of DWarn, deep architecture\n\n");
+    s.push_str(&g.improvement_table(Metric::Hmean));
+    s.push_str("\nPaper: DWarn beats every policy except FLUSH on MEM (~-6%, driven by 8-MEM\n");
+    s.push_str("over-pressure); FLUSH refetches 56% of instructions on MEM there.\n");
+    s
+}
+
+/// Figure 2: FLUSH's squashed-instruction overhead per workload.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    pub workload: String,
+    pub class: WorkloadClass,
+    pub flushed_pct: f64,
+}
+
+pub fn fig2_compute(campaign: &Campaign) -> Vec<Fig2Row> {
+    let wls = all_workloads();
+    let keys: Vec<RunKey> = wls
+        .iter()
+        .map(|w| RunKey::workload(Arch::Baseline, w, PolicyKind::Flush))
+        .collect();
+    campaign.prefetch(&keys);
+    wls.iter()
+        .map(|w| {
+            let r = campaign.workload_result(Arch::Baseline, w, PolicyKind::Flush);
+            Fig2Row {
+                workload: w.name.clone(),
+                class: w.class,
+                flushed_pct: 100.0 * r.flushed_fraction(),
+            }
+        })
+        .collect()
+}
+
+pub fn fig2_report(rows: &[Fig2Row]) -> String {
+    let mut t = TextTable::new(vec!["workload", "flushed %"]);
+    for r in rows {
+        t.row(vec![r.workload.clone(), format!("{:.1}", r.flushed_pct)]);
+    }
+    for class in WorkloadClass::ALL {
+        let vals: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.class == class)
+            .map(|r| r.flushed_pct)
+            .collect();
+        t.row(vec![
+            format!("avg-{}", class.as_str()),
+            format!("{:.1}", smt_metrics::mean(&vals)),
+        ]);
+    }
+    let paper_avgs: Vec<String> = paper::FIG2_FLUSHED_PCT
+        .iter()
+        .map(|(c, v)| format!("{c} {v:.0}%"))
+        .collect();
+    format!(
+        "Figure 2 — instructions squashed by FLUSH as % of fetched\n\n{}\n\
+         Paper averages: {} (MEM value quoted in the text; ILP/MIX read off the figure).\n",
+        t.render(),
+        paper_avgs.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::ExpParams;
+
+    #[test]
+    fn fig2_mem_workloads_flush_most() {
+        let c = Campaign::new(ExpParams {
+            warmup: 2_000,
+            measure: 8_000,
+        });
+        let rows = fig2_compute(&c);
+        assert_eq!(rows.len(), 12);
+        let avg = |cl: WorkloadClass| {
+            let v: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.class == cl)
+                .map(|r| r.flushed_pct)
+                .collect();
+            smt_metrics::mean(&v)
+        };
+        let (ilp, mem) = (avg(WorkloadClass::Ilp), avg(WorkloadClass::Mem));
+        assert!(
+            mem > ilp,
+            "MEM workloads must flush more than ILP: {mem} vs {ilp}"
+        );
+        assert!(mem > 5.0, "MEM flush overhead should be substantial: {mem}");
+        let report = fig2_report(&rows);
+        assert!(report.contains("avg-MEM"));
+    }
+}

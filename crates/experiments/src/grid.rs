@@ -1,0 +1,230 @@
+//! The (workload × policy) evaluation grid shared by Figures 1, 3, 4, 5.
+
+use std::collections::HashMap;
+
+use dwarn_core::PolicyKind;
+use smt_metrics::table::{pct, TextTable};
+use smt_workloads::{Workload, WorkloadClass};
+
+use crate::runner::{Arch, Campaign};
+
+/// Which metric a view of the grid reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    Throughput,
+    Hmean,
+}
+
+impl Metric {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Metric::Throughput => "Throughput",
+            Metric::Hmean => "Hmean",
+        }
+    }
+}
+
+/// All six policies evaluated over a workload list on one architecture.
+#[derive(Debug, Clone)]
+pub struct GridData {
+    pub arch: Arch,
+    pub workloads: Vec<Workload>,
+    pub throughput: HashMap<(String, PolicyKind), f64>,
+    pub hmean: HashMap<(String, PolicyKind), f64>,
+}
+
+/// Run the full grid (all paper policies plus the solo baselines Hmean
+/// needs), in parallel.
+pub fn compute(campaign: &Campaign, arch: Arch, workloads: &[Workload]) -> GridData {
+    let policies = PolicyKind::paper_set();
+    let mut keys = Campaign::grid(arch, workloads, &policies);
+    keys.extend(Campaign::solo_grid(arch, workloads));
+    campaign.prefetch(&keys);
+
+    let mut throughput = HashMap::new();
+    let mut hmean = HashMap::new();
+    for wl in workloads {
+        for &p in &policies {
+            let r = campaign.workload_result(arch, wl, p);
+            throughput.insert((wl.name.clone(), p), r.throughput());
+            hmean.insert((wl.name.clone(), p), campaign.hmean(arch, wl, p));
+        }
+    }
+    GridData {
+        arch,
+        workloads: workloads.to_vec(),
+        throughput,
+        hmean,
+    }
+}
+
+impl GridData {
+    pub fn value(&self, metric: Metric, wl: &str, policy: PolicyKind) -> f64 {
+        let map = match metric {
+            Metric::Throughput => &self.throughput,
+            Metric::Hmean => &self.hmean,
+        };
+        *map.get(&(wl.to_string(), policy))
+            .expect("workload/policy in grid")
+    }
+
+    /// DWarn's improvement (%) over `baseline` on one workload.
+    pub fn improvement(&self, metric: Metric, wl: &str, baseline: PolicyKind) -> f64 {
+        smt_metrics::improvement_pct(
+            self.value(metric, wl, PolicyKind::DWarn),
+            self.value(metric, wl, baseline),
+        )
+    }
+
+    /// Average DWarn improvement over `baseline` across the workloads of
+    /// one class.
+    pub fn class_avg_improvement(
+        &self,
+        metric: Metric,
+        class: WorkloadClass,
+        baseline: PolicyKind,
+    ) -> f64 {
+        let vals: Vec<f64> = self
+            .workloads
+            .iter()
+            .filter(|w| w.class == class)
+            .map(|w| self.improvement(metric, &w.name, baseline))
+            .collect();
+        smt_metrics::mean(&vals)
+    }
+
+    /// Average DWarn improvement over `baseline` across all workloads.
+    pub fn avg_improvement(&self, metric: Metric, baseline: PolicyKind) -> f64 {
+        let vals: Vec<f64> = self
+            .workloads
+            .iter()
+            .map(|w| self.improvement(metric, &w.name, baseline))
+            .collect();
+        smt_metrics::mean(&vals)
+    }
+
+    /// The absolute-value table (Figure 1a style).
+    pub fn absolute_table(&self, metric: Metric) -> String {
+        let mut header = vec!["workload".to_string()];
+        header.extend(PolicyKind::paper_set().iter().map(|p| p.name().to_string()));
+        let mut t = TextTable::new(header);
+        for wl in &self.workloads {
+            let mut row = vec![wl.name.clone()];
+            for p in PolicyKind::paper_set() {
+                row.push(format!("{:.2}", self.value(metric, &wl.name, p)));
+            }
+            t.row(row);
+        }
+        t.render()
+    }
+
+    /// A paper-style grouped bar chart of the absolute values (Figure 1a).
+    pub fn chart(&self, metric: Metric) -> String {
+        let mut chart = smt_metrics::chart::BarChart::new(
+            format!(
+                "{} per policy ({} architecture)",
+                metric.as_str(),
+                self.arch.as_str()
+            ),
+            PolicyKind::paper_set()
+                .iter()
+                .map(|p| p.name().to_string())
+                .collect(),
+        );
+        for wl in &self.workloads {
+            chart.group(
+                wl.name.clone(),
+                PolicyKind::paper_set()
+                    .iter()
+                    .map(|&p| self.value(metric, &wl.name, p))
+                    .collect(),
+            );
+        }
+        chart.render()
+    }
+
+    /// The DWarn-over-baselines improvement table (Figure 1b / 3 / 4 / 5
+    /// style), with per-class averages at the bottom.
+    pub fn improvement_table(&self, metric: Metric) -> String {
+        let mut header = vec!["workload".to_string()];
+        header.extend(
+            PolicyKind::baselines()
+                .iter()
+                .map(|p| format!("DWarn/{}", p.name())),
+        );
+        let mut t = TextTable::new(header);
+        for wl in &self.workloads {
+            let mut row = vec![wl.name.clone()];
+            for p in PolicyKind::baselines() {
+                row.push(pct(self.improvement(metric, &wl.name, p)));
+            }
+            t.row(row);
+        }
+        for class in WorkloadClass::ALL {
+            if !self.workloads.iter().any(|w| w.class == class) {
+                continue;
+            }
+            let mut row = vec![format!("avg-{}", class.as_str())];
+            for p in PolicyKind::baselines() {
+                row.push(pct(self.class_avg_improvement(metric, class, p)));
+            }
+            t.row(row);
+        }
+        let mut row = vec!["avg".to_string()];
+        for p in PolicyKind::baselines() {
+            row.push(pct(self.avg_improvement(metric, p)));
+        }
+        t.row(row);
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::ExpParams;
+    use smt_workloads::workload;
+
+    fn tiny_grid() -> GridData {
+        let c = Campaign::new(ExpParams {
+            warmup: 1_500,
+            measure: 5_000,
+        });
+        let wls = vec![
+            workload(2, WorkloadClass::Ilp),
+            workload(2, WorkloadClass::Mem),
+        ];
+        compute(&c, Arch::Baseline, &wls)
+    }
+
+    #[test]
+    fn grid_covers_all_cells() {
+        let g = tiny_grid();
+        assert_eq!(g.throughput.len(), 12);
+        assert_eq!(g.hmean.len(), 12);
+        for wl in &g.workloads {
+            for p in PolicyKind::paper_set() {
+                assert!(g.value(Metric::Throughput, &wl.name, p) > 0.0);
+                assert!(g.value(Metric::Hmean, &wl.name, p) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let g = tiny_grid();
+        let abs = g.absolute_table(Metric::Throughput);
+        assert!(abs.contains("2-ILP") && abs.contains("DWARN"));
+        let imp = g.improvement_table(Metric::Hmean);
+        assert!(imp.contains("DWarn/PDG"));
+        assert!(imp.contains("avg-MEM"));
+        assert!(imp.lines().last().unwrap().starts_with("avg"));
+    }
+
+    #[test]
+    fn improvement_is_zero_against_self_value() {
+        let g = tiny_grid();
+        let v = g.value(Metric::Throughput, "2-ILP", PolicyKind::DWarn);
+        assert!((smt_metrics::improvement_pct(v, v)).abs() < 1e-12);
+    }
+}

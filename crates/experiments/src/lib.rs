@@ -1,0 +1,35 @@
+//! # smt-experiments — the paper's evaluation, regenerated
+//!
+//! One module per table/figure of "DCache Warn: an I-Fetch Policy to
+//! Increase SMT Efficiency" (IPDPS 2004):
+//!
+//! | Experiment | Module | CLI |
+//! |---|---|---|
+//! | Table 2(a) | [`table2a`] | `table2a` |
+//! | Figure 1(a,b) | [`figures::fig1_report`] | `fig1` |
+//! | Figure 2 | [`figures::fig2_report`] | `fig2` |
+//! | Figure 3 | [`figures::fig3_report`] | `fig3` |
+//! | Table 4 | [`table4`] | `table4` |
+//! | Figure 4(a,b) | [`figures::fig4_report`] | `fig4` |
+//! | Figure 5(a,b) | [`figures::fig5_report`] | `fig5` |
+//! | §5 prose ablations | [`ablation`] | `ablation` |
+//! | Table 1 evaluated (incl. DC-PRED) | [`taxonomy`] | `taxonomy` |
+//! | Extension study (DWarn+FLUSH) | [`extensions`] | `extensions` |
+//!
+//! Run everything: `cargo run --release -p smt-experiments -- all`.
+//! Absolute IPCs come from a synthetic-trace substrate, so the comparison
+//! target is the paper's *shape* — who wins, by roughly what factor, where
+//! the crossovers fall — not its absolute numbers (see DESIGN.md).
+
+pub mod ablation;
+pub mod extensions;
+pub mod figures;
+pub mod grid;
+pub mod paper;
+pub mod runner;
+pub mod table2a;
+pub mod table4;
+pub mod taxonomy;
+
+pub use grid::{GridData, Metric};
+pub use runner::{Arch, Campaign, ExpParams, RunKey};

@@ -1,0 +1,135 @@
+//! Experiment CLI: regenerate any table or figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p smt-experiments -- all
+//! cargo run --release -p smt-experiments -- fig1 fig3 --quick
+//! ```
+
+use std::time::Instant;
+
+use smt_experiments::{ablation, figures, table2a, table4, Campaign, ExpParams};
+
+const USAGE: &str = "\
+usage: smt-experiments [--quick] <experiment>...
+
+experiments:
+  table2a    cache behaviour of isolated benchmarks (Table 2a)
+  fig1       throughput per policy + DWarn improvements (Figure 1)
+  fig2       FLUSH squashed-instruction overhead (Figure 2)
+  fig3       Hmean improvements (Figure 3)
+  table4     relative IPCs in the 4-MIX workload (Table 4)
+  fig4       small architecture, 1.4 fetch (Figure 4)
+  fig5       deep 16-stage architecture (Figure 5)
+  ablation   DG/declare-threshold/hybrid-rule sweeps (text of §3/§5)
+  taxonomy   Table 1 evaluated: all 8 policies incl. DC-PRED (§2.1)
+  extensions DWarn+FLUSH combination study (beyond the paper)
+  all        everything above
+
+  compare <POLICY>... [@WORKLOAD] [@ARCH]
+             ad-hoc comparison, e.g.:  compare DWARN FLUSH @8-MEM @deep
+
+flags:
+  --quick    short simulation windows (smoke test)
+";
+
+fn compare(campaign: &Campaign, args: &[&str]) -> String {
+    use smt_experiments::Arch;
+    let mut policies = Vec::new();
+    let mut workload = "4-MIX".to_string();
+    let mut arch = Arch::Baseline;
+    for a in args {
+        if let Some(w) = a.strip_prefix('@') {
+            match w {
+                "small" => arch = Arch::Small,
+                "deep" => arch = Arch::Deep,
+                "baseline" => arch = Arch::Baseline,
+                other => {
+                    let known = ["2", "4", "6", "8"]
+                        .iter()
+                        .flat_map(|n| ["ILP", "MIX", "MEM"].iter().map(move |c| format!("{n}-{c}")))
+                        .any(|name| name == other);
+                    if !known {
+                        eprintln!(
+                            "unknown workload: {other} (Table 2b has 2/4/6/8-ILP/MIX/MEM)"
+                        );
+                        std::process::exit(2);
+                    }
+                    workload = other.to_string();
+                }
+            }
+        } else if let Some(k) = dwarn_core::PolicyKind::parse(a) {
+            policies.push(k);
+        } else {
+            eprintln!("unknown policy: {a}");
+            std::process::exit(2);
+        }
+    }
+    if policies.is_empty() {
+        policies = dwarn_core::PolicyKind::paper_set().to_vec();
+    }
+    let mut t = smt_experiments::runner::comparison_table(campaign, arch, &workload, &policies);
+    t.push('\n');
+    t
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut exps: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if exps.first() == Some(&"compare") {
+        let params = if quick { ExpParams::quick() } else { ExpParams::standard() };
+        let campaign = Campaign::new(params);
+        print!("{}", compare(&campaign, &exps[1..]));
+        return;
+    }
+    if exps.is_empty() {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    }
+    if exps.contains(&"all") {
+        exps = vec![
+            "table2a", "fig1", "fig2", "fig3", "table4", "fig4", "fig5", "ablation",
+            "taxonomy", "extensions",
+        ];
+    }
+
+    let params = if quick {
+        ExpParams::quick()
+    } else {
+        ExpParams::standard()
+    };
+    let campaign = Campaign::new(params);
+    let t0 = Instant::now();
+
+    for exp in exps {
+        let started = Instant::now();
+        let report = match exp {
+            "table2a" => table2a::report(&table2a::compute(&campaign)),
+            "fig1" => figures::fig1_report(&figures::baseline_grid(&campaign)),
+            "fig2" => figures::fig2_report(&figures::fig2_compute(&campaign)),
+            "fig3" => figures::fig3_report(&figures::baseline_grid(&campaign)),
+            "table4" => table4::report(&table4::compute(&campaign)),
+            "fig4" => figures::fig4_report(&figures::small_grid(&campaign)),
+            "fig5" => figures::fig5_report(&figures::deep_grid(&campaign)),
+            "ablation" => ablation::report(&params),
+            "taxonomy" => smt_experiments::taxonomy::report(&campaign),
+            "extensions" => smt_experiments::extensions::report(&params),
+            other => {
+                eprintln!("unknown experiment: {other}\n");
+                eprint!("{USAGE}");
+                std::process::exit(2);
+            }
+        };
+        println!("{report}");
+        println!(
+            "[{} done in {:.1}s]\n",
+            exp,
+            started.elapsed().as_secs_f64()
+        );
+    }
+    eprintln!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,170 @@
+//! The paper's reported numbers, for side-by-side comparison in experiment
+//! reports and in `EXPERIMENTS.md`.
+//!
+//! The text of the paper gives Table 2(a), Table 4, and per-class *average
+//! improvement* percentages; the absolute bar heights of Figures 1–5 are
+//! not recoverable from the text, so comparisons are against the quoted
+//! averages and orderings.
+
+/// Table 2(a): (benchmark, L1 miss %, L2 miss %, L1→L2 %).
+pub const TABLE_2A: [(&str, f64, f64, f64); 12] = [
+    ("mcf", 32.3, 29.6, 91.6),
+    ("twolf", 5.8, 2.9, 49.3),
+    ("vpr", 4.3, 1.9, 44.7),
+    ("parser", 2.9, 1.0, 36.0),
+    ("gap", 0.7, 0.7, 94.0),
+    ("vortex", 1.0, 0.3, 33.3),
+    ("gcc", 0.4, 0.3, 82.2),
+    ("perlbmk", 0.3, 0.1, 42.7),
+    ("bzip2", 0.1, 0.1, 97.9),
+    ("crafty", 0.8, 0.1, 6.9),
+    ("gzip", 2.5, 0.1, 2.0),
+    ("eon", 0.1, 0.0, 2.1),
+];
+
+/// §5.1: average throughput improvement of DWarn over each baseline policy,
+/// by workload class, on the baseline architecture (percent).
+/// `None` where the text gives no per-class figure.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassImprovements {
+    pub policy: &'static str,
+    pub ilp: Option<f64>,
+    pub mix: Option<f64>,
+    pub mem: Option<f64>,
+    /// Overall average when quoted.
+    pub avg: Option<f64>,
+}
+
+/// Throughput improvements (Figure 1b, quoted in §5.1).
+pub const FIG1B_THROUGHPUT: [ClassImprovements; 5] = [
+    ClassImprovements {
+        policy: "ICOUNT",
+        ilp: None,
+        mix: None,
+        mem: None,
+        avg: Some(18.0),
+    },
+    ClassImprovements {
+        policy: "STALL",
+        ilp: Some(2.0),
+        mix: Some(6.0),
+        mem: Some(7.0),
+        avg: None,
+    },
+    ClassImprovements {
+        policy: "FLUSH",
+        ilp: Some(3.0),
+        mix: Some(6.0),
+        mem: Some(-3.0),
+        avg: None,
+    },
+    ClassImprovements {
+        policy: "DG",
+        ilp: Some(3.0),
+        mix: Some(8.0),
+        mem: Some(9.0),
+        avg: None,
+    },
+    ClassImprovements {
+        policy: "PDG",
+        ilp: Some(5.0),
+        mix: Some(13.0),
+        mem: Some(30.0),
+        avg: None,
+    },
+];
+
+/// Figure 2 (quoted in §5.1 / visible averages): FLUSH-squashed
+/// instructions as a percentage of fetched, by class. The MEM average (35%)
+/// is quoted in the text; ILP/MIX averages read off the figure.
+pub const FIG2_FLUSHED_PCT: [(&str, f64); 3] = [("ILP", 2.0), ("MIX", 7.0), ("MEM", 35.0)];
+
+/// Table 4: relative IPC of each thread in the 4-MIX workload
+/// (gzip, twolf, bzip2, mcf — the paper labels columns thread 1/2 = ILP,
+/// thread 3/4 = MEM) and the resulting Hmean.
+/// Rows: (policy, [rel_ipc per thread in table order: ILP, ILP, MEM, MEM], hmean).
+pub const TABLE_4: [(&str, [f64; 4], f64); 6] = [
+    ("ICOUNT", [0.36, 0.41, 0.50, 0.79], 0.47),
+    ("STALL", [0.42, 0.65, 0.38, 0.63], 0.49),
+    ("FLUSH", [0.41, 0.64, 0.34, 0.59], 0.46),
+    ("DG", [0.43, 0.70, 0.34, 0.46], 0.45),
+    ("PDG", [0.40, 0.72, 0.28, 0.31], 0.38),
+    ("DWARN", [0.44, 0.69, 0.43, 0.70], 0.53),
+];
+
+/// §7 conclusions: Hmean improvement of DWarn for MIX and MEM workloads
+/// (percent).
+pub const HMEAN_MIX_MEM: [(&str, f64); 5] = [
+    ("ICOUNT", 13.0),
+    ("STALL", 5.0),
+    ("FLUSH", 3.0),
+    ("DG", 11.0),
+    ("PDG", 36.0),
+];
+
+/// §6, small architecture: throughput improvements for MIX and MEM
+/// workloads (percent).
+pub const FIG4_THROUGHPUT_MIX_MEM: [(&str, f64); 4] = [
+    ("STALL", 5.0),
+    ("DG", 23.0),
+    ("FLUSH", 10.0),
+    ("PDG", 40.0),
+];
+
+/// §6, small architecture: Hmean improvements for MIX and MEM workloads.
+/// ICOUNT *beats* DWarn by ~5% on MIX Hmean there.
+pub const FIG4_HMEAN_MIX_MEM: [(&str, f64); 4] = [
+    ("STALL", 5.0),
+    ("DG", 28.0),
+    ("FLUSH", 10.0),
+    ("PDG", 50.0),
+];
+
+/// §6, deep architecture: DWarn beats everything except FLUSH on MEM
+/// (−6%, driven by 8-MEM over-pressure), and FLUSH's refetch overhead there
+/// is 56% on MEM workloads.
+pub const FIG5_FLUSH_MEM_SLOWDOWN: f64 = -6.0;
+pub const FIG5_FLUSH_MEM_REFETCH_PCT: f64 = 56.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_2a_ratio_column_is_consistent() {
+        for (name, l1, l2, ratio) in TABLE_2A {
+            // Skip the tiny-rate rows: the paper's table publishes one
+            // decimal, so the ratio of two sub-0.5% rates is dominated by
+            // rounding of the operands.
+            if l1 >= 0.5 && l2 > 0.0 {
+                let computed = l2 / l1 * 100.0;
+                // The paper's ratio column is consistent with l2/l1 to
+                // within rounding of the published decimals.
+                assert!(
+                    (computed - ratio).abs() < 8.0,
+                    "{name}: {computed} vs {ratio}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_4_hmeans_match_their_rows() {
+        for (policy, rel, hmean) in TABLE_4 {
+            let computed = smt_metrics::hmean(&rel);
+            assert!(
+                (computed - hmean).abs() < 0.015,
+                "{policy}: {computed} vs {hmean}"
+            );
+        }
+    }
+
+    #[test]
+    fn dwarn_has_best_table_4_hmean() {
+        let best = TABLE_4
+            .iter()
+            .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
+            .unwrap();
+        assert_eq!(best.0, "DWARN");
+    }
+}

@@ -1,0 +1,379 @@
+//! The experiment campaign runner.
+//!
+//! Experiments share simulation results: Figure 1(b), Figure 3, Table 4 and
+//! the Figure 2 series are all views over the same (architecture, workload,
+//! policy) grid. [`Campaign`] memoizes each simulation and runs uncached
+//! batches in parallel across OS threads.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use dwarn_core::PolicyKind;
+use smt_pipeline::{SimConfig, SimResult, Simulator, ThreadSpec};
+use smt_workloads::Workload;
+
+/// Simulation window lengths.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpParams {
+    pub warmup: u64,
+    pub measure: u64,
+}
+
+impl ExpParams {
+    /// Default windows: long enough for steady state on every workload.
+    pub fn standard() -> ExpParams {
+        ExpParams {
+            warmup: 20_000,
+            measure: 60_000,
+        }
+    }
+
+    /// Short windows for smoke tests and Criterion benches.
+    pub fn quick() -> ExpParams {
+        ExpParams {
+            warmup: 5_000,
+            measure: 15_000,
+        }
+    }
+}
+
+/// The three processor configurations of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    Baseline,
+    Small,
+    Deep,
+}
+
+impl Arch {
+    pub fn config(self) -> SimConfig {
+        match self {
+            Arch::Baseline => SimConfig::baseline(),
+            Arch::Small => SimConfig::small(),
+            Arch::Deep => SimConfig::deep(),
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Arch::Baseline => "baseline",
+            Arch::Small => "small",
+            Arch::Deep => "deep",
+        }
+    }
+}
+
+/// A memoized simulation request.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    pub arch: Arch,
+    /// Workload name ("4-MIX") or a solo run ("solo:mcf").
+    pub workload: String,
+    pub policy: PolicyKind,
+}
+
+impl RunKey {
+    pub fn workload(arch: Arch, wl: &Workload, policy: PolicyKind) -> RunKey {
+        RunKey {
+            arch,
+            workload: wl.name.clone(),
+            policy,
+        }
+    }
+
+    pub fn solo(arch: Arch, bench: &str) -> RunKey {
+        RunKey {
+            arch,
+            workload: format!("solo:{bench}"),
+            policy: PolicyKind::Icount,
+        }
+    }
+}
+
+fn specs_for(key: &RunKey) -> Vec<ThreadSpec> {
+    if let Some(bench) = key.workload.strip_prefix("solo:") {
+        vec![ThreadSpec {
+            profile: smt_trace::by_name(bench).expect("known benchmark"),
+            seed: smt_workloads::TRACE_SEED,
+            skip: 0,
+        }]
+    } else {
+        let (threads, class) = parse_workload_name(&key.workload);
+        smt_workloads::workload(threads, class).thread_specs()
+    }
+}
+
+fn parse_workload_name(name: &str) -> (usize, smt_workloads::WorkloadClass) {
+    let (n, c) = name
+        .split_once('-')
+        .expect("workload names look like '4-MIX'");
+    let threads: usize = n.parse().expect("numeric thread count");
+    let class = match c {
+        "ILP" => smt_workloads::WorkloadClass::Ilp,
+        "MIX" => smt_workloads::WorkloadClass::Mix,
+        "MEM" => smt_workloads::WorkloadClass::Mem,
+        other => panic!("unknown workload class {other}"),
+    };
+    (threads, class)
+}
+
+/// Memoizing, parallel simulation campaign.
+pub struct Campaign {
+    pub params: ExpParams,
+    cache: Mutex<HashMap<RunKey, SimResult>>,
+    /// Maximum worker threads for batch runs.
+    parallelism: usize,
+}
+
+impl Campaign {
+    pub fn new(params: ExpParams) -> Campaign {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Campaign {
+            params,
+            cache: Mutex::new(HashMap::new()),
+            parallelism,
+        }
+    }
+
+    fn simulate(params: ExpParams, key: &RunKey) -> SimResult {
+        let specs = specs_for(key);
+        let mut sim = Simulator::new(key.arch.config(), key.policy.build(), &specs);
+        sim.run(params.warmup, params.measure)
+    }
+
+    /// Ensure all `keys` are cached, running missing ones in parallel.
+    pub fn prefetch(&self, keys: &[RunKey]) {
+        let missing: Vec<RunKey> = {
+            let cache = self.cache.lock().unwrap();
+            let mut seen = std::collections::HashSet::new();
+            keys.iter()
+                .filter(|k| !cache.contains_key(*k) && seen.insert((*k).clone()))
+                .cloned()
+                .collect()
+        };
+        if missing.is_empty() {
+            return;
+        }
+        let params = self.params;
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let workers = self.parallelism.min(missing.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let missing = &missing;
+                    let next = &next;
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= missing.len() {
+                                break;
+                            }
+                            let key = missing[i].clone();
+                            let result = Self::simulate(params, &key);
+                            out.push((key, result));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            let mut cache = self.cache.lock().unwrap();
+            for h in handles {
+                for (k, r) in h.join().expect("worker panicked") {
+                    cache.insert(k, r);
+                }
+            }
+        });
+    }
+
+    /// Get (running on demand if not cached) a simulation result.
+    pub fn result(&self, key: &RunKey) -> SimResult {
+        if let Some(r) = self.cache.lock().unwrap().get(key) {
+            return r.clone();
+        }
+        let r = Self::simulate(self.params, key);
+        self.cache.lock().unwrap().insert(key.clone(), r.clone());
+        r
+    }
+
+    /// Result for a (workload, policy) pair on an architecture.
+    pub fn workload_result(&self, arch: Arch, wl: &Workload, policy: PolicyKind) -> SimResult {
+        self.result(&RunKey::workload(arch, wl, policy))
+    }
+
+    /// Single-threaded IPC of a benchmark under ICOUNT (the relative-IPC
+    /// denominator).
+    pub fn solo_ipc(&self, arch: Arch, bench: &str) -> f64 {
+        self.result(&RunKey::solo(arch, bench)).ipcs()[0]
+    }
+
+    /// Per-thread relative IPCs for a (workload, policy) run.
+    pub fn relative_ipcs(&self, arch: Arch, wl: &Workload, policy: PolicyKind) -> Vec<f64> {
+        let smt = self.workload_result(arch, wl, policy).ipcs();
+        let solo: Vec<f64> = wl
+            .benchmarks
+            .iter()
+            .map(|b| self.solo_ipc(arch, b))
+            .collect();
+        smt_metrics::relative_ipcs(&smt, &solo)
+    }
+
+    /// Hmean of relative IPCs for a (workload, policy) run.
+    pub fn hmean(&self, arch: Arch, wl: &Workload, policy: PolicyKind) -> f64 {
+        smt_metrics::hmean(&self.relative_ipcs(arch, wl, policy))
+    }
+
+    /// Number of cached results (for tests).
+    pub fn cached(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+
+    /// Build the full key grid for a set of workloads × policies.
+    pub fn grid(arch: Arch, workloads: &[Workload], policies: &[PolicyKind]) -> Vec<RunKey> {
+        let mut keys = Vec::with_capacity(workloads.len() * policies.len());
+        for wl in workloads {
+            for &p in policies {
+                keys.push(RunKey::workload(arch, wl, p));
+            }
+        }
+        keys
+    }
+
+    /// Keys for all solo baselines a workload set needs.
+    pub fn solo_grid(arch: Arch, workloads: &[Workload]) -> Vec<RunKey> {
+        let mut seen = std::collections::HashSet::new();
+        let mut keys = Vec::new();
+        for wl in workloads {
+            for &b in &wl.benchmarks {
+                if seen.insert(b) {
+                    keys.push(RunKey::solo(arch, b));
+                }
+            }
+        }
+        keys
+    }
+}
+
+/// Render an ad-hoc comparison of `policies` on one workload: throughput,
+/// Hmean, per-thread IPCs, gating and flush statistics.
+///
+/// # Panics
+///
+/// Panics if `workload_name` is not a Table 2(b) name of the form
+/// `"<2|4|6|8>-<ILP|MIX|MEM>"` (callers exposing user input should
+/// validate first, as the CLI does).
+pub fn comparison_table(
+    campaign: &Campaign,
+    arch: Arch,
+    workload_name: &str,
+    policies: &[PolicyKind],
+) -> String {
+    let (threads, class) = parse_workload_name(workload_name);
+    let wl = smt_workloads::workload(threads, class);
+    let mut keys: Vec<RunKey> = policies
+        .iter()
+        .map(|&p| RunKey::workload(arch, &wl, p))
+        .collect();
+    keys.extend(Campaign::solo_grid(arch, std::slice::from_ref(&wl)));
+    campaign.prefetch(&keys);
+
+    let mut t = smt_metrics::table::TextTable::new(vec![
+        "policy", "tput", "Hmean", "gated", "flushed%", "per-thread IPCs",
+    ]);
+    for &p in policies {
+        let r = campaign.workload_result(arch, &wl, p);
+        let gated: u64 = r.threads.iter().map(|s| s.gated_cycles).sum();
+        let ipcs: Vec<String> = r.ipcs().iter().map(|i| format!("{i:.2}")).collect();
+        t.row(vec![
+            p.name().to_string(),
+            format!("{:.2}", r.throughput()),
+            format!("{:.2}", campaign.hmean(arch, &wl, p)),
+            format!("{gated}"),
+            format!("{:.1}", 100.0 * r.flushed_fraction()),
+            ipcs.join(" / "),
+        ]);
+    }
+    format!(
+        "{} on the {} architecture ({})\n\n{}",
+        wl.name,
+        arch.as_str(),
+        wl.benchmarks.join(", "),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_workloads::{workload, WorkloadClass};
+
+    fn quick_campaign() -> Campaign {
+        Campaign::new(ExpParams {
+            warmup: 1_000,
+            measure: 3_000,
+        })
+    }
+
+    #[test]
+    fn results_are_memoized() {
+        let c = quick_campaign();
+        let wl = workload(2, WorkloadClass::Ilp);
+        let a = c.workload_result(Arch::Baseline, &wl, PolicyKind::Icount);
+        assert_eq!(c.cached(), 1);
+        let b = c.workload_result(Arch::Baseline, &wl, PolicyKind::Icount);
+        assert_eq!(c.cached(), 1);
+        assert_eq!(a.threads, b.threads);
+    }
+
+    #[test]
+    fn prefetch_fills_the_grid() {
+        let c = quick_campaign();
+        let wls = vec![workload(2, WorkloadClass::Ilp), workload(2, WorkloadClass::Mix)];
+        let keys = Campaign::grid(Arch::Baseline, &wls, &[PolicyKind::Icount, PolicyKind::DWarn]);
+        c.prefetch(&keys);
+        assert_eq!(c.cached(), 4);
+        // Subsequent access hits the cache.
+        let r = c.workload_result(Arch::Baseline, &wls[0], PolicyKind::DWarn);
+        assert!(r.throughput() > 0.0);
+        assert_eq!(c.cached(), 4);
+    }
+
+    #[test]
+    fn prefetch_matches_on_demand_results() {
+        // Parallel-batch and on-demand paths must agree (determinism).
+        let wl = workload(2, WorkloadClass::Mem);
+        let a = quick_campaign();
+        a.prefetch(&[RunKey::workload(Arch::Baseline, &wl, PolicyKind::Stall)]);
+        let ra = a.workload_result(Arch::Baseline, &wl, PolicyKind::Stall);
+        let b = quick_campaign();
+        let rb = b.workload_result(Arch::Baseline, &wl, PolicyKind::Stall);
+        assert_eq!(ra.threads, rb.threads);
+    }
+
+    #[test]
+    fn solo_grid_dedupes_replicas() {
+        let wls = vec![workload(8, WorkloadClass::Mem)]; // mcf/twolf/vpr/parser x2
+        let keys = Campaign::solo_grid(Arch::Baseline, &wls);
+        assert_eq!(keys.len(), 4);
+    }
+
+    #[test]
+    fn relative_ipcs_are_in_unit_range_mostly() {
+        let c = quick_campaign();
+        let wl = workload(2, WorkloadClass::Mix);
+        let rel = c.relative_ipcs(Arch::Baseline, &wl, PolicyKind::Icount);
+        assert_eq!(rel.len(), 2);
+        for r in rel {
+            assert!(r > 0.0 && r < 1.5, "relative IPC {r} out of plausible range");
+        }
+    }
+
+    #[test]
+    fn workload_name_round_trip() {
+        let (t, c) = parse_workload_name("6-MEM");
+        assert_eq!(t, 6);
+        assert_eq!(c, WorkloadClass::Mem);
+    }
+}

@@ -1,0 +1,126 @@
+//! Table 2(a): cache behaviour of the isolated benchmarks.
+//!
+//! Runs each of the 12 benchmarks alone on the baseline configuration under
+//! ICOUNT and reports L1/L2 miss rates with respect to dynamic loads, next
+//! to the paper's measured values — this validates the trace-generation
+//! calibration against the real cache model.
+
+use smt_metrics::table::TextTable;
+use smt_trace::all_benchmarks;
+
+use crate::paper;
+use crate::runner::{Arch, Campaign, RunKey};
+
+/// One benchmark's measured-vs-paper cache behaviour.
+#[derive(Debug, Clone)]
+pub struct Table2aRow {
+    pub name: &'static str,
+    pub class: &'static str,
+    pub l1_pct: f64,
+    pub l2_pct: f64,
+    pub ratio_pct: f64,
+    pub paper_l1_pct: f64,
+    pub paper_l2_pct: f64,
+    pub paper_ratio_pct: f64,
+}
+
+/// Run the experiment.
+pub fn compute(campaign: &Campaign) -> Vec<Table2aRow> {
+    let keys: Vec<RunKey> = all_benchmarks()
+        .iter()
+        .map(|p| RunKey::solo(Arch::Baseline, p.name))
+        .collect();
+    campaign.prefetch(&keys);
+
+    all_benchmarks()
+        .iter()
+        .map(|p| {
+            let r = campaign.result(&RunKey::solo(Arch::Baseline, p.name));
+            let m = &r.mem[0];
+            let (paper_l1, paper_l2, paper_ratio) = paper::TABLE_2A
+                .iter()
+                .find(|row| row.0 == p.name)
+                .map(|row| (row.1, row.2, row.3))
+                .expect("every benchmark is in Table 2a");
+            Table2aRow {
+                name: p.name,
+                class: p.class.as_str(),
+                l1_pct: 100.0 * m.l1_miss_rate(),
+                l2_pct: 100.0 * m.l2_miss_rate(),
+                ratio_pct: 100.0 * m.l1_to_l2_ratio(),
+                paper_l1_pct: paper_l1,
+                paper_l2_pct: paper_l2,
+                paper_ratio_pct: paper_ratio,
+            }
+        })
+        .collect()
+}
+
+/// Render the paper-style report.
+pub fn report(rows: &[Table2aRow]) -> String {
+    let mut t = TextTable::new(vec![
+        "bench", "class", "L1 %", "(paper)", "L2 %", "(paper)", "L1→L2 %", "(paper)",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.name.to_string(),
+            r.class.to_string(),
+            format!("{:.1}", r.l1_pct),
+            format!("{:.1}", r.paper_l1_pct),
+            format!("{:.2}", r.l2_pct),
+            format!("{:.2}", r.paper_l2_pct),
+            format!("{:.0}", r.ratio_pct),
+            format!("{:.0}", r.paper_ratio_pct),
+        ]);
+    }
+    format!(
+        "Table 2(a) — cache behaviour of isolated benchmarks\n\
+         (miss rates w.r.t. dynamic loads; single-threaded, baseline config)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::ExpParams;
+
+    #[test]
+    fn reproduces_table_2a_shape() {
+        let c = Campaign::new(ExpParams {
+            warmup: 5_000,
+            measure: 20_000,
+        });
+        let rows = compute(&c);
+        assert_eq!(rows.len(), 12);
+        for r in &rows {
+            // L1 rate within 1.5 percentage points or 40% relative.
+            let l1_ok = (r.l1_pct - r.paper_l1_pct).abs() < 1.5
+                || (r.l1_pct / r.paper_l1_pct - 1.0).abs() < 0.4;
+            assert!(l1_ok, "{}: L1 {} vs paper {}", r.name, r.l1_pct, r.paper_l1_pct);
+        }
+        // mcf must dominate the L2 column, eon must be at the bottom.
+        let mcf = rows.iter().find(|r| r.name == "mcf").unwrap();
+        assert!(mcf.l2_pct > 20.0);
+        let eon = rows.iter().find(|r| r.name == "eon").unwrap();
+        assert!(eon.l2_pct < 0.2);
+        // Classification boundary: every MEM benchmark above 1% L2 at least
+        // approximately.
+        for r in rows.iter().filter(|r| r.class == "MEM") {
+            assert!(r.l2_pct > 0.6, "{}: {}", r.name, r.l2_pct);
+        }
+    }
+
+    #[test]
+    fn report_renders_all_rows() {
+        let c = Campaign::new(ExpParams {
+            warmup: 1_000,
+            measure: 4_000,
+        });
+        let rows = compute(&c);
+        let s = report(&rows);
+        for r in &rows {
+            assert!(s.contains(r.name));
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Table 4: relative IPC of each thread in the 4-MIX workload under every
+//! policy, and the resulting Hmean — the paper's illustration of *why*
+//! DWarn wins the fairness comparison: it keeps the ILP threads as fast as
+//! the gating policies do without crushing the MEM threads.
+
+use dwarn_core::PolicyKind;
+use smt_metrics::table::TextTable;
+use smt_workloads::{workload, WorkloadClass};
+
+use crate::paper;
+use crate::runner::{Arch, Campaign};
+
+/// One policy's Table 4 row.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    pub policy: PolicyKind,
+    /// Per-thread relative IPCs in workload order (gzip, twolf, bzip2, mcf).
+    pub rel_ipcs: Vec<f64>,
+    pub hmean: f64,
+}
+
+pub fn compute(campaign: &Campaign) -> Vec<Table4Row> {
+    let wl = workload(4, WorkloadClass::Mix);
+    let mut keys = Campaign::grid(Arch::Baseline, std::slice::from_ref(&wl), &PolicyKind::paper_set());
+    keys.extend(Campaign::solo_grid(Arch::Baseline, std::slice::from_ref(&wl)));
+    campaign.prefetch(&keys);
+    PolicyKind::paper_set()
+        .into_iter()
+        .map(|p| {
+            let rel = campaign.relative_ipcs(Arch::Baseline, &wl, p);
+            let hmean = smt_metrics::hmean(&rel);
+            Table4Row {
+                policy: p,
+                rel_ipcs: rel,
+                hmean,
+            }
+        })
+        .collect()
+}
+
+pub fn report(rows: &[Table4Row]) -> String {
+    // Workload order is gzip, twolf, bzip2, mcf; the paper's column order is
+    // ILP, ILP, MEM, MEM = gzip, bzip2, twolf, mcf.
+    let mut t = TextTable::new(vec![
+        "policy",
+        "gzip(ILP)",
+        "bzip2(ILP)",
+        "twolf(MEM)",
+        "mcf(MEM)",
+        "Hmean",
+        "(paper)",
+    ]);
+    for r in rows {
+        let paper_hmean = paper::TABLE_4
+            .iter()
+            .find(|(p, _, _)| *p == r.policy.name())
+            .map(|(_, _, h)| *h)
+            .unwrap_or(f64::NAN);
+        t.row(vec![
+            r.policy.name().to_string(),
+            format!("{:.2}", r.rel_ipcs[0]),
+            format!("{:.2}", r.rel_ipcs[2]),
+            format!("{:.2}", r.rel_ipcs[1]),
+            format!("{:.2}", r.rel_ipcs[3]),
+            format!("{:.2}", r.hmean),
+            format!("{paper_hmean:.2}"),
+        ]);
+    }
+    format!(
+        "Table 4 — relative IPC per thread, 4-MIX workload (baseline architecture)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::ExpParams;
+
+    #[test]
+    fn dwarn_balances_ilp_and_mem_threads() {
+        let c = Campaign::new(ExpParams {
+            warmup: 15_000,
+            measure: 45_000,
+        });
+        let rows = compute(&c);
+        assert_eq!(rows.len(), 6);
+        let get = |k: PolicyKind| rows.iter().find(|r| r.policy == k).unwrap();
+        let dwarn = get(PolicyKind::DWarn);
+        let icount = get(PolicyKind::Icount);
+        // The paper's Table 4 pattern: DWarn's Hmean is at worst on par with
+        // ICOUNT's (in the paper it is clearly ahead; our ICOUNT suffers a
+        // little less on this particular workload).
+        assert!(
+            dwarn.hmean >= icount.hmean * 0.92,
+            "DWarn hmean {} vs ICOUNT {}",
+            dwarn.hmean,
+            icount.hmean
+        );
+        let pdg = get(PolicyKind::Pdg);
+        assert!(
+            dwarn.hmean > pdg.hmean,
+            "DWarn hmean {} vs PDG {}",
+            dwarn.hmean,
+            pdg.hmean
+        );
+        // Every relative IPC is in (0, ~1].
+        for r in &rows {
+            for &v in &r.rel_ipcs {
+                assert!(v > 0.0 && v < 1.3, "{}: {v}", r.policy.name());
+            }
+        }
+        let s = report(&rows);
+        assert!(s.contains("DWARN") && s.contains("Hmean"));
+    }
+}

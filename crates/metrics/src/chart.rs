@@ -1,0 +1,135 @@
+//! Plain-text bar charts for figure reports: grouped horizontal bars in the
+//! style of the paper's Figure 1(a)/(b) — readable in a terminal, diffable
+//! in a log.
+
+/// A grouped horizontal bar chart: one row per (group, series) pair.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    /// (group label, series values) in display order.
+    groups: Vec<(String, Vec<f64>)>,
+    series: Vec<String>,
+    /// Characters available for the longest bar.
+    width: usize,
+}
+
+impl BarChart {
+    pub fn new<S: Into<String>>(title: S, series: Vec<S>) -> BarChart {
+        BarChart {
+            title: title.into(),
+            groups: Vec::new(),
+            series: series.into_iter().map(Into::into).collect(),
+            width: 46,
+        }
+    }
+
+    /// Override the bar width in characters.
+    pub fn width(mut self, width: usize) -> BarChart {
+        assert!(width >= 8);
+        self.width = width;
+        self
+    }
+
+    /// Append a group; `values` must match the series count.
+    pub fn group<S: Into<String>>(&mut self, label: S, values: Vec<f64>) -> &mut Self {
+        assert_eq!(values.len(), self.series.len(), "one value per series");
+        self.groups.push((label.into(), values));
+        self
+    }
+
+    /// Render. Bars scale to the largest |value|; negative values are drawn
+    /// with `░` to the left of the axis mark.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        if self.groups.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let max_abs = self
+            .groups
+            .iter()
+            .flat_map(|(_, vs)| vs.iter())
+            .fold(0.0f64, |m, &v| m.max(v.abs()))
+            .max(f64::MIN_POSITIVE);
+        let label_w = self
+            .groups
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(self.series.iter().map(|s| s.len()))
+            .max()
+            .unwrap_or(4);
+        for (label, values) in &self.groups {
+            out.push_str(&format!("{label}\n"));
+            for (s, &v) in self.series.iter().zip(values) {
+                let bar_len = ((v.abs() / max_abs) * self.width as f64).round() as usize;
+                let bar: String = if v >= 0.0 {
+                    "█".repeat(bar_len)
+                } else {
+                    "░".repeat(bar_len)
+                };
+                out.push_str(&format!(
+                    "  {s:<label_w$} |{bar} {v:.2}\n",
+                    s = s,
+                    label_w = label_w
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> BarChart {
+        let mut c = BarChart::new("tput", vec!["IC", "DWARN"]);
+        c.group("2-MIX", vec![3.4, 3.3]);
+        c.group("8-MEM", vec![1.4, 3.4]);
+        c
+    }
+
+    #[test]
+    fn renders_all_groups_and_series() {
+        let s = chart().render();
+        for needle in ["tput", "2-MIX", "8-MEM", "IC", "DWARN", "3.40", "1.40"] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn bars_scale_to_the_maximum() {
+        let s = chart().render();
+        // The two 3.4 values must have equally long (maximal) bars.
+        let lines: Vec<&str> = s.lines().filter(|l| l.contains('|')).collect();
+        let bar_len = |l: &str| l.chars().filter(|&c| c == '█').count();
+        let max = lines.iter().map(|l| bar_len(l)).max().unwrap();
+        assert_eq!(bar_len(lines[0]), max, "IC 3.4 is a maximal bar");
+        assert_eq!(bar_len(lines[3]), max, "DWARN 3.4 is a maximal bar");
+        assert!(bar_len(lines[2]) < max / 2, "1.4 is a short bar");
+    }
+
+    #[test]
+    fn negative_values_use_hollow_bars() {
+        let mut c = BarChart::new("improvement", vec!["x"]);
+        c.group("g", vec![-5.0]);
+        let s = c.render();
+        assert!(s.contains('░'));
+        assert!(!s.contains('█'));
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per series")]
+    fn ragged_groups_panic() {
+        let mut c = BarChart::new("t", vec!["a", "b"]);
+        c.group("g", vec![1.0]);
+    }
+
+    #[test]
+    fn empty_chart_renders_placeholder() {
+        let c = BarChart::new("t", vec!["a"]);
+        assert!(c.render().contains("(no data)"));
+    }
+}

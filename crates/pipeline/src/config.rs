@@ -1,0 +1,226 @@
+//! Simulator configuration: the paper's baseline processor (Table 3) and the
+//! two §6 variant architectures.
+
+use smt_uarch::{CacheConfig, MemTiming, PredictorConfig, TlbConfig};
+
+/// Full processor + memory configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Human-readable configuration name.
+    pub name: &'static str,
+
+    // --- Fetch mechanism (ICOUNT x.y): up to `fetch_threads` threads supply
+    // up to `fetch_width` instructions per cycle.
+    pub fetch_width: u32,
+    pub fetch_threads: u32,
+    /// Per-thread fetch-queue capacity (instructions buffered between fetch
+    /// and dispatch); a full queue blocks further fetch for that thread.
+    pub fetch_queue: u32,
+
+    // --- Widths.
+    pub dispatch_width: u32,
+    pub issue_width: u32,
+    pub commit_width: u32,
+
+    // --- Pipeline depth knobs.
+    /// Cycles from fetch to dispatch-eligible (front-end depth). The
+    /// baseline's value makes a load's L1 outcome known ~5 cycles after
+    /// fetch, as §4 specifies; the deep config adds 3.
+    pub frontend_latency: u64,
+    /// Cycles from issue to the start of execution.
+    pub issue_to_exec: u64,
+
+    // --- Shared back-end resources (Table 3).
+    pub iq_int: u32,
+    pub iq_fp: u32,
+    pub iq_ldst: u32,
+    pub phys_int: u32,
+    pub phys_fp: u32,
+    pub rob_per_thread: u32,
+    pub fu_int: u32,
+    pub fu_fp: u32,
+    pub fu_ldst: u32,
+
+    // --- Memory system.
+    pub l1i: CacheConfig,
+    pub l1d: CacheConfig,
+    pub l2: CacheConfig,
+    pub tlb: TlbConfig,
+    pub timing: MemTiming,
+
+    // --- Branch prediction.
+    pub predictor: PredictorConfig,
+
+    // --- Policy-relevant constants.
+    /// A load that spends more than this many cycles in the memory hierarchy
+    /// is *declared* an L2 miss (the STALL/FLUSH detection rule; §5 found 15
+    /// cycles best for the baseline).
+    pub l2_declare_threshold: u64,
+    /// Cycles of advance notice the front-end receives before a long-latency
+    /// load returns ("a 2-cycle advance indication is received when a load
+    /// returns from memory").
+    pub early_resolve_notice: u64,
+}
+
+impl SimConfig {
+    /// Table 3: the paper's baseline — 8-wide, ICOUNT 2.8, 9-stage pipeline,
+    /// 32-entry issue queues, 384+384 physical registers, 6/3/4 FUs,
+    /// 64 KB L1s, 512 KB L2, 100-cycle memory.
+    pub fn baseline() -> SimConfig {
+        SimConfig {
+            name: "baseline",
+            fetch_width: 8,
+            fetch_threads: 2,
+            fetch_queue: 32,
+            dispatch_width: 8,
+            issue_width: 8,
+            commit_width: 8,
+            // fetch(1) + decode/rename/queue(3) => dispatch at fetch+3,
+            // issue at fetch+4, execute (cache access) at fetch+5: the L1
+            // outcome is known 5 cycles after fetch, matching §4.
+            frontend_latency: 3,
+            issue_to_exec: 1,
+            iq_int: 32,
+            iq_fp: 32,
+            iq_ldst: 32,
+            phys_int: 384,
+            phys_fp: 384,
+            rob_per_thread: 256,
+            fu_int: 6,
+            fu_fp: 3,
+            fu_ldst: 4,
+            l1i: CacheConfig::paper_l1(),
+            l1d: CacheConfig::paper_l1(),
+            l2: CacheConfig::paper_l2(),
+            tlb: TlbConfig::default_dtlb(),
+            timing: MemTiming::paper_baseline(),
+            predictor: PredictorConfig::paper(),
+            l2_declare_threshold: 15,
+            early_resolve_notice: 2,
+        }
+    }
+
+    /// §6 first variant: "a less aggressive processor" — 4-wide, 4-context,
+    /// 1.4 fetch, 256 physical registers, 3 int / 2 fp / 2 ld-st units.
+    pub fn small() -> SimConfig {
+        SimConfig {
+            name: "small",
+            fetch_width: 4,
+            fetch_threads: 1,
+            dispatch_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            phys_int: 256,
+            phys_fp: 256,
+            fu_int: 3,
+            fu_fp: 2,
+            fu_ldst: 2,
+            ..SimConfig::baseline()
+        }
+    }
+
+    /// §6 second variant: "a deeper and more aggressive processor" —
+    /// 16 stages, 2.8 fetch, 64-entry issue queues, L1-miss determination
+    /// +3 cycles, L1→L2 latency 15, memory 200.
+    pub fn deep() -> SimConfig {
+        SimConfig {
+            name: "deep",
+            frontend_latency: 5,
+            issue_to_exec: 2,
+            iq_int: 64,
+            iq_fp: 64,
+            iq_ldst: 64,
+            timing: MemTiming {
+                l1_latency: 1,
+                l1_to_l2: 15,
+                memory: 200,
+                tlb_penalty: 160,
+                mem_bus_cycles: 16,
+            },
+            ..SimConfig::baseline()
+        }
+    }
+
+    /// Architectural registers reserved per context per class.
+    pub fn arch_regs_per_thread(&self) -> u32 {
+        smt_trace::NUM_ARCH_REGS as u32
+    }
+
+    /// Validate that `num_threads` contexts fit this configuration.
+    pub fn validate(&self, num_threads: usize) -> Result<(), String> {
+        let reserved = self.arch_regs_per_thread() * num_threads as u32;
+        if reserved >= self.phys_int || reserved >= self.phys_fp {
+            return Err(format!(
+                "{} threads reserve {} registers, exceeding the physical file",
+                num_threads, reserved
+            ));
+        }
+        if self.fetch_threads == 0 || self.fetch_width == 0 {
+            return Err("fetch mechanism must be at least 1.1".into());
+        }
+        if num_threads == 0 {
+            return Err("need at least one thread".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table_3() {
+        let c = SimConfig::baseline();
+        assert_eq!(c.fetch_width, 8);
+        assert_eq!(c.fetch_threads, 2);
+        assert_eq!(c.iq_int, 32);
+        assert_eq!(c.phys_int, 384);
+        assert_eq!(c.rob_per_thread, 256);
+        assert_eq!((c.fu_int, c.fu_fp, c.fu_ldst), (6, 3, 4));
+        assert_eq!(c.timing.l1_to_l2, 10);
+        assert_eq!(c.timing.memory, 100);
+        assert_eq!(c.timing.tlb_penalty, 160);
+        assert_eq!(c.l2_declare_threshold, 15);
+        // §4: L1 outcome known 5 cycles after fetch.
+        assert_eq!(1 + c.frontend_latency + c.issue_to_exec, 5);
+    }
+
+    #[test]
+    fn small_matches_section_6() {
+        let c = SimConfig::small();
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.fetch_threads, 1);
+        assert_eq!(c.phys_int, 256);
+        assert_eq!((c.fu_int, c.fu_fp, c.fu_ldst), (3, 2, 2));
+        // Unchanged relative to baseline.
+        assert_eq!(c.iq_int, 32);
+        assert_eq!(c.timing.memory, 100);
+    }
+
+    #[test]
+    fn deep_matches_section_6() {
+        let c = SimConfig::deep();
+        assert_eq!(c.fetch_threads, 2);
+        assert_eq!(c.iq_int, 64);
+        assert_eq!(c.timing.l1_to_l2, 15);
+        assert_eq!(c.timing.memory, 200);
+        // L1-miss determination 3 cycles later than baseline.
+        let b = SimConfig::baseline();
+        let detect = |c: &SimConfig| 1 + c.frontend_latency + c.issue_to_exec;
+        assert_eq!(detect(&c), detect(&b) + 3);
+    }
+
+    #[test]
+    fn validation_rejects_too_many_threads() {
+        let c = SimConfig::small(); // 256 regs
+        assert!(c.validate(4).is_ok());
+        assert!(c.validate(8).is_err(), "8 * 32 = 256 leaves nothing to rename");
+        assert!(c.validate(0).is_err());
+    }
+
+    #[test]
+    fn baseline_supports_eight_threads() {
+        assert!(SimConfig::baseline().validate(8).is_ok());
+    }
+}

@@ -1,0 +1,222 @@
+//! In-flight instruction records and the generational slab that stores them.
+//!
+//! Every fetched instruction (correct-path or wrong-path) lives in the slab
+//! from fetch until commit or squash. Handles are generational so that
+//! stale references (e.g. a waiter list entry pointing at a squashed
+//! producer) are detected instead of aliasing a recycled slot.
+
+use smt_trace::DynInst;
+use smt_uarch::{IqKind, MemAccess};
+
+/// Generational handle to an in-flight instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Handle {
+    pub idx: u32,
+    pub gen: u32,
+}
+
+/// Pipeline position of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// In the per-thread fetch queue; dispatch-eligible at `ready_at`.
+    Frontend { ready_at: u64 },
+    /// Dispatched into an issue queue, waiting for sources.
+    Waiting,
+    /// All sources ready; can issue at `at`.
+    Ready { at: u64 },
+    /// Issued; execution completes (result broadcast) at `complete_at`.
+    Executing { complete_at: u64 },
+    /// Executed; waiting to commit.
+    Done,
+}
+
+/// An in-flight dynamic instruction plus its pipeline state.
+#[derive(Debug, Clone)]
+pub struct InFlight {
+    pub thread: usize,
+    /// Global fetch sequence number: the age order used by the scheduler.
+    pub seq: u64,
+    pub inst: DynInst,
+    pub stage: Stage,
+    /// Unready source count (producers still in flight).
+    pub remaining_srcs: u8,
+    /// Instructions waiting on this one's result.
+    pub waiters: Vec<Handle>,
+    /// Issue-queue entry held (from dispatch until issue).
+    pub iq: Option<IqKind>,
+    /// True while this instruction holds a physical register (int or fp per
+    /// its class), from dispatch until commit/squash.
+    pub holds_reg: bool,
+    /// Producer this instruction's rename displaced (for squash repair).
+    pub prev_producer: Option<Handle>,
+    /// Result is available for bypass: consumers may issue such that their
+    /// execution lines up with this instruction's completing execution.
+    pub result_ready: bool,
+    /// Memory access outcome (loads, set at execute).
+    pub mem: Option<MemAccess>,
+    /// The load is counted in its thread's outstanding-L1-miss counter.
+    pub dmiss_counted: bool,
+    /// The load is counted in its thread's declared-L2-miss counter.
+    pub declared: bool,
+    /// Where the front-end resumed after this instruction (the predicted
+    /// next PC for branches; `pc + 4` otherwise).
+    pub fetch_next_pc: u64,
+    /// Branch was discovered (at fetch, against the trace) to have been
+    /// mispredicted; executing it redirects the front-end.
+    pub mispredicted: bool,
+    pub squashed: bool,
+}
+
+/// Generational slab.
+#[derive(Debug, Default)]
+pub struct Slab {
+    slots: Vec<(u32, Option<InFlight>)>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl Slab {
+    pub fn new() -> Slab {
+        Slab::default()
+    }
+
+    pub fn insert(&mut self, item: InFlight) -> Handle {
+        self.live += 1;
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            debug_assert!(slot.1.is_none());
+            slot.1 = Some(item);
+            Handle { idx, gen: slot.0 }
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push((0, Some(item)));
+            Handle { idx, gen: 0 }
+        }
+    }
+
+    /// Access if the handle is still current.
+    pub fn get(&self, h: Handle) -> Option<&InFlight> {
+        self.slots
+            .get(h.idx as usize)
+            .filter(|s| s.0 == h.gen)
+            .and_then(|s| s.1.as_ref())
+    }
+
+    pub fn get_mut(&mut self, h: Handle) -> Option<&mut InFlight> {
+        self.slots
+            .get_mut(h.idx as usize)
+            .filter(|s| s.0 == h.gen)
+            .and_then(|s| s.1.as_mut())
+    }
+
+    /// Remove the instruction; the slot's generation advances, invalidating
+    /// all outstanding handles to it.
+    pub fn remove(&mut self, h: Handle) -> Option<InFlight> {
+        let slot = self.slots.get_mut(h.idx as usize)?;
+        if slot.0 != h.gen || slot.1.is_none() {
+            return None;
+        }
+        let item = slot.1.take();
+        slot.0 = slot.0.wrapping_add(1);
+        self.free.push(h.idx);
+        self.live -= 1;
+        item
+    }
+
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_trace::{CtrlKind, OpClass};
+
+    fn dummy(thread: usize, seq: u64) -> InFlight {
+        InFlight {
+            thread,
+            seq,
+            inst: DynInst {
+                pc: 0,
+                static_idx: 0,
+                class: OpClass::IntAlu,
+                ctrl: CtrlKind::None,
+                dest: Some(1),
+                srcs: [None, None],
+                mem_addr: None,
+                taken: false,
+                next_pc: 4,
+                wrong_path: false,
+            },
+            stage: Stage::Frontend { ready_at: 0 },
+            remaining_srcs: 0,
+            waiters: Vec::new(),
+            iq: None,
+            holds_reg: false,
+            prev_producer: None,
+            result_ready: false,
+            mem: None,
+            dmiss_counted: false,
+            declared: false,
+            fetch_next_pc: 4,
+            mispredicted: false,
+            squashed: false,
+        }
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut s = Slab::new();
+        let h = s.insert(dummy(0, 1));
+        assert_eq!(s.get(h).unwrap().seq, 1);
+        assert_eq!(s.live(), 1);
+        let item = s.remove(h).unwrap();
+        assert_eq!(item.seq, 1);
+        assert!(s.is_empty());
+        assert!(s.get(h).is_none());
+    }
+
+    #[test]
+    fn stale_handles_do_not_alias_recycled_slots() {
+        let mut s = Slab::new();
+        let h1 = s.insert(dummy(0, 1));
+        s.remove(h1);
+        let h2 = s.insert(dummy(0, 2)); // reuses the slot
+        assert_eq!(h1.idx, h2.idx, "slot must be recycled");
+        assert!(s.get(h1).is_none(), "stale handle must not resolve");
+        assert_eq!(s.get(h2).unwrap().seq, 2);
+    }
+
+    #[test]
+    fn double_remove_is_none() {
+        let mut s = Slab::new();
+        let h = s.insert(dummy(0, 1));
+        assert!(s.remove(h).is_some());
+        assert!(s.remove(h).is_none());
+        assert_eq!(s.live(), 0);
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut s = Slab::new();
+        let h = s.insert(dummy(0, 1));
+        s.get_mut(h).unwrap().stage = Stage::Done;
+        assert_eq!(s.get(h).unwrap().stage, Stage::Done);
+    }
+
+    #[test]
+    fn live_count_tracks_inserts_and_removes() {
+        let mut s = Slab::new();
+        let hs: Vec<Handle> = (0..10).map(|i| s.insert(dummy(0, i))).collect();
+        assert_eq!(s.live(), 10);
+        for h in &hs[..5] {
+            s.remove(*h);
+        }
+        assert_eq!(s.live(), 5);
+    }
+}

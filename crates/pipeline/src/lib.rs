@@ -1,0 +1,28 @@
+//! # smt-pipeline — the cycle-level SMT simulator
+//!
+//! A from-scratch reproduction of the paper's simulation substrate (an
+//! SMTSIM-derived trace-driven simulator): a 9-stage (configurable) SMT
+//! pipeline with an ICOUNT x.y fetch mechanism, shared issue queues /
+//! physical registers / functional units, per-thread reorder buffers,
+//! gshare + BTB + RAS branch prediction, a two-level cache hierarchy with
+//! per-context DTLBs, wrong-path execution from a basic-block dictionary,
+//! and full squash machinery (needed by both branch recovery and the FLUSH
+//! policy).
+//!
+//! The fetch-policy *interface* ([`policy::FetchPolicy`]) lives here, next
+//! to its call site in the fetch stage; the policy *implementations* — the
+//! paper's contribution — live in the `dwarn-core` crate.
+
+pub mod config;
+pub mod frontend;
+pub mod inflight;
+pub mod policy;
+pub mod sim;
+pub mod stats;
+
+pub use config::SimConfig;
+pub use frontend::{CorrectPath, ThreadFront};
+pub use inflight::{Handle, InFlight, Slab, Stage};
+pub use policy::{DeclareAction, FetchPolicy, PolicyEvent, PolicyView, ThreadView};
+pub use sim::{Simulator, ThreadSpec};
+pub use stats::{OccupancyStats, SimResult, ThreadStats};

@@ -1,0 +1,186 @@
+//! The fetch-policy interface.
+//!
+//! An I-fetch policy decides, every cycle, which threads may fetch and in
+//! what priority order. It observes the per-thread state the paper's
+//! policies use — ICOUNT occupancy, outstanding L1 data-cache misses,
+//! declared L2 misses — through [`PolicyView`], and tracks load lifecycles
+//! through [`PolicyEvent`]s. The policy *implementations* (ICOUNT, STALL,
+//! FLUSH, DG, PDG, DWarn) live in the `dwarn-core` crate; the trait lives
+//! here, next to its call site in the fetch stage.
+
+/// Per-thread state visible to a fetch policy at the start of a cycle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadView {
+    /// Instructions in pre-issue stages (fetch queue + rename + issue
+    /// queues): the ICOUNT priority key.
+    pub icount: u32,
+    /// Outstanding L1 data-cache misses (the paper's per-context data miss
+    /// counter: incremented on each data-cache miss, decremented on fill).
+    pub dmiss_count: u32,
+    /// Outstanding loads *declared* to miss in L2 (spent longer in the
+    /// hierarchy than the declare threshold, minus the early-resolve
+    /// notice).
+    pub declared_l2: u32,
+    /// True while the thread cannot fetch anyway (I-cache miss pending or
+    /// fetch queue full). Informational: the fetch engine skips such
+    /// threads regardless of policy order.
+    pub fetch_blocked: bool,
+}
+
+/// Snapshot handed to the policy each cycle.
+#[derive(Debug, Clone)]
+pub struct PolicyView<'a> {
+    pub cycle: u64,
+    pub threads: &'a [ThreadView],
+}
+
+impl PolicyView<'_> {
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Thread indices sorted by ascending ICOUNT (the ICOUNT fetch order).
+    pub fn icount_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.threads.len()).collect();
+        order.sort_by_key(|&t| (self.threads[t].icount, t));
+        order
+    }
+}
+
+/// Load-lifecycle and thread events delivered to the policy. `load_id` is a
+/// unique id per dynamic load (its global sequence number), letting stateful
+/// policies (PDG) track individual loads across events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyEvent {
+    /// A load was fetched. PDG consults its miss predictor here.
+    LoadFetched {
+        thread: usize,
+        pc: u64,
+        load_id: u64,
+    },
+    /// The load's cache outcome became known (at cache access).
+    LoadL1Outcome {
+        thread: usize,
+        pc: u64,
+        load_id: u64,
+        l1_miss: bool,
+        /// True when the access also missed in L2 (only possible with
+        /// `l1_miss`). DC-PRED trains its L2-miss predictor on this.
+        l2_miss: bool,
+    },
+    /// The load's data returned (cache fill); outstanding-miss state clears.
+    LoadFilled {
+        thread: usize,
+        pc: u64,
+        load_id: u64,
+    },
+    /// The load was squashed (branch misprediction or FLUSH) after being
+    /// fetched; any per-load policy state must be dropped.
+    LoadSquashed {
+        thread: usize,
+        pc: u64,
+        load_id: u64,
+    },
+    /// A load of this thread has been declared a (probable) L2 miss: it
+    /// spent more than the declare threshold in the hierarchy.
+    L2MissDeclared { thread: usize, load_id: u64 },
+    /// A previously declared load is about to return (the 2-cycle advance
+    /// indication).
+    DeclaredLoadResolved { thread: usize, load_id: u64 },
+}
+
+/// What the simulator should do when a load is declared an L2 miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeclareAction {
+    /// Nothing structural (the policy may still gate fetch).
+    None,
+    /// Squash the offending thread's instructions younger than the load and
+    /// keep the thread fetch-stalled until the load resolves (FLUSH).
+    FlushAfterLoad,
+}
+
+/// A fetch policy. Implementations are expected to be deterministic
+/// functions of the view + the event history.
+pub trait FetchPolicy {
+    /// Short name as used in the paper's figures (e.g. "DWARN").
+    fn name(&self) -> &'static str;
+
+    /// Threads allowed to fetch this cycle, highest priority first.
+    /// Threads not listed are gated. The fetch engine additionally skips
+    /// threads that cannot fetch (I-cache miss pending, full fetch queue).
+    fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize>;
+
+    /// Observe a load-lifecycle event.
+    fn on_event(&mut self, _ev: &PolicyEvent) {}
+
+    /// Structural response when an L2 miss is declared.
+    fn declare_action(&self) -> DeclareAction {
+        DeclareAction::None
+    }
+
+    /// Whether this policy ever returns resource caps. The dispatch stage
+    /// only builds the per-cycle view and queries
+    /// [`FetchPolicy::resource_caps`] when this is true, keeping the
+    /// common (non-capping) policies off that per-cycle cost.
+    fn uses_resource_caps(&self) -> bool {
+        false
+    }
+
+    /// Per-thread resource caps for this cycle (the LIMIT-RESOURCES response
+    /// action of DC-PRED): `Some(f)` restricts the thread to fraction `f` of
+    /// each shared back-end pool (issue-queue entries, renameable
+    /// registers) at dispatch. `None` = unrestricted. The default policy
+    /// restricts nobody. Only called when
+    /// [`FetchPolicy::uses_resource_caps`] returns true.
+    fn resource_caps(&mut self, view: &PolicyView) -> Vec<Option<f32>> {
+        vec![None; view.num_threads()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl FetchPolicy for Dummy {
+        fn name(&self) -> &'static str {
+            "DUMMY"
+        }
+        fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize> {
+            view.icount_order()
+        }
+    }
+
+    #[test]
+    fn icount_order_sorts_ascending_with_stable_ties() {
+        let threads = vec![
+            ThreadView {
+                icount: 5,
+                ..Default::default()
+            },
+            ThreadView {
+                icount: 2,
+                ..Default::default()
+            },
+            ThreadView {
+                icount: 5,
+                ..Default::default()
+            },
+            ThreadView {
+                icount: 0,
+                ..Default::default()
+            },
+        ];
+        let v = PolicyView {
+            cycle: 0,
+            threads: &threads,
+        };
+        assert_eq!(v.icount_order(), vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn default_declare_action_is_none() {
+        let d = Dummy;
+        assert_eq!(d.declare_action(), DeclareAction::None);
+    }
+}

@@ -1,0 +1,1243 @@
+//! The cycle-level SMT simulator.
+//!
+//! One [`Simulator`] owns the whole machine: per-thread front-ends, the
+//! shared back-end resources, the memory hierarchy, the branch unit, and the
+//! fetch policy under evaluation. Each cycle runs commit → issue → dispatch
+//! → fetch (plus an event-processing phase), so a stage's outputs become
+//! visible to earlier stages only on the following cycle.
+//!
+//! The machine is execution-driven along the *trace-defined* correct path
+//! (branch outcomes and memory addresses come from the trace), and fetches
+//! and executes wrong-path instructions synthesized from the static program
+//! after a misprediction — the same structure as the paper's SMTSIM-derived
+//! simulator.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use smt_trace::{BenchProfile, DynInst, OpClass, INST_BYTES, NUM_ARCH_REGS};
+use smt_uarch::{
+    BranchUnit, FuKind, FuPools, IqKind, IssueQueues, MemHierarchy, RegPool, RobCounters,
+};
+
+use crate::config::SimConfig;
+use crate::frontend::ThreadFront;
+use crate::inflight::{Handle, InFlight, Slab, Stage};
+use crate::policy::{DeclareAction, FetchPolicy, PolicyEvent, PolicyView, ThreadView};
+use crate::stats::{SimResult, ThreadStats};
+
+/// One hardware context's program: which benchmark to run, with which trace
+/// seed and stream shift.
+#[derive(Debug, Clone)]
+pub struct ThreadSpec {
+    pub profile: BenchProfile,
+    pub seed: u64,
+    pub skip: u64,
+}
+
+impl ThreadSpec {
+    pub fn new(profile: BenchProfile) -> ThreadSpec {
+        ThreadSpec {
+            profile,
+            seed: 0xDCAC4E_0001,
+            skip: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EvKind {
+    /// Result broadcast: consumers become issue-eligible this cycle, so a
+    /// dependent single-cycle op can execute back-to-back with its producer
+    /// (full bypass network).
+    Wakeup,
+    Complete,
+    L1Outcome,
+    Fill,
+    ResolveNotice,
+    Declare,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ev {
+    at: u64,
+    seq: u64,
+    kind: EvKind,
+    h: Handle,
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq, self.kind).cmp(&(other.at, other.seq, other.kind))
+    }
+}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reason for a squash, for statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SquashReason {
+    Mispredict,
+    Flush,
+}
+
+/// The SMT processor simulator.
+pub struct Simulator {
+    cfg: SimConfig,
+    policy: Box<dyn FetchPolicy>,
+
+    fronts: Vec<ThreadFront>,
+    slab: Slab,
+    robs: Vec<VecDeque<Handle>>,
+    rename_int: Vec<[Option<Handle>; NUM_ARCH_REGS as usize]>,
+    rename_fp: Vec<[Option<Handle>; NUM_ARCH_REGS as usize]>,
+
+    regs_int: RegPool,
+    regs_fp: RegPool,
+    iqs: IssueQueues,
+    fus: FuPools,
+    rob_count: RobCounters,
+    hier: MemHierarchy,
+    branches: BranchUnit,
+
+    events: BinaryHeap<Reverse<Ev>>,
+    /// Per-IQ-kind ready lists (lazily cleaned of stale handles).
+    ready: [Vec<Handle>; 3],
+
+    icount: Vec<u32>,
+    dmiss: Vec<u32>,
+    declared: Vec<u32>,
+    /// Per-thread issue-queue entries currently held (all kinds combined).
+    iq_held: Vec<u32>,
+    /// Per-thread physical registers currently held (int + fp combined).
+    regs_held: Vec<u32>,
+
+    now: u64,
+    seq: u64,
+    rr: usize,
+
+    stats: Vec<ThreadStats>,
+    total_committed: u64,
+}
+
+fn iq_index(kind: IqKind) -> usize {
+    match kind {
+        IqKind::Int => 0,
+        IqKind::Fp => 1,
+        IqKind::LdSt => 2,
+    }
+}
+
+impl Simulator {
+    /// Build a simulator for `specs` (one entry per hardware context) under
+    /// `policy`. Each context gets a disjoint address-space base.
+    pub fn new(cfg: SimConfig, policy: Box<dyn FetchPolicy>, specs: &[ThreadSpec]) -> Simulator {
+        let fronts: Vec<ThreadFront> = specs
+            .iter()
+            .enumerate()
+            .map(|(t, s)| ThreadFront::new(&s.profile, s.seed, Self::thread_addr_base(t), s.skip))
+            .collect();
+        Self::with_fronts(cfg, policy, fronts)
+    }
+
+    /// The default per-context address base: disjoint per context, staggered
+    /// by a prime number of cache lines (149 of the L1's 512 sets) so
+    /// different threads' images spread across the whole set space instead
+    /// of fighting over the same 2 ways of a narrow set range.
+    pub fn thread_addr_base(t: usize) -> u64 {
+        (((t as u64) + 1) << 40) | ((t as u64) * 149 * 64)
+    }
+
+    /// Build a simulator from pre-constructed front-ends — the entry point
+    /// for replaying recorded traces ([`ThreadFront::from_recording`]) or
+    /// mixing recorded and synthetic contexts.
+    pub fn with_fronts(
+        cfg: SimConfig,
+        policy: Box<dyn FetchPolicy>,
+        fronts: Vec<ThreadFront>,
+    ) -> Simulator {
+        cfg.validate(fronts.len()).expect("invalid configuration");
+        let n = fronts.len();
+        let reserved = cfg.arch_regs_per_thread() * n as u32;
+        let mut hier = MemHierarchy::new(cfg.l1i, cfg.l1d, cfg.l2, cfg.tlb, cfg.timing, n);
+        // Establish the steady state the profiles are calibrated for: hot
+        // sets L1-resident, warm sets and code images L2-resident, and the
+        // resident regions' translations in the DTLB. A short simulation
+        // window cannot reach this state by demand misses alone (one lap of
+        // a warm set takes longer than practical windows).
+        for (t, front) in fronts.iter().enumerate() {
+            let base = front.code_base();
+            let (hs, hb) = smt_trace::stream::hot_region(base);
+            hier.prewarm_l1d(hs, hb);
+            hier.prewarm_l2(base, front.program.code_bytes());
+            hier.prewarm_dtlb(t, hs, hb);
+            for line in smt_trace::stream::warm_lines(base, &front.profile) {
+                hier.prewarm_l2(line, 1);
+                hier.prewarm_dtlb(t, line, 1);
+            }
+        }
+        Simulator {
+            fronts,
+            slab: Slab::new(),
+            robs: (0..n).map(|_| VecDeque::new()).collect(),
+            rename_int: vec![[None; NUM_ARCH_REGS as usize]; n],
+            rename_fp: vec![[None; NUM_ARCH_REGS as usize]; n],
+            regs_int: RegPool::new(cfg.phys_int, reserved),
+            regs_fp: RegPool::new(cfg.phys_fp, reserved),
+            iqs: IssueQueues::new(cfg.iq_int, cfg.iq_fp, cfg.iq_ldst),
+            fus: FuPools::new(cfg.fu_int, cfg.fu_fp, cfg.fu_ldst),
+            rob_count: RobCounters::new(cfg.rob_per_thread, n),
+            hier,
+            branches: BranchUnit::new(cfg.predictor, n),
+            events: BinaryHeap::new(),
+            ready: [Vec::new(), Vec::new(), Vec::new()],
+            icount: vec![0; n],
+            dmiss: vec![0; n],
+            declared: vec![0; n],
+            iq_held: vec![0; n],
+            regs_held: vec![0; n],
+            now: 0,
+            seq: 0,
+            rr: 0,
+            stats: vec![ThreadStats::default(); n],
+            total_committed: 0,
+            policy,
+            cfg,
+        }
+    }
+
+    pub fn num_threads(&self) -> usize {
+        self.fronts.len()
+    }
+
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    pub fn cycle(&self) -> u64 {
+        self.now
+    }
+
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    pub fn total_committed(&self) -> u64 {
+        self.total_committed
+    }
+
+    fn schedule(&mut self, at: u64, kind: EvKind, h: Handle, seq: u64) {
+        debug_assert!(at > self.now, "events must be scheduled in the future");
+        self.events.push(Reverse(Ev { at, seq, kind, h }));
+    }
+
+    /// Advance the machine one cycle.
+    pub fn step(&mut self) {
+        self.process_events();
+        self.commit();
+        self.issue();
+        self.dispatch();
+        self.fetch();
+        self.now += 1;
+        self.rr = (self.rr + 1) % self.num_threads();
+    }
+
+    /// Run `warmup` cycles, reset statistics, run `measure` cycles, and
+    /// report the measured window.
+    pub fn run(&mut self, warmup: u64, measure: u64) -> SimResult {
+        for _ in 0..warmup {
+            self.step();
+        }
+        let stats_base = self.stats.clone();
+        let mem_base: Vec<_> = (0..self.num_threads())
+            .map(|t| self.hier.thread_stats(t))
+            .collect();
+        let pred_base = (self.branches.predictions, self.branches.mispredictions);
+        for _ in 0..measure {
+            self.step();
+        }
+        self.window_result(measure, stats_base, mem_base, pred_base)
+    }
+
+    /// As [`Simulator::run`], additionally sampling shared-resource
+    /// occupancy every `sample_every` cycles over the measured window.
+    pub fn run_sampled(
+        &mut self,
+        warmup: u64,
+        measure: u64,
+        sample_every: u64,
+    ) -> (SimResult, crate::stats::OccupancyStats) {
+        assert!(sample_every >= 1);
+        for _ in 0..warmup {
+            self.step();
+        }
+        let n = self.num_threads();
+        let mut occ = crate::stats::OccupancyStats {
+            avg_rob: vec![0.0; n],
+            avg_iq_per_thread: vec![0.0; n],
+            ..Default::default()
+        };
+        let stats_base = self.stats.clone();
+        let mem_base: Vec<_> = (0..n).map(|t| self.hier.thread_stats(t)).collect();
+        let pred_base = (self.branches.predictions, self.branches.mispredictions);
+        for c in 0..measure {
+            self.step();
+            if c % sample_every == 0 {
+                occ.samples += 1;
+                let iq = self.iq_usage();
+                for i in 0..3 {
+                    occ.avg_iq[i] += iq[i] as f64;
+                    occ.peak_iq[i] = occ.peak_iq[i].max(iq[i]);
+                }
+                let (ri, rf) = (self.regs_int.in_use(), self.regs_fp.in_use());
+                occ.avg_regs.0 += ri as f64;
+                occ.avg_regs.1 += rf as f64;
+                occ.peak_regs.0 = occ.peak_regs.0.max(ri);
+                occ.peak_regs.1 = occ.peak_regs.1.max(rf);
+                for t in 0..n {
+                    occ.avg_rob[t] += self.robs[t].len() as f64;
+                    occ.avg_iq_per_thread[t] += self.iq_held[t] as f64;
+                }
+            }
+        }
+        let samples = occ.samples.max(1) as f64;
+        for v in &mut occ.avg_iq {
+            *v /= samples;
+        }
+        occ.avg_regs.0 /= samples;
+        occ.avg_regs.1 /= samples;
+        for v in occ.avg_rob.iter_mut().chain(occ.avg_iq_per_thread.iter_mut()) {
+            *v /= samples;
+        }
+        (
+            self.window_result(measure, stats_base, mem_base, pred_base),
+            occ,
+        )
+    }
+
+    /// Build the measured-window deltas.
+    fn window_result(
+        &self,
+        measure: u64,
+        stats_base: Vec<ThreadStats>,
+        mem_base: Vec<smt_uarch::ThreadMemStats>,
+        pred_base: (u64, u64),
+    ) -> SimResult {
+        let threads: Vec<ThreadStats> = self
+            .stats
+            .iter()
+            .zip(&stats_base)
+            .map(|(a, b)| ThreadStats {
+                fetched: a.fetched - b.fetched,
+                committed: a.committed - b.committed,
+                squashed_mispredict: a.squashed_mispredict - b.squashed_mispredict,
+                squashed_flush: a.squashed_flush - b.squashed_flush,
+                gated_cycles: a.gated_cycles - b.gated_cycles,
+                blocked_cycles: a.blocked_cycles - b.blocked_cycles,
+                dispatch_stalls: a.dispatch_stalls - b.dispatch_stalls,
+                branches: a.branches - b.branches,
+                branch_mispredicts: a.branch_mispredicts - b.branch_mispredicts,
+            })
+            .collect();
+        let mem = (0..self.num_threads())
+            .map(|t| {
+                let a = self.hier.thread_stats(t);
+                let b = mem_base[t];
+                smt_uarch::ThreadMemStats {
+                    loads: a.loads - b.loads,
+                    l1_misses: a.l1_misses - b.l1_misses,
+                    l2_misses: a.l2_misses - b.l2_misses,
+                    tlb_misses: a.tlb_misses - b.tlb_misses,
+                }
+            })
+            .collect();
+        let preds = self.branches.predictions - pred_base.0;
+        let mis = self.branches.mispredictions - pred_base.1;
+        SimResult {
+            cycles: measure,
+            threads,
+            mem,
+            branch_mispredict_rate: if preds == 0 {
+                0.0
+            } else {
+                mis as f64 / preds as f64
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Events
+    // ------------------------------------------------------------------
+
+    fn process_events(&mut self) {
+        while let Some(&Reverse(ev)) = self.events.peek() {
+            if ev.at > self.now {
+                break;
+            }
+            self.events.pop();
+            if self.slab.get(ev.h).is_none() {
+                continue; // squashed
+            }
+            match ev.kind {
+                EvKind::Wakeup => self.on_wakeup(ev.h),
+                EvKind::Complete => self.on_complete(ev.h),
+                EvKind::L1Outcome => self.on_l1_outcome(ev.h),
+                EvKind::Fill => self.on_fill(ev.h),
+                EvKind::Declare => self.on_declare(ev.h),
+                EvKind::ResolveNotice => self.on_resolve_notice(ev.h),
+            }
+        }
+    }
+
+    /// Result broadcast: wake consumers so their execution dovetails with
+    /// this instruction's completing execution.
+    fn on_wakeup(&mut self, h: Handle) {
+        let inst = self.slab.get_mut(h).expect("checked live");
+        inst.result_ready = true;
+        let waiters = std::mem::take(&mut inst.waiters);
+        self.wake_all(waiters);
+    }
+
+    fn wake_all(&mut self, waiters: Vec<Handle>) {
+        for w in waiters {
+            if let Some(wi) = self.slab.get_mut(w) {
+                debug_assert!(wi.remaining_srcs > 0);
+                wi.remaining_srcs -= 1;
+                if wi.remaining_srcs == 0 && wi.stage == Stage::Waiting {
+                    wi.stage = Stage::Ready { at: self.now };
+                    if let Some(kind) = wi.iq {
+                        self.ready[iq_index(kind)].push(w);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_complete(&mut self, h: Handle) {
+        let inst = self.slab.get_mut(h).expect("checked live");
+        inst.stage = Stage::Done;
+        inst.result_ready = true;
+        let waiters = std::mem::take(&mut inst.waiters);
+        let thread = inst.thread;
+        let d = inst.inst;
+        let seq = inst.seq;
+        let mispredicted = inst.mispredicted;
+
+        // Stores update the tag state when they complete (commit-time drain
+        // would be equivalent for this timing-free model).
+        if d.class == OpClass::Store {
+            if let Some(addr) = d.mem_addr {
+                self.hier.store(addr);
+            }
+        }
+
+        // Branch resolution: train predictors on correct-path branches only
+        // (hardware does not commit wrong-path history either).
+        if d.class.is_branch() && !d.wrong_path {
+            self.branches.resolve(
+                thread,
+                d.pc,
+                d.ctrl,
+                d.taken,
+                d.next_pc,
+                mispredicted,
+            );
+        }
+
+        // Wake any consumers that subscribed after the wakeup broadcast
+        // (none in the common case).
+        self.wake_all(waiters);
+
+        // Misprediction recovery: squash younger, redirect fetch.
+        if mispredicted {
+            let replay = self.squash_younger(thread, seq, SquashReason::Mispredict);
+            assert!(
+                replay.is_empty(),
+                "everything younger than a live mispredicted branch is wrong-path"
+            );
+            let front = &mut self.fronts[thread];
+            front.on_wrong_path = false;
+            front.fetch_pc = d.next_pc;
+        }
+    }
+
+    fn on_l1_outcome(&mut self, h: Handle) {
+        let inst = self.slab.get_mut(h).expect("checked live");
+        let mem = inst.mem.expect("outcome event only for executed loads");
+        let (thread, pc, load_id) = (inst.thread, inst.inst.pc, inst.seq);
+        if mem.l1_miss {
+            inst.dmiss_counted = true;
+            self.dmiss[thread] += 1;
+        }
+        self.policy.on_event(&PolicyEvent::LoadL1Outcome {
+            thread,
+            pc,
+            load_id,
+            l1_miss: mem.l1_miss,
+            l2_miss: mem.l2_miss,
+        });
+    }
+
+    fn on_fill(&mut self, h: Handle) {
+        let inst = self.slab.get_mut(h).expect("checked live");
+        let (thread, pc, load_id) = (inst.thread, inst.inst.pc, inst.seq);
+        if inst.dmiss_counted {
+            inst.dmiss_counted = false;
+            debug_assert!(self.dmiss[thread] > 0);
+            self.dmiss[thread] -= 1;
+        }
+        self.policy
+            .on_event(&PolicyEvent::LoadFilled { thread, pc, load_id });
+    }
+
+    fn on_declare(&mut self, h: Handle) {
+        let inst = self.slab.get_mut(h).expect("checked live");
+        let (thread, load_id, seq) = (inst.thread, inst.seq, inst.seq);
+        inst.declared = true;
+        self.declared[thread] += 1;
+        self.policy
+            .on_event(&PolicyEvent::L2MissDeclared { thread, load_id });
+        if self.policy.declare_action() == DeclareAction::FlushAfterLoad {
+            let replay = self.squash_younger(thread, seq, SquashReason::Flush);
+            self.fronts[thread].restore_for_replay(replay);
+        }
+    }
+
+    fn on_resolve_notice(&mut self, h: Handle) {
+        let inst = self.slab.get_mut(h).expect("checked live");
+        let (thread, load_id) = (inst.thread, inst.seq);
+        if inst.declared {
+            inst.declared = false;
+            debug_assert!(self.declared[thread] > 0);
+            self.declared[thread] -= 1;
+        }
+        self.policy
+            .on_event(&PolicyEvent::DeclaredLoadResolved { thread, load_id });
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    fn commit(&mut self) {
+        let n = self.num_threads();
+        let mut budget = self.cfg.commit_width;
+        for k in 0..n {
+            let t = (self.rr + k) % n;
+            while budget > 0 {
+                let Some(&h) = self.robs[t].front() else { break };
+                let done = matches!(
+                    self.slab.get(h).expect("ROB handles are live").stage,
+                    Stage::Done
+                );
+                if !done {
+                    break;
+                }
+                self.robs[t].pop_front();
+                let inst = self.slab.remove(h).expect("live");
+                debug_assert!(
+                    !inst.inst.wrong_path,
+                    "wrong-path instructions never reach the ROB head"
+                );
+                budget -= 1;
+                self.rob_count.release(t);
+                if inst.holds_reg {
+                    if inst.inst.class.dest_is_fp() {
+                        self.regs_fp.release();
+                    } else {
+                        self.regs_int.release();
+                    }
+                    debug_assert!(self.regs_held[t] > 0);
+                    self.regs_held[t] -= 1;
+                }
+                // Architectural rename repair.
+                if let Some(d) = inst.inst.dest {
+                    let table = if inst.inst.class.dest_is_fp() {
+                        &mut self.rename_fp[t]
+                    } else {
+                        &mut self.rename_int[t]
+                    };
+                    if table[d as usize] == Some(h) {
+                        table[d as usize] = None;
+                    }
+                }
+                self.stats[t].committed += 1;
+                self.total_committed += 1;
+                if inst.inst.class.is_branch() {
+                    self.stats[t].branches += 1;
+                    if inst.mispredicted {
+                        self.stats[t].branch_mispredicts += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue
+    // ------------------------------------------------------------------
+
+    fn issue(&mut self) {
+        self.fus.new_cycle();
+        let mut budget = self.cfg.issue_width;
+
+        // Collect issue candidates from the three ready lists, keeping
+        // not-yet-ready entries in place and dropping stale ones.
+        let mut cands: Vec<(u64, Handle, IqKind)> = Vec::new();
+        for kind in IqKind::ALL {
+            let idx = iq_index(kind);
+            let list = std::mem::take(&mut self.ready[idx]);
+            for h in list {
+                match self.slab.get(h) {
+                    Some(inst) => match inst.stage {
+                        Stage::Ready { at } if at <= self.now => {
+                            cands.push((inst.seq, h, kind));
+                        }
+                        Stage::Ready { .. } => self.ready[idx].push(h),
+                        _ => {} // issued or otherwise gone; drop
+                    },
+                    None => {} // squashed; drop
+                }
+            }
+        }
+        cands.sort_unstable_by_key(|c| c.0);
+
+        for (_seq, h, kind) in cands {
+            if budget == 0 {
+                // Out of issue bandwidth: everything else stays ready.
+                self.ready[iq_index(kind)].push(h);
+                continue;
+            }
+            let class = self.slab.get(h).expect("live candidate").inst.class;
+            if !self.fus.issue(FuKind::for_class(class)) {
+                self.ready[iq_index(kind)].push(h);
+                continue;
+            }
+            budget -= 1;
+            let exec_start = self.now + self.cfg.issue_to_exec;
+            let (thread, seq, mem_addr) = {
+                let inst = self.slab.get(h).expect("live");
+                (inst.thread, inst.seq, inst.inst.mem_addr)
+            };
+            // Leave the issue queue.
+            self.iqs.release(kind);
+            debug_assert!(self.iq_held[thread] > 0);
+            self.iq_held[thread] -= 1;
+            debug_assert!(self.icount[thread] > 0);
+            self.icount[thread] -= 1;
+
+            let complete_at = if class == OpClass::Load {
+                let addr = mem_addr.expect("loads carry an address");
+                let wrong_path = {
+                    let inst = self.slab.get(h).expect("live");
+                    inst.inst.wrong_path
+                };
+                let acc = self.hier.load(thread, addr, exec_start, wrong_path);
+                let inst = self.slab.get_mut(h).expect("live");
+                inst.mem = Some(acc);
+                inst.iq = None;
+                // The L1 outcome becomes known one cycle into the access.
+                self.schedule(exec_start + 1, EvKind::L1Outcome, h, seq);
+                if acc.l1_miss {
+                    self.schedule(acc.complete_at, EvKind::Fill, h, seq);
+                }
+                // Declaration: the load spent longer in the hierarchy than an
+                // L2 access needs (the STALL/FLUSH detection rule).
+                let declare_at = exec_start + self.cfg.l2_declare_threshold;
+                let notice_at = acc.complete_at.saturating_sub(self.cfg.early_resolve_notice);
+                if notice_at > declare_at {
+                    self.schedule(declare_at, EvKind::Declare, h, seq);
+                    self.schedule(notice_at, EvKind::ResolveNotice, h, seq);
+                }
+                acc.complete_at
+            } else {
+                let inst = self.slab.get_mut(h).expect("live");
+                inst.iq = None;
+                exec_start + class.base_latency()
+            };
+            let inst = self.slab.get_mut(h).expect("live");
+            inst.stage = Stage::Executing { complete_at };
+            // Result broadcast one issue-to-exec bubble before completion,
+            // so dependent ops execute back-to-back through the bypass.
+            let wake_at = complete_at
+                .saturating_sub(self.cfg.issue_to_exec)
+                .max(self.now + 1);
+            if wake_at < complete_at {
+                self.schedule(wake_at, EvKind::Wakeup, h, seq);
+            }
+            self.schedule(complete_at, EvKind::Complete, h, seq);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch (rename + queue insertion)
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self) {
+        let n = self.num_threads();
+        let mut budget = self.cfg.dispatch_width;
+        // LIMIT-RESOURCES response action (DC-PRED): the policy may cap the
+        // share of the shared pools a thread can hold while it is suspected
+        // of an L2 miss. Skipped entirely for the (common) policies that
+        // never cap.
+        let caps = if self.policy.uses_resource_caps() {
+            let views = self.thread_views();
+            let caps = self.policy.resource_caps(&PolicyView {
+                cycle: self.now,
+                threads: &views,
+            });
+            debug_assert_eq!(caps.len(), n);
+            caps
+        } else {
+            Vec::new()
+        };
+        let iq_total = (self.cfg.iq_int + self.cfg.iq_fp + self.cfg.iq_ldst) as f32;
+        let reg_total =
+            (self.cfg.phys_int + self.cfg.phys_fp - 2 * self.cfg.arch_regs_per_thread() * n as u32)
+                as f32;
+        for k in 0..n {
+            let t = (self.rr + k) % n;
+            while budget > 0 {
+                if let Some(frac) = caps.get(t).copied().flatten() {
+                    let iq_cap = (iq_total * frac).max(1.0) as u32;
+                    let reg_cap = (reg_total * frac).max(1.0) as u32;
+                    if self.iq_held[t] >= iq_cap || self.regs_held[t] >= reg_cap {
+                        self.stats[t].dispatch_stalls += 1;
+                        break;
+                    }
+                }
+                let Some(&h) = self.fronts[t].queue.front() else { break };
+                let (ready_at, class, dest, srcs, seq) = {
+                    let inst = self.slab.get(h).expect("queue handles are live");
+                    let Stage::Frontend { ready_at } = inst.stage else {
+                        unreachable!("queued instructions are in Frontend stage")
+                    };
+                    (ready_at, inst.inst.class, inst.inst.dest, inst.inst.srcs, inst.seq)
+                };
+                if ready_at > self.now {
+                    break;
+                }
+                // Resource check (all-or-nothing).
+                let kind = IqKind::for_class(class);
+                let needs_fp_reg = dest.is_some() && class.dest_is_fp();
+                let needs_int_reg = dest.is_some() && !class.dest_is_fp();
+                let ok = self.rob_count.free(t) > 0
+                    && self.iqs.free(kind) > 0
+                    && (!needs_int_reg || self.regs_int.free() > 0)
+                    && (!needs_fp_reg || self.regs_fp.free() > 0);
+                if !ok {
+                    self.stats[t].dispatch_stalls += 1;
+                    break; // head-of-line blocking for this thread
+                }
+                assert!(self.rob_count.alloc(t));
+                assert!(self.iqs.alloc(kind));
+                self.iq_held[t] += 1;
+                if needs_int_reg {
+                    assert!(self.regs_int.alloc());
+                }
+                if needs_fp_reg {
+                    assert!(self.regs_fp.alloc());
+                }
+                if dest.is_some() {
+                    self.regs_held[t] += 1;
+                }
+                self.fronts[t].queue.pop_front();
+                budget -= 1;
+
+                // Rename: wire sources to in-flight producers.
+                let src_is_fp = class == OpClass::FpAlu;
+                let mut remaining: u8 = 0;
+                for src in srcs.into_iter().flatten() {
+                    let producer = if src_is_fp {
+                        self.rename_fp[t][src as usize]
+                    } else {
+                        self.rename_int[t][src as usize]
+                    };
+                    if let Some(p) = producer {
+                        if let Some(pi) = self.slab.get_mut(p) {
+                            if !pi.result_ready {
+                                pi.waiters.push(h);
+                                remaining += 1;
+                            }
+                        }
+                    }
+                }
+                // Rename: claim the destination.
+                let mut prev_producer = None;
+                if let Some(d) = dest {
+                    let table = if class.dest_is_fp() {
+                        &mut self.rename_fp[t]
+                    } else {
+                        &mut self.rename_int[t]
+                    };
+                    prev_producer = table[d as usize];
+                    table[d as usize] = Some(h);
+                }
+
+                let inst = self.slab.get_mut(h).expect("live");
+                inst.remaining_srcs = remaining;
+                inst.iq = Some(kind);
+                inst.holds_reg = dest.is_some();
+                inst.prev_producer = prev_producer;
+                if remaining == 0 {
+                    inst.stage = Stage::Ready { at: self.now + 1 };
+                    self.ready[iq_index(kind)].push(h);
+                } else {
+                    inst.stage = Stage::Waiting;
+                }
+                self.robs[t].push_back(h);
+                debug_assert!(seq == 0 || seq > 0); // seq retained for clarity
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch
+    // ------------------------------------------------------------------
+
+    fn thread_views(&self) -> Vec<ThreadView> {
+        (0..self.num_threads())
+            .map(|t| ThreadView {
+                icount: self.icount[t],
+                dmiss_count: self.dmiss[t],
+                declared_l2: self.declared[t],
+                fetch_blocked: self.fronts[t].blocked(self.now, self.cfg.fetch_queue),
+            })
+            .collect()
+    }
+
+    fn fetch(&mut self) {
+        let views = self.thread_views();
+        let view = PolicyView {
+            cycle: self.now,
+            threads: &views,
+        };
+        let order = self.policy.fetch_order(&view);
+        debug_assert!(
+            order.iter().all(|&t| t < self.num_threads()),
+            "policy returned an invalid thread index"
+        );
+
+        // Gating statistics.
+        for t in 0..self.num_threads() {
+            if !order.contains(&t) {
+                self.stats[t].gated_cycles += 1;
+            } else if views[t].fetch_blocked {
+                self.stats[t].blocked_cycles += 1;
+            }
+        }
+
+        let mut remaining = self.cfg.fetch_width;
+        let mut threads_used = 0u32;
+        let line_bytes = self.cfg.l1i.line_bytes;
+
+        for &t in &order {
+            if remaining == 0 || threads_used == self.cfg.fetch_threads {
+                break;
+            }
+            // A thread waiting on an I-cache fill is skipped entirely (the
+            // fetch unit selects among ready threads). A thread whose fetch
+            // queue is full, however, *consumes* its slot and delivers
+            // nothing: the selection already happened, and the slot is not
+            // re-offered to lower-priority (e.g. Dmiss) threads.
+            if self.now < self.fronts[t].icache_ready_at {
+                continue;
+            }
+            threads_used += 1;
+            if self.fronts[t].queue.len() as u32 >= self.cfg.fetch_queue {
+                continue;
+            }
+
+            // I-cache access for this fetch block.
+            let pc0 = self.fronts[t].fetch_pc;
+            let acc = self.hier.ifetch(pc0, self.now);
+            if acc.miss {
+                self.fronts[t].icache_ready_at = acc.complete_at;
+                continue;
+            }
+
+            let line_end = (pc0 | (line_bytes - 1)) + 1;
+            while remaining > 0
+                && self.fronts[t].fetch_pc < line_end
+                && self.fronts[t].fetch_pc >= pc0
+                && (self.fronts[t].queue.len() as u32) < self.cfg.fetch_queue
+            {
+                let d = self.fronts[t].next_to_fetch();
+                remaining -= 1;
+                let (ends_block, mispredicted) = self.fetch_one(t, d);
+                if ends_block {
+                    break;
+                }
+                let _ = mispredicted;
+            }
+        }
+    }
+
+    /// Install one fetched instruction; returns (`predicted-taken branch —
+    /// fetch block ends`, `branch was mispredicted`).
+    fn fetch_one(&mut self, t: usize, d: DynInst) -> (bool, bool) {
+        let mut ends_block = false;
+        let mut mispredicted = false;
+
+        if d.class.is_branch() {
+            let pred = self.branches.predict(t, d.pc, d.ctrl);
+            let pred_next = if pred.taken {
+                pred.target.unwrap_or(d.pc + INST_BYTES)
+            } else {
+                d.pc + INST_BYTES
+            };
+            let pred_next = self.fronts[t].wrap_pc(pred_next);
+            if !d.wrong_path {
+                mispredicted = pred_next != d.next_pc;
+                if mispredicted {
+                    self.fronts[t].on_wrong_path = true;
+                }
+            }
+            self.fronts[t].fetch_pc = pred_next;
+            // A predicted-taken branch ends the fetch block (fragmentation),
+            // even if its target lies in the same cache line.
+            ends_block = pred.taken && pred.target.is_some();
+        } else if !d.wrong_path {
+            // Correct-path sequential flow (handles the wrap at the end of
+            // the code image).
+            self.fronts[t].fetch_pc = d.next_pc;
+            ends_block = d.next_pc != d.pc + INST_BYTES;
+        } else {
+            self.fronts[t].fetch_pc = self.fronts[t].wrap_pc(d.pc + INST_BYTES);
+        }
+
+        self.seq += 1;
+        let seq = self.seq;
+        let fetch_next_pc = self.fronts[t].fetch_pc;
+        let is_load = d.class == OpClass::Load;
+        let pc = d.pc;
+        let h = self.slab.insert(InFlight {
+            thread: t,
+            seq,
+            inst: d,
+            stage: Stage::Frontend {
+                ready_at: self.now + self.cfg.frontend_latency,
+            },
+            remaining_srcs: 0,
+            waiters: Vec::new(),
+            iq: None,
+            holds_reg: false,
+            prev_producer: None,
+            result_ready: false,
+            mem: None,
+            dmiss_counted: false,
+            declared: false,
+            fetch_next_pc,
+            mispredicted,
+            squashed: false,
+        });
+        self.fronts[t].queue.push_back(h);
+        self.icount[t] += 1;
+        self.stats[t].fetched += 1;
+        if is_load {
+            self.policy.on_event(&PolicyEvent::LoadFetched {
+                thread: t,
+                pc,
+                load_id: seq,
+            });
+        }
+        (ends_block, mispredicted)
+    }
+
+    // ------------------------------------------------------------------
+    // Squash
+    // ------------------------------------------------------------------
+
+    /// Squash all instructions of `thread` strictly younger than
+    /// `older_than`. Returns the squashed correct-path instructions,
+    /// oldest-first, for replay.
+    fn squash_younger(
+        &mut self,
+        thread: usize,
+        older_than: u64,
+        reason: SquashReason,
+    ) -> Vec<DynInst> {
+        let mut replay_rev: Vec<DynInst> = Vec::new();
+
+        // Fetch queue holds the youngest instructions; drain it first.
+        while let Some(&h) = self.fronts[thread].queue.back() {
+            let seq = self.slab.get(h).expect("queue handles live").seq;
+            if seq <= older_than {
+                break;
+            }
+            self.fronts[thread].queue.pop_back();
+            self.squash_one(h, reason, &mut replay_rev);
+        }
+        // Then the ROB, youngest-first (rename repair relies on this order).
+        while let Some(&h) = self.robs[thread].back() {
+            let seq = self.slab.get(h).expect("ROB handles live").seq;
+            if seq <= older_than {
+                break;
+            }
+            self.robs[thread].pop_back();
+            self.squash_one(h, reason, &mut replay_rev);
+        }
+
+        replay_rev.reverse();
+        replay_rev
+    }
+
+    fn squash_one(&mut self, h: Handle, reason: SquashReason, replay_rev: &mut Vec<DynInst>) {
+        let inst = self.slab.remove(h).expect("live");
+        let t = inst.thread;
+        match inst.stage {
+            Stage::Frontend { .. } => {
+                debug_assert!(self.icount[t] > 0);
+                self.icount[t] -= 1;
+            }
+            Stage::Waiting | Stage::Ready { .. } => {
+                debug_assert!(self.icount[t] > 0);
+                self.icount[t] -= 1;
+                self.iqs
+                    .release(inst.iq.expect("pre-issue instructions hold an IQ entry"));
+                debug_assert!(self.iq_held[t] > 0);
+                self.iq_held[t] -= 1;
+                self.rob_count.release(t);
+            }
+            Stage::Executing { .. } | Stage::Done => {
+                self.rob_count.release(t);
+            }
+        }
+        if inst.holds_reg {
+            if inst.inst.class.dest_is_fp() {
+                self.regs_fp.release();
+            } else {
+                self.regs_int.release();
+            }
+            debug_assert!(self.regs_held[t] > 0);
+            self.regs_held[t] -= 1;
+        }
+        // Rename repair (walked youngest-first by the caller).
+        if matches!(
+            inst.stage,
+            Stage::Waiting | Stage::Ready { .. } | Stage::Executing { .. } | Stage::Done
+        ) {
+            if let Some(dreg) = inst.inst.dest {
+                let table = if inst.inst.class.dest_is_fp() {
+                    &mut self.rename_fp[t]
+                } else {
+                    &mut self.rename_int[t]
+                };
+                if table[dreg as usize] == Some(h) {
+                    table[dreg as usize] = inst
+                        .prev_producer
+                        .filter(|&p| self.slab.get(p).is_some());
+                }
+            }
+        }
+        // Load bookkeeping: outstanding counters and per-load policy state.
+        if inst.inst.class == OpClass::Load {
+            if inst.dmiss_counted {
+                debug_assert!(self.dmiss[t] > 0);
+                self.dmiss[t] -= 1;
+            }
+            if inst.declared {
+                debug_assert!(self.declared[t] > 0);
+                self.declared[t] -= 1;
+            }
+            self.policy.on_event(&PolicyEvent::LoadSquashed {
+                thread: t,
+                pc: inst.inst.pc,
+                load_id: inst.seq,
+            });
+        }
+        match reason {
+            SquashReason::Mispredict => self.stats[t].squashed_mispredict += 1,
+            SquashReason::Flush => self.stats[t].squashed_flush += 1,
+        }
+        if !inst.inst.wrong_path {
+            replay_rev.push(inst.inst);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection for tests
+    // ------------------------------------------------------------------
+
+    /// Check cross-structure invariants; panics on violation. Test-oriented
+    /// but cheap enough to call periodically.
+    pub fn check_invariants(&self) {
+        let n = self.num_threads();
+        let queued: usize = self.fronts.iter().map(|f| f.queue.len()).sum();
+        let robbed: usize = self.robs.iter().map(|r| r.len()).sum();
+        assert_eq!(
+            queued + robbed,
+            self.slab.live(),
+            "every live instruction is in exactly one of fetch queue / ROB"
+        );
+        for t in 0..n {
+            assert_eq!(
+                self.robs[t].len(),
+                self.rob_count.used(t) as usize,
+                "ROB counters track ROB deques"
+            );
+            // icount == pre-issue instructions of the thread.
+            let pre_issue = self.fronts[t].queue.len()
+                + self.robs[t]
+                    .iter()
+                    .filter(|&&h| {
+                        matches!(
+                            self.slab.get(h).unwrap().stage,
+                            Stage::Waiting | Stage::Ready { .. }
+                        )
+                    })
+                    .count();
+            assert_eq!(
+                pre_issue, self.icount[t] as usize,
+                "ICOUNT tracks pre-issue occupancy (thread {t})"
+            );
+        }
+        for t in 0..n {
+            let held: u32 = self.robs[t]
+                .iter()
+                .filter(|&&h| {
+                    matches!(
+                        self.slab.get(h).unwrap().stage,
+                        Stage::Waiting | Stage::Ready { .. }
+                    )
+                })
+                .count() as u32;
+            assert_eq!(held, self.iq_held[t], "per-thread IQ holdings (thread {t})");
+            let regs: u32 = self.robs[t]
+                .iter()
+                .filter(|&&h| self.slab.get(h).unwrap().holds_reg)
+                .count() as u32;
+            assert_eq!(regs, self.regs_held[t], "per-thread reg holdings (thread {t})");
+        }
+        // Issue-queue occupancy equals dispatched-but-not-issued instructions.
+        let in_iq: u32 = self
+            .robs
+            .iter()
+            .flatten()
+            .filter(|&&h| {
+                matches!(
+                    self.slab.get(h).unwrap().stage,
+                    Stage::Waiting | Stage::Ready { .. }
+                )
+            })
+            .count() as u32;
+        assert_eq!(in_iq, self.iqs.total_used(), "IQ occupancy consistent");
+        // Register occupancy equals holders.
+        let int_holders = self
+            .robs
+            .iter()
+            .flatten()
+            .filter(|&&h| {
+                let i = self.slab.get(h).unwrap();
+                i.holds_reg && !i.inst.class.dest_is_fp()
+            })
+            .count() as u32;
+        let fp_holders = self
+            .robs
+            .iter()
+            .flatten()
+            .filter(|&&h| {
+                let i = self.slab.get(h).unwrap();
+                i.holds_reg && i.inst.class.dest_is_fp()
+            })
+            .count() as u32;
+        assert_eq!(int_holders, self.regs_int.in_use(), "int regs consistent");
+        assert_eq!(fp_holders, self.regs_fp.in_use(), "fp regs consistent");
+    }
+
+    /// One-line debug summary of pipeline occupancy (for diagnostics).
+    pub fn debug_snapshot(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(s, "cycle {} live {} |", self.now, self.slab.live());
+        for t in 0..self.num_threads() {
+            let stages: Vec<&str> = self.robs[t]
+                .iter()
+                .take(4)
+                .map(|&h| match self.slab.get(h).unwrap().stage {
+                    Stage::Frontend { .. } => "F",
+                    Stage::Waiting => "W",
+                    Stage::Ready { .. } => "R",
+                    Stage::Executing { .. } => "X",
+                    Stage::Done => "D",
+                })
+                .collect();
+            let _ = write!(
+                s,
+                " t{t}: q={} rob={} head[{}] ic={}",
+                self.fronts[t].queue.len(),
+                self.robs[t].len(),
+                stages.join(""),
+                self.icount[t],
+            );
+        }
+        s
+    }
+
+    /// Current issue-queue occupancy: [int, fp, ldst].
+    pub fn iq_usage(&self) -> [u32; 3] {
+        [
+            self.iqs.used(IqKind::Int),
+            self.iqs.used(IqKind::Fp),
+            self.iqs.used(IqKind::LdSt),
+        ]
+    }
+
+    /// Current outstanding L1-D miss count of a thread (policy-visible).
+    pub fn dmiss_count(&self, thread: usize) -> u32 {
+        self.dmiss[thread]
+    }
+
+    /// Current declared-L2-miss count of a thread (policy-visible).
+    pub fn declared_count(&self, thread: usize) -> u32 {
+        self.declared[thread]
+    }
+
+    /// Memory hierarchy statistics for a thread.
+    pub fn mem_stats(&self, thread: usize) -> smt_uarch::ThreadMemStats {
+        self.hier.thread_stats(thread)
+    }
+
+    /// Cumulative per-thread statistics (from cycle 0).
+    pub fn thread_stats(&self, thread: usize) -> ThreadStats {
+        self.stats[thread]
+    }
+}
+
+impl Simulator {
+    /// Physical registers currently held (int, fp) — diagnostics.
+    pub fn regs_in_use(&self) -> (u32, u32) {
+        (self.regs_int.in_use(), self.regs_fp.in_use())
+    }
+
+    /// Current ROB occupancy of a thread — diagnostics.
+    pub fn rob_len(&self, thread: usize) -> usize {
+        self.robs[thread].len()
+    }
+}
+
+impl Simulator {
+    /// Pool-draw statistics of a thread's correct-path trace — diagnostics.
+    pub fn trace_pool_draws(&self, thread: usize) -> (u64, [u64; 3]) {
+        self.fronts[thread].pool_draws()
+    }
+}
+
+impl Simulator {
+    /// Correct-path instructions emitted by a thread's trace — diagnostics.
+    pub fn trace_emitted(&self, thread: usize) -> u64 {
+        self.fronts[thread].emitted()
+    }
+}
+
+impl Simulator {
+    /// Per-kind branch (predictions, mispredictions): [CondBr, Jump, Call,
+    /// Return] — diagnostics.
+    pub fn branch_kind_stats(&self) -> [(u64, u64); 4] {
+        self.branches.by_kind
+    }
+}

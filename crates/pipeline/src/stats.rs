@@ -1,0 +1,150 @@
+//! Simulation statistics.
+
+/// Per-thread counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ThreadStats {
+    /// Instructions fetched (correct-path + wrong-path).
+    pub fetched: u64,
+    /// Correct-path instructions committed.
+    pub committed: u64,
+    /// Instructions squashed by branch-misprediction recovery.
+    pub squashed_mispredict: u64,
+    /// Instructions squashed by the FLUSH policy's response action.
+    pub squashed_flush: u64,
+    /// Cycles this thread was gated (absent from the policy's fetch order).
+    pub gated_cycles: u64,
+    /// Cycles this thread could not fetch for structural reasons
+    /// (I-cache miss pending or full fetch queue).
+    pub blocked_cycles: u64,
+    /// Dispatch stalls due to exhausted shared resources (registers or
+    /// issue-queue entries).
+    pub dispatch_stalls: u64,
+    /// Branch instructions committed.
+    pub branches: u64,
+    /// Committed branches that had been mispredicted.
+    pub branch_mispredicts: u64,
+}
+
+impl ThreadStats {
+    pub fn ipc(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / cycles as f64
+        }
+    }
+}
+
+/// Time-averaged occupancy of the shared back-end resources over a sampled
+/// window — the quantity the paper's whole argument is about ("the actual
+/// problems are the issue queues and the physical registers").
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OccupancyStats {
+    pub samples: u64,
+    /// Mean issue-queue occupancy [int, fp, ldst].
+    pub avg_iq: [f64; 3],
+    /// Peak issue-queue occupancy [int, fp, ldst].
+    pub peak_iq: [u32; 3],
+    /// Mean physical registers in use (int, fp).
+    pub avg_regs: (f64, f64),
+    /// Peak physical registers in use (int, fp).
+    pub peak_regs: (u32, u32),
+    /// Mean per-thread ROB occupancy.
+    pub avg_rob: Vec<f64>,
+    /// Mean per-thread issue-queue entries held.
+    pub avg_iq_per_thread: Vec<f64>,
+}
+
+/// Whole-simulation result.
+#[derive(Debug, Clone, Default)]
+pub struct SimResult {
+    /// Measured cycles (after warm-up).
+    pub cycles: u64,
+    pub threads: Vec<ThreadStats>,
+    /// Per-thread memory statistics from the hierarchy (measured window).
+    pub mem: Vec<smt_uarch::ThreadMemStats>,
+    /// Branch predictor accuracy over the measured window.
+    pub branch_mispredict_rate: f64,
+}
+
+impl SimResult {
+    /// Per-thread IPCs.
+    pub fn ipcs(&self) -> Vec<f64> {
+        self.threads.iter().map(|t| t.ipc(self.cycles)).collect()
+    }
+
+    /// Throughput: the sum of per-thread IPCs (the paper's §5 metric).
+    pub fn throughput(&self) -> f64 {
+        self.ipcs().iter().sum()
+    }
+
+    /// Total instructions fetched across threads.
+    pub fn total_fetched(&self) -> u64 {
+        self.threads.iter().map(|t| t.fetched).sum()
+    }
+
+    /// Total instructions squashed by the FLUSH response action.
+    pub fn total_flush_squashed(&self) -> u64 {
+        self.threads.iter().map(|t| t.squashed_flush).sum()
+    }
+
+    /// Figure 2's metric: FLUSH-squashed instructions as a fraction of all
+    /// fetched instructions.
+    pub fn flushed_fraction(&self) -> f64 {
+        let f = self.total_fetched();
+        if f == 0 {
+            0.0
+        } else {
+            self.total_flush_squashed() as f64 / f as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_throughput() {
+        let r = SimResult {
+            cycles: 100,
+            threads: vec![
+                ThreadStats {
+                    committed: 150,
+                    ..Default::default()
+                },
+                ThreadStats {
+                    committed: 50,
+                    ..Default::default()
+                },
+            ],
+            mem: vec![],
+            branch_mispredict_rate: 0.0,
+        };
+        assert_eq!(r.ipcs(), vec![1.5, 0.5]);
+        assert!((r.throughput() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flushed_fraction() {
+        let r = SimResult {
+            cycles: 10,
+            threads: vec![ThreadStats {
+                fetched: 200,
+                squashed_flush: 70,
+                ..Default::default()
+            }],
+            mem: vec![],
+            branch_mispredict_rate: 0.0,
+        };
+        assert!((r.flushed_fraction() - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_yield_zero_ipc() {
+        let t = ThreadStats::default();
+        assert_eq!(t.ipc(0), 0.0);
+        let r = SimResult::default();
+        assert_eq!(r.flushed_fraction(), 0.0);
+    }
+}

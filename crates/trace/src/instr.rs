@@ -1,0 +1,196 @@
+//! Abstract µop instruction model.
+//!
+//! Fetch policies are ISA-agnostic: they act on per-thread occupancy counters
+//! and cache events. The simulator therefore runs an abstract RISC-like µop
+//! set — enough structure (register dependencies, memory addresses, control
+//! flow) to drive a cycle-accurate out-of-order SMT back-end, without Alpha
+//! instruction semantics.
+
+/// Architectural register name. Integer and FP registers live in separate
+/// spaces of [`NUM_ARCH_REGS`] names each.
+pub type ArchReg = u8;
+
+/// Architectural registers per class (int / fp), matching a classic RISC ISA.
+pub const NUM_ARCH_REGS: u8 = 32;
+
+/// Instruction word size in bytes; PCs advance by this much.
+pub const INST_BYTES: u64 = 4;
+
+/// Operation classes. Each class maps to one functional-unit pool and one
+/// issue queue in the back-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Single-cycle integer ALU op.
+    IntAlu,
+    /// Multi-cycle integer multiply/divide.
+    IntMul,
+    /// Floating-point op.
+    FpAlu,
+    /// Memory load (int destination).
+    Load,
+    /// Memory store (no destination).
+    Store,
+    /// Conditional branch.
+    CondBranch,
+    /// Unconditional control transfer (jump, call, or return; see
+    /// [`CtrlKind`]).
+    Jump,
+}
+
+impl OpClass {
+    /// True for control-flow instructions.
+    pub fn is_branch(self) -> bool {
+        matches!(self, OpClass::CondBranch | OpClass::Jump)
+    }
+
+    /// True for memory instructions.
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Register class of the destination (if any): true = fp.
+    pub fn dest_is_fp(self) -> bool {
+        matches!(self, OpClass::FpAlu)
+    }
+
+    /// Base execution latency in cycles (memory latency is added dynamically
+    /// for loads by the cache hierarchy).
+    pub fn base_latency(self) -> u64 {
+        match self {
+            OpClass::IntAlu => 1,
+            OpClass::IntMul => 3,
+            OpClass::FpAlu => 4,
+            OpClass::Load => 1,  // address generation; cache adds the rest
+            OpClass::Store => 1, // address generation; data drains at commit
+            OpClass::CondBranch => 1,
+            OpClass::Jump => 1,
+        }
+    }
+}
+
+/// Refinement of control-flow instructions, used by the front-end to choose
+/// the right predictor structure (gshare, BTB, or return-address stack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CtrlKind {
+    /// Not a control-flow instruction.
+    None,
+    /// Conditional branch: gshare direction + BTB target.
+    CondBr,
+    /// Unconditional direct jump: BTB target.
+    Jump,
+    /// Call: BTB target; pushes the return address on the RAS.
+    Call,
+    /// Return: target predicted by popping the RAS.
+    Return,
+}
+
+/// Address pools a static memory instruction can draw from. The pool mix is
+/// what calibrates a benchmark's L1/L2 miss rates against the *real* cache
+/// model (see `profile.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemPool {
+    /// Small region resident in L1 — hits.
+    Hot,
+    /// Circularly-streamed region larger than L1 but resident in L2 —
+    /// L1 misses that hit in L2.
+    Warm,
+    /// Endless streaming region — misses both levels.
+    Cold,
+}
+
+/// A *static* instruction: one slot in a program's code image. Register
+/// assignments are fixed at program-generation time, so data dependencies are
+/// structural, as in real code.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticInst {
+    pub class: OpClass,
+    /// Control-flow refinement; `CtrlKind::None` unless `class.is_branch()`.
+    pub ctrl: CtrlKind,
+    /// Destination architectural register, if the class produces a value.
+    pub dest: Option<ArchReg>,
+    /// Up to two source registers.
+    pub srcs: [Option<ArchReg>; 2],
+    /// For memory ops: the pool this static instruction is *dominated* by.
+    /// Each dynamic instance draws from the dominant pool with the profile's
+    /// concentration probability, else from the aggregate mixture.
+    pub mem_dominant: Option<MemPool>,
+    /// For conditional branches: per-static probability of being taken
+    /// (i.i.d. draw). Ignored when `loop_period > 0`.
+    pub taken_bias: f32,
+    /// For loop back-edges: the branch is taken except on every
+    /// `loop_period`-th execution (a deterministic trip count, which is what
+    /// makes real loop branches predictable). 0 = not a loop branch.
+    pub loop_period: u16,
+    /// For CondBr/Jump/Call: *instruction index* of the taken target.
+    /// Unused (0) for other classes and for returns.
+    pub taken_target: u32,
+}
+
+/// A *dynamic* instruction: one element of the executed (or wrong-path)
+/// instruction stream handed to the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynInst {
+    /// Byte PC of this instruction.
+    pub pc: u64,
+    /// Index of the static instruction in its program (for predictor tables
+    /// and wrong-path dictionary lookups).
+    pub static_idx: u32,
+    pub class: OpClass,
+    pub ctrl: CtrlKind,
+    pub dest: Option<ArchReg>,
+    pub srcs: [Option<ArchReg>; 2],
+    /// Effective byte address for memory ops.
+    pub mem_addr: Option<u64>,
+    /// For branches: the actual direction taken in this dynamic instance
+    /// (unconditional transfers are always taken).
+    pub taken: bool,
+    /// Byte PC of the next instruction actually executed after this one.
+    pub next_pc: u64,
+    /// True if this instruction was synthesized for wrong-path fetch (its
+    /// `taken`/`next_pc` fields are placeholders the front-end overrides).
+    pub wrong_path: bool,
+}
+
+impl DynInst {
+    /// True if this instruction can redirect fetch.
+    pub fn is_branch(&self) -> bool {
+        self.class.is_branch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_class_predicates() {
+        assert!(OpClass::CondBranch.is_branch());
+        assert!(OpClass::Jump.is_branch());
+        assert!(!OpClass::Load.is_branch());
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::IntAlu.is_mem());
+    }
+
+    #[test]
+    fn latencies_are_positive() {
+        for c in [
+            OpClass::IntAlu,
+            OpClass::IntMul,
+            OpClass::FpAlu,
+            OpClass::Load,
+            OpClass::Store,
+            OpClass::CondBranch,
+            OpClass::Jump,
+        ] {
+            assert!(c.base_latency() >= 1);
+        }
+    }
+
+    #[test]
+    fn only_fp_ops_write_fp_regs() {
+        assert!(OpClass::FpAlu.dest_is_fp());
+        assert!(!OpClass::Load.dest_is_fp());
+        assert!(!OpClass::IntAlu.dest_is_fp());
+    }
+}

@@ -1,0 +1,24 @@
+//! # smt-uarch — microarchitectural substrate
+//!
+//! The hardware structures underneath the SMT pipeline, built from scratch:
+//!
+//! * [`cache`] — set-associative, banked, LRU caches (tag-array model);
+//! * [`hierarchy`] — the two-level memory hierarchy with MSHR coalescing and
+//!   the paper's latency structure (L1 → +10 → L2 → +100 → memory);
+//! * [`tlb`] — per-context data TLBs (160-cycle miss penalty);
+//! * [`predictor`] — gshare + BTB + per-context RAS (Table 3 configuration);
+//! * [`resources`] — the shared back-end resources the fetch policies fight
+//!   over: physical register pools, issue queues, FU bandwidth, per-thread
+//!   ROBs.
+
+pub mod cache;
+pub mod hierarchy;
+pub mod predictor;
+pub mod resources;
+pub mod tlb;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use hierarchy::{IFetchAccess, MemAccess, MemHierarchy, MemTiming, ThreadMemStats};
+pub use predictor::{BranchUnit, Btb, Gshare, Prediction, PredictorConfig, Ras};
+pub use resources::{FuKind, FuPools, IqKind, IssueQueues, RegPool, RobCounters};
+pub use tlb::{Tlb, TlbConfig};

@@ -1,0 +1,195 @@
+//! Property-based tests for the microarchitectural substrate: cache
+//! residency/LRU laws, TLB behaviour, hierarchy timing monotonicity,
+//! predictor table safety, and resource-pool conservation — over arbitrary
+//! access sequences.
+
+use proptest::prelude::*;
+use smt_uarch::{
+    Cache, CacheConfig, FuKind, FuPools, IqKind, IssueQueues, MemHierarchy, MemTiming, RegPool,
+    Tlb, TlbConfig,
+};
+
+fn tiny_cache() -> Cache {
+    Cache::new(CacheConfig {
+        size_bytes: 2048,
+        ways: 2,
+        line_bytes: 64,
+        banks: 2,
+        latency: 1,
+    })
+}
+
+fn hierarchy() -> MemHierarchy {
+    MemHierarchy::new(
+        CacheConfig::paper_l1(),
+        CacheConfig::paper_l1(),
+        CacheConfig::paper_l2(),
+        TlbConfig::default_dtlb(),
+        MemTiming::paper_baseline(),
+        2,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// An MRU line survives a single conflicting fill in a 2-way set.
+    #[test]
+    fn mru_line_survives_one_conflict(set in 0u64..16, tag_a in 0u64..64, tag_b in 0u64..64, tag_c in 0u64..64) {
+        prop_assume!(tag_a != tag_b && tag_b != tag_c && tag_a != tag_c);
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 2048, ways: 2, line_bytes: 64, banks: 2, latency: 1,
+        });
+        let sets = 16u64;
+        let addr = |tag: u64| (tag * sets + set) * 64;
+        c.fill(addr(tag_a));
+        c.fill(addr(tag_b));
+        let _ = c.access(addr(tag_a)); // a is MRU
+        c.fill(addr(tag_c)); // must evict b
+        prop_assert!(c.probe(addr(tag_a)));
+        prop_assert!(!c.probe(addr(tag_b)));
+    }
+
+    /// Residency never exceeds capacity and hits never lie: a probe hit
+    /// means a subsequent access hits too.
+    #[test]
+    fn cache_laws(addrs in prop::collection::vec(0u64..1u64<<16, 1..200)) {
+        let mut c = tiny_cache();
+        for &a in &addrs {
+            let probed = c.probe(a);
+            let hit = c.access(a);
+            prop_assert_eq!(probed, hit, "probe and access must agree");
+            if !hit {
+                c.fill(a);
+            }
+            prop_assert!(c.resident_lines() <= 32);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+        prop_assert!(s.misses <= s.accesses);
+    }
+
+    /// TLB: LRU, capacity-bounded, and same-page accesses always hit after
+    /// the first touch when capacity is not exceeded in between.
+    #[test]
+    fn tlb_same_page_hits(pages in prop::collection::vec(0u64..8, 2..100)) {
+        let mut t = Tlb::new(TlbConfig { entries: 16, page_bytes: 4096 });
+        let mut touched = std::collections::HashSet::new();
+        for &p in &pages {
+            let hit = t.access(p * 4096 + (p % 7) * 16);
+            // 8 distinct pages < 16 entries: after first touch, always hit.
+            prop_assert_eq!(hit, touched.contains(&p));
+            touched.insert(p);
+        }
+    }
+
+    /// Hierarchy timing is sane for arbitrary loads: completion is in the
+    /// future, an L2 miss implies an L1 miss, and latency classes order as
+    /// hit < L2 hit < memory.
+    #[test]
+    fn hierarchy_timing_monotone(addrs in prop::collection::vec(0u64..1u64<<30, 1..100), t0 in 0u64..1000) {
+        let mut h = hierarchy();
+        let mut now = t0;
+        for &a in &addrs {
+            let acc = h.load(0, a, now, false);
+            prop_assert!(acc.complete_at > now);
+            if acc.l2_miss {
+                prop_assert!(acc.l1_miss, "inclusive hierarchy");
+            }
+            let latency = acc.complete_at - now;
+            let floor = if acc.tlb_miss { 160 } else { 0 };
+            if !acc.l1_miss {
+                prop_assert!(latency >= 1 + floor);
+            } else if !acc.l2_miss {
+                prop_assert!(latency >= 1 + floor, "coalesced misses can be short");
+            } else {
+                prop_assert!(latency >= 111 + floor, "memory misses pay full latency: {latency}");
+            }
+            now += 7;
+        }
+    }
+
+    /// The memory-bus model serializes: k simultaneous L2 misses to distinct
+    /// lines complete at least bus-occupancy apart.
+    #[test]
+    fn bus_serializes_misses(k in 2usize..8) {
+        let mut h = hierarchy();
+        // Distinct cold lines, all requested at the same cycle; pages
+        // pre-touched so TLB penalties don't mask bus spacing.
+        for i in 0..k {
+            let _ = h.load(0, 0x2000_0000 + (i as u64) * 8192, 0, false);
+        }
+        let mut completes: Vec<u64> = (0..k)
+            .map(|i| {
+                h.load(0, 0x2000_0000 + (i as u64) * 8192 + 64, 1000, false)
+                    .complete_at
+            })
+            .collect();
+        completes.sort_unstable();
+        for w in completes.windows(2) {
+            prop_assert!(w[1] - w[0] >= MemTiming::paper_baseline().mem_bus_cycles);
+        }
+    }
+
+    /// Register pools conserve: allocations minus releases equals occupancy,
+    /// and free() + in_use() is constant.
+    #[test]
+    fn reg_pool_conservation(ops in prop::collection::vec(any::<bool>(), 1..200)) {
+        let mut p = RegPool::new(64, 16);
+        let budget = 64 - 16;
+        let mut held = 0u32;
+        for alloc in ops {
+            if alloc {
+                if p.alloc() {
+                    held += 1;
+                }
+            } else if held > 0 {
+                p.release();
+                held -= 1;
+            }
+            prop_assert_eq!(p.in_use(), held);
+            prop_assert_eq!(p.free() + p.in_use(), budget);
+            prop_assert!(held <= budget);
+        }
+    }
+
+    /// Issue queues conserve per kind.
+    #[test]
+    fn issue_queue_conservation(ops in prop::collection::vec((0usize..3, any::<bool>()), 1..200)) {
+        let mut q = IssueQueues::new(8, 4, 6);
+        let kinds = [IqKind::Int, IqKind::Fp, IqKind::LdSt];
+        let caps = [8u32, 4, 6];
+        let mut held = [0u32; 3];
+        for (k, alloc) in ops {
+            if alloc {
+                if q.alloc(kinds[k]) {
+                    held[k] += 1;
+                }
+            } else if held[k] > 0 {
+                q.release(kinds[k]);
+                held[k] -= 1;
+            }
+            for i in 0..3 {
+                prop_assert_eq!(q.used(kinds[i]), held[i]);
+                prop_assert!(held[i] <= caps[i]);
+            }
+            prop_assert_eq!(q.total_used(), held.iter().sum::<u32>());
+        }
+    }
+
+    /// FU pools never exceed per-cycle bandwidth and fully reset each cycle.
+    #[test]
+    fn fu_bandwidth_resets(cycles in 1usize..20, tries in 1u32..12) {
+        let mut fu = FuPools::new(3, 2, 2);
+        for _ in 0..cycles {
+            fu.new_cycle();
+            let mut granted = 0;
+            for _ in 0..tries {
+                if fu.issue(FuKind::Int) {
+                    granted += 1;
+                }
+            }
+            prop_assert_eq!(granted, tries.min(3));
+        }
+    }
+}

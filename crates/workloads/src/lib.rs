@@ -1,0 +1,246 @@
+//! # smt-workloads — the paper's multiprogrammed workloads (Table 2b)
+//!
+//! Twelve workloads spanning 2/4/6/8 threads × {ILP, MIX, MEM}:
+//!
+//! | threads | ILP | MIX | MEM |
+//! |---|---|---|---|
+//! | 2 | gzip, bzip2 | gzip, twolf | mcf, twolf |
+//! | 4 | gzip, bzip2, eon, gcc | gzip, twolf, bzip2, mcf | mcf, twolf, vpr, parser |
+//! | 6 | + crafty, perlbmk | gzip, twolf, bzip2, mcf, vpr, eon | + **mcf**, **twolf** |
+//! | 8 | + gap, vortex | + parser, gap | + **vpr**, **parser** |
+//!
+//! Bold entries are the paper's replicated benchmarks (there are not enough
+//! high-L2-miss SPECint codes): their second instances are shifted in the
+//! dynamic stream — the paper shifts by one million instructions — "to
+//! avoid that both threads access the cache hierarchy at the same time".
+
+use smt_pipeline::ThreadSpec;
+use smt_trace::{by_name, BenchProfile};
+
+/// Workload class, as in the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    Ilp,
+    Mix,
+    Mem,
+}
+
+impl WorkloadClass {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WorkloadClass::Ilp => "ILP",
+            WorkloadClass::Mix => "MIX",
+            WorkloadClass::Mem => "MEM",
+        }
+    }
+
+    pub const ALL: [WorkloadClass; 3] = [WorkloadClass::Ilp, WorkloadClass::Mix, WorkloadClass::Mem];
+}
+
+/// One multiprogrammed workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// e.g. "4-MIX".
+    pub name: String,
+    pub class: WorkloadClass,
+    pub benchmarks: Vec<&'static str>,
+}
+
+/// Stream shift applied to the second instance of a replicated benchmark
+/// (the paper shifts by one million instructions on 300M-instruction
+/// traces; scaled to our shorter synthetic streams).
+pub const REPLICA_SHIFT: u64 = 50_000;
+
+/// Base trace seed; all workloads use the same seed per benchmark so a
+/// benchmark's static program is identical across workloads.
+pub const TRACE_SEED: u64 = 0xDCAC4E_2004;
+
+impl Workload {
+    /// Thread count.
+    pub fn num_threads(&self) -> usize {
+        self.benchmarks.len()
+    }
+
+    /// The benchmark profiles, in thread order.
+    pub fn profiles(&self) -> Vec<BenchProfile> {
+        self.benchmarks
+            .iter()
+            .map(|n| by_name(n).expect("workload names a known benchmark"))
+            .collect()
+    }
+
+    /// Materialize simulator thread specs. Replicated benchmarks share the
+    /// seed (same code image) but the second instance is stream-shifted.
+    pub fn thread_specs(&self) -> Vec<ThreadSpec> {
+        let mut seen: Vec<&str> = Vec::new();
+        self.benchmarks
+            .iter()
+            .map(|&name| {
+                let occurrence = seen.iter().filter(|&&s| s == name).count() as u64;
+                seen.push(name);
+                ThreadSpec {
+                    profile: by_name(name).expect("known benchmark"),
+                    seed: TRACE_SEED,
+                    skip: occurrence * REPLICA_SHIFT,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Build the workload for a given thread count and class (Table 2b).
+/// Panics on a (count, class) pair outside the table.
+pub fn workload(threads: usize, class: WorkloadClass) -> Workload {
+    use WorkloadClass::*;
+    let benchmarks: Vec<&'static str> = match (threads, class) {
+        (2, Ilp) => vec!["gzip", "bzip2"],
+        (2, Mix) => vec!["gzip", "twolf"],
+        (2, Mem) => vec!["mcf", "twolf"],
+        (4, Ilp) => vec!["gzip", "bzip2", "eon", "gcc"],
+        (4, Mix) => vec!["gzip", "twolf", "bzip2", "mcf"],
+        (4, Mem) => vec!["mcf", "twolf", "vpr", "parser"],
+        (6, Ilp) => vec!["gzip", "bzip2", "eon", "gcc", "crafty", "perlbmk"],
+        (6, Mix) => vec!["gzip", "twolf", "bzip2", "mcf", "vpr", "eon"],
+        (6, Mem) => vec!["mcf", "twolf", "vpr", "parser", "mcf", "twolf"],
+        (8, Ilp) => vec![
+            "gzip", "bzip2", "eon", "gcc", "crafty", "perlbmk", "gap", "vortex",
+        ],
+        (8, Mix) => vec![
+            "gzip", "twolf", "bzip2", "mcf", "vpr", "eon", "parser", "gap",
+        ],
+        (8, Mem) => vec![
+            "mcf", "twolf", "vpr", "parser", "mcf", "twolf", "vpr", "parser",
+        ],
+        _ => panic!("Table 2b has no {threads}-thread {} workload", class.as_str()),
+    };
+    Workload {
+        name: format!("{threads}-{}", class.as_str()),
+        class,
+        benchmarks,
+    }
+}
+
+/// All 12 workloads in the paper's figure order (2/4/6/8 × ILP/MIX/MEM).
+pub fn all_workloads() -> Vec<Workload> {
+    let mut v = Vec::with_capacity(12);
+    for threads in [2usize, 4, 6, 8] {
+        for class in WorkloadClass::ALL {
+            v.push(workload(threads, class));
+        }
+    }
+    v
+}
+
+/// The workloads that fit the §6 *small* architecture (a 4-context
+/// processor): the 2- and 4-thread workloads, as in Figure 4.
+pub fn small_arch_workloads() -> Vec<Workload> {
+    let mut v = Vec::with_capacity(6);
+    for threads in [2usize, 4] {
+        for class in WorkloadClass::ALL {
+            v.push(workload(threads, class));
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_trace::ThreadClass;
+
+    #[test]
+    fn twelve_workloads_in_figure_order() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 12);
+        let names: Vec<&str> = all.iter().map(|w| w.name.as_str()).collect();
+        assert_eq!(names[0], "2-ILP");
+        assert_eq!(names[1], "2-MIX");
+        assert_eq!(names[2], "2-MEM");
+        assert_eq!(names[11], "8-MEM");
+    }
+
+    #[test]
+    fn ilp_workloads_contain_only_ilp_benchmarks() {
+        for threads in [2usize, 4, 6, 8] {
+            let w = workload(threads, WorkloadClass::Ilp);
+            for p in w.profiles() {
+                assert_eq!(p.class, ThreadClass::Ilp, "{} in {}", p.name, w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn mem_workloads_contain_only_mem_benchmarks() {
+        for threads in [2usize, 4, 6, 8] {
+            let w = workload(threads, WorkloadClass::Mem);
+            for p in w.profiles() {
+                assert_eq!(p.class, ThreadClass::Mem, "{} in {}", p.name, w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn mix_workloads_contain_both_classes() {
+        for threads in [2usize, 4, 6, 8] {
+            let w = workload(threads, WorkloadClass::Mix);
+            let classes: Vec<ThreadClass> = w.profiles().iter().map(|p| p.class).collect();
+            assert!(classes.contains(&ThreadClass::Ilp), "{}", w.name);
+            assert!(classes.contains(&ThreadClass::Mem), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn replicated_benchmarks_only_in_6_and_8_mem() {
+        for w in all_workloads() {
+            let mut names = w.benchmarks.clone();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            let has_dupes = names.len() < before;
+            let expect_dupes = w.name == "6-MEM" || w.name == "8-MEM";
+            assert_eq!(has_dupes, expect_dupes, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn replicas_are_stream_shifted() {
+        let w = workload(8, WorkloadClass::Mem);
+        let specs = w.thread_specs();
+        // mcf appears at threads 0 and 4.
+        assert_eq!(w.benchmarks[0], "mcf");
+        assert_eq!(w.benchmarks[4], "mcf");
+        assert_eq!(specs[0].skip, 0);
+        assert_eq!(specs[4].skip, REPLICA_SHIFT);
+        // Same seed → same code image.
+        assert_eq!(specs[0].seed, specs[4].seed);
+    }
+
+    #[test]
+    fn table_2b_exact_contents_spot_checks() {
+        assert_eq!(
+            workload(4, WorkloadClass::Mix).benchmarks,
+            vec!["gzip", "twolf", "bzip2", "mcf"]
+        );
+        assert_eq!(
+            workload(6, WorkloadClass::Mix).benchmarks,
+            vec!["gzip", "twolf", "bzip2", "mcf", "vpr", "eon"]
+        );
+        assert_eq!(
+            workload(8, WorkloadClass::Ilp).benchmarks,
+            vec!["gzip", "bzip2", "eon", "gcc", "crafty", "perlbmk", "gap", "vortex"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "Table 2b has no")]
+    fn unknown_combination_panics() {
+        let _ = workload(3, WorkloadClass::Ilp);
+    }
+
+    #[test]
+    fn small_arch_set_is_2_and_4_threads() {
+        let v = small_arch_workloads();
+        assert_eq!(v.len(), 6);
+        assert!(v.iter().all(|w| w.num_threads() <= 4));
+    }
+}

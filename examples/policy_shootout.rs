@@ -1,0 +1,66 @@
+//! Policy shootout: run every fetch policy of the paper on one workload and
+//! compare throughput, fairness (Hmean of relative IPCs), and the resource
+//! behaviour behind the numbers.
+//!
+//! ```text
+//! cargo run --release --example policy_shootout            # default 4-MIX
+//! cargo run --release --example policy_shootout -- 8 MEM   # Table 2b pick
+//! ```
+
+use dwarn_smt::core::PolicyKind;
+use dwarn_smt::metrics;
+use dwarn_smt::metrics::table::TextTable;
+use dwarn_smt::pipeline::{SimConfig, Simulator, ThreadSpec};
+use dwarn_smt::workloads::{workload, WorkloadClass};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let class = match args.get(1).map(String::as_str) {
+        Some("ILP") => WorkloadClass::Ilp,
+        Some("MEM") => WorkloadClass::Mem,
+        _ => WorkloadClass::Mix,
+    };
+    let wl = workload(threads, class);
+    println!("workload {}: {}\n", wl.name, wl.benchmarks.join(", "));
+
+    // Single-threaded baselines for relative IPCs.
+    let solo: Vec<f64> = wl
+        .benchmarks
+        .iter()
+        .map(|b| {
+            let spec = ThreadSpec {
+                profile: dwarn_smt::trace::by_name(b).unwrap(),
+                seed: dwarn_smt::workloads::TRACE_SEED,
+                skip: 0,
+            };
+            let mut sim = Simulator::new(
+                SimConfig::baseline(),
+                PolicyKind::Icount.build(),
+                std::slice::from_ref(&spec),
+            );
+            sim.run(20_000, 60_000).ipcs()[0]
+        })
+        .collect();
+
+    let mut t = TextTable::new(vec![
+        "policy", "tput", "Hmean", "WSpeedup", "gated", "flushed%", "bp-miss%",
+    ]);
+    for kind in PolicyKind::paper_set() {
+        let mut sim = Simulator::new(SimConfig::baseline(), kind.build(), &wl.thread_specs());
+        let r = sim.run(20_000, 60_000);
+        let rel = metrics::relative_ipcs(&r.ipcs(), &solo);
+        let gated: u64 = r.threads.iter().map(|s| s.gated_cycles).sum();
+        t.row(vec![
+            kind.name().to_string(),
+            format!("{:.2}", r.throughput()),
+            format!("{:.2}", metrics::hmean(&rel)),
+            format!("{:.2}", metrics::weighted_speedup(&rel)),
+            format!("{gated}"),
+            format!("{:.1}", 100.0 * r.flushed_fraction()),
+            format!("{:.1}", 100.0 * r.branch_mispredict_rate),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("gated = total thread-cycles the policy withheld fetch from a thread");
+}

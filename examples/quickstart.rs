@@ -1,0 +1,51 @@
+//! Quickstart: simulate the paper's 4-MIX workload (gzip + twolf + bzip2 +
+//! mcf) on the baseline SMT processor under the DWarn fetch policy and
+//! print what happened.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dwarn_smt::core::PolicyKind;
+use dwarn_smt::pipeline::{SimConfig, Simulator};
+use dwarn_smt::workloads::{workload, WorkloadClass};
+
+fn main() {
+    // The paper's Table 2(b) 4-thread MIX workload.
+    let wl = workload(4, WorkloadClass::Mix);
+    println!(
+        "workload {}: {}",
+        wl.name,
+        wl.benchmarks.join(", ")
+    );
+
+    // Table 3's baseline processor, running DWarn.
+    let mut sim = Simulator::new(
+        SimConfig::baseline(),
+        PolicyKind::DWarn.build(),
+        &wl.thread_specs(),
+    );
+
+    // 20k warm-up cycles, then measure 60k cycles.
+    let result = sim.run(20_000, 60_000);
+
+    println!("\nsimulated {} cycles under {}", result.cycles, "DWARN");
+    println!("throughput (sum of IPCs): {:.2}\n", result.throughput());
+    for (i, (bench, stats)) in wl.benchmarks.iter().zip(&result.threads).enumerate() {
+        let mem = &result.mem[i];
+        println!(
+            "  thread {i} {bench:8} IPC {:.2}  fetched {:6}  committed {:6}  \
+             L1D miss {:5.1}%  L2 miss {:5.2}%  gated {} cycles",
+            stats.ipc(result.cycles),
+            stats.fetched,
+            stats.committed,
+            100.0 * mem.l1_miss_rate(),
+            100.0 * mem.l2_miss_rate(),
+            stats.gated_cycles,
+        );
+    }
+    println!(
+        "\nbranch misprediction rate: {:.1}%",
+        100.0 * result.branch_mispredict_rate
+    );
+}

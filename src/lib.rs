@@ -1,0 +1,8 @@
+//! Workspace umbrella crate: re-exports the full public API surface.
+pub use dwarn_core as core;
+pub use smt_experiments as experiments;
+pub use smt_metrics as metrics;
+pub use smt_pipeline as pipeline;
+pub use smt_trace as trace;
+pub use smt_uarch as uarch;
+pub use smt_workloads as workloads;

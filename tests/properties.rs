@@ -1,0 +1,128 @@
+//! Property-based tests (proptest) over the core data structures and
+//! simulator invariants: arbitrary seeds, workload compositions, address
+//! streams, and run lengths.
+
+use proptest::prelude::*;
+
+use dwarn_smt::core::PolicyKind;
+use dwarn_smt::metrics;
+use dwarn_smt::pipeline::{SimConfig, Simulator, ThreadSpec};
+use dwarn_smt::trace::{all_benchmarks, CtrlKind, StaticProgram, ThreadTrace};
+use dwarn_smt::uarch::{Cache, CacheConfig};
+
+fn arb_profile() -> impl Strategy<Value = dwarn_smt::trace::BenchProfile> {
+    (0..12usize).prop_map(|i| all_benchmarks()[i].clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any (profile, seed): the dynamic stream follows its own next_pc
+    /// chain and stays inside the code image.
+    #[test]
+    fn stream_control_flow_is_self_consistent(p in arb_profile(), seed in 0u64..1_000_000) {
+        let base = 0x10_0000u64;
+        let mut t = ThreadTrace::new(&p, seed, base, 0);
+        let code_bytes = t.program().code_bytes();
+        let mut prev_next = None;
+        for _ in 0..3_000 {
+            let d = t.next_inst();
+            if let Some(pn) = prev_next {
+                prop_assert_eq!(pn, d.pc);
+            }
+            prop_assert!(d.pc >= base && d.pc < base + code_bytes);
+            prev_next = Some(d.next_pc);
+        }
+    }
+
+    /// Any (profile, seed): the generated program is structurally sound —
+    /// blocks tile the image, terminators are branches, targets in bounds.
+    #[test]
+    fn programs_are_structurally_sound(p in arb_profile(), seed in 0u64..1_000_000) {
+        let prog = StaticProgram::generate(&p, seed);
+        let mut expected = 0u32;
+        for blk in prog.blocks() {
+            prop_assert_eq!(blk.start, expected);
+            expected += blk.len;
+            let term = prog.inst(blk.term_idx());
+            prop_assert!(term.class.is_branch());
+            if matches!(term.ctrl, CtrlKind::CondBr | CtrlKind::Jump | CtrlKind::Call) {
+                prop_assert!((term.taken_target as usize) < prog.blocks().len());
+            }
+        }
+        prop_assert_eq!(expected as usize, prog.len());
+    }
+
+    /// Any address stream: a cache never holds more lines than its capacity,
+    /// and a fill is always observable as a subsequent hit.
+    #[test]
+    fn cache_capacity_and_fill_visibility(addrs in prop::collection::vec(0u64..1u64<<20, 1..400)) {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 4096,
+            ways: 2,
+            line_bytes: 64,
+            banks: 2,
+            latency: 1,
+        });
+        let capacity = 4096 / 64;
+        for &a in &addrs {
+            if !c.access(a) {
+                c.fill(a);
+                prop_assert!(c.probe(a), "a just-filled line must be resident");
+            }
+            prop_assert!(c.resident_lines() <= capacity);
+        }
+    }
+
+    /// Hmean is bounded by weighted speedup, and both are monotone in each
+    /// argument.
+    #[test]
+    fn hmean_algebra(rel in prop::collection::vec(0.01f64..1.5, 1..8), bump in 0.01f64..0.5) {
+        let h = metrics::hmean(&rel);
+        let w = metrics::weighted_speedup(&rel);
+        prop_assert!(h <= w + 1e-12);
+        let mut better = rel.clone();
+        better[0] += bump;
+        prop_assert!(metrics::hmean(&better) >= h);
+        prop_assert!(metrics::weighted_speedup(&better) >= w);
+    }
+
+    /// Any 1-4 benchmarks under any paper policy: the simulator's
+    /// cross-structure invariants hold after an arbitrary number of steps,
+    /// and no resources leak.
+    #[test]
+    fn simulator_invariants_hold(
+        picks in prop::collection::vec(0..12usize, 1..5),
+        policy in 0..6usize,
+        steps in 200u64..1_500,
+    ) {
+        let specs: Vec<ThreadSpec> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| ThreadSpec {
+                profile: all_benchmarks()[b].clone(),
+                seed: 7 + i as u64,
+                skip: 0,
+            })
+            .collect();
+        let kind = PolicyKind::paper_set()[policy];
+        let mut sim = Simulator::new(SimConfig::baseline(), kind.build(), &specs);
+        for _ in 0..steps {
+            sim.step();
+        }
+        sim.check_invariants();
+    }
+
+    /// Stream shift (`skip`) commutes with stepping: skip(n) == n × next().
+    #[test]
+    fn skip_commutes_with_stepping(p in arb_profile(), n in 1u64..500) {
+        let mut walked = ThreadTrace::new(&p, 99, 0, 0);
+        for _ in 0..n {
+            walked.next_inst();
+        }
+        let mut skipped = ThreadTrace::new(&p, 99, 0, n);
+        for _ in 0..50 {
+            prop_assert_eq!(walked.next_inst(), skipped.next_inst());
+        }
+    }
+}

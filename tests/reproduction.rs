@@ -1,0 +1,182 @@
+//! Cross-crate integration tests: the paper's headline claims, checked
+//! end-to-end on miniature simulation windows.
+//!
+//! Full-length windows live in `smt-experiments`; these tests use smaller
+//! ones so `cargo test` stays quick, and assert the *orderings* that are
+//! robust at that scale.
+
+use dwarn_smt::core::PolicyKind;
+use dwarn_smt::metrics;
+use dwarn_smt::pipeline::{SimConfig, Simulator, ThreadSpec};
+use dwarn_smt::workloads::{workload, WorkloadClass};
+
+fn run(kind: PolicyKind, threads: usize, class: WorkloadClass) -> dwarn_smt::pipeline::SimResult {
+    let wl = workload(threads, class);
+    let mut sim = Simulator::new(SimConfig::baseline(), kind.build(), &wl.thread_specs());
+    sim.run(10_000, 25_000)
+}
+
+#[test]
+fn dwarn_beats_icount_on_mem_workloads() {
+    // The headline: ICOUNT tolerates L2 misses and clogs; DWarn does not.
+    for threads in [6usize, 8] {
+        let ic = run(PolicyKind::Icount, threads, WorkloadClass::Mem).throughput();
+        let dw = run(PolicyKind::DWarn, threads, WorkloadClass::Mem).throughput();
+        assert!(
+            dw > ic * 1.1,
+            "{threads}-MEM: DWarn {dw} should clearly beat ICOUNT {ic}"
+        );
+    }
+}
+
+#[test]
+fn dwarn_matches_icount_on_ilp_workloads() {
+    // With no L1 misses to react to, DWarn degenerates to ICOUNT.
+    for threads in [4usize, 8] {
+        let ic = run(PolicyKind::Icount, threads, WorkloadClass::Ilp).throughput();
+        let dw = run(PolicyKind::DWarn, threads, WorkloadClass::Ilp).throughput();
+        let ratio = dw / ic;
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "{threads}-ILP: DWarn/ICOUNT ratio {ratio}"
+        );
+    }
+}
+
+#[test]
+fn dwarn_beats_dg_and_pdg_on_mix_fairness() {
+    // The under-use argument: gating on every L1 miss sacrifices MEM
+    // threads; DWarn's priority reduction keeps them alive. Visible in the
+    // MEM threads' relative progress on a MIX workload.
+    let wl = workload(4, WorkloadClass::Mix); // gzip, twolf, bzip2, mcf
+    let mcf_ipc = |kind: PolicyKind| {
+        let mut sim = Simulator::new(SimConfig::baseline(), kind.build(), &wl.thread_specs());
+        sim.run(10_000, 25_000).ipcs()[3]
+    };
+    let dw = mcf_ipc(PolicyKind::DWarn);
+    let dg = mcf_ipc(PolicyKind::Dg);
+    let pdg = mcf_ipc(PolicyKind::Pdg);
+    assert!(
+        dw > dg && dw > pdg,
+        "mcf under DWarn {dw} must outrun DG {dg} and PDG {pdg}"
+    );
+}
+
+#[test]
+fn flush_pays_for_mem_throughput_with_refetches() {
+    // Figure 2's trade: on MEM workloads FLUSH is competitive-or-better on
+    // raw throughput, but squashes a large share of fetched instructions.
+    let fl = run(PolicyKind::Flush, 8, WorkloadClass::Mem);
+    let dw = run(PolicyKind::DWarn, 8, WorkloadClass::Mem);
+    assert!(
+        fl.flushed_fraction() > 0.10,
+        "FLUSH refetch overhead on 8-MEM should exceed 10%, got {}",
+        fl.flushed_fraction()
+    );
+    assert!(
+        dw.flushed_fraction() == 0.0,
+        "DWarn never squashes via the flush path"
+    );
+}
+
+#[test]
+fn relative_ipcs_and_hmean_are_well_formed() {
+    let wl = workload(2, WorkloadClass::Mix);
+    let solo: Vec<f64> = wl
+        .benchmarks
+        .iter()
+        .map(|b| {
+            let spec = ThreadSpec {
+                profile: dwarn_smt::trace::by_name(b).unwrap(),
+                seed: dwarn_smt::workloads::TRACE_SEED,
+                skip: 0,
+            };
+            let mut sim = Simulator::new(
+                SimConfig::baseline(),
+                PolicyKind::Icount.build(),
+                std::slice::from_ref(&spec),
+            );
+            sim.run(10_000, 25_000).ipcs()[0]
+        })
+        .collect();
+    for kind in PolicyKind::paper_set() {
+        let r = run(kind, 2, WorkloadClass::Mix);
+        let rel = metrics::relative_ipcs(&r.ipcs(), &solo);
+        for &v in &rel {
+            assert!(
+                v > 0.0 && v < 1.6,
+                "{}: relative IPC {v} implausible",
+                kind.name()
+            );
+        }
+        let h = metrics::hmean(&rel);
+        assert!(h > 0.0 && h <= metrics::weighted_speedup(&rel) + 1e-12);
+    }
+}
+
+#[test]
+fn table_2a_classification_survives_the_full_stack() {
+    // Running each benchmark solo through the full simulator reproduces the
+    // MEM/ILP split of Table 2a.
+    for p in dwarn_smt::trace::all_benchmarks() {
+        let spec = ThreadSpec {
+            profile: p.clone(),
+            seed: 1,
+            skip: 0,
+        };
+        let mut sim = Simulator::new(
+            SimConfig::baseline(),
+            PolicyKind::Icount.build(),
+            std::slice::from_ref(&spec),
+        );
+        let r = sim.run(10_000, 30_000);
+        let l2 = r.mem[0].l2_miss_rate();
+        match p.class {
+            dwarn_smt::trace::ThreadClass::Mem => {
+                assert!(l2 > 0.006, "{}: MEM benchmark with L2 rate {l2}", p.name)
+            }
+            dwarn_smt::trace::ThreadClass::Ilp => {
+                assert!(l2 < 0.012, "{}: ILP benchmark with L2 rate {l2}", p.name)
+            }
+        }
+    }
+}
+
+#[test]
+fn all_policies_run_all_table_2b_workloads() {
+    // Smoke over the full grid at tiny windows: nothing panics, everyone
+    // makes progress.
+    for wl in dwarn_smt::workloads::all_workloads() {
+        for kind in PolicyKind::paper_set() {
+            let mut sim =
+                Simulator::new(SimConfig::baseline(), kind.build(), &wl.thread_specs());
+            let r = sim.run(2_000, 5_000);
+            assert!(
+                r.throughput() > 0.1,
+                "{} on {}: throughput {}",
+                kind.name(),
+                wl.name,
+                r.throughput()
+            );
+        }
+    }
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let wl = workload(4, WorkloadClass::Mem);
+    let mut a = Simulator::new(
+        SimConfig::baseline(),
+        PolicyKind::Flush.build(),
+        &wl.thread_specs(),
+    );
+    let mut b = Simulator::new(
+        SimConfig::baseline(),
+        PolicyKind::Flush.build(),
+        &wl.thread_specs(),
+    );
+    let ra = a.run(5_000, 10_000);
+    let rb = b.run(5_000, 10_000);
+    assert_eq!(ra.threads, rb.threads);
+    assert_eq!(ra.mem, rb.mem);
+}
