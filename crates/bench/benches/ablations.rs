@@ -1,7 +1,7 @@
-//! Criterion benches for the §3/§5 prose ablations: the DG threshold sweep,
-//! the STALL/FLUSH L2-declare-threshold sweep, and the DWarn hybrid rule.
+//! Benches for the §3/§5 prose ablations: the DG threshold sweep, the
+//! STALL/FLUSH L2-declare-threshold sweep, and the DWarn hybrid rule.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use smt_bench::Group;
 use smt_experiments::{ablation, ExpParams};
 
 fn bench_params() -> ExpParams {
@@ -11,22 +11,23 @@ fn bench_params() -> ExpParams {
     }
 }
 
-fn bench_ablations(c: &mut Criterion) {
+fn bench_ablations() {
     eprintln!("\n{}", ablation::report(&ExpParams::standard()));
 
-    let mut g = c.benchmark_group("ablation_thresholds");
+    let mut g = Group::new("ablation_thresholds");
     g.sample_size(10);
-    g.bench_function("dg_threshold_sweep", |b| {
-        b.iter(|| ablation::dg_threshold_sweep(&bench_params()))
+    g.bench_function("dg_threshold_sweep", || {
+        ablation::dg_threshold_sweep(&bench_params())
     });
-    g.bench_function("declare_threshold_sweep", |b| {
-        b.iter(|| ablation::declare_threshold_sweep(&bench_params()))
+    g.bench_function("declare_threshold_sweep", || {
+        ablation::declare_threshold_sweep(&bench_params())
     });
-    g.bench_function("dwarn_hybrid", |b| {
-        b.iter(|| ablation::dwarn_hybrid_ablation(&bench_params()))
+    g.bench_function("dwarn_hybrid", || {
+        ablation::dwarn_hybrid_ablation(&bench_params())
     });
     g.finish();
 }
 
-criterion_group!(ablations, bench_ablations);
-criterion_main!(ablations);
+fn main() {
+    bench_ablations();
+}

@@ -1,4 +1,4 @@
-//! Criterion benches that regenerate the paper's *figures*.
+//! Benches that regenerate the paper's *figures*.
 //!
 //! One bench per figure: Figure 1 (throughput grid + improvements), Figure
 //! 2 (FLUSH overhead), Figure 3 (Hmean improvements; shares Figure 1's
@@ -6,7 +6,7 @@
 //! prints the standard-window report once, then times a short-window
 //! regeneration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use smt_bench::Group;
 use smt_experiments::{figures, Campaign, ExpParams};
 
 fn bench_params() -> ExpParams {
@@ -16,73 +16,69 @@ fn bench_params() -> ExpParams {
     }
 }
 
-fn bench_fig1_and_fig3(c: &mut Criterion) {
+fn bench_fig1_and_fig3() {
     let campaign = Campaign::new(ExpParams::standard());
     let grid = figures::baseline_grid(&campaign);
     eprintln!("\n{}", figures::fig1_report(&grid));
     eprintln!("\n{}", figures::fig3_report(&grid));
 
-    let mut g = c.benchmark_group("fig1_fig3_baseline");
+    let mut g = Group::new("fig1_fig3_baseline");
     g.sample_size(10);
-    g.bench_function("grid", |b| {
-        b.iter(|| {
-            let campaign = Campaign::new(bench_params());
-            figures::baseline_grid(&campaign)
-        })
+    g.bench_function("grid", || {
+        let campaign = Campaign::new(bench_params());
+        figures::baseline_grid(&campaign)
     });
     g.finish();
 }
 
-fn bench_fig2(c: &mut Criterion) {
+fn bench_fig2() {
     let campaign = Campaign::new(ExpParams::standard());
-    eprintln!("\n{}", figures::fig2_report(&figures::fig2_compute(&campaign)));
+    eprintln!(
+        "\n{}",
+        figures::fig2_report(&figures::fig2_compute(&campaign))
+    );
 
-    let mut g = c.benchmark_group("fig2_flush_overhead");
+    let mut g = Group::new("fig2_flush_overhead");
     g.sample_size(10);
-    g.bench_function("flush_runs", |b| {
-        b.iter(|| {
-            let campaign = Campaign::new(bench_params());
-            figures::fig2_compute(&campaign)
-        })
+    g.bench_function("flush_runs", || {
+        let campaign = Campaign::new(bench_params());
+        figures::fig2_compute(&campaign)
     });
     g.finish();
 }
 
-fn bench_fig4(c: &mut Criterion) {
+fn bench_fig4() {
     let campaign = Campaign::new(ExpParams::standard());
-    eprintln!("\n{}", figures::fig4_report(&figures::small_grid(&campaign)));
+    eprintln!(
+        "\n{}",
+        figures::fig4_report(&figures::small_grid(&campaign))
+    );
 
-    let mut g = c.benchmark_group("fig4_small_arch");
+    let mut g = Group::new("fig4_small_arch");
     g.sample_size(10);
-    g.bench_function("small_grid", |b| {
-        b.iter(|| {
-            let campaign = Campaign::new(bench_params());
-            figures::small_grid(&campaign)
-        })
+    g.bench_function("small_grid", || {
+        let campaign = Campaign::new(bench_params());
+        figures::small_grid(&campaign)
     });
     g.finish();
 }
 
-fn bench_fig5(c: &mut Criterion) {
+fn bench_fig5() {
     let campaign = Campaign::new(ExpParams::standard());
     eprintln!("\n{}", figures::fig5_report(&figures::deep_grid(&campaign)));
 
-    let mut g = c.benchmark_group("fig5_deep_arch");
+    let mut g = Group::new("fig5_deep_arch");
     g.sample_size(10);
-    g.bench_function("deep_grid", |b| {
-        b.iter(|| {
-            let campaign = Campaign::new(bench_params());
-            figures::deep_grid(&campaign)
-        })
+    g.bench_function("deep_grid", || {
+        let campaign = Campaign::new(bench_params());
+        figures::deep_grid(&campaign)
     });
     g.finish();
 }
 
-criterion_group!(
-    figures_benches,
-    bench_fig1_and_fig3,
-    bench_fig2,
-    bench_fig4,
-    bench_fig5
-);
-criterion_main!(figures_benches);
+fn main() {
+    bench_fig1_and_fig3();
+    bench_fig2();
+    bench_fig4();
+    bench_fig5();
+}

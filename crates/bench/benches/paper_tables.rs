@@ -1,10 +1,10 @@
-//! Criterion benches that regenerate the paper's *tables*.
+//! Benches that regenerate the paper's *tables*.
 //!
 //! Each bench prints the regenerated table once (so `cargo bench` output
 //! contains the paper artefacts) and then times the regeneration with short
 //! simulation windows.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use smt_bench::Group;
 use smt_experiments::{table2a, table4, Campaign, ExpParams};
 
 fn bench_params() -> ExpParams {
@@ -14,36 +14,34 @@ fn bench_params() -> ExpParams {
     }
 }
 
-fn bench_table2a(c: &mut Criterion) {
+fn bench_table2a() {
     // Print the real (standard-window) table once.
     let campaign = Campaign::new(ExpParams::standard());
     eprintln!("\n{}", table2a::report(&table2a::compute(&campaign)));
 
-    let mut g = c.benchmark_group("table2a");
+    let mut g = Group::new("table2a");
     g.sample_size(10);
-    g.bench_function("regenerate", |b| {
-        b.iter(|| {
-            let campaign = Campaign::new(bench_params());
-            table2a::compute(&campaign)
-        })
+    g.bench_function("regenerate", || {
+        let campaign = Campaign::new(bench_params());
+        table2a::compute(&campaign)
     });
     g.finish();
 }
 
-fn bench_table4(c: &mut Criterion) {
+fn bench_table4() {
     let campaign = Campaign::new(ExpParams::standard());
     eprintln!("\n{}", table4::report(&table4::compute(&campaign)));
 
-    let mut g = c.benchmark_group("table4");
+    let mut g = Group::new("table4");
     g.sample_size(10);
-    g.bench_function("regenerate", |b| {
-        b.iter(|| {
-            let campaign = Campaign::new(bench_params());
-            table4::compute(&campaign)
-        })
+    g.bench_function("regenerate", || {
+        let campaign = Campaign::new(bench_params());
+        table4::compute(&campaign)
     });
     g.finish();
 }
 
-criterion_group!(tables, bench_table2a, bench_table4);
-criterion_main!(tables);
+fn main() {
+    bench_table2a();
+    bench_table4();
+}

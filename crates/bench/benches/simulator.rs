@@ -2,14 +2,14 @@
 //! under representative workloads, plus trace-generation throughput. These
 //! measure the substrate, not the paper's results.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dwarn_core::PolicyKind;
+use smt_bench::Group;
 use smt_pipeline::{SimConfig, Simulator};
 use smt_trace::profile;
 use smt_workloads::{workload, WorkloadClass};
 
-fn bench_simulator_speed(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator_cycles");
+fn bench_simulator_speed() {
+    let mut g = Group::new("simulator_cycles");
     g.sample_size(10);
     for (name, threads, class) in [
         ("2-ILP", 2, WorkloadClass::Ilp),
@@ -17,38 +17,34 @@ fn bench_simulator_speed(c: &mut Criterion) {
         ("8-MEM", 8, WorkloadClass::Mem),
     ] {
         let wl = workload(threads, class);
-        g.throughput(Throughput::Elements(10_000));
-        g.bench_function(format!("dwarn/{name}"), |b| {
-            b.iter(|| {
-                let mut sim = Simulator::new(
-                    SimConfig::baseline(),
-                    PolicyKind::DWarn.build(),
-                    &wl.thread_specs(),
-                );
-                sim.run(0, 10_000)
-            })
+        g.bench_function(&format!("dwarn/{name}"), || {
+            let mut sim = Simulator::new(
+                SimConfig::baseline(),
+                PolicyKind::DWarn.build(),
+                &wl.thread_specs(),
+            );
+            sim.run(0, 10_000)
         });
     }
     g.finish();
 }
 
-fn bench_trace_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trace_generation");
+fn bench_trace_generation() {
+    let mut g = Group::new("trace_generation");
     g.sample_size(10);
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("gcc_stream", |b| {
-        b.iter(|| {
-            let p = profile::gcc();
-            let mut t = smt_trace::ThreadTrace::new(&p, 7, 0, 0);
-            let mut acc = 0u64;
-            for _ in 0..100_000 {
-                acc = acc.wrapping_add(t.next_inst().pc);
-            }
-            acc
-        })
+    g.bench_function("gcc_stream", || {
+        let p = profile::gcc();
+        let mut t = smt_trace::ThreadTrace::new(&p, 7, 0, 0);
+        let mut acc = 0u64;
+        for _ in 0..100_000 {
+            acc = acc.wrapping_add(t.next_inst().pc);
+        }
+        acc
     });
     g.finish();
 }
 
-criterion_group!(simulator, bench_simulator_speed, bench_trace_generation);
-criterion_main!(simulator);
+fn main() {
+    bench_simulator_speed();
+    bench_trace_generation();
+}

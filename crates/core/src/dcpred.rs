@@ -113,7 +113,11 @@ impl FetchPolicy for DcPred {
 
     fn on_event(&mut self, ev: &PolicyEvent) {
         match *ev {
-            PolicyEvent::LoadFetched { thread, pc, load_id } => {
+            PolicyEvent::LoadFetched {
+                thread,
+                pc,
+                load_id,
+            } => {
                 self.ensure_threads(thread + 1);
                 let predicted = self.predictor.predict(pc);
                 if predicted {
@@ -146,8 +150,7 @@ impl FetchPolicy for DcPred {
                     self.predictor.count_misprediction();
                 }
             }
-            PolicyEvent::LoadFilled { load_id, .. }
-            | PolicyEvent::LoadSquashed { load_id, .. } => {
+            PolicyEvent::LoadFilled { load_id, .. } | PolicyEvent::LoadSquashed { load_id, .. } => {
                 self.release(load_id);
             }
             _ => {}

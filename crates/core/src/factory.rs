@@ -102,7 +102,10 @@ mod tests {
     #[test]
     fn paper_set_order_matches_figures() {
         let names: Vec<&str> = PolicyKind::paper_set().iter().map(|k| k.name()).collect();
-        assert_eq!(names, vec!["ICOUNT", "STALL", "FLUSH", "DG", "PDG", "DWARN"]);
+        assert_eq!(
+            names,
+            vec!["ICOUNT", "STALL", "FLUSH", "DG", "PDG", "DWARN"]
+        );
     }
 
     #[test]

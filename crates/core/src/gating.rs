@@ -107,7 +107,6 @@ impl PredictiveDataGating {
         Classification::new(DetectionMoment::Fetch, ResponseAction::Gate)
     }
 
-
     fn ensure_threads(&mut self, n: usize) {
         if self.counts.len() < n {
             self.counts.resize(n, 0);
@@ -146,7 +145,11 @@ impl FetchPolicy for PredictiveDataGating {
 
     fn on_event(&mut self, ev: &PolicyEvent) {
         match *ev {
-            PolicyEvent::LoadFetched { thread, pc, load_id } => {
+            PolicyEvent::LoadFetched {
+                thread,
+                pc,
+                load_id,
+            } => {
                 self.ensure_threads(thread + 1);
                 let predicted_miss = self.predictor.predict(pc);
                 if predicted_miss {
@@ -169,7 +172,9 @@ impl FetchPolicy for PredictiveDataGating {
                 ..
             } => {
                 self.predictor.train(pc, l1_miss);
-                let Some(l) = self.loads.get_mut(&load_id) else { return };
+                let Some(l) = self.loads.get_mut(&load_id) else {
+                    return;
+                };
                 debug_assert_eq!(l.thread, thread);
                 if l.predicted_miss != l1_miss {
                     self.predictor.count_misprediction();
@@ -193,8 +198,7 @@ impl FetchPolicy for PredictiveDataGating {
                     }
                 }
             }
-            PolicyEvent::LoadFilled { load_id, .. }
-            | PolicyEvent::LoadSquashed { load_id, .. } => {
+            PolicyEvent::LoadFilled { load_id, .. } | PolicyEvent::LoadSquashed { load_id, .. } => {
                 self.uncount(load_id);
             }
             _ => {}

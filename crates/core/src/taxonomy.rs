@@ -56,7 +56,7 @@ mod tests {
             Classification::new(DetectionMoment::XCyclesAfterIssue, ResponseAction::Gate), // STALL
             Classification::new(DetectionMoment::XCyclesAfterIssue, ResponseAction::Squash), // FLUSH
             Classification::new(DetectionMoment::Fetch, ResponseAction::LimitResources), // DC-PRED
-            Classification::new(DetectionMoment::L1, ResponseAction::ReducePriority), // DWarn
+            Classification::new(DetectionMoment::L1, ResponseAction::ReducePriority),    // DWarn
         ];
         for (i, a) in cells.iter().enumerate() {
             for b in &cells[i + 1..] {

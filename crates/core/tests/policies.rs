@@ -4,7 +4,6 @@
 use dwarn_core::PolicyKind;
 use smt_pipeline::{SimConfig, SimResult, Simulator, ThreadSpec};
 use smt_trace::profile;
-use smt_workloads;
 
 fn spec(name: &str, seed: u64) -> ThreadSpec {
     ThreadSpec {
@@ -19,7 +18,12 @@ fn mix2() -> Vec<ThreadSpec> {
 }
 
 fn mix4() -> Vec<ThreadSpec> {
-    vec![spec("gzip", 1), spec("twolf", 2), spec("bzip2", 3), spec("mcf", 4)]
+    vec![
+        spec("gzip", 1),
+        spec("twolf", 2),
+        spec("bzip2", 3),
+        spec("mcf", 4),
+    ]
 }
 
 fn run(kind: PolicyKind, specs: &[ThreadSpec], cfg: SimConfig) -> SimResult {
@@ -63,7 +67,12 @@ fn only_flush_squashes_via_the_flush_path() {
 fn flush_refetches_a_significant_fraction_on_mem_workloads() {
     // Figure 2's phenomenon: on MEM workloads the FLUSH policy squashes (and
     // later refetches) a sizable share of fetched instructions.
-    let mem4 = vec![spec("mcf", 1), spec("twolf", 2), spec("vpr", 3), spec("parser", 4)];
+    let mem4 = vec![
+        spec("mcf", 1),
+        spec("twolf", 2),
+        spec("vpr", 3),
+        spec("parser", 4),
+    ];
     let r = run(PolicyKind::Flush, &mem4, SimConfig::baseline());
     let frac = r.flushed_fraction();
     assert!(
@@ -139,7 +148,12 @@ fn policies_are_deterministic_end_to_end() {
 fn ilp_workloads_are_policy_insensitive() {
     // With no L1 misses to speak of, every policy degenerates to ICOUNT;
     // throughputs should be close.
-    let ilp4 = vec![spec("gzip", 1), spec("bzip2", 2), spec("eon", 3), spec("gcc", 4)];
+    let ilp4 = vec![
+        spec("gzip", 1),
+        spec("bzip2", 2),
+        spec("eon", 3),
+        spec("gcc", 4),
+    ];
     let base = run(PolicyKind::Icount, &ilp4, SimConfig::baseline()).throughput();
     for kind in PolicyKind::paper_set() {
         let t = run(kind, &ilp4, SimConfig::baseline()).throughput();
@@ -196,8 +210,8 @@ fn dcpred_limits_the_suspect_threads_resource_share() {
 fn dwarn_never_fully_starves_the_mem_thread() {
     // The paper's fairness claim in miniature: even on an 8-thread MEM
     // workload, every DWarn thread commits a non-trivial stream.
-    let wl: Vec<ThreadSpec> = smt_workloads::workload(8, smt_workloads::WorkloadClass::Mem)
-        .thread_specs();
+    let wl: Vec<ThreadSpec> =
+        smt_workloads::workload(8, smt_workloads::WorkloadClass::Mem).thread_specs();
     let mut sim = Simulator::new(SimConfig::baseline(), PolicyKind::DWarn.build(), &wl);
     let r = sim.run(10_000, 25_000);
     for (i, t) in r.threads.iter().enumerate() {

@@ -20,15 +20,22 @@ fn run_policy(
     cfg: SimConfig,
     wl: &Workload,
     policy: Box<dyn FetchPolicy>,
+    tag: &str,
 ) -> f64 {
+    let name = policy.name();
     let mut sim = Simulator::new(cfg, policy, &wl.thread_specs());
-    sim.run(params.warmup, params.measure).throughput()
+    let result = sim.run(params.warmup, params.measure);
+    crate::artifacts::record_tagged(tag, "baseline", &wl.name, name, &result);
+    result.throughput()
 }
 
 /// DG threshold sweep on 4-MIX and 4-MEM.
 pub fn dg_threshold_sweep(params: &ExpParams) -> String {
     let mut t = TextTable::new(vec!["workload", "n=1", "n=2", "n=4", "ICOUNT"]);
-    for wl in [workload(4, WorkloadClass::Mix), workload(4, WorkloadClass::Mem)] {
+    for wl in [
+        workload(4, WorkloadClass::Mix),
+        workload(4, WorkloadClass::Mem),
+    ] {
         let mut row = vec![wl.name.clone()];
         for n in [1u32, 2, 4] {
             let tput = run_policy(
@@ -36,6 +43,7 @@ pub fn dg_threshold_sweep(params: &ExpParams) -> String {
                 SimConfig::baseline(),
                 &wl,
                 Box::new(DataGating::with_threshold(n)),
+                "ablation:dg-threshold",
             );
             row.push(format!("{tput:.2}"));
         }
@@ -44,6 +52,7 @@ pub fn dg_threshold_sweep(params: &ExpParams) -> String {
             SimConfig::baseline(),
             &wl,
             PolicyKind::Icount.build(),
+            "ablation:dg-threshold",
         );
         row.push(format!("{ic:.2}"));
         t.row(row);
@@ -64,7 +73,13 @@ pub fn declare_threshold_sweep(params: &ExpParams) -> String {
         for thr in [8u64, 15, 30, 60] {
             let mut cfg = SimConfig::baseline();
             cfg.l2_declare_threshold = thr;
-            let tput = run_policy(params, cfg, &wl, kind.build());
+            let tput = run_policy(
+                params,
+                cfg,
+                &wl,
+                kind.build(),
+                &format!("ablation:declare-thr{thr}"),
+            );
             row.push(format!("{tput:.2}"));
         }
         t.row(row);
@@ -80,7 +95,12 @@ pub fn declare_threshold_sweep(params: &ExpParams) -> String {
 /// workloads (where the rule matters) and 4-thread workloads (where it is
 /// inactive by design).
 pub fn dwarn_hybrid_ablation(params: &ExpParams) -> String {
-    let mut t = TextTable::new(vec!["workload", "DWarn(hybrid)", "DWarn(prio-only)", "ICOUNT"]);
+    let mut t = TextTable::new(vec![
+        "workload",
+        "DWarn(hybrid)",
+        "DWarn(prio-only)",
+        "ICOUNT",
+    ]);
     for (threads, class) in [
         (2, WorkloadClass::Mix),
         (2, WorkloadClass::Mem),
@@ -88,18 +108,27 @@ pub fn dwarn_hybrid_ablation(params: &ExpParams) -> String {
         (4, WorkloadClass::Mem),
     ] {
         let wl = workload(threads, class);
-        let hybrid = run_policy(params, SimConfig::baseline(), &wl, Box::new(DWarn::new()));
+        let tag = "ablation:hybrid-rule";
+        let hybrid = run_policy(
+            params,
+            SimConfig::baseline(),
+            &wl,
+            Box::new(DWarn::new()),
+            tag,
+        );
         let prio = run_policy(
             params,
             SimConfig::baseline(),
             &wl,
             Box::new(DWarn::priority_only()),
+            tag,
         );
         let ic = run_policy(
             params,
             SimConfig::baseline(),
             &wl,
             PolicyKind::Icount.build(),
+            tag,
         );
         t.row(vec![
             wl.name.clone(),
@@ -129,8 +158,9 @@ pub fn fetch_mechanism_sweep(params: &ExpParams) -> String {
         let mut cfg = SimConfig::baseline();
         cfg.fetch_threads = threads;
         cfg.fetch_width = width;
-        let ic = run_policy(params, cfg.clone(), &wl, PolicyKind::Icount.build());
-        let dw = run_policy(params, cfg, &wl, PolicyKind::DWarn.build());
+        let tag = format!("ablation:fetch-{threads}.{width}");
+        let ic = run_policy(params, cfg.clone(), &wl, PolicyKind::Icount.build(), &tag);
+        let dw = run_policy(params, cfg, &wl, PolicyKind::DWarn.build(), &tag);
         t.row(vec![
             format!("{threads}.{width}"),
             format!("{ic:.2}"),
@@ -169,12 +199,19 @@ mod tests {
             measure: 6_000,
         };
         let wl = workload(4, WorkloadClass::Mix);
-        let a = run_policy(&params, SimConfig::baseline(), &wl, Box::new(DWarn::new()));
+        let a = run_policy(
+            &params,
+            SimConfig::baseline(),
+            &wl,
+            Box::new(DWarn::new()),
+            "test",
+        );
         let b = run_policy(
             &params,
             SimConfig::baseline(),
             &wl,
             Box::new(DWarn::priority_only()),
+            "test",
         );
         assert_eq!(a, b);
     }

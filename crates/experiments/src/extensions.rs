@@ -15,8 +15,11 @@ use smt_workloads::{all_workloads, Workload};
 use crate::runner::ExpParams;
 
 fn run(params: &ExpParams, wl: &Workload, policy: Box<dyn FetchPolicy>) -> f64 {
+    let name = policy.name();
     let mut sim = Simulator::new(SimConfig::baseline(), policy, &wl.thread_specs());
-    sim.run(params.warmup, params.measure).throughput()
+    let result = sim.run(params.warmup, params.measure);
+    crate::artifacts::record_tagged("extensions", "baseline", &wl.name, name, &result);
+    result.throughput()
 }
 
 /// Throughput of DWarn, FLUSH, and the two extensions over all workloads.

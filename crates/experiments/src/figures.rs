@@ -51,7 +51,9 @@ pub fn fig3_report(g: &GridData) -> String {
     let mut s = String::new();
     s.push_str("Figure 3 — Hmean improvement of DWarn over each policy, baseline architecture\n\n");
     s.push_str(&g.improvement_table(Metric::Hmean));
-    s.push_str("\nPaper (conclusions, MIX+MEM): IC +13%, STALL +5%, FLUSH +3%, DG +11%, PDG +36%;\n");
+    s.push_str(
+        "\nPaper (conclusions, MIX+MEM): IC +13%, STALL +5%, FLUSH +3%, DG +11%, PDG +36%;\n",
+    );
     s.push_str("DWarn loses ~2% to FLUSH on MEM workloads.\n");
     s
 }
@@ -64,7 +66,9 @@ pub fn fig4_report(g: &GridData) -> String {
     s.push_str("\nFigure 4(b) — Hmean improvement of DWarn, small architecture\n\n");
     s.push_str(&g.improvement_table(Metric::Hmean));
     s.push_str("\nPaper (MIX+MEM): throughput +5% STALL, +23% DG, +10% FLUSH, +40% PDG;\n");
-    s.push_str("Hmean +5% STALL, +28% DG, +10% FLUSH, +50% PDG; ICOUNT beats DWarn by ~5% on MIX Hmean.\n");
+    s.push_str(
+        "Hmean +5% STALL, +28% DG, +10% FLUSH, +50% PDG; ICOUNT beats DWarn by ~5% on MIX Hmean.\n",
+    );
     s
 }
 

@@ -22,6 +22,7 @@
 //! the crossovers fall — not its absolute numbers (see DESIGN.md).
 
 pub mod ablation;
+pub mod artifacts;
 pub mod extensions;
 pub mod figures;
 pub mod grid;
@@ -30,6 +31,7 @@ pub mod runner;
 pub mod table2a;
 pub mod table4;
 pub mod taxonomy;
+pub mod tracing;
 
 pub use grid::{GridData, Metric};
 pub use runner::{Arch, Campaign, ExpParams, RunKey};

@@ -3,14 +3,17 @@
 //! ```text
 //! cargo run --release -p smt-experiments -- all
 //! cargo run --release -p smt-experiments -- fig1 fig3 --quick
+//! cargo run --release -p smt-experiments -- table4 --stats-json out/
+//! cargo run --release -p smt-experiments -- trace --policy dwarn --workload mix4
 //! ```
 
+use std::path::PathBuf;
 use std::time::Instant;
 
-use smt_experiments::{ablation, figures, table2a, table4, Campaign, ExpParams};
+use smt_experiments::{ablation, artifacts, figures, table2a, table4, Campaign, ExpParams};
 
 const USAGE: &str = "\
-usage: smt-experiments [--quick] <experiment>...
+usage: smt-experiments [--quick] [--stats-json <dir>] <experiment>...
 
 experiments:
   table2a    cache behaviour of isolated benchmarks (Table 2a)
@@ -28,8 +31,14 @@ experiments:
   compare <POLICY>... [@WORKLOAD] [@ARCH]
              ad-hoc comparison, e.g.:  compare DWARN FLUSH @8-MEM @deep
 
+  trace [--policy P] [--workload W] [--arch A] [--cycles N] [--warmup N]
+        [--sample-every N] [--detail] [--out DIR]
+             capture one run with the recording probe and write a Chrome
+             trace-event JSON (Perfetto / chrome://tracing) plus stats JSON
+
 flags:
-  --quick    short simulation windows (smoke test)
+  --quick            short simulation windows (smoke test)
+  --stats-json <dir> write one structured JSON stats file per simulation run
 ";
 
 fn compare(campaign: &Campaign, args: &[&str]) -> String {
@@ -46,12 +55,14 @@ fn compare(campaign: &Campaign, args: &[&str]) -> String {
                 other => {
                     let known = ["2", "4", "6", "8"]
                         .iter()
-                        .flat_map(|n| ["ILP", "MIX", "MEM"].iter().map(move |c| format!("{n}-{c}")))
+                        .flat_map(|n| {
+                            ["ILP", "MIX", "MEM"]
+                                .iter()
+                                .map(move |c| format!("{n}-{c}"))
+                        })
                         .any(|name| name == other);
                     if !known {
-                        eprintln!(
-                            "unknown workload: {other} (Table 2b has 2/4/6/8-ILP/MIX/MEM)"
-                        );
+                        eprintln!("unknown workload: {other} (Table 2b has 2/4/6/8-ILP/MIX/MEM)");
                         std::process::exit(2);
                     }
                     workload = other.to_string();
@@ -72,18 +83,90 @@ fn compare(campaign: &Campaign, args: &[&str]) -> String {
     t
 }
 
+/// Extract `--stats-json <dir>` / `--stats-json=<dir>` from `args`.
+fn take_stats_json(args: &mut Vec<String>) -> Option<PathBuf> {
+    let mut dir = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--stats-json" {
+            if i + 1 >= args.len() {
+                eprintln!("--stats-json needs a directory argument\n");
+                eprint!("{USAGE}");
+                std::process::exit(2);
+            }
+            dir = Some(PathBuf::from(args.remove(i + 1)));
+            args.remove(i);
+        } else if let Some(v) = args[i].strip_prefix("--stats-json=") {
+            dir = Some(PathBuf::from(v));
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    dir
+}
+
+/// Write any collected stats artifacts; called on every exit path.
+fn flush_artifacts() {
+    match artifacts::flush() {
+        Ok(Some((n, dir))) => eprintln!("wrote {n} stats file(s) to {}/", dir.display()),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("failed to write stats artifacts: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(dir) = take_stats_json(&mut args) {
+        if let Err(e) = artifacts::enable(&dir) {
+            eprintln!("--stats-json {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
     let quick = args.iter().any(|a| a == "--quick");
+
+    if args.first().map(String::as_str) == Some("trace") {
+        let rest: Vec<&str> = args[1..]
+            .iter()
+            .map(String::as_str)
+            .filter(|a| *a != "--quick")
+            .collect();
+        let opts = match smt_experiments::tracing::parse_args(&rest) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("trace: {e}\n");
+                eprint!("{USAGE}");
+                std::process::exit(2);
+            }
+        };
+        match smt_experiments::tracing::run(&opts) {
+            Ok(summary) => println!("{summary}"),
+            Err(e) => {
+                eprintln!("trace: {e}");
+                std::process::exit(1);
+            }
+        }
+        flush_artifacts();
+        return;
+    }
+
     let mut exps: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
     if exps.first() == Some(&"compare") {
-        let params = if quick { ExpParams::quick() } else { ExpParams::standard() };
+        let params = if quick {
+            ExpParams::quick()
+        } else {
+            ExpParams::standard()
+        };
         let campaign = Campaign::new(params);
         print!("{}", compare(&campaign, &exps[1..]));
+        flush_artifacts();
         return;
     }
     if exps.is_empty() {
@@ -92,8 +175,16 @@ fn main() {
     }
     if exps.contains(&"all") {
         exps = vec![
-            "table2a", "fig1", "fig2", "fig3", "table4", "fig4", "fig5", "ablation",
-            "taxonomy", "extensions",
+            "table2a",
+            "fig1",
+            "fig2",
+            "fig3",
+            "table4",
+            "fig4",
+            "fig5",
+            "ablation",
+            "taxonomy",
+            "extensions",
         ];
     }
 
@@ -131,5 +222,6 @@ fn main() {
             started.elapsed().as_secs_f64()
         );
     }
+    flush_artifacts();
     eprintln!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -104,21 +104,13 @@ pub const HMEAN_MIX_MEM: [(&str, f64); 5] = [
 
 /// §6, small architecture: throughput improvements for MIX and MEM
 /// workloads (percent).
-pub const FIG4_THROUGHPUT_MIX_MEM: [(&str, f64); 4] = [
-    ("STALL", 5.0),
-    ("DG", 23.0),
-    ("FLUSH", 10.0),
-    ("PDG", 40.0),
-];
+pub const FIG4_THROUGHPUT_MIX_MEM: [(&str, f64); 4] =
+    [("STALL", 5.0), ("DG", 23.0), ("FLUSH", 10.0), ("PDG", 40.0)];
 
 /// §6, small architecture: Hmean improvements for MIX and MEM workloads.
 /// ICOUNT *beats* DWarn by ~5% on MIX Hmean there.
-pub const FIG4_HMEAN_MIX_MEM: [(&str, f64); 4] = [
-    ("STALL", 5.0),
-    ("DG", 28.0),
-    ("FLUSH", 10.0),
-    ("PDG", 50.0),
-];
+pub const FIG4_HMEAN_MIX_MEM: [(&str, f64); 4] =
+    [("STALL", 5.0), ("DG", 28.0), ("FLUSH", 10.0), ("PDG", 50.0)];
 
 /// §6, deep architecture: DWarn beats everything except FLUSH on MEM
 /// (−6%, driven by 8-MEM over-pressure), and FLUSH's refetch overhead there

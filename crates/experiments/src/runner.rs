@@ -140,7 +140,9 @@ impl Campaign {
     fn simulate(params: ExpParams, key: &RunKey) -> SimResult {
         let specs = specs_for(key);
         let mut sim = Simulator::new(key.arch.config(), key.policy.build(), &specs);
-        sim.run(params.warmup, params.measure)
+        let result = sim.run(params.warmup, params.measure);
+        crate::artifacts::record(key, &result);
+        result
     }
 
     /// Ensure all `keys` are cached, running missing ones in parallel.
@@ -280,7 +282,12 @@ pub fn comparison_table(
     campaign.prefetch(&keys);
 
     let mut t = smt_metrics::table::TextTable::new(vec![
-        "policy", "tput", "Hmean", "gated", "flushed%", "per-thread IPCs",
+        "policy",
+        "tput",
+        "Hmean",
+        "gated",
+        "flushed%",
+        "per-thread IPCs",
     ]);
     for &p in policies {
         let r = campaign.workload_result(arch, &wl, p);
@@ -330,8 +337,15 @@ mod tests {
     #[test]
     fn prefetch_fills_the_grid() {
         let c = quick_campaign();
-        let wls = vec![workload(2, WorkloadClass::Ilp), workload(2, WorkloadClass::Mix)];
-        let keys = Campaign::grid(Arch::Baseline, &wls, &[PolicyKind::Icount, PolicyKind::DWarn]);
+        let wls = vec![
+            workload(2, WorkloadClass::Ilp),
+            workload(2, WorkloadClass::Mix),
+        ];
+        let keys = Campaign::grid(
+            Arch::Baseline,
+            &wls,
+            &[PolicyKind::Icount, PolicyKind::DWarn],
+        );
         c.prefetch(&keys);
         assert_eq!(c.cached(), 4);
         // Subsequent access hits the cache.
@@ -366,7 +380,10 @@ mod tests {
         let rel = c.relative_ipcs(Arch::Baseline, &wl, PolicyKind::Icount);
         assert_eq!(rel.len(), 2);
         for r in rel {
-            assert!(r > 0.0 && r < 1.5, "relative IPC {r} out of plausible range");
+            assert!(
+                r > 0.0 && r < 1.5,
+                "relative IPC {r} out of plausible range"
+            );
         }
     }
 

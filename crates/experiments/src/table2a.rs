@@ -59,7 +59,14 @@ pub fn compute(campaign: &Campaign) -> Vec<Table2aRow> {
 /// Render the paper-style report.
 pub fn report(rows: &[Table2aRow]) -> String {
     let mut t = TextTable::new(vec![
-        "bench", "class", "L1 %", "(paper)", "L2 %", "(paper)", "L1→L2 %", "(paper)",
+        "bench",
+        "class",
+        "L1 %",
+        "(paper)",
+        "L2 %",
+        "(paper)",
+        "L1→L2 %",
+        "(paper)",
     ]);
     for r in rows {
         t.row(vec![
@@ -97,7 +104,11 @@ mod tests {
             // L1 rate within 1.5 percentage points or 40% relative.
             let l1_ok = (r.l1_pct - r.paper_l1_pct).abs() < 1.5
                 || (r.l1_pct / r.paper_l1_pct - 1.0).abs() < 0.4;
-            assert!(l1_ok, "{}: L1 {} vs paper {}", r.name, r.l1_pct, r.paper_l1_pct);
+            assert!(
+                l1_ok,
+                "{}: L1 {} vs paper {}",
+                r.name, r.l1_pct, r.paper_l1_pct
+            );
         }
         // mcf must dominate the L2 column, eon must be at the bottom.
         let mcf = rows.iter().find(|r| r.name == "mcf").unwrap();

@@ -21,8 +21,15 @@ pub struct Table4Row {
 
 pub fn compute(campaign: &Campaign) -> Vec<Table4Row> {
     let wl = workload(4, WorkloadClass::Mix);
-    let mut keys = Campaign::grid(Arch::Baseline, std::slice::from_ref(&wl), &PolicyKind::paper_set());
-    keys.extend(Campaign::solo_grid(Arch::Baseline, std::slice::from_ref(&wl)));
+    let mut keys = Campaign::grid(
+        Arch::Baseline,
+        std::slice::from_ref(&wl),
+        &PolicyKind::paper_set(),
+    );
+    keys.extend(Campaign::solo_grid(
+        Arch::Baseline,
+        std::slice::from_ref(&wl),
+    ));
     campaign.prefetch(&keys);
     PolicyKind::paper_set()
         .into_iter()

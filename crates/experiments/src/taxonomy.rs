@@ -18,7 +18,10 @@ pub fn all_policies() -> Vec<(PolicyKind, Option<Classification>)> {
         (PolicyKind::Stall, Some(Stall::classification())),
         (PolicyKind::Flush, Some(Flush::classification())),
         (PolicyKind::Dg, Some(DataGating::classification())),
-        (PolicyKind::Pdg, Some(PredictiveDataGating::classification())),
+        (
+            PolicyKind::Pdg,
+            Some(PredictiveDataGating::classification()),
+        ),
         (PolicyKind::DcPred, Some(DcPred::classification())),
         (PolicyKind::DWarnPriorityOnly, Some(DWarn::classification())),
         (PolicyKind::DWarn, Some(DWarn::classification())),
@@ -115,11 +118,12 @@ mod tests {
     fn classification_strings_cover_all_cells() {
         let classes: Vec<Classification> =
             all_policies().into_iter().filter_map(|(_, c)| c).collect();
-        let dms: std::collections::HashSet<&str> =
-            classes.iter().map(dm_str).collect();
-        let ras: std::collections::HashSet<&str> =
-            classes.iter().map(ra_str).collect();
-        assert!(dms.len() >= 3, "taxonomy spans at least 3 detection moments");
+        let dms: std::collections::HashSet<&str> = classes.iter().map(dm_str).collect();
+        let ras: std::collections::HashSet<&str> = classes.iter().map(ra_str).collect();
+        assert!(
+            dms.len() >= 3,
+            "taxonomy spans at least 3 detection moments"
+        );
         assert_eq!(ras.len(), 4, "all four response actions are exercised");
     }
 }

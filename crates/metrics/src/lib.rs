@@ -45,7 +45,7 @@ pub fn relative_ipcs(smt_ipcs: &[f64], single_ipcs: &[f64]) -> Vec<f64> {
 /// harmonic mean to zero, which is the metric's point).
 pub fn hmean(relative: &[f64]) -> f64 {
     assert!(!relative.is_empty());
-    if relative.iter().any(|&r| r == 0.0) {
+    if relative.contains(&0.0) {
         return 0.0;
     }
     relative.len() as f64 / relative.iter().map(|r| 1.0 / r).sum::<f64>()
@@ -100,9 +100,7 @@ mod tests {
         // Same arithmetic mean, different balance.
         let balanced = [0.5, 0.5];
         let skewed = [0.9, 0.1];
-        assert!(
-            (weighted_speedup(&balanced) - weighted_speedup(&skewed)).abs() < 1e-12
-        );
+        assert!((weighted_speedup(&balanced) - weighted_speedup(&skewed)).abs() < 1e-12);
         assert!(hmean(&skewed) < hmean(&balanced));
     }
 

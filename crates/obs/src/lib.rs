@@ -1,0 +1,38 @@
+//! # smt-obs — observability for the DWarn SMT simulator
+//!
+//! The paper's argument is about *where* shared resources go: issue-queue
+//! entries and physical registers clogged by threads with outstanding data
+//! cache misses. End-of-run aggregates cannot show that; this crate provides
+//! cycle-resolved visibility with zero cost when disabled:
+//!
+//! * [`Probe`] — a trait of pipeline hook points (fetch, dispatch, issue,
+//!   commit, squash, gate/ungate, L1-miss begin/end, L2-miss declare,
+//!   occupancy samples). Every method has an empty default body and the
+//!   simulator is generic over `P: Probe`, so the disabled case
+//!   ([`NullProbe`]) monomorphizes to nothing — no virtual calls, no
+//!   branches, no allocations.
+//! * [`Registry`] / [`Histogram`] — named counters and log2-bucketed
+//!   latency histograms.
+//! * [`EventRing`] — bounded ring buffer of [`TraceEvent`]s (oldest events
+//!   are dropped first, with a drop count kept).
+//! * [`RecordingProbe`] — the batteries-included [`Probe`]: per-thread
+//!   counters, miss-latency and gate-duration histograms, the event ring,
+//!   and per-thread occupancy time-series.
+//! * [`chrome`] — export captured events as Chrome trace-event JSON,
+//!   loadable in Perfetto / `chrome://tracing`.
+//! * [`json`] — a small dependency-free JSON document builder used by the
+//!   exporters and by `smt-experiments`' `--stats-json` run artifacts.
+
+pub mod chrome;
+pub mod json;
+pub mod probe;
+pub mod record;
+pub mod registry;
+pub mod ring;
+
+pub use chrome::chrome_trace;
+pub use json::Json;
+pub use probe::{GateReason, NullProbe, OccupancySample, Probe, SquashKind};
+pub use record::RecordingProbe;
+pub use registry::{Histogram, Registry};
+pub use ring::{EventKind, EventRing, TraceEvent};

@@ -1,0 +1,202 @@
+//! The [`Probe`] trait: the simulator's observability hook points.
+//!
+//! The simulator (`smt-pipeline`) is generic over `P: Probe` and calls these
+//! hooks from its fetch/dispatch/issue/commit/squash paths; the memory
+//! hierarchy (`smt-uarch`) calls them from the data-cache access path. All
+//! methods have empty default bodies, so a probe implements only what it
+//! cares about — and the no-op [`NullProbe`] compiles away entirely.
+//!
+//! Hooks additionally guarded by per-cycle bookkeeping (gate-transition
+//! tracking, occupancy-sample construction) are skipped by the simulator
+//! when [`Probe::ENABLED`] is `false`, so a default run pays nothing at all.
+
+/// Why a thread did not deliver instructions in a fetch cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateReason {
+    /// The fetch policy excluded the thread from its fetch order
+    /// (DWarn priority-group demotion, DG/PDG/STALL/FLUSH gating, ...).
+    Policy,
+    /// The thread is waiting on an instruction-cache fill.
+    IcacheMiss,
+    /// The thread's fetch queue is full (back-end pressure).
+    FetchQueueFull,
+}
+
+impl GateReason {
+    pub const ALL: [GateReason; 3] = [
+        GateReason::Policy,
+        GateReason::IcacheMiss,
+        GateReason::FetchQueueFull,
+    ];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GateReason::Policy => "policy",
+            GateReason::IcacheMiss => "icache-miss",
+            GateReason::FetchQueueFull => "fetch-queue-full",
+        }
+    }
+
+    pub fn index(self) -> usize {
+        match self {
+            GateReason::Policy => 0,
+            GateReason::IcacheMiss => 1,
+            GateReason::FetchQueueFull => 2,
+        }
+    }
+}
+
+/// Why an in-flight instruction was squashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SquashKind {
+    /// Branch-misprediction recovery.
+    Mispredict,
+    /// The FLUSH policy's response action to a declared L2 miss.
+    Flush,
+}
+
+impl SquashKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SquashKind::Mispredict => "mispredict",
+            SquashKind::Flush => "flush",
+        }
+    }
+}
+
+/// One occupancy sample of the shared back-end, taken every `sample_every`
+/// cycles by `Simulator::run_sampled`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OccupancySample {
+    pub cycle: u64,
+    /// Issue-queue occupancy [int, fp, ldst].
+    pub iq: [u32; 3],
+    /// Physical integer registers in use (beyond the architectural
+    /// reservation).
+    pub regs_int: u32,
+    /// Physical floating-point registers in use.
+    pub regs_fp: u32,
+    /// Per-thread ROB occupancy.
+    pub rob: Vec<u32>,
+    /// Per-thread issue-queue entries held (all kinds combined).
+    pub iq_per_thread: Vec<u32>,
+}
+
+/// Observability hook points. All hooks default to nothing; `cycle` is the
+/// simulator cycle the event occurred in, `seq` the global dynamic-instruction
+/// sequence number (also used as `load_id` for loads).
+pub trait Probe {
+    /// `false` only for [`NullProbe`]: lets the simulator skip bookkeeping
+    /// that exists purely to feed the probe (gate-transition tracking,
+    /// occupancy-sample construction) at compile time.
+    const ENABLED: bool = true;
+
+    /// An instruction entered the fetch queue.
+    fn on_fetch(&mut self, _cycle: u64, _thread: usize, _pc: u64, _seq: u64, _wrong_path: bool) {}
+
+    /// An instruction was renamed and dispatched into the issue queues.
+    fn on_dispatch(&mut self, _cycle: u64, _thread: usize, _seq: u64) {}
+
+    /// An instruction left an issue queue for a functional unit.
+    fn on_issue(&mut self, _cycle: u64, _thread: usize, _seq: u64) {}
+
+    /// A correct-path instruction retired from the ROB head.
+    fn on_commit(&mut self, _cycle: u64, _thread: usize, _seq: u64, _pc: u64) {}
+
+    /// An in-flight instruction was squashed.
+    fn on_squash(&mut self, _cycle: u64, _thread: usize, _seq: u64, _kind: SquashKind) {}
+
+    /// A thread transitioned from fetching to not-fetching for `reason`.
+    /// A reason *change* while gated is delivered as ungate(old), gate(new).
+    fn on_gate(&mut self, _cycle: u64, _thread: usize, _reason: GateReason) {}
+
+    /// A thread's gate (for `reason`) was lifted.
+    fn on_ungate(&mut self, _cycle: u64, _thread: usize, _reason: GateReason) {}
+
+    /// A data-cache access missed in L1: the miss lifetime begins. Emitted
+    /// by the memory hierarchy at access time. `l2_miss` tells whether the
+    /// access also missed in L2 (known at access time in this model).
+    fn on_l1_miss_begin(
+        &mut self,
+        _cycle: u64,
+        _thread: usize,
+        _load_id: u64,
+        _addr: u64,
+        _l2_miss: bool,
+    ) {
+    }
+
+    /// The missing line's fill returned: the miss lifetime ends. Not
+    /// delivered for loads squashed while their miss was outstanding.
+    fn on_l1_miss_end(&mut self, _cycle: u64, _thread: usize, _load_id: u64) {}
+
+    /// A load was *declared* a probable L2 miss (time-in-hierarchy
+    /// exceeded the declare threshold) — the STALL/FLUSH/DWarn trigger.
+    fn on_l2_declare(&mut self, _cycle: u64, _thread: usize, _load_id: u64) {}
+
+    /// A previously declared load is about to resolve (the early-resolve
+    /// advance notice).
+    fn on_l2_resolve(&mut self, _cycle: u64, _thread: usize, _load_id: u64) {}
+
+    /// An instruction-cache miss stalled a thread's fetch until `ready_at`.
+    fn on_ifetch_miss(&mut self, _cycle: u64, _thread: usize, _addr: u64, _ready_at: u64) {}
+
+    /// A shared-resource occupancy sample (from `run_sampled`).
+    fn on_sample(&mut self, _sample: &OccupancySample) {}
+}
+
+/// The disabled probe: every hook is a no-op and [`Probe::ENABLED`] is
+/// `false`, so an un-instrumented simulator monomorphizes to exactly the
+/// code it had before probes existed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {
+    const ENABLED: bool = false;
+}
+
+/// Forwarding to a `&mut P` lets call sites hand out temporary probe
+/// borrows (the memory hierarchy receives `&mut P` from the simulator).
+impl<P: Probe> Probe for &mut P {
+    const ENABLED: bool = P::ENABLED;
+
+    fn on_fetch(&mut self, cycle: u64, thread: usize, pc: u64, seq: u64, wrong_path: bool) {
+        (**self).on_fetch(cycle, thread, pc, seq, wrong_path)
+    }
+    fn on_dispatch(&mut self, cycle: u64, thread: usize, seq: u64) {
+        (**self).on_dispatch(cycle, thread, seq)
+    }
+    fn on_issue(&mut self, cycle: u64, thread: usize, seq: u64) {
+        (**self).on_issue(cycle, thread, seq)
+    }
+    fn on_commit(&mut self, cycle: u64, thread: usize, seq: u64, pc: u64) {
+        (**self).on_commit(cycle, thread, seq, pc)
+    }
+    fn on_squash(&mut self, cycle: u64, thread: usize, seq: u64, kind: SquashKind) {
+        (**self).on_squash(cycle, thread, seq, kind)
+    }
+    fn on_gate(&mut self, cycle: u64, thread: usize, reason: GateReason) {
+        (**self).on_gate(cycle, thread, reason)
+    }
+    fn on_ungate(&mut self, cycle: u64, thread: usize, reason: GateReason) {
+        (**self).on_ungate(cycle, thread, reason)
+    }
+    fn on_l1_miss_begin(&mut self, cycle: u64, thread: usize, load_id: u64, addr: u64, l2: bool) {
+        (**self).on_l1_miss_begin(cycle, thread, load_id, addr, l2)
+    }
+    fn on_l1_miss_end(&mut self, cycle: u64, thread: usize, load_id: u64) {
+        (**self).on_l1_miss_end(cycle, thread, load_id)
+    }
+    fn on_l2_declare(&mut self, cycle: u64, thread: usize, load_id: u64) {
+        (**self).on_l2_declare(cycle, thread, load_id)
+    }
+    fn on_l2_resolve(&mut self, cycle: u64, thread: usize, load_id: u64) {
+        (**self).on_l2_resolve(cycle, thread, load_id)
+    }
+    fn on_ifetch_miss(&mut self, cycle: u64, thread: usize, addr: u64, ready_at: u64) {
+        (**self).on_ifetch_miss(cycle, thread, addr, ready_at)
+    }
+    fn on_sample(&mut self, sample: &OccupancySample) {
+        (**self).on_sample(sample)
+    }
+}

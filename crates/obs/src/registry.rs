@@ -1,0 +1,278 @@
+//! Named counters and log2-bucketed histograms.
+//!
+//! A [`Registry`] is a flat, ordered map from names to values. Naming
+//! convention used by [`crate::RecordingProbe`]: `"<metric>/t<thread>"` for
+//! per-thread series (`"commit/t0"`) and a bare `"<metric>"` for machine
+//! totals. Ordering is lexicographic (BTreeMap), so exports are stable.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// A power-of-two-bucketed histogram of `u64` observations (latencies,
+/// durations). Bucket `i` holds values `v` with `v.ilog2() == i` (value 0
+/// goes to bucket 0), so the range 1 cycle .. 2^63 is covered with 64
+/// buckets at a fixed, tiny footprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            value.ilog2() as usize
+        }
+    }
+
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (exclusive power-of-two edge) of the bucket containing
+    /// the `q`-quantile observation, `q` in `[0, 1]`. Approximate by
+    /// construction: resolution is one power of two.
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return Some(1u64 << (i + 1).min(63));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Non-empty `(bucket_floor, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+            .collect()
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::U64(self.count)),
+            ("sum", Json::U64(self.sum)),
+            ("min", self.min().map_or(Json::Null, Json::U64)),
+            ("max", self.max().map_or(Json::Null, Json::U64)),
+            ("mean", Json::F64(self.mean())),
+            (
+                "p50_bound",
+                self.quantile_bound(0.5).map_or(Json::Null, Json::U64),
+            ),
+            (
+                "p99_bound",
+                self.quantile_bound(0.99).map_or(Json::Null, Json::U64),
+            ),
+            (
+                "buckets",
+                Json::Arr(
+                    self.nonzero_buckets()
+                        .into_iter()
+                        .map(|(floor, c)| {
+                            Json::obj(vec![("ge", Json::U64(floor)), ("count", Json::U64(c))])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// A flat registry of named counters and histograms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Add `delta` to counter `name` (created at zero on first touch).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Set counter `name` to an absolute value.
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record an observation into histogram `name`.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::U64(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut r = Registry::new();
+        assert_eq!(r.counter("x"), 0);
+        r.add("x", 3);
+        r.add("x", 4);
+        assert_eq!(r.counter("x"), 7);
+        r.set("x", 1);
+        assert_eq!(r.counter("x"), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 200] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 210);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(200));
+        // 0,1 → bucket 0; 2,3 → bucket 1; 4 → bucket 2; 200 → bucket 7.
+        assert_eq!(h.nonzero_buckets(), vec![(0, 2), (2, 2), (4, 1), (128, 1)]);
+    }
+
+    #[test]
+    fn quantile_bound_is_monotone() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let p50 = h.quantile_bound(0.5).unwrap();
+        let p99 = h.quantile_bound(0.99).unwrap();
+        assert!(p50 <= p99);
+        assert!((500..=1024).contains(&p50), "p50 bound {p50}");
+    }
+
+    #[test]
+    fn empty_histogram_reports_none() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile_bound(0.5), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn registry_json_shape() {
+        let mut r = Registry::new();
+        r.add("commit/t0", 5);
+        r.observe("lat", 17);
+        let s = r.to_json().render();
+        assert!(s.contains("\"commit/t0\":5"));
+        assert!(s.contains("\"histograms\""));
+    }
+}

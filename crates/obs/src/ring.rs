@@ -1,0 +1,146 @@
+//! Bounded ring-buffered event capture.
+//!
+//! Cycle-resolved events can outnumber instructions; an unbounded log would
+//! dominate simulation cost and memory. [`EventRing`] keeps the most recent
+//! `capacity` events, dropping the oldest and counting the drops, so a
+//! capture of the *end* of a window is always available at fixed cost.
+
+use std::collections::VecDeque;
+
+use crate::probe::{GateReason, SquashKind};
+
+/// What happened. Payload fields mirror the [`crate::Probe`] hook arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    Fetch { pc: u64, seq: u64, wrong_path: bool },
+    Dispatch { seq: u64 },
+    Issue { seq: u64 },
+    Commit { seq: u64, pc: u64 },
+    Squash { seq: u64, kind: SquashKind },
+    Gate { reason: GateReason },
+    Ungate { reason: GateReason },
+    L1MissBegin { load_id: u64, addr: u64, l2: bool },
+    L1MissEnd { load_id: u64 },
+    L2Declare { load_id: u64 },
+    L2Resolve { load_id: u64 },
+    IfetchMiss { addr: u64, ready_at: u64 },
+}
+
+impl EventKind {
+    /// Short category name (used by exporters and tests).
+    pub fn category(&self) -> &'static str {
+        match self {
+            EventKind::Fetch { .. } => "fetch",
+            EventKind::Dispatch { .. } => "dispatch",
+            EventKind::Issue { .. } => "issue",
+            EventKind::Commit { .. } => "commit",
+            EventKind::Squash { .. } => "squash",
+            EventKind::Gate { .. } => "gate",
+            EventKind::Ungate { .. } => "ungate",
+            EventKind::L1MissBegin { .. } => "l1-miss-begin",
+            EventKind::L1MissEnd { .. } => "l1-miss-end",
+            EventKind::L2Declare { .. } => "l2-declare",
+            EventKind::L2Resolve { .. } => "l2-resolve",
+            EventKind::IfetchMiss { .. } => "ifetch-miss",
+        }
+    }
+}
+
+/// One captured event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub cycle: u64,
+    pub thread: usize,
+    pub kind: EventKind,
+}
+
+/// A bounded FIFO of [`TraceEvent`]s. Pushing into a full ring evicts the
+/// oldest event and increments [`EventRing::dropped`].
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    pub fn new(capacity: usize) -> EventRing {
+        assert!(capacity > 0, "a zero-capacity ring records nothing");
+        EventRing {
+            buf: VecDeque::with_capacity(capacity.min(1 << 16)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted to make room (0 while the ring has never been full).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Oldest-to-newest iteration over the retained events.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            thread: 0,
+            kind: EventKind::Commit { seq: cycle, pc: 0 },
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut r = EventRing::new(3);
+        for c in 0..5 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let cycles: Vec<u64> = r.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_below_capacity_keeps_everything() {
+        let mut r = EventRing::new(10);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 0);
+        r.clear();
+        assert!(r.is_empty());
+    }
+}

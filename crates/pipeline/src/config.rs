@@ -215,7 +215,10 @@ mod tests {
     fn validation_rejects_too_many_threads() {
         let c = SimConfig::small(); // 256 regs
         assert!(c.validate(4).is_ok());
-        assert!(c.validate(8).is_err(), "8 * 32 = 256 leaves nothing to rename");
+        assert!(
+            c.validate(8).is_err(),
+            "8 * 32 = 256 leaves nothing to rename"
+        );
         assert!(c.validate(0).is_err());
     }
 

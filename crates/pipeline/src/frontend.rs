@@ -14,6 +14,10 @@ use crate::inflight::Handle;
 
 /// Where a thread's correct-path instructions come from: a live synthetic
 /// generator, or a recorded trace replayed from a `DWTR` file.
+// `Synthetic` is much larger than `Recorded`, but there is exactly one
+// `CorrectPath` per hardware context (at most 8), so boxing would buy
+// nothing and cost an indirection on the per-fetch hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum CorrectPath {
     Synthetic(ThreadTrace),

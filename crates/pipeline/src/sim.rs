@@ -15,6 +15,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use smt_obs::{GateReason, NullProbe, OccupancySample, Probe, SquashKind};
 use smt_trace::{BenchProfile, DynInst, OpClass, INST_BYTES, NUM_ARCH_REGS};
 use smt_uarch::{
     BranchUnit, FuKind, FuPools, IqKind, IssueQueues, MemHierarchy, RegPool, RobCounters,
@@ -39,7 +40,7 @@ impl ThreadSpec {
     pub fn new(profile: BenchProfile) -> ThreadSpec {
         ThreadSpec {
             profile,
-            seed: 0xDCAC4E_0001,
+            seed: 0xDC_AC4E_0001,
             skip: 0,
         }
     }
@@ -86,9 +87,18 @@ enum SquashReason {
 }
 
 /// The SMT processor simulator.
-pub struct Simulator {
+///
+/// Generic over an observability [`Probe`]; the default [`NullProbe`] has
+/// empty inlined hooks and `ENABLED = false`, so an unprobed simulator
+/// compiles to exactly the unobserved machine (the probe-only bookkeeping
+/// below is guarded by `P::ENABLED`, a compile-time constant).
+pub struct Simulator<P: Probe = NullProbe> {
     cfg: SimConfig,
     policy: Box<dyn FetchPolicy>,
+    probe: P,
+    /// Probe-only: the gate reason currently reported for each thread
+    /// (`None` = fetching normally). Maintained only when `P::ENABLED`.
+    gate_state: Vec<Option<GateReason>>,
 
     fronts: Vec<ThreadFront>,
     slab: Slab,
@@ -136,12 +146,7 @@ impl Simulator {
     /// Build a simulator for `specs` (one entry per hardware context) under
     /// `policy`. Each context gets a disjoint address-space base.
     pub fn new(cfg: SimConfig, policy: Box<dyn FetchPolicy>, specs: &[ThreadSpec]) -> Simulator {
-        let fronts: Vec<ThreadFront> = specs
-            .iter()
-            .enumerate()
-            .map(|(t, s)| ThreadFront::new(&s.profile, s.seed, Self::thread_addr_base(t), s.skip))
-            .collect();
-        Self::with_fronts(cfg, policy, fronts)
+        Simulator::with_probe(cfg, policy, specs, NullProbe)
     }
 
     /// The default per-context address base: disjoint per context, staggered
@@ -160,6 +165,35 @@ impl Simulator {
         policy: Box<dyn FetchPolicy>,
         fronts: Vec<ThreadFront>,
     ) -> Simulator {
+        Simulator::with_probe_fronts(cfg, policy, fronts, NullProbe)
+    }
+}
+
+impl<P: Probe> Simulator<P> {
+    /// As [`Simulator::new`], with an explicit observability probe.
+    pub fn with_probe(
+        cfg: SimConfig,
+        policy: Box<dyn FetchPolicy>,
+        specs: &[ThreadSpec],
+        probe: P,
+    ) -> Simulator<P> {
+        let fronts: Vec<ThreadFront> = specs
+            .iter()
+            .enumerate()
+            .map(|(t, s)| {
+                ThreadFront::new(&s.profile, s.seed, Simulator::thread_addr_base(t), s.skip)
+            })
+            .collect();
+        Self::with_probe_fronts(cfg, policy, fronts, probe)
+    }
+
+    /// As [`Simulator::with_fronts`], with an explicit observability probe.
+    pub fn with_probe_fronts(
+        cfg: SimConfig,
+        policy: Box<dyn FetchPolicy>,
+        fronts: Vec<ThreadFront>,
+        probe: P,
+    ) -> Simulator<P> {
         cfg.validate(fronts.len()).expect("invalid configuration");
         let n = fronts.len();
         let reserved = cfg.arch_regs_per_thread() * n as u32;
@@ -207,7 +241,26 @@ impl Simulator {
             total_committed: 0,
             policy,
             cfg,
+            probe,
+            gate_state: vec![None; n],
         }
+    }
+
+    /// The attached probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// The attached probe, mutably (e.g. to drain a recording between
+    /// windows).
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// Consume the simulator and return the probe (e.g. to export a
+    /// recording after the final window).
+    pub fn into_probe(self) -> P {
+        self.probe
     }
 
     pub fn num_threads(&self) -> usize {
@@ -289,9 +342,9 @@ impl Simulator {
             if c % sample_every == 0 {
                 occ.samples += 1;
                 let iq = self.iq_usage();
-                for i in 0..3 {
-                    occ.avg_iq[i] += iq[i] as f64;
-                    occ.peak_iq[i] = occ.peak_iq[i].max(iq[i]);
+                for (i, &q) in iq.iter().enumerate() {
+                    occ.avg_iq[i] += q as f64;
+                    occ.peak_iq[i] = occ.peak_iq[i].max(q);
                 }
                 let (ri, rf) = (self.regs_int.in_use(), self.regs_fp.in_use());
                 occ.avg_regs.0 += ri as f64;
@@ -302,6 +355,17 @@ impl Simulator {
                     occ.avg_rob[t] += self.robs[t].len() as f64;
                     occ.avg_iq_per_thread[t] += self.iq_held[t] as f64;
                 }
+                if P::ENABLED {
+                    let sample = OccupancySample {
+                        cycle: self.now,
+                        iq,
+                        regs_int: ri,
+                        regs_fp: rf,
+                        rob: (0..n).map(|t| self.robs[t].len() as u32).collect(),
+                        iq_per_thread: self.iq_held.clone(),
+                    };
+                    self.probe.on_sample(&sample);
+                }
             }
         }
         let samples = occ.samples.max(1) as f64;
@@ -310,7 +374,11 @@ impl Simulator {
         }
         occ.avg_regs.0 /= samples;
         occ.avg_regs.1 /= samples;
-        for v in occ.avg_rob.iter_mut().chain(occ.avg_iq_per_thread.iter_mut()) {
+        for v in occ
+            .avg_rob
+            .iter_mut()
+            .chain(occ.avg_iq_per_thread.iter_mut())
+        {
             *v /= samples;
         }
         (
@@ -333,6 +401,7 @@ impl Simulator {
             .zip(&stats_base)
             .map(|(a, b)| ThreadStats {
                 fetched: a.fetched - b.fetched,
+                wrong_path_fetched: a.wrong_path_fetched - b.wrong_path_fetched,
                 committed: a.committed - b.committed,
                 squashed_mispredict: a.squashed_mispredict - b.squashed_mispredict,
                 squashed_flush: a.squashed_flush - b.squashed_flush,
@@ -438,14 +507,8 @@ impl Simulator {
         // Branch resolution: train predictors on correct-path branches only
         // (hardware does not commit wrong-path history either).
         if d.class.is_branch() && !d.wrong_path {
-            self.branches.resolve(
-                thread,
-                d.pc,
-                d.ctrl,
-                d.taken,
-                d.next_pc,
-                mispredicted,
-            );
+            self.branches
+                .resolve(thread, d.pc, d.ctrl, d.taken, d.next_pc, mispredicted);
         }
 
         // Wake any consumers that subscribed after the wakeup broadcast
@@ -490,8 +553,12 @@ impl Simulator {
             debug_assert!(self.dmiss[thread] > 0);
             self.dmiss[thread] -= 1;
         }
-        self.policy
-            .on_event(&PolicyEvent::LoadFilled { thread, pc, load_id });
+        self.probe.on_l1_miss_end(self.now, thread, load_id);
+        self.policy.on_event(&PolicyEvent::LoadFilled {
+            thread,
+            pc,
+            load_id,
+        });
     }
 
     fn on_declare(&mut self, h: Handle) {
@@ -499,6 +566,7 @@ impl Simulator {
         let (thread, load_id, seq) = (inst.thread, inst.seq, inst.seq);
         inst.declared = true;
         self.declared[thread] += 1;
+        self.probe.on_l2_declare(self.now, thread, load_id);
         self.policy
             .on_event(&PolicyEvent::L2MissDeclared { thread, load_id });
         if self.policy.declare_action() == DeclareAction::FlushAfterLoad {
@@ -515,6 +583,7 @@ impl Simulator {
             debug_assert!(self.declared[thread] > 0);
             self.declared[thread] -= 1;
         }
+        self.probe.on_l2_resolve(self.now, thread, load_id);
         self.policy
             .on_event(&PolicyEvent::DeclaredLoadResolved { thread, load_id });
     }
@@ -529,7 +598,9 @@ impl Simulator {
         for k in 0..n {
             let t = (self.rr + k) % n;
             while budget > 0 {
-                let Some(&h) = self.robs[t].front() else { break };
+                let Some(&h) = self.robs[t].front() else {
+                    break;
+                };
                 let done = matches!(
                     self.slab.get(h).expect("ROB handles are live").stage,
                     Stage::Done
@@ -567,6 +638,7 @@ impl Simulator {
                 }
                 self.stats[t].committed += 1;
                 self.total_committed += 1;
+                self.probe.on_commit(self.now, t, inst.seq, inst.inst.pc);
                 if inst.inst.class.is_branch() {
                     self.stats[t].branches += 1;
                     if inst.mispredicted {
@@ -592,15 +664,15 @@ impl Simulator {
             let idx = iq_index(kind);
             let list = std::mem::take(&mut self.ready[idx]);
             for h in list {
-                match self.slab.get(h) {
-                    Some(inst) => match inst.stage {
+                // A squashed (no longer live) handle is silently dropped.
+                if let Some(inst) = self.slab.get(h) {
+                    match inst.stage {
                         Stage::Ready { at } if at <= self.now => {
                             cands.push((inst.seq, h, kind));
                         }
                         Stage::Ready { .. } => self.ready[idx].push(h),
                         _ => {} // issued or otherwise gone; drop
-                    },
-                    None => {} // squashed; drop
+                    }
                 }
             }
         }
@@ -623,6 +695,7 @@ impl Simulator {
                 let inst = self.slab.get(h).expect("live");
                 (inst.thread, inst.seq, inst.inst.mem_addr)
             };
+            self.probe.on_issue(self.now, thread, seq);
             // Leave the issue queue.
             self.iqs.release(kind);
             debug_assert!(self.iq_held[thread] > 0);
@@ -636,7 +709,14 @@ impl Simulator {
                     let inst = self.slab.get(h).expect("live");
                     inst.inst.wrong_path
                 };
-                let acc = self.hier.load(thread, addr, exec_start, wrong_path);
+                let acc = self.hier.load_probed(
+                    thread,
+                    addr,
+                    exec_start,
+                    wrong_path,
+                    seq,
+                    &mut self.probe,
+                );
                 let inst = self.slab.get_mut(h).expect("live");
                 inst.mem = Some(acc);
                 inst.iq = None;
@@ -648,7 +728,9 @@ impl Simulator {
                 // Declaration: the load spent longer in the hierarchy than an
                 // L2 access needs (the STALL/FLUSH detection rule).
                 let declare_at = exec_start + self.cfg.l2_declare_threshold;
-                let notice_at = acc.complete_at.saturating_sub(self.cfg.early_resolve_notice);
+                let notice_at = acc
+                    .complete_at
+                    .saturating_sub(self.cfg.early_resolve_notice);
                 if notice_at > declare_at {
                     self.schedule(declare_at, EvKind::Declare, h, seq);
                     self.schedule(notice_at, EvKind::ResolveNotice, h, seq);
@@ -696,9 +778,8 @@ impl Simulator {
             Vec::new()
         };
         let iq_total = (self.cfg.iq_int + self.cfg.iq_fp + self.cfg.iq_ldst) as f32;
-        let reg_total =
-            (self.cfg.phys_int + self.cfg.phys_fp - 2 * self.cfg.arch_regs_per_thread() * n as u32)
-                as f32;
+        let reg_total = (self.cfg.phys_int + self.cfg.phys_fp
+            - 2 * self.cfg.arch_regs_per_thread() * n as u32) as f32;
         for k in 0..n {
             let t = (self.rr + k) % n;
             while budget > 0 {
@@ -710,13 +791,21 @@ impl Simulator {
                         break;
                     }
                 }
-                let Some(&h) = self.fronts[t].queue.front() else { break };
+                let Some(&h) = self.fronts[t].queue.front() else {
+                    break;
+                };
                 let (ready_at, class, dest, srcs, seq) = {
                     let inst = self.slab.get(h).expect("queue handles are live");
                     let Stage::Frontend { ready_at } = inst.stage else {
                         unreachable!("queued instructions are in Frontend stage")
                     };
-                    (ready_at, inst.inst.class, inst.inst.dest, inst.inst.srcs, inst.seq)
+                    (
+                        ready_at,
+                        inst.inst.class,
+                        inst.inst.dest,
+                        inst.inst.srcs,
+                        inst.seq,
+                    )
                 };
                 if ready_at > self.now {
                     break;
@@ -747,6 +836,7 @@ impl Simulator {
                 }
                 self.fronts[t].queue.pop_front();
                 budget -= 1;
+                self.probe.on_dispatch(self.now, t, seq);
 
                 // Rename: wire sources to in-flight producers.
                 let src_is_fp = class == OpClass::FpAlu;
@@ -790,7 +880,6 @@ impl Simulator {
                     inst.stage = Stage::Waiting;
                 }
                 self.robs[t].push_back(h);
-                debug_assert!(seq == 0 || seq > 0); // seq retained for clarity
             }
         }
     }
@@ -823,11 +912,37 @@ impl Simulator {
         );
 
         // Gating statistics.
-        for t in 0..self.num_threads() {
+        for (t, v) in views.iter().enumerate() {
             if !order.contains(&t) {
                 self.stats[t].gated_cycles += 1;
-            } else if views[t].fetch_blocked {
+            } else if v.fetch_blocked {
                 self.stats[t].blocked_cycles += 1;
+            }
+        }
+
+        // Probe-only: report gate-state *transitions* so a recording probe
+        // sees gate episodes (begin/end) rather than per-cycle ticks. The
+        // classification mirrors the skip conditions in the loop below.
+        if P::ENABLED {
+            for t in 0..self.num_threads() {
+                let reason = if !order.contains(&t) {
+                    Some(GateReason::Policy)
+                } else if self.now < self.fronts[t].icache_ready_at {
+                    Some(GateReason::IcacheMiss)
+                } else if self.fronts[t].queue.len() as u32 >= self.cfg.fetch_queue {
+                    Some(GateReason::FetchQueueFull)
+                } else {
+                    None
+                };
+                if reason != self.gate_state[t] {
+                    if let Some(old) = self.gate_state[t] {
+                        self.probe.on_ungate(self.now, t, old);
+                    }
+                    if let Some(new) = reason {
+                        self.probe.on_gate(self.now, t, new);
+                    }
+                    self.gate_state[t] = reason;
+                }
             }
         }
 
@@ -857,6 +972,7 @@ impl Simulator {
             let acc = self.hier.ifetch(pc0, self.now);
             if acc.miss {
                 self.fronts[t].icache_ready_at = acc.complete_at;
+                self.probe.on_ifetch_miss(self.now, t, pc0, acc.complete_at);
                 continue;
             }
 
@@ -915,6 +1031,7 @@ impl Simulator {
         let fetch_next_pc = self.fronts[t].fetch_pc;
         let is_load = d.class == OpClass::Load;
         let pc = d.pc;
+        let wrong_path = d.wrong_path;
         let h = self.slab.insert(InFlight {
             thread: t,
             seq,
@@ -938,6 +1055,10 @@ impl Simulator {
         self.fronts[t].queue.push_back(h);
         self.icount[t] += 1;
         self.stats[t].fetched += 1;
+        if wrong_path {
+            self.stats[t].wrong_path_fetched += 1;
+        }
+        self.probe.on_fetch(self.now, t, pc, seq, wrong_path);
         if is_load {
             self.policy.on_event(&PolicyEvent::LoadFetched {
                 thread: t,
@@ -1028,9 +1149,8 @@ impl Simulator {
                     &mut self.rename_int[t]
                 };
                 if table[dreg as usize] == Some(h) {
-                    table[dreg as usize] = inst
-                        .prev_producer
-                        .filter(|&p| self.slab.get(p).is_some());
+                    table[dreg as usize] =
+                        inst.prev_producer.filter(|&p| self.slab.get(p).is_some());
                 }
             }
         }
@@ -1054,6 +1174,11 @@ impl Simulator {
             SquashReason::Mispredict => self.stats[t].squashed_mispredict += 1,
             SquashReason::Flush => self.stats[t].squashed_flush += 1,
         }
+        let kind = match reason {
+            SquashReason::Mispredict => SquashKind::Mispredict,
+            SquashReason::Flush => SquashKind::Flush,
+        };
+        self.probe.on_squash(self.now, t, inst.seq, kind);
         if !inst.inst.wrong_path {
             replay_rev.push(inst.inst);
         }
@@ -1111,7 +1236,10 @@ impl Simulator {
                 .iter()
                 .filter(|&&h| self.slab.get(h).unwrap().holds_reg)
                 .count() as u32;
-            assert_eq!(regs, self.regs_held[t], "per-thread reg holdings (thread {t})");
+            assert_eq!(
+                regs, self.regs_held[t],
+                "per-thread reg holdings (thread {t})"
+            );
         }
         // Issue-queue occupancy equals dispatched-but-not-issued instructions.
         let in_iq: u32 = self
@@ -1208,7 +1336,7 @@ impl Simulator {
     }
 }
 
-impl Simulator {
+impl<P: Probe> Simulator<P> {
     /// Physical registers currently held (int, fp) — diagnostics.
     pub fn regs_in_use(&self) -> (u32, u32) {
         (self.regs_int.in_use(), self.regs_fp.in_use())
@@ -1220,21 +1348,21 @@ impl Simulator {
     }
 }
 
-impl Simulator {
+impl<P: Probe> Simulator<P> {
     /// Pool-draw statistics of a thread's correct-path trace — diagnostics.
     pub fn trace_pool_draws(&self, thread: usize) -> (u64, [u64; 3]) {
         self.fronts[thread].pool_draws()
     }
 }
 
-impl Simulator {
+impl<P: Probe> Simulator<P> {
     /// Correct-path instructions emitted by a thread's trace — diagnostics.
     pub fn trace_emitted(&self, thread: usize) -> u64 {
         self.fronts[thread].emitted()
     }
 }
 
-impl Simulator {
+impl<P: Probe> Simulator<P> {
     /// Per-kind branch (predictions, mispredictions): [CondBr, Jump, Call,
     /// Return] — diagnostics.
     pub fn branch_kind_stats(&self) -> [(u64, u64); 4] {

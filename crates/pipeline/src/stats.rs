@@ -5,6 +5,9 @@
 pub struct ThreadStats {
     /// Instructions fetched (correct-path + wrong-path).
     pub fetched: u64,
+    /// The wrong-path subset of `fetched` — instructions fetched past a
+    /// mispredicted branch before recovery redirected the front-end.
+    pub wrong_path_fetched: u64,
     /// Correct-path instructions committed.
     pub committed: u64,
     /// Instructions squashed by branch-misprediction recovery.
@@ -81,6 +84,22 @@ impl SimResult {
     /// Total instructions fetched across threads.
     pub fn total_fetched(&self) -> u64 {
         self.threads.iter().map(|t| t.fetched).sum()
+    }
+
+    /// Total wrong-path instructions fetched across threads.
+    pub fn total_wrong_path_fetched(&self) -> u64 {
+        self.threads.iter().map(|t| t.wrong_path_fetched).sum()
+    }
+
+    /// Wrong-path instructions as a fraction of all fetched instructions —
+    /// the fetch bandwidth wasted on mispredicted paths.
+    pub fn wrong_path_fraction(&self) -> f64 {
+        let f = self.total_fetched();
+        if f == 0 {
+            0.0
+        } else {
+            self.total_wrong_path_fetched() as f64 / f as f64
+        }
     }
 
     /// Total instructions squashed by the FLUSH response action.

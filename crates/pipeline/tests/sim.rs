@@ -91,7 +91,10 @@ fn invariants_hold_throughout_a_mixed_run() {
 
 #[test]
 fn two_threads_share_the_machine() {
-    let mut s = sim(vec![spec(profile::gzip(), 1, 0), spec(profile::bzip2(), 2, 0)]);
+    let mut s = sim(vec![
+        spec(profile::gzip(), 1, 0),
+        spec(profile::bzip2(), 2, 0),
+    ]);
     let r = s.run(5_000, 20_000);
     // Both threads must make progress under ICOUNT.
     assert!(r.ipcs()[0] > 0.1, "thread 0 starved: {:?}", r.ipcs());
@@ -160,7 +163,9 @@ fn deep_config_runs() {
 
 #[test]
 fn eight_threads_run_without_leaks() {
-    let names = ["gzip", "twolf", "bzip2", "mcf", "vpr", "eon", "parser", "gap"];
+    let names = [
+        "gzip", "twolf", "bzip2", "mcf", "vpr", "eon", "parser", "gap",
+    ];
     let specs: Vec<ThreadSpec> = names
         .iter()
         .enumerate()
@@ -177,7 +182,10 @@ fn eight_threads_run_without_leaks() {
 
 #[test]
 fn fetch_never_exceeds_commit_plus_squash_accounting() {
-    let mut s = sim(vec![spec(profile::gzip(), 1, 0), spec(profile::mcf(), 2, 0)]);
+    let mut s = sim(vec![
+        spec(profile::gzip(), 1, 0),
+        spec(profile::mcf(), 2, 0),
+    ]);
     let r = s.run(0, 20_000);
     for t in &r.threads {
         // Everything fetched is eventually committed, squashed, or still in

@@ -251,8 +251,7 @@ impl RecordedTrace {
         let name_len = r.u8()? as usize;
         let mut name = vec![0u8; name_len];
         r.r.read_exact(&mut name)?;
-        let profile_name =
-            String::from_utf8(name).map_err(|_| bad("profile name is not UTF-8"))?;
+        let profile_name = String::from_utf8(name).map_err(|_| bad("profile name is not UTF-8"))?;
         let code_base = r.u64()?;
 
         let n_static = r.u32()? as usize;
@@ -304,8 +303,7 @@ impl RecordedTrace {
                 last_block: r.u32()?,
             });
         }
-        let program = StaticProgram::from_parts(insts, blocks, functions)
-            .map_err(|e| bad(&e))?;
+        let program = StaticProgram::from_parts(insts, blocks, functions).map_err(|e| bad(&e))?;
 
         let n_dyn = r.u64()?;
         let mut dyn_insts = Vec::with_capacity(n_dyn as usize);

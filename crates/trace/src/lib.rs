@@ -30,7 +30,9 @@ pub mod rng;
 pub mod stream;
 
 pub use file::RecordedTrace;
-pub use instr::{ArchReg, CtrlKind, DynInst, MemPool, OpClass, StaticInst, INST_BYTES, NUM_ARCH_REGS};
+pub use instr::{
+    ArchReg, CtrlKind, DynInst, MemPool, OpClass, StaticInst, INST_BYTES, NUM_ARCH_REGS,
+};
 pub use profile::{all_benchmarks, by_name, BenchProfile, ProfileBuilder, ThreadClass};
 pub use program::{Block, Function, StaticProgram};
 pub use rng::Rng;

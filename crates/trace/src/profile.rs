@@ -460,9 +460,16 @@ mod tests {
     #[test]
     fn builder_rejects_inconsistent_rates() {
         // L2 > L1 is impossible in an inclusive hierarchy.
-        assert!(ProfileBuilder::new("bad").miss_rates(0.01, 0.05).build().is_err());
+        assert!(ProfileBuilder::new("bad")
+            .miss_rates(0.01, 0.05)
+            .build()
+            .is_err());
         // Mix exceeding 1.0.
-        assert!(ProfileBuilder::new("bad2").loads(0.95).stores(0.2).build().is_err());
+        assert!(ProfileBuilder::new("bad2")
+            .loads(0.95)
+            .stores(0.2)
+            .build()
+            .is_err());
         // Chain count out of range.
         assert!(ProfileBuilder::new("bad3").chains(0).build().is_err());
     }

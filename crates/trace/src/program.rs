@@ -150,8 +150,8 @@ impl StaticProgram {
         let mut start = 0u32;
         for (fi, f) in functions.iter().enumerate() {
             for _ in f.first_block..=f.last_block {
-                let body = rng.range(profile.block_len.0 as u64, profile.block_len.1 as u64 + 1)
-                    as u32;
+                let body =
+                    rng.range(profile.block_len.0 as u64, profile.block_len.1 as u64 + 1) as u32;
                 blocks.push(Block {
                     start,
                     len: body + 1, // + terminator
@@ -173,10 +173,7 @@ impl StaticProgram {
             profile.store_frac,
             profile.intmul_frac,
             profile.fp_frac,
-            (1.0 - profile.load_frac
-                - profile.store_frac
-                - profile.intmul_frac
-                - profile.fp_frac),
+            (1.0 - profile.load_frac - profile.store_frac - profile.intmul_frac - profile.fp_frac),
         ];
 
         // Per-block class composition is *stratified* to the profile mix:
@@ -203,7 +200,7 @@ impl StaticProgram {
                 if rng.f64() < share - count as f64 {
                     count += 1;
                 }
-                classes.extend(std::iter::repeat(class).take(count));
+                classes.extend(std::iter::repeat_n(class, count));
             }
             classes.truncate(body);
             while classes.len() < body {
@@ -450,10 +447,12 @@ impl StaticProgram {
             }
         }
         for (i, inst) in insts.iter().enumerate() {
-            if inst.class.is_branch() && inst.ctrl != CtrlKind::Return {
-                if inst.ctrl != CtrlKind::None && (inst.taken_target as usize) >= blocks.len() {
-                    return Err(format!("instruction {i} targets an unknown block"));
-                }
+            if inst.class.is_branch()
+                && inst.ctrl != CtrlKind::Return
+                && inst.ctrl != CtrlKind::None
+                && (inst.taken_target as usize) >= blocks.len()
+            {
+                return Err(format!("instruction {i} targets an unknown block"));
             }
         }
         Ok(StaticProgram {
@@ -526,8 +525,7 @@ mod tests {
         let p = gzip();
         let a = StaticProgram::generate(&p, 7);
         let b = StaticProgram::generate(&p, 8);
-        let differs = a.len() != b.len()
-            || (0..a.len() as u32).any(|i| a.inst(i) != b.inst(i));
+        let differs = a.len() != b.len() || (0..a.len() as u32).any(|i| a.inst(i) != b.inst(i));
         assert!(differs);
     }
 
@@ -572,12 +570,14 @@ mod tests {
                     CtrlKind::CondBr | CtrlKind::Jump => {
                         assert!(
                             (term.taken_target as usize) < prog.blocks().len(),
-                            "{}", p.name
+                            "{}",
+                            p.name
                         );
                         let tb = term.taken_target;
                         assert!(
                             tb >= func.first_block && tb <= func.last_block,
-                            "{}: intra-function target out of function", p.name
+                            "{}: intra-function target out of function",
+                            p.name
                         );
                     }
                     CtrlKind::Call => {
@@ -585,7 +585,8 @@ mod tests {
                         let tb = term.taken_target;
                         assert!(
                             prog.functions().iter().any(|f| f.first_block == tb),
-                            "{}: call target is not a function head", p.name
+                            "{}: call target is not a function head",
+                            p.name
                         );
                     }
                     CtrlKind::Return => {}
@@ -633,10 +634,7 @@ mod tests {
                 if inst.ctrl == CtrlKind::CondBr {
                     if inst.loop_period > 0 {
                         saw_loop = true;
-                        assert!(
-                            inst.loop_period >= 2,
-                            "a loop must iterate at least once"
-                        );
+                        assert!(inst.loop_period >= 2, "a loop must iterate at least once");
                     } else {
                         assert!(inst.taken_bias > 0.0 && inst.taken_bias < 1.0);
                     }

@@ -453,10 +453,7 @@ mod tests {
         for _ in 0..20_000 {
             let d = t.next_inst();
             if let Some(pr) = prev {
-                assert_eq!(
-                    pr.next_pc, d.pc,
-                    "stream must follow its own next_pc chain"
-                );
+                assert_eq!(pr.next_pc, d.pc, "stream must follow its own next_pc chain");
             }
             if !d.is_branch() {
                 assert!(!d.taken);
@@ -528,12 +525,12 @@ mod tests {
         }
         let load_frac = loads as f64 / n as f64;
         // Body mix is load_frac of non-terminators; terminators are ~1/avg_len.
-        assert!(
-            (load_frac - 0.20).abs() < 0.06,
-            "load fraction {load_frac}"
-        );
+        assert!((load_frac - 0.20).abs() < 0.06, "load fraction {load_frac}");
         let br_frac = branches as f64 / n as f64;
-        assert!(br_frac > 0.05 && br_frac < 0.25, "branch fraction {br_frac}");
+        assert!(
+            br_frac > 0.05 && br_frac < 0.25,
+            "branch fraction {br_frac}"
+        );
     }
 
     #[test]
@@ -568,7 +565,13 @@ mod tests {
         let mut synth = t.make_synth(&p);
         let prog = t.program().clone();
         let n = prog.len() as u64;
-        for pc in [base, base + 4, base + 4 * (n - 1), base + 4 * n, base + 4 * (n + 7)] {
+        for pc in [
+            base,
+            base + 4,
+            base + 4 * (n - 1),
+            base + 4 * n,
+            base + 4 * (n + 7),
+        ] {
             let d = synth.synth_at(&prog, pc);
             assert!(d.wrong_path);
             assert!((d.static_idx as u64) < n);

@@ -1,91 +1,121 @@
 //! Property-based tests for the trace substrate: PRNG distributions, static
 //! program structure, stream consistency, and pool calibration — over
-//! arbitrary seeds and profiles.
+//! randomized seeds and profiles, driven by the crate's own deterministic
+//! [`Rng`] so every failure reproduces from the fixed master seed.
 
-use proptest::prelude::*;
 use smt_trace::{all_benchmarks, CtrlKind, OpClass, Rng, StaticProgram, ThreadTrace};
 
-fn arb_profile() -> impl Strategy<Value = smt_trace::BenchProfile> {
-    (0..12usize).prop_map(|i| all_benchmarks()[i].clone())
+const CASES: usize = 24;
+
+fn pick_profile(r: &mut Rng) -> smt_trace::BenchProfile {
+    all_benchmarks()[r.below(12) as usize].clone()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// below(b) is always < b, for arbitrary seeds and bounds.
-    #[test]
-    fn rng_below_bound(seed in any::<u64>(), bound in 1u64..u64::MAX) {
-        let mut r = Rng::new(seed);
+/// below(b) is always < b, for arbitrary seeds and bounds.
+#[test]
+fn rng_below_bound() {
+    let mut m = Rng::new(0x77ace ^ 1);
+    for _ in 0..CASES {
+        let mut r = m.fork();
+        let bound = m.range(1, u64::MAX);
         for _ in 0..64 {
-            prop_assert!(r.below(bound) < bound);
+            assert!(r.below(bound) < bound);
         }
     }
+}
 
-    /// The geometric helper respects its bounds.
-    #[test]
-    fn rng_geometric_bounds(seed in any::<u64>(), p in 0.0f64..0.99, max in 1u64..64) {
-        let mut r = Rng::new(seed);
+/// The geometric helper respects its bounds.
+#[test]
+fn rng_geometric_bounds() {
+    let mut m = Rng::new(0x77ace ^ 2);
+    for _ in 0..CASES {
+        let mut r = m.fork();
+        let p = m.f64() * 0.99;
+        let max = m.range(1, 64);
         for _ in 0..64 {
             let v = r.geometric(p, max);
-            prop_assert!((1..=max).contains(&v));
+            assert!((1..=max).contains(&v));
         }
     }
+}
 
-    /// weighted() never picks a zero-weight bucket.
-    #[test]
-    fn rng_weighted_skips_zero(seed in any::<u64>(), hole in 0usize..4) {
+/// weighted() never picks a zero-weight bucket.
+#[test]
+fn rng_weighted_skips_zero() {
+    let mut m = Rng::new(0x77ace ^ 3);
+    for _ in 0..CASES {
+        let mut r = m.fork();
+        let hole = m.below(4) as usize;
         let mut weights = [1.0f64; 4];
         weights[hole] = 0.0;
-        let mut r = Rng::new(seed);
         for _ in 0..64 {
-            prop_assert_ne!(r.weighted(&weights), hole);
+            assert_ne!(r.weighted(&weights), hole);
         }
     }
+}
 
-    /// Same seed ⇒ identical streams; different seeds ⇒ different streams
-    /// (overwhelmingly).
-    #[test]
-    fn rng_determinism(seed in any::<u64>()) {
+/// Same seed ⇒ identical streams; different seeds ⇒ different streams
+/// (overwhelmingly).
+#[test]
+fn rng_determinism() {
+    let mut m = Rng::new(0x77ace ^ 4);
+    for _ in 0..CASES {
+        let seed = m.next_u64();
         let mut a = Rng::new(seed);
         let mut b = Rng::new(seed);
         let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
         let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
-        prop_assert_eq!(va, vb);
+        assert_eq!(va, vb);
     }
+}
 
-    /// Program generation is a pure function of (profile, seed).
-    #[test]
-    fn program_generation_is_pure(p in arb_profile(), seed in any::<u64>()) {
+/// Program generation is a pure function of (profile, seed).
+#[test]
+fn program_generation_is_pure() {
+    let mut m = Rng::new(0x77ace ^ 5);
+    for _ in 0..CASES {
+        let p = pick_profile(&mut m);
+        let seed = m.next_u64();
         let a = StaticProgram::generate(&p, seed);
         let b = StaticProgram::generate(&p, seed);
-        prop_assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), b.len());
         for i in 0..a.len() as u32 {
-            prop_assert_eq!(a.inst(i), b.inst(i));
+            assert_eq!(a.inst(i), b.inst(i));
         }
     }
+}
 
-    /// Calls always target function heads; returns only terminate functions.
-    #[test]
-    fn call_return_structure(p in arb_profile(), seed in 0u64..100_000) {
+/// Calls always target function heads; returns only terminate functions.
+#[test]
+fn call_return_structure() {
+    let mut m = Rng::new(0x77ace ^ 6);
+    for _ in 0..CASES {
+        let p = pick_profile(&mut m);
+        let seed = m.below(100_000);
         let prog = StaticProgram::generate(&p, seed);
         let heads: Vec<u32> = prog.functions().iter().map(|f| f.first_block).collect();
         for blk in prog.blocks() {
             let term = prog.inst(blk.term_idx());
             match term.ctrl {
-                CtrlKind::Call => prop_assert!(heads.contains(&term.taken_target)),
+                CtrlKind::Call => assert!(heads.contains(&term.taken_target)),
                 CtrlKind::Return => {
                     let func = prog.functions()[blk.func as usize];
-                    prop_assert_eq!(prog.block_of(blk.term_idx()), func.last_block);
+                    assert_eq!(prog.block_of(blk.term_idx()), func.last_block);
                 }
                 _ => {}
             }
         }
     }
+}
 
-    /// The dynamic instruction mix stays within sane bounds of the profile
-    /// for arbitrary seeds (stratified block composition at work).
-    #[test]
-    fn dynamic_mix_is_stable(p in arb_profile(), seed in 0u64..100_000) {
+/// The dynamic instruction mix stays within sane bounds of the profile for
+/// arbitrary seeds (stratified block composition at work).
+#[test]
+fn dynamic_mix_is_stable() {
+    let mut m = Rng::new(0x77ace ^ 7);
+    for _ in 0..CASES {
+        let p = pick_profile(&mut m);
+        let seed = m.below(100_000);
         let mut t = ThreadTrace::new(&p, seed, 0, 0);
         let n = 20_000;
         let mut loads = 0usize;
@@ -96,14 +126,23 @@ proptest! {
         }
         let frac = loads as f64 / n as f64;
         // Body fraction minus terminator share, with generous slack.
-        prop_assert!(frac > p.load_frac * 0.5 && frac < p.load_frac * 1.2,
-            "load fraction {frac} vs profile {}", p.load_frac);
+        assert!(
+            frac > p.load_frac * 0.5 && frac < p.load_frac * 1.2,
+            "load fraction {frac} vs profile {} ({} seed {seed})",
+            p.load_frac,
+            p.name
+        );
     }
+}
 
-    /// Loop branches honor their deterministic periods: over a long window,
-    /// a loop branch's not-taken (exit) fraction is exactly 1/period.
-    #[test]
-    fn loop_periods_are_deterministic(p in arb_profile(), seed in 0u64..100_000) {
+/// Loop branches honor their deterministic periods: over a long window, a
+/// loop branch's not-taken (exit) fraction is exactly 1/period.
+#[test]
+fn loop_periods_are_deterministic() {
+    let mut m = Rng::new(0x77ace ^ 8);
+    for _ in 0..CASES {
+        let p = pick_profile(&mut m);
+        let seed = m.below(100_000);
         let mut t = ThreadTrace::new(&p, seed, 0, 0);
         let prog = t.program().clone();
         use std::collections::HashMap;
@@ -123,26 +162,32 @@ proptest! {
                 // within one trip of 1/period.
                 let exits = total - taken;
                 let expected = total / period;
-                prop_assert!(
+                assert!(
                     exits.abs_diff(expected) <= 2,
                     "loop {idx}: {exits} exits vs expected {expected} over {total}"
                 );
             }
         }
     }
+}
 
-    /// Wrong-path synthesis never panics for arbitrary PCs and produces
-    /// instructions marked wrong-path.
-    #[test]
-    fn synth_total_for_arbitrary_pcs(p in arb_profile(), seed in 0u64..100_000, pcs in prop::collection::vec(any::<u32>(), 1..50)) {
+/// Wrong-path synthesis never panics for arbitrary PCs and produces
+/// instructions marked wrong-path.
+#[test]
+fn synth_total_for_arbitrary_pcs() {
+    let mut m = Rng::new(0x77ace ^ 9);
+    for _ in 0..CASES {
+        let p = pick_profile(&mut m);
+        let seed = m.below(100_000);
         let base = 0x4_0000u64;
         let t = ThreadTrace::new(&p, seed, base, 0);
         let prog = t.program().clone();
         let mut synth = t.make_synth(&p);
-        for pc in pcs {
-            let d = synth.synth_at(&prog, base + (pc as u64) * 4);
-            prop_assert!(d.wrong_path);
-            prop_assert!((d.static_idx as usize) < prog.len());
+        for _ in 0..m.range(1, 50) {
+            let pc = m.below(u32::MAX as u64 + 1);
+            let d = synth.synth_at(&prog, base + pc * 4);
+            assert!(d.wrong_path);
+            assert!((d.static_idx as usize) < prog.len());
         }
     }
 }

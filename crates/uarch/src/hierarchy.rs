@@ -9,6 +9,8 @@
 
 use std::collections::HashMap;
 
+use smt_obs::{NullProbe, Probe};
+
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use crate::tlb::{Tlb, TlbConfig};
 
@@ -176,6 +178,22 @@ impl MemHierarchy {
     /// per-thread miss-rate statistics — the paper's Table 2(a) rates are
     /// measured over the architectural (trace) loads.
     pub fn load(&mut self, thread: usize, addr: u64, now: u64, wrong_path: bool) -> MemAccess {
+        self.load_probed(thread, addr, now, wrong_path, 0, &mut NullProbe)
+    }
+
+    /// As [`MemHierarchy::load`], reporting L1-miss begins to an
+    /// observability probe. `load_id` tags the miss so a recorder can pair
+    /// it with the pipeline's fill event; all three miss paths (coalesced
+    /// secondary, L2 hit, L2 miss) report.
+    pub fn load_probed<P: Probe>(
+        &mut self,
+        thread: usize,
+        addr: u64,
+        now: u64,
+        wrong_path: bool,
+        load_id: u64,
+        probe: &mut P,
+    ) -> MemAccess {
         if !wrong_path {
             self.thread_stats[thread].loads += 1;
         }
@@ -200,6 +218,7 @@ impl MemHierarchy {
                 if !wrong_path {
                     self.thread_stats[thread].l1_misses += 1;
                 }
+                probe.on_l1_miss_begin(now, thread, load_id, addr, false);
                 // Whether it was an L2 miss was accounted by the primary.
                 return MemAccess {
                     complete_at: t.max(start + self.timing.l1_latency),
@@ -235,6 +254,7 @@ impl MemHierarchy {
         };
         self.l1d.fill(addr);
         self.inflight_d.insert(line, complete_at);
+        probe.on_l1_miss_begin(now, thread, load_id, addr, !l2_hit);
         MemAccess {
             complete_at,
             l1_miss: true,

@@ -106,7 +106,7 @@ pub struct Btb {
 
 impl Btb {
     pub fn new(total_entries: usize, ways: usize) -> Btb {
-        assert!(total_entries % ways == 0);
+        assert!(total_entries.is_multiple_of(ways));
         let sets = total_entries / ways;
         assert!(sets.is_power_of_two());
         Btb {
@@ -235,7 +235,9 @@ impl BranchUnit {
         BranchUnit {
             gshare: Gshare::new(cfg.gshare_entries, num_threads),
             btb: Btb::new(cfg.btb_entries, cfg.btb_ways),
-            ras: (0..num_threads).map(|_| Ras::new(cfg.ras_entries)).collect(),
+            ras: (0..num_threads)
+                .map(|_| Ras::new(cfg.ras_entries))
+                .collect(),
             predictions: 0,
             mispredictions: 0,
             by_kind: [(0, 0); 4],
@@ -373,7 +375,7 @@ mod tests {
     #[test]
     fn btb_evicts_lru_within_a_set() {
         let mut b = Btb::new(8, 2); // 4 sets, 2 ways
-        // PCs mapping to set 0: (pc/4) % 4 == 0 → pc = 0, 16, 32.
+                                    // PCs mapping to set 0: (pc/4) % 4 == 0 → pc = 0, 16, 32.
         b.update(0, 0xA);
         b.update(16, 0xB);
         assert!(b.lookup(0).is_some()); // refresh 0

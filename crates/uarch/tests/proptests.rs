@@ -1,13 +1,17 @@
 //! Property-based tests for the microarchitectural substrate: cache
 //! residency/LRU laws, TLB behaviour, hierarchy timing monotonicity,
-//! predictor table safety, and resource-pool conservation — over arbitrary
-//! access sequences.
+//! predictor table safety, and resource-pool conservation — over randomized
+//! access sequences, driven by the workspace's deterministic PRNG
+//! ([`smt_trace::Rng`]) so every failure reproduces from the fixed master
+//! seed.
 
-use proptest::prelude::*;
+use smt_trace::Rng;
 use smt_uarch::{
     Cache, CacheConfig, FuKind, FuPools, IqKind, IssueQueues, MemHierarchy, MemTiming, RegPool,
     Tlb, TlbConfig,
 };
+
+const CASES: usize = 32;
 
 fn tiny_cache() -> Cache {
     Cache::new(CacheConfig {
@@ -30,15 +34,24 @@ fn hierarchy() -> MemHierarchy {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// An MRU line survives a single conflicting fill in a 2-way set.
-    #[test]
-    fn mru_line_survives_one_conflict(set in 0u64..16, tag_a in 0u64..64, tag_b in 0u64..64, tag_c in 0u64..64) {
-        prop_assume!(tag_a != tag_b && tag_b != tag_c && tag_a != tag_c);
+/// An MRU line survives a single conflicting fill in a 2-way set.
+#[test]
+fn mru_line_survives_one_conflict() {
+    let mut m = Rng::new(0x0A8C ^ 1);
+    let mut done = 0;
+    while done < CASES {
+        let set = m.below(16);
+        let (tag_a, tag_b, tag_c) = (m.below(64), m.below(64), m.below(64));
+        if tag_a == tag_b || tag_b == tag_c || tag_a == tag_c {
+            continue; // distinct tags required
+        }
+        done += 1;
         let mut c = Cache::new(CacheConfig {
-            size_bytes: 2048, ways: 2, line_bytes: 64, banks: 2, latency: 1,
+            size_bytes: 2048,
+            ways: 2,
+            line_bytes: 64,
+            banks: 2,
+            latency: 1,
         });
         let sets = 16u64;
         let addr = |tag: u64| (tag * sets + set) * 64;
@@ -46,73 +59,96 @@ proptest! {
         c.fill(addr(tag_b));
         let _ = c.access(addr(tag_a)); // a is MRU
         c.fill(addr(tag_c)); // must evict b
-        prop_assert!(c.probe(addr(tag_a)));
-        prop_assert!(!c.probe(addr(tag_b)));
+        assert!(c.probe(addr(tag_a)));
+        assert!(!c.probe(addr(tag_b)));
     }
+}
 
-    /// Residency never exceeds capacity and hits never lie: a probe hit
-    /// means a subsequent access hits too.
-    #[test]
-    fn cache_laws(addrs in prop::collection::vec(0u64..1u64<<16, 1..200)) {
+/// Residency never exceeds capacity and hits never lie: a probe hit means a
+/// subsequent access hits too.
+#[test]
+fn cache_laws() {
+    let mut m = Rng::new(0x0A8C ^ 2);
+    for _ in 0..CASES {
         let mut c = tiny_cache();
-        for &a in &addrs {
+        let n = m.range(1, 200);
+        for _ in 0..n {
+            let a = m.below(1 << 16);
             let probed = c.probe(a);
             let hit = c.access(a);
-            prop_assert_eq!(probed, hit, "probe and access must agree");
+            assert_eq!(probed, hit, "probe and access must agree");
             if !hit {
                 c.fill(a);
             }
-            prop_assert!(c.resident_lines() <= 32);
+            assert!(c.resident_lines() <= 32);
         }
         let s = c.stats();
-        prop_assert_eq!(s.accesses, addrs.len() as u64);
-        prop_assert!(s.misses <= s.accesses);
+        assert_eq!(s.accesses, n);
+        assert!(s.misses <= s.accesses);
     }
+}
 
-    /// TLB: LRU, capacity-bounded, and same-page accesses always hit after
-    /// the first touch when capacity is not exceeded in between.
-    #[test]
-    fn tlb_same_page_hits(pages in prop::collection::vec(0u64..8, 2..100)) {
-        let mut t = Tlb::new(TlbConfig { entries: 16, page_bytes: 4096 });
+/// TLB: LRU, capacity-bounded, and same-page accesses always hit after the
+/// first touch when capacity is not exceeded in between.
+#[test]
+fn tlb_same_page_hits() {
+    let mut m = Rng::new(0x0A8C ^ 3);
+    for _ in 0..CASES {
+        let mut t = Tlb::new(TlbConfig {
+            entries: 16,
+            page_bytes: 4096,
+        });
         let mut touched = std::collections::HashSet::new();
-        for &p in &pages {
+        for _ in 0..m.range(2, 100) {
+            let p = m.below(8);
             let hit = t.access(p * 4096 + (p % 7) * 16);
             // 8 distinct pages < 16 entries: after first touch, always hit.
-            prop_assert_eq!(hit, touched.contains(&p));
+            assert_eq!(hit, touched.contains(&p));
             touched.insert(p);
         }
     }
+}
 
-    /// Hierarchy timing is sane for arbitrary loads: completion is in the
-    /// future, an L2 miss implies an L1 miss, and latency classes order as
-    /// hit < L2 hit < memory.
-    #[test]
-    fn hierarchy_timing_monotone(addrs in prop::collection::vec(0u64..1u64<<30, 1..100), t0 in 0u64..1000) {
+/// Hierarchy timing is sane for arbitrary loads: completion is in the
+/// future, an L2 miss implies an L1 miss, and latency classes order as
+/// hit < L2 hit < memory.
+#[test]
+fn hierarchy_timing_monotone() {
+    let mut m = Rng::new(0x0A8C ^ 4);
+    for _ in 0..CASES {
         let mut h = hierarchy();
-        let mut now = t0;
-        for &a in &addrs {
+        let mut now = m.below(1000);
+        for _ in 0..m.range(1, 100) {
+            let a = m.below(1 << 30);
             let acc = h.load(0, a, now, false);
-            prop_assert!(acc.complete_at > now);
+            assert!(acc.complete_at > now);
             if acc.l2_miss {
-                prop_assert!(acc.l1_miss, "inclusive hierarchy");
+                assert!(acc.l1_miss, "inclusive hierarchy");
             }
             let latency = acc.complete_at - now;
             let floor = if acc.tlb_miss { 160 } else { 0 };
             if !acc.l1_miss {
-                prop_assert!(latency >= 1 + floor);
+                assert!(latency > floor);
             } else if !acc.l2_miss {
-                prop_assert!(latency >= 1 + floor, "coalesced misses can be short");
+                assert!(latency > floor, "coalesced misses can be short");
             } else {
-                prop_assert!(latency >= 111 + floor, "memory misses pay full latency: {latency}");
+                assert!(
+                    latency >= 111 + floor,
+                    "memory misses pay full latency: {latency}"
+                );
             }
             now += 7;
         }
     }
+}
 
-    /// The memory-bus model serializes: k simultaneous L2 misses to distinct
-    /// lines complete at least bus-occupancy apart.
-    #[test]
-    fn bus_serializes_misses(k in 2usize..8) {
+/// The memory-bus model serializes: k simultaneous L2 misses to distinct
+/// lines complete at least bus-occupancy apart.
+#[test]
+fn bus_serializes_misses() {
+    let mut m = Rng::new(0x0A8C ^ 5);
+    for _ in 0..CASES {
+        let k = m.range(2, 8) as usize;
         let mut h = hierarchy();
         // Distinct cold lines, all requested at the same cycle; pages
         // pre-touched so TLB penalties don't mask bus spacing.
@@ -127,19 +163,22 @@ proptest! {
             .collect();
         completes.sort_unstable();
         for w in completes.windows(2) {
-            prop_assert!(w[1] - w[0] >= MemTiming::paper_baseline().mem_bus_cycles);
+            assert!(w[1] - w[0] >= MemTiming::paper_baseline().mem_bus_cycles);
         }
     }
+}
 
-    /// Register pools conserve: allocations minus releases equals occupancy,
-    /// and free() + in_use() is constant.
-    #[test]
-    fn reg_pool_conservation(ops in prop::collection::vec(any::<bool>(), 1..200)) {
+/// Register pools conserve: allocations minus releases equals occupancy,
+/// and free() + in_use() is constant.
+#[test]
+fn reg_pool_conservation() {
+    let mut m = Rng::new(0x0A8C ^ 6);
+    for _ in 0..CASES {
         let mut p = RegPool::new(64, 16);
         let budget = 64 - 16;
         let mut held = 0u32;
-        for alloc in ops {
-            if alloc {
+        for _ in 0..m.range(1, 200) {
+            if m.chance(0.5) {
                 if p.alloc() {
                     held += 1;
                 }
@@ -147,21 +186,25 @@ proptest! {
                 p.release();
                 held -= 1;
             }
-            prop_assert_eq!(p.in_use(), held);
-            prop_assert_eq!(p.free() + p.in_use(), budget);
-            prop_assert!(held <= budget);
+            assert_eq!(p.in_use(), held);
+            assert_eq!(p.free() + p.in_use(), budget);
+            assert!(held <= budget);
         }
     }
+}
 
-    /// Issue queues conserve per kind.
-    #[test]
-    fn issue_queue_conservation(ops in prop::collection::vec((0usize..3, any::<bool>()), 1..200)) {
+/// Issue queues conserve per kind.
+#[test]
+fn issue_queue_conservation() {
+    let mut m = Rng::new(0x0A8C ^ 7);
+    for _ in 0..CASES {
         let mut q = IssueQueues::new(8, 4, 6);
         let kinds = [IqKind::Int, IqKind::Fp, IqKind::LdSt];
         let caps = [8u32, 4, 6];
         let mut held = [0u32; 3];
-        for (k, alloc) in ops {
-            if alloc {
+        for _ in 0..m.range(1, 200) {
+            let k = m.below(3) as usize;
+            if m.chance(0.5) {
                 if q.alloc(kinds[k]) {
                     held[k] += 1;
                 }
@@ -170,16 +213,21 @@ proptest! {
                 held[k] -= 1;
             }
             for i in 0..3 {
-                prop_assert_eq!(q.used(kinds[i]), held[i]);
-                prop_assert!(held[i] <= caps[i]);
+                assert_eq!(q.used(kinds[i]), held[i]);
+                assert!(held[i] <= caps[i]);
             }
-            prop_assert_eq!(q.total_used(), held.iter().sum::<u32>());
+            assert_eq!(q.total_used(), held.iter().sum::<u32>());
         }
     }
+}
 
-    /// FU pools never exceed per-cycle bandwidth and fully reset each cycle.
-    #[test]
-    fn fu_bandwidth_resets(cycles in 1usize..20, tries in 1u32..12) {
+/// FU pools never exceed per-cycle bandwidth and fully reset each cycle.
+#[test]
+fn fu_bandwidth_resets() {
+    let mut m = Rng::new(0x0A8C ^ 8);
+    for _ in 0..CASES {
+        let cycles = m.range(1, 20);
+        let tries = m.range(1, 12) as u32;
         let mut fu = FuPools::new(3, 2, 2);
         for _ in 0..cycles {
             fu.new_cycle();
@@ -189,7 +237,7 @@ proptest! {
                     granted += 1;
                 }
             }
-            prop_assert_eq!(granted, tries.min(3));
+            assert_eq!(granted, tries.min(3));
         }
     }
 }

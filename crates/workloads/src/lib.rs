@@ -34,7 +34,8 @@ impl WorkloadClass {
         }
     }
 
-    pub const ALL: [WorkloadClass; 3] = [WorkloadClass::Ilp, WorkloadClass::Mix, WorkloadClass::Mem];
+    pub const ALL: [WorkloadClass; 3] =
+        [WorkloadClass::Ilp, WorkloadClass::Mix, WorkloadClass::Mem];
 }
 
 /// One multiprogrammed workload.
@@ -53,7 +54,7 @@ pub const REPLICA_SHIFT: u64 = 50_000;
 
 /// Base trace seed; all workloads use the same seed per benchmark so a
 /// benchmark's static program is identical across workloads.
-pub const TRACE_SEED: u64 = 0xDCAC4E_2004;
+pub const TRACE_SEED: u64 = 0xDC_AC4E_2004;
 
 impl Workload {
     /// Thread count.
@@ -111,7 +112,10 @@ pub fn workload(threads: usize, class: WorkloadClass) -> Workload {
         (8, Mem) => vec![
             "mcf", "twolf", "vpr", "parser", "mcf", "twolf", "vpr", "parser",
         ],
-        _ => panic!("Table 2b has no {threads}-thread {} workload", class.as_str()),
+        _ => panic!(
+            "Table 2b has no {threads}-thread {} workload",
+            class.as_str()
+        ),
     };
     Workload {
         name: format!("{threads}-{}", class.as_str()),

@@ -13,11 +13,7 @@ use dwarn_smt::workloads::{workload, WorkloadClass};
 fn main() {
     // The paper's Table 2(b) 4-thread MIX workload.
     let wl = workload(4, WorkloadClass::Mix);
-    println!(
-        "workload {}: {}",
-        wl.name,
-        wl.benchmarks.join(", ")
-    );
+    println!("workload {}: {}", wl.name, wl.benchmarks.join(", "));
 
     // Table 3's baseline processor, running DWarn.
     let mut sim = Simulator::new(
@@ -29,7 +25,7 @@ fn main() {
     // 20k warm-up cycles, then measure 60k cycles.
     let result = sim.run(20_000, 60_000);
 
-    println!("\nsimulated {} cycles under {}", result.cycles, "DWARN");
+    println!("\nsimulated {} cycles under DWARN", result.cycles);
     println!("throughput (sum of IPCs): {:.2}\n", result.throughput());
     for (i, (bench, stats)) in wl.benchmarks.iter().zip(&result.threads).enumerate() {
         let mem = &result.mem[i];

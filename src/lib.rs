@@ -2,6 +2,7 @@
 pub use dwarn_core as core;
 pub use smt_experiments as experiments;
 pub use smt_metrics as metrics;
+pub use smt_obs as obs;
 pub use smt_pipeline as pipeline;
 pub use smt_trace as trace;
 pub use smt_uarch as uarch;

@@ -28,7 +28,11 @@ fn replayed_trace_matches_live_simulation() {
     // synthesis uses an independent PRNG stream in both cases, seeded
     // identically, so the whole simulation should agree cycle-for-cycle.
     let front = ThreadFront::from_recording(&rec, seed, Simulator::thread_addr_base(0));
-    let mut replay = Simulator::with_fronts(SimConfig::baseline(), PolicyKind::DWarn.build(), vec![front]);
+    let mut replay = Simulator::with_fronts(
+        SimConfig::baseline(),
+        PolicyKind::DWarn.build(),
+        vec![front],
+    );
     let rr = replay.run(5_000, 15_000);
 
     assert_eq!(rl.threads, rr.threads, "live vs replayed runs must agree");

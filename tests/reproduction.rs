@@ -148,8 +148,7 @@ fn all_policies_run_all_table_2b_workloads() {
     // makes progress.
     for wl in dwarn_smt::workloads::all_workloads() {
         for kind in PolicyKind::paper_set() {
-            let mut sim =
-                Simulator::new(SimConfig::baseline(), kind.build(), &wl.thread_specs());
+            let mut sim = Simulator::new(SimConfig::baseline(), kind.build(), &wl.thread_specs());
             let r = sim.run(2_000, 5_000);
             assert!(
                 r.throughput() > 0.1,
