@@ -2,7 +2,7 @@
 //! STALL/FLUSH L2-declare-threshold sweep, and the DWarn hybrid rule.
 
 use smt_bench::Group;
-use smt_experiments::{ablation, ExpParams};
+use smt_experiments::{ablation, Campaign, ExpParams};
 
 fn bench_params() -> ExpParams {
     ExpParams {
@@ -12,18 +12,23 @@ fn bench_params() -> ExpParams {
 }
 
 fn bench_ablations() {
-    eprintln!("\n{}", ablation::report(&ExpParams::standard()));
+    eprintln!(
+        "\n{}",
+        ablation::report(&Campaign::new(ExpParams::standard()))
+    );
 
+    // A fresh campaign per iteration so every sample simulates (the memo
+    // would otherwise reduce later samples to cache lookups).
     let mut g = Group::new("ablation_thresholds");
     g.sample_size(10);
     g.bench_function("dg_threshold_sweep", || {
-        ablation::dg_threshold_sweep(&bench_params())
+        ablation::dg_threshold_sweep(&Campaign::new(bench_params()))
     });
     g.bench_function("declare_threshold_sweep", || {
-        ablation::declare_threshold_sweep(&bench_params())
+        ablation::declare_threshold_sweep(&Campaign::new(bench_params()))
     });
     g.bench_function("dwarn_hybrid", || {
-        ablation::dwarn_hybrid_ablation(&bench_params())
+        ablation::dwarn_hybrid_ablation(&Campaign::new(bench_params()))
     });
     g.finish();
 }

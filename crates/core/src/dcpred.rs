@@ -12,8 +12,6 @@
 //! missing in L2, and hence some loads that actually fail in the cache and
 //! that are not predicted to miss can clog the shared resources".
 
-use std::collections::HashMap;
-
 use smt_pipeline::{FetchPolicy, PolicyEvent, PolicyView};
 
 use crate::predictor::MissPredictor;
@@ -37,7 +35,7 @@ pub struct DcPred {
     pub predictor: MissPredictor,
     /// Per-thread count of in-flight predicted-L2-missing loads.
     counts: Vec<u32>,
-    loads: HashMap<u64, TrackedLoad>,
+    loads: smt_uarch::FastMap<u64, TrackedLoad>,
 }
 
 impl DcPred {
@@ -52,7 +50,7 @@ impl DcPred {
             cap,
             predictor: MissPredictor::new(),
             counts: Vec::new(),
-            loads: HashMap::new(),
+            loads: smt_uarch::FastMap::default(),
         }
     }
 
@@ -89,9 +87,9 @@ impl FetchPolicy for DcPred {
 
     /// DC-PRED never gates fetch — the response action lives entirely in
     /// the resource caps — so the fetch order is plain ICOUNT.
-    fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize> {
+    fn fetch_order_into(&mut self, view: &PolicyView, out: &mut Vec<usize>) {
         self.ensure_threads(view.num_threads());
-        view.icount_order()
+        view.icount_order_into(out);
     }
 
     fn uses_resource_caps(&self) -> bool {

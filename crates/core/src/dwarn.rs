@@ -63,12 +63,11 @@ impl DWarn {
     }
 
     /// The two-group priority order: Normal (no in-flight L1-D misses)
-    /// first, Dmiss after, ICOUNT within each group.
-    fn grouped_order(view: &PolicyView) -> Vec<usize> {
-        let mut order = view.icount_order();
+    /// first, Dmiss after, ICOUNT within each group. Fills `out` in place.
+    pub(crate) fn grouped_order_into(view: &PolicyView, out: &mut Vec<usize>) {
+        view.icount_order_into(out);
         // Stable partition: Normal group keeps ICOUNT order, then Dmiss.
-        order.sort_by_key(|&t| (view.threads[t].dmiss_count > 0) as u32);
-        order
+        out.sort_by_key(|&t| (view.threads[t].dmiss_count > 0) as u32);
     }
 }
 
@@ -83,14 +82,12 @@ impl FetchPolicy for DWarn {
         "DWARN"
     }
 
-    fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize> {
-        let order = Self::grouped_order(view);
+    fn fetch_order_into(&mut self, view: &PolicyView, out: &mut Vec<usize>) {
+        Self::grouped_order_into(view, out);
         if view.num_threads() < self.hybrid_below {
             // Hybrid RA: gate threads with a declared L2 miss outstanding —
             // but, as with STALL/FLUSH, never gate the last runnable thread.
-            crate::stall_flush::ungated_keep_one(order, view)
-        } else {
-            order
+            crate::stall_flush::retain_ungated_keep_one(out, view);
         }
     }
 }

@@ -57,15 +57,13 @@ impl FetchPolicy for DWarnFlush {
         "DWARN+FLUSH"
     }
 
-    fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize> {
+    fn fetch_order_into(&mut self, view: &PolicyView, out: &mut Vec<usize>) {
         self.flushing = view.num_threads() >= self.flush_at_or_above;
+        self.inner.fetch_order_into(view, out);
         if self.flushing {
             // While flushing is active, gate declared threads (as FLUSH
             // does) on top of the DWarn grouping — keep one runnable.
-            let order = self.inner.fetch_order(view);
-            crate::stall_flush::ungated_keep_one(order, view)
-        } else {
-            self.inner.fetch_order(view)
+            crate::stall_flush::retain_ungated_keep_one(out, view);
         }
     }
 
@@ -98,10 +96,9 @@ impl FetchPolicy for DWarnThreshold {
         "DWARN-K"
     }
 
-    fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize> {
-        let mut order = view.icount_order();
-        order.sort_by_key(|&t| (view.threads[t].dmiss_count >= self.k) as u32);
-        order
+    fn fetch_order_into(&mut self, view: &PolicyView, out: &mut Vec<usize>) {
+        view.icount_order_into(out);
+        out.sort_by_key(|&t| (view.threads[t].dmiss_count >= self.k) as u32);
     }
 }
 

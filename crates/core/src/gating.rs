@@ -13,8 +13,6 @@
 //! as the paper observes — fetch-stalling on each predicted miss serializes
 //! the misses and destroys memory-level parallelism.
 
-use std::collections::HashMap;
-
 use smt_pipeline::{FetchPolicy, PolicyEvent, PolicyView};
 
 use crate::predictor::MissPredictor;
@@ -59,11 +57,9 @@ impl FetchPolicy for DataGating {
         "DG"
     }
 
-    fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize> {
-        view.icount_order()
-            .into_iter()
-            .filter(|&t| view.threads[t].dmiss_count < self.n)
-            .collect()
+    fn fetch_order_into(&mut self, view: &PolicyView, out: &mut Vec<usize>) {
+        view.icount_order_into(out);
+        out.retain(|&t| view.threads[t].dmiss_count < self.n);
     }
 }
 
@@ -85,7 +81,7 @@ pub struct PredictiveDataGating {
     /// Per-thread count of gating loads.
     counts: Vec<u32>,
     /// In-flight load state by load id.
-    loads: HashMap<u64, PdgLoad>,
+    loads: smt_uarch::FastMap<u64, PdgLoad>,
 }
 
 impl PredictiveDataGating {
@@ -99,7 +95,7 @@ impl PredictiveDataGating {
             n,
             predictor: MissPredictor::new(),
             counts: Vec::new(),
-            loads: HashMap::new(),
+            loads: smt_uarch::FastMap::default(),
         }
     }
 
@@ -134,13 +130,11 @@ impl FetchPolicy for PredictiveDataGating {
         "PDG"
     }
 
-    fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize> {
+    fn fetch_order_into(&mut self, view: &PolicyView, out: &mut Vec<usize>) {
         self.ensure_threads(view.num_threads());
+        view.icount_order_into(out);
         let counts = &self.counts;
-        view.icount_order()
-            .into_iter()
-            .filter(|&t| counts[t] < self.n)
-            .collect()
+        out.retain(|&t| counts[t] < self.n);
     }
 
     fn on_event(&mut self, ev: &PolicyEvent) {

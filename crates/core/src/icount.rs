@@ -28,8 +28,8 @@ impl FetchPolicy for Icount {
         "ICOUNT"
     }
 
-    fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize> {
-        view.icount_order()
+    fn fetch_order_into(&mut self, view: &PolicyView, out: &mut Vec<usize>) {
+        view.icount_order_into(out);
     }
 }
 

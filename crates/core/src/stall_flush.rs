@@ -13,26 +13,22 @@ use smt_pipeline::{DeclareAction, FetchPolicy, PolicyView};
 
 use crate::taxonomy::{Classification, DetectionMoment, ResponseAction};
 
-/// Drop threads with a declared long-latency load from `order`, but never
-/// gate the last runnable thread ("this mechanism always keeps one thread
-/// running"). Shared by STALL, FLUSH, DWarn's hybrid rule, and the
-/// DWarn+FLUSH extension.
-pub(crate) fn ungated_keep_one(order: Vec<usize>, view: &PolicyView) -> Vec<usize> {
-    let ungated: Vec<usize> = order
-        .iter()
-        .copied()
-        .filter(|&t| view.threads[t].declared_l2 == 0)
-        .collect();
-    if ungated.is_empty() {
-        order.into_iter().take(1).collect()
-    } else {
-        ungated
+/// Drop threads with a declared long-latency load from `order` in place,
+/// but never gate the last runnable thread ("this mechanism always keeps
+/// one thread running"). Shared by STALL, FLUSH, DWarn's hybrid rule, and
+/// the DWarn+FLUSH extension.
+pub(crate) fn retain_ungated_keep_one(order: &mut Vec<usize>, view: &PolicyView) {
+    let best = order.first().copied();
+    order.retain(|&t| view.threads[t].declared_l2 == 0);
+    if order.is_empty() {
+        order.extend(best);
     }
 }
 
 /// Shared gating logic: ICOUNT order, minus declared threads, keep-one.
-fn stall_order(view: &PolicyView) -> Vec<usize> {
-    ungated_keep_one(view.icount_order(), view)
+fn stall_order_into(view: &PolicyView, out: &mut Vec<usize>) {
+    view.icount_order_into(out);
+    retain_ungated_keep_one(out, view);
 }
 
 /// STALL: declare ⇒ fetch-gate the thread until the load resolves.
@@ -54,8 +50,8 @@ impl FetchPolicy for Stall {
         "STALL"
     }
 
-    fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize> {
-        stall_order(view)
+    fn fetch_order_into(&mut self, view: &PolicyView, out: &mut Vec<usize>) {
+        stall_order_into(view, out);
     }
 }
 
@@ -79,8 +75,8 @@ impl FetchPolicy for Flush {
         "FLUSH"
     }
 
-    fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize> {
-        stall_order(view)
+    fn fetch_order_into(&mut self, view: &PolicyView, out: &mut Vec<usize>) {
+        stall_order_into(view, out);
     }
 
     fn declare_action(&self) -> DeclareAction {

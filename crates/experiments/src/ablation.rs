@@ -10,27 +10,30 @@
 
 use dwarn_core::{DWarn, DataGating, PolicyKind};
 use smt_metrics::table::TextTable;
-use smt_pipeline::{FetchPolicy, SimConfig, Simulator};
+use smt_pipeline::{FetchPolicy, SimConfig};
 use smt_workloads::{workload, Workload, WorkloadClass};
 
-use crate::runner::ExpParams;
+use crate::runner::Campaign;
 
+/// One cached ablation run. `desc` must pin down the policy *and its
+/// parameters* (it is the policy part of the campaign cache key); the boxed
+/// policy's own `name()` is what the stats artifact records.
 fn run_policy(
-    params: &ExpParams,
+    campaign: &Campaign,
     cfg: SimConfig,
     wl: &Workload,
+    desc: &str,
     policy: Box<dyn FetchPolicy>,
     tag: &str,
 ) -> f64 {
     let name = policy.name();
-    let mut sim = Simulator::new(cfg, policy, &wl.thread_specs());
-    let result = sim.run(params.warmup, params.measure);
+    let result = campaign.run_custom(&cfg, &wl.thread_specs(), desc, move || policy);
     crate::artifacts::record_tagged(tag, "baseline", &wl.name, name, &result);
     result.throughput()
 }
 
 /// DG threshold sweep on 4-MIX and 4-MEM.
-pub fn dg_threshold_sweep(params: &ExpParams) -> String {
+pub fn dg_threshold_sweep(campaign: &Campaign) -> String {
     let mut t = TextTable::new(vec!["workload", "n=1", "n=2", "n=4", "ICOUNT"]);
     for wl in [
         workload(4, WorkloadClass::Mix),
@@ -39,18 +42,20 @@ pub fn dg_threshold_sweep(params: &ExpParams) -> String {
         let mut row = vec![wl.name.clone()];
         for n in [1u32, 2, 4] {
             let tput = run_policy(
-                params,
+                campaign,
                 SimConfig::baseline(),
                 &wl,
+                &format!("DG(n={n})"),
                 Box::new(DataGating::with_threshold(n)),
                 "ablation:dg-threshold",
             );
             row.push(format!("{tput:.2}"));
         }
         let ic = run_policy(
-            params,
+            campaign,
             SimConfig::baseline(),
             &wl,
+            "ICOUNT",
             PolicyKind::Icount.build(),
             "ablation:dg-threshold",
         );
@@ -65,7 +70,7 @@ pub fn dg_threshold_sweep(params: &ExpParams) -> String {
 }
 
 /// STALL/FLUSH declare-threshold sweep on 4-MEM.
-pub fn declare_threshold_sweep(params: &ExpParams) -> String {
+pub fn declare_threshold_sweep(campaign: &Campaign) -> String {
     let mut t = TextTable::new(vec!["policy", "thr=8", "thr=15", "thr=30", "thr=60"]);
     let wl = workload(4, WorkloadClass::Mem);
     for kind in [PolicyKind::Stall, PolicyKind::Flush] {
@@ -74,9 +79,10 @@ pub fn declare_threshold_sweep(params: &ExpParams) -> String {
             let mut cfg = SimConfig::baseline();
             cfg.l2_declare_threshold = thr;
             let tput = run_policy(
-                params,
+                campaign,
                 cfg,
                 &wl,
+                kind.name(),
                 kind.build(),
                 &format!("ablation:declare-thr{thr}"),
             );
@@ -94,7 +100,7 @@ pub fn declare_threshold_sweep(params: &ExpParams) -> String {
 /// DWarn hybrid-rule ablation: hybrid vs. priority-only on the 2-thread
 /// workloads (where the rule matters) and 4-thread workloads (where it is
 /// inactive by design).
-pub fn dwarn_hybrid_ablation(params: &ExpParams) -> String {
+pub fn dwarn_hybrid_ablation(campaign: &Campaign) -> String {
     let mut t = TextTable::new(vec![
         "workload",
         "DWarn(hybrid)",
@@ -110,23 +116,26 @@ pub fn dwarn_hybrid_ablation(params: &ExpParams) -> String {
         let wl = workload(threads, class);
         let tag = "ablation:hybrid-rule";
         let hybrid = run_policy(
-            params,
+            campaign,
             SimConfig::baseline(),
             &wl,
+            "DWARN",
             Box::new(DWarn::new()),
             tag,
         );
         let prio = run_policy(
-            params,
+            campaign,
             SimConfig::baseline(),
             &wl,
+            "DWARN(prio-only)",
             Box::new(DWarn::priority_only()),
             tag,
         );
         let ic = run_policy(
-            params,
+            campaign,
             SimConfig::baseline(),
             &wl,
+            "ICOUNT",
             PolicyKind::Icount.build(),
             tag,
         );
@@ -151,7 +160,7 @@ pub fn dwarn_hybrid_ablation(params: &ExpParams) -> String {
 /// The paper's §3 prediction: the fewer threads that can fetch per cycle,
 /// the less DWarn's priority reduction leaks — and at 1.X the Dmiss
 /// group cannot fetch at all while a Normal thread exists.
-pub fn fetch_mechanism_sweep(params: &ExpParams) -> String {
+pub fn fetch_mechanism_sweep(campaign: &Campaign) -> String {
     let mut t = TextTable::new(vec!["mechanism", "ICOUNT", "DWARN", "DWarn gain"]);
     let wl = workload(4, WorkloadClass::Mix);
     for (threads, width) in [(1u32, 4u32), (1, 8), (2, 4), (2, 8), (4, 8)] {
@@ -159,8 +168,15 @@ pub fn fetch_mechanism_sweep(params: &ExpParams) -> String {
         cfg.fetch_threads = threads;
         cfg.fetch_width = width;
         let tag = format!("ablation:fetch-{threads}.{width}");
-        let ic = run_policy(params, cfg.clone(), &wl, PolicyKind::Icount.build(), &tag);
-        let dw = run_policy(params, cfg, &wl, PolicyKind::DWarn.build(), &tag);
+        let ic = run_policy(
+            campaign,
+            cfg.clone(),
+            &wl,
+            "ICOUNT",
+            PolicyKind::Icount.build(),
+            &tag,
+        );
+        let dw = run_policy(campaign, cfg, &wl, "DWARN", PolicyKind::DWarn.build(), &tag);
         t.row(vec![
             format!("{threads}.{width}"),
             format!("{ic:.2}"),
@@ -176,40 +192,43 @@ pub fn fetch_mechanism_sweep(params: &ExpParams) -> String {
 }
 
 /// All ablations.
-pub fn report(params: &ExpParams) -> String {
+pub fn report(campaign: &Campaign) -> String {
     format!(
         "{}\n{}\n{}\n{}",
-        dg_threshold_sweep(params),
-        declare_threshold_sweep(params),
-        dwarn_hybrid_ablation(params),
-        fetch_mechanism_sweep(params)
+        dg_threshold_sweep(campaign),
+        declare_threshold_sweep(campaign),
+        dwarn_hybrid_ablation(campaign),
+        fetch_mechanism_sweep(campaign)
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::ExpParams;
 
     #[test]
     fn hybrid_equals_prio_only_at_four_threads() {
         // At 4 threads, DWarn's hybrid rule is inactive by construction,
         // so the two variants must produce *identical* runs.
-        let params = ExpParams {
+        let c = Campaign::new(ExpParams {
             warmup: 2_000,
             measure: 6_000,
-        };
+        });
         let wl = workload(4, WorkloadClass::Mix);
         let a = run_policy(
-            &params,
+            &c,
             SimConfig::baseline(),
             &wl,
+            "DWARN",
             Box::new(DWarn::new()),
             "test",
         );
         let b = run_policy(
-            &params,
+            &c,
             SimConfig::baseline(),
             &wl,
+            "DWARN(prio-only)",
             Box::new(DWarn::priority_only()),
             "test",
         );
@@ -218,13 +237,13 @@ mod tests {
 
     #[test]
     fn ablation_reports_render() {
-        let params = ExpParams {
+        let c = Campaign::new(ExpParams {
             warmup: 500,
             measure: 2_000,
-        };
-        let s = dg_threshold_sweep(&params);
+        });
+        let s = dg_threshold_sweep(&c);
         assert!(s.contains("n=1"));
-        let s = declare_threshold_sweep(&params);
+        let s = declare_threshold_sweep(&c);
         assert!(s.contains("thr=15"));
     }
 }

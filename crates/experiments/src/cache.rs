@@ -1,0 +1,412 @@
+//! Persistent, content-addressed campaign cache (`--cache-dir`).
+//!
+//! [`crate::runner::Campaign`] memoizes simulation results in memory, but
+//! that memo dies with the process — every CLI invocation re-simulates the
+//! full grid from scratch. This module extends the memo to disk: each
+//! result is stored in one file named by the FNV-1a hash of a *canonical
+//! key description* covering everything that determines the result:
+//!
+//! * the simulator code version ([`CODE_VERSION`] — bump it whenever a
+//!   change alters simulation semantics; every stored entry then misses
+//!   and is re-simulated, which is the cache's explicit invalidation story);
+//! * the full `SimConfig` (via its `Debug` rendering, so ablation sweeps
+//!   that perturb one field get distinct keys);
+//! * the workload: every thread's benchmark name, trace seed, and skip;
+//! * the fetch policy, including its parameters;
+//! * the warm-up and measurement window lengths.
+//!
+//! The file format is a checksummed, versioned text format (the workspace
+//! is dependency-free by design, so there is no serde). A reader treats
+//! *any* irregularity — bad magic, failed checksum, truncation, parse
+//! error, or a key collision — as a miss and re-simulates; a corrupt cache
+//! can cost time but never wrong results. Floats are stored as bit
+//! patterns, so a round-trip is bit-exact and digest-preserving.
+//!
+//! Writes go through a temporary file followed by an atomic rename, so a
+//! crashed or concurrent writer never leaves a half-written entry under
+//! the final name.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use smt_pipeline::{SimResult, ThreadStats};
+use smt_uarch::ThreadMemStats;
+
+/// Simulator-semantics version baked into every cache key.
+///
+/// Bump this whenever a code change alters simulation *results* (timing
+/// model, policy behaviour, trace synthesis, …). Entries written under the
+/// old version stop matching and are re-simulated; stale files are inert
+/// and can be removed with `smt-experiments cache clear`.
+pub const CODE_VERSION: u32 = 1;
+
+/// First line of every cache file.
+const MAGIC: &str = "dwarn-campaign-cache v1";
+
+/// Cache entry file extension.
+const EXT: &str = "dwc";
+
+/// FNV-1a 64-bit over a byte string (the same hand-rolled construction as
+/// `SimResult::digest`: stable across Rust releases, unlike
+/// `DefaultHasher`).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Aggregate numbers for `cache stats`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entry files present.
+    pub entries: usize,
+    /// Total bytes across entry files.
+    pub bytes: u64,
+}
+
+/// Outcome of `cache verify`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CacheVerify {
+    /// Entries that parsed and checksummed clean.
+    pub ok: usize,
+    /// Files that failed the magic/checksum/parse gauntlet.
+    pub corrupt: Vec<PathBuf>,
+}
+
+/// An on-disk store of [`SimResult`]s keyed by canonical run descriptions.
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+}
+
+impl DiskCache {
+    /// Open (creating if needed) a cache rooted at `dir`.
+    pub fn open(dir: &Path) -> std::io::Result<DiskCache> {
+        std::fs::create_dir_all(dir)?;
+        Ok(DiskCache {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The directory this cache stores entries in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key_desc: &str) -> PathBuf {
+        self.dir
+            .join(format!("{:016x}.{EXT}", fnv1a(key_desc.as_bytes())))
+    }
+
+    /// Look up a result. Any irregularity in the stored file — missing,
+    /// corrupt, truncated, or a hash collision with a different key — is a
+    /// miss.
+    pub fn load(&self, key_desc: &str) -> Option<SimResult> {
+        let text = std::fs::read_to_string(self.entry_path(key_desc)).ok()?;
+        parse_entry(&text, Some(key_desc))
+    }
+
+    /// Store a result under its key description (atomic rename).
+    pub fn store(&self, key_desc: &str, result: &SimResult) -> std::io::Result<()> {
+        let path = self.entry_path(key_desc);
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(render_entry(key_desc, result).as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)
+    }
+
+    fn entry_files(&self) -> std::io::Result<Vec<PathBuf>> {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&self.dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(EXT))
+            .collect();
+        files.sort();
+        Ok(files)
+    }
+
+    /// Entry count and total size.
+    pub fn stats(&self) -> std::io::Result<CacheStats> {
+        let mut s = CacheStats::default();
+        for p in self.entry_files()? {
+            s.entries += 1;
+            s.bytes += std::fs::metadata(&p)?.len();
+        }
+        Ok(s)
+    }
+
+    /// Remove every entry, returning how many were deleted. Only `.dwc`
+    /// files are touched; anything else in the directory is left alone.
+    pub fn clear(&self) -> std::io::Result<usize> {
+        let files = self.entry_files()?;
+        for p in &files {
+            std::fs::remove_file(p)?;
+        }
+        Ok(files.len())
+    }
+
+    /// Integrity-check every entry (magic, checksum, full parse).
+    pub fn verify(&self) -> std::io::Result<CacheVerify> {
+        let mut v = CacheVerify::default();
+        for p in self.entry_files()? {
+            let ok = std::fs::read_to_string(&p)
+                .ok()
+                .and_then(|text| parse_entry(&text, None))
+                .is_some();
+            if ok {
+                v.ok += 1;
+            } else {
+                v.corrupt.push(p);
+            }
+        }
+        Ok(v)
+    }
+}
+
+fn render_entry(key_desc: &str, r: &SimResult) -> String {
+    debug_assert!(!key_desc.contains('\n'), "key descriptions are one line");
+    let mut body = String::new();
+    body.push_str(&format!("key {key_desc}\n"));
+    body.push_str(&format!("cycles {}\n", r.cycles));
+    body.push_str(&format!(
+        "bp-rate {:016x}\n",
+        r.branch_mispredict_rate.to_bits()
+    ));
+    body.push_str(&format!("threads {}\n", r.threads.len()));
+    for t in &r.threads {
+        body.push_str(&format!(
+            "t {} {} {} {} {} {} {} {} {} {}\n",
+            t.fetched,
+            t.wrong_path_fetched,
+            t.committed,
+            t.squashed_mispredict,
+            t.squashed_flush,
+            t.gated_cycles,
+            t.blocked_cycles,
+            t.dispatch_stalls,
+            t.branches,
+            t.branch_mispredicts,
+        ));
+    }
+    body.push_str(&format!("mem {}\n", r.mem.len()));
+    for m in &r.mem {
+        body.push_str(&format!(
+            "m {} {} {} {}\n",
+            m.loads, m.l1_misses, m.l2_misses, m.tlb_misses
+        ));
+    }
+    body.push_str("end\n");
+    format!("{MAGIC}\nchecksum {:016x}\n{body}", fnv1a(body.as_bytes()))
+}
+
+/// Strict parse of one entry; `expect_key` additionally guards against a
+/// hash collision mapping a different run onto this file. `None` on any
+/// deviation from the format.
+fn parse_entry(text: &str, expect_key: Option<&str>) -> Option<SimResult> {
+    let rest = text.strip_prefix(MAGIC)?.strip_prefix('\n')?;
+    let (checksum_line, body) = rest.split_once('\n')?;
+    let stored = u64::from_str_radix(checksum_line.strip_prefix("checksum ")?, 16).ok()?;
+    if stored != fnv1a(body.as_bytes()) {
+        return None;
+    }
+
+    let mut lines = body.lines();
+    let key = lines.next()?.strip_prefix("key ")?;
+    if let Some(expect) = expect_key {
+        if key != expect {
+            return None;
+        }
+    }
+    let cycles: u64 = lines.next()?.strip_prefix("cycles ")?.parse().ok()?;
+    let bp_bits = u64::from_str_radix(lines.next()?.strip_prefix("bp-rate ")?, 16).ok()?;
+
+    let nthreads: usize = lines.next()?.strip_prefix("threads ")?.parse().ok()?;
+    let mut threads = Vec::with_capacity(nthreads);
+    for _ in 0..nthreads {
+        let f = parse_u64_fields(lines.next()?.strip_prefix("t ")?, 10)?;
+        threads.push(ThreadStats {
+            fetched: f[0],
+            wrong_path_fetched: f[1],
+            committed: f[2],
+            squashed_mispredict: f[3],
+            squashed_flush: f[4],
+            gated_cycles: f[5],
+            blocked_cycles: f[6],
+            dispatch_stalls: f[7],
+            branches: f[8],
+            branch_mispredicts: f[9],
+        });
+    }
+
+    let nmem: usize = lines.next()?.strip_prefix("mem ")?.parse().ok()?;
+    let mut mem = Vec::with_capacity(nmem);
+    for _ in 0..nmem {
+        let f = parse_u64_fields(lines.next()?.strip_prefix("m ")?, 4)?;
+        mem.push(ThreadMemStats {
+            loads: f[0],
+            l1_misses: f[1],
+            l2_misses: f[2],
+            tlb_misses: f[3],
+        });
+    }
+
+    if lines.next()? != "end" || lines.next().is_some() {
+        return None;
+    }
+    Some(SimResult {
+        cycles,
+        threads,
+        mem,
+        branch_mispredict_rate: f64::from_bits(bp_bits),
+    })
+}
+
+fn parse_u64_fields(line: &str, n: usize) -> Option<Vec<u64>> {
+    let fields: Vec<u64> = line
+        .split(' ')
+        .map(|w| w.parse().ok())
+        .collect::<Option<Vec<u64>>>()?;
+    if fields.len() == n {
+        Some(fields)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result() -> SimResult {
+        SimResult {
+            cycles: 60_000,
+            threads: vec![
+                ThreadStats {
+                    fetched: 100,
+                    wrong_path_fetched: 7,
+                    committed: 80,
+                    squashed_mispredict: 5,
+                    squashed_flush: 3,
+                    gated_cycles: 11,
+                    blocked_cycles: 13,
+                    dispatch_stalls: 17,
+                    branches: 19,
+                    branch_mispredicts: 2,
+                },
+                ThreadStats {
+                    committed: 42,
+                    ..Default::default()
+                },
+            ],
+            mem: vec![ThreadMemStats {
+                loads: 30,
+                l1_misses: 4,
+                l2_misses: 1,
+                tlb_misses: 0,
+            }],
+            branch_mispredict_rate: 0.062_5,
+        }
+    }
+
+    fn temp_cache(tag: &str) -> DiskCache {
+        let dir =
+            std::env::temp_dir().join(format!("dwarn-cache-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        DiskCache::open(&dir).unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let c = temp_cache("roundtrip");
+        let r = sample_result();
+        assert!(c.load("k1").is_none());
+        c.store("k1", &r).unwrap();
+        let back = c.load("k1").unwrap();
+        assert_eq!(back.digest(), r.digest());
+        assert_eq!(back.threads, r.threads);
+        assert_eq!(back.mem, r.mem);
+        assert_eq!(
+            back.branch_mispredict_rate.to_bits(),
+            r.branch_mispredict_rate.to_bits()
+        );
+    }
+
+    #[test]
+    fn distinct_keys_do_not_alias() {
+        let c = temp_cache("keys");
+        let mut a = sample_result();
+        c.store("key-a", &a).unwrap();
+        a.cycles += 1;
+        c.store("key-b", &a).unwrap();
+        assert_ne!(
+            c.load("key-a").unwrap().cycles,
+            c.load("key-b").unwrap().cycles
+        );
+        assert!(c.load("key-c").is_none());
+    }
+
+    #[test]
+    fn truncated_entry_is_a_miss() {
+        let c = temp_cache("trunc");
+        c.store("k", &sample_result()).unwrap();
+        let path = c.entry_path("k");
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(c.load("k").is_none(), "truncation must not be trusted");
+    }
+
+    #[test]
+    fn garbage_entry_is_a_miss() {
+        let c = temp_cache("garbage");
+        c.store("k", &sample_result()).unwrap();
+        std::fs::write(c.entry_path("k"), "not a cache entry at all\n").unwrap();
+        assert!(c.load("k").is_none());
+    }
+
+    #[test]
+    fn flipped_counter_fails_the_checksum() {
+        let c = temp_cache("bitflip");
+        c.store("k", &sample_result()).unwrap();
+        let path = c.entry_path("k");
+        let tampered = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("cycles 60000", "cycles 60001");
+        std::fs::write(&path, tampered).unwrap();
+        assert!(c.load("k").is_none(), "tampered body must fail checksum");
+    }
+
+    #[test]
+    fn wrong_key_in_file_is_a_collision_miss() {
+        let c = temp_cache("collision");
+        c.store("k", &sample_result()).unwrap();
+        // Simulate a hash collision: the file exists under k's hash but
+        // records a different key (rewrite with a fresh checksum so only
+        // the key comparison can reject it).
+        let other = render_entry("other-key", &sample_result());
+        std::fs::write(c.entry_path("k"), other).unwrap();
+        assert!(c.load("k").is_none());
+    }
+
+    #[test]
+    fn stats_clear_verify() {
+        let c = temp_cache("admin");
+        c.store("a", &sample_result()).unwrap();
+        c.store("b", &sample_result()).unwrap();
+        let s = c.stats().unwrap();
+        assert_eq!(s.entries, 2);
+        assert!(s.bytes > 0);
+
+        std::fs::write(c.entry_path("b"), "garbage").unwrap();
+        let v = c.verify().unwrap();
+        assert_eq!(v.ok, 1);
+        assert_eq!(v.corrupt.len(), 1);
+
+        assert_eq!(c.clear().unwrap(), 2);
+        assert_eq!(c.stats().unwrap().entries, 0);
+    }
+}

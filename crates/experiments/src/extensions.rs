@@ -9,21 +9,27 @@
 
 use dwarn_core::{DWarnFlush, DWarnThreshold, PolicyKind};
 use smt_metrics::table::TextTable;
-use smt_pipeline::{FetchPolicy, SimConfig, Simulator};
+use smt_pipeline::{FetchPolicy, SimConfig};
 use smt_workloads::{all_workloads, Workload};
 
-use crate::runner::ExpParams;
+use crate::runner::Campaign;
 
-fn run(params: &ExpParams, wl: &Workload, policy: Box<dyn FetchPolicy>) -> f64 {
+/// One cached extension run; `desc` pins the policy and its parameters
+/// for the campaign cache key.
+fn run(campaign: &Campaign, wl: &Workload, desc: &str, policy: Box<dyn FetchPolicy>) -> f64 {
     let name = policy.name();
-    let mut sim = Simulator::new(SimConfig::baseline(), policy, &wl.thread_specs());
-    let result = sim.run(params.warmup, params.measure);
+    let result = campaign.run_custom(
+        &SimConfig::baseline(),
+        &wl.thread_specs(),
+        desc,
+        move || policy,
+    );
     crate::artifacts::record_tagged("extensions", "baseline", &wl.name, name, &result);
     result.throughput()
 }
 
 /// Throughput of DWarn, FLUSH, and the two extensions over all workloads.
-pub fn report(params: &ExpParams) -> String {
+pub fn report(campaign: &Campaign) -> String {
     let mut t = TextTable::new(vec![
         "workload",
         "DWARN",
@@ -34,10 +40,15 @@ pub fn report(params: &ExpParams) -> String {
     let mut wins = 0usize;
     let mut rows = 0usize;
     for wl in all_workloads() {
-        let dwarn = run(params, &wl, PolicyKind::DWarn.build());
-        let flush = run(params, &wl, PolicyKind::Flush.build());
-        let combo = run(params, &wl, Box::new(DWarnFlush::new()));
-        let k2 = run(params, &wl, Box::new(DWarnThreshold::new(2)));
+        let dwarn = run(campaign, &wl, "DWARN", PolicyKind::DWarn.build());
+        let flush = run(campaign, &wl, "FLUSH", PolicyKind::Flush.build());
+        let combo = run(campaign, &wl, "DWARN+FLUSH", Box::new(DWarnFlush::new()));
+        let k2 = run(
+            campaign,
+            &wl,
+            "DWARN-K(k=2)",
+            Box::new(DWarnThreshold::new(2)),
+        );
         if combo >= dwarn.max(flush) * 0.99 {
             wins += 1;
         }
@@ -62,19 +73,20 @@ pub fn report(params: &ExpParams) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::ExpParams;
     use smt_workloads::{workload, WorkloadClass};
 
     #[test]
     fn combo_recovers_flush_advantage_on_8_mem() {
         // The whole point of the extension: on 8-MEM, DWarn+FLUSH should
         // behave like FLUSH (which beats plain DWarn there).
-        let params = ExpParams {
+        let c = Campaign::new(ExpParams {
             warmup: 8_000,
             measure: 20_000,
-        };
+        });
         let wl = workload(8, WorkloadClass::Mem);
-        let dwarn = run(&params, &wl, PolicyKind::DWarn.build());
-        let combo = run(&params, &wl, Box::new(DWarnFlush::new()));
+        let dwarn = run(&c, &wl, "DWARN", PolicyKind::DWarn.build());
+        let combo = run(&c, &wl, "DWARN+FLUSH", Box::new(DWarnFlush::new()));
         assert!(
             combo > dwarn,
             "DWarn+FLUSH {combo} should beat plain DWarn {dwarn} on 8-MEM"
@@ -84,23 +96,23 @@ mod tests {
     #[test]
     fn combo_equals_dwarn_below_six_threads() {
         // Below the activation point the two policies are the same machine.
-        let params = ExpParams {
+        let c = Campaign::new(ExpParams {
             warmup: 3_000,
             measure: 8_000,
-        };
+        });
         let wl = workload(4, WorkloadClass::Mix);
-        let dwarn = run(&params, &wl, PolicyKind::DWarn.build());
-        let combo = run(&params, &wl, Box::new(DWarnFlush::new()));
+        let dwarn = run(&c, &wl, "DWARN", PolicyKind::DWarn.build());
+        let combo = run(&c, &wl, "DWARN+FLUSH", Box::new(DWarnFlush::new()));
         assert_eq!(dwarn, combo);
     }
 
     #[test]
     fn report_renders() {
-        let params = ExpParams {
+        let c = Campaign::new(ExpParams {
             warmup: 500,
             measure: 1_500,
-        };
-        let s = report(&params);
+        });
+        let s = report(&c);
         assert!(s.contains("DWARN+FLUSH"));
         assert!(s.contains("8-MEM"));
     }

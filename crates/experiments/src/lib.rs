@@ -20,18 +20,36 @@
 //! Absolute IPCs come from a synthetic-trace substrate, so the comparison
 //! target is the paper's *shape* — who wins, by roughly what factor, where
 //! the crossovers fall — not its absolute numbers (see DESIGN.md).
+//!
+//! # Result caching
+//!
+//! Experiments share simulations through [`runner::Campaign`], an
+//! in-memory memo over the (architecture, workload, policy) grid. With
+//! `--cache-dir <dir>` (programmatically: [`Campaign::with_disk_cache`]),
+//! the memo persists across processes via [`cache::DiskCache`], a
+//! content-addressed store keyed by a canonical description of everything
+//! that determines a result — code version, full `SimConfig`, thread
+//! specs, policy (with parameters), and window lengths. A warm `all` pass
+//! serves every simulation from disk and spends its time purely on report
+//! rendering; `smt-experiments cache <stats|clear|verify>` administers a
+//! store. Entries are checksummed and never trusted when stale or corrupt
+//! — any irregularity falls back to re-simulation, so a damaged cache can
+//! cost time but never change a number.
 
 pub mod ablation;
 pub mod artifacts;
+pub mod cache;
 pub mod extensions;
 pub mod figures;
 pub mod grid;
 pub mod paper;
 pub mod runner;
+pub mod suite;
 pub mod table2a;
 pub mod table4;
 pub mod taxonomy;
 pub mod tracing;
 
+pub use cache::DiskCache;
 pub use grid::{GridData, Metric};
 pub use runner::{Arch, Campaign, ExpParams, RunKey};

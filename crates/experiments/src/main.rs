@@ -10,10 +10,10 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use smt_experiments::{ablation, artifacts, figures, table2a, table4, Campaign, ExpParams};
+use smt_experiments::{artifacts, suite, Campaign, DiskCache, ExpParams};
 
 const USAGE: &str = "\
-usage: smt-experiments [--quick] [--stats-json <dir>] <experiment>...
+usage: smt-experiments [--quick] [--stats-json <dir>] [--cache-dir <dir>] <experiment>...
 
 experiments:
   table2a    cache behaviour of isolated benchmarks (Table 2a)
@@ -31,6 +31,9 @@ experiments:
   compare <POLICY>... [@WORKLOAD] [@ARCH]
              ad-hoc comparison, e.g.:  compare DWARN FLUSH @8-MEM @deep
 
+  cache <stats|clear|verify> --cache-dir <dir>
+             inspect, empty, or integrity-check a persistent result cache
+
   trace [--policy P] [--workload W] [--arch A] [--cycles N] [--warmup N]
         [--sample-every N] [--detail] [--out DIR]
              capture one run with the recording probe and write a Chrome
@@ -39,6 +42,9 @@ experiments:
 flags:
   --quick            short simulation windows (smoke test)
   --stats-json <dir> write one structured JSON stats file per simulation run
+  --cache-dir <dir>  persist simulation results across invocations; results
+                     are re-simulated (never trusted) if an entry is stale,
+                     corrupt, or from a different code version
 ";
 
 fn compare(campaign: &Campaign, args: &[&str]) -> String {
@@ -83,20 +89,22 @@ fn compare(campaign: &Campaign, args: &[&str]) -> String {
     t
 }
 
-/// Extract `--stats-json <dir>` / `--stats-json=<dir>` from `args`.
-fn take_stats_json(args: &mut Vec<String>) -> Option<PathBuf> {
+/// Extract `--<flag> <dir>` / `--<flag>=<dir>` from `args`.
+fn take_dir_flag(args: &mut Vec<String>, flag: &str) -> Option<PathBuf> {
+    let long = format!("--{flag}");
+    let eq = format!("--{flag}=");
     let mut dir = None;
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--stats-json" {
+        if args[i] == long {
             if i + 1 >= args.len() {
-                eprintln!("--stats-json needs a directory argument\n");
+                eprintln!("--{flag} needs a directory argument\n");
                 eprint!("{USAGE}");
                 std::process::exit(2);
             }
             dir = Some(PathBuf::from(args.remove(i + 1)));
             args.remove(i);
-        } else if let Some(v) = args[i].strip_prefix("--stats-json=") {
+        } else if let Some(v) = args[i].strip_prefix(&eq) {
             dir = Some(PathBuf::from(v));
             args.remove(i);
         } else {
@@ -104,6 +112,71 @@ fn take_stats_json(args: &mut Vec<String>) -> Option<PathBuf> {
         }
     }
     dir
+}
+
+/// The `cache <stats|clear|verify>` subcommand.
+fn cache_admin(action: &str, dir: Option<&PathBuf>) -> ! {
+    let Some(dir) = dir else {
+        eprintln!("cache {action} needs --cache-dir <dir>\n");
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    let cache = match DiskCache::open(dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cache: {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    };
+    let outcome = match action {
+        "stats" => cache.stats().map(|s| {
+            println!(
+                "{} entr{} in {}, {} bytes",
+                s.entries,
+                if s.entries == 1 { "y" } else { "ies" },
+                dir.display(),
+                s.bytes
+            );
+            0
+        }),
+        "clear" => cache.clear().map(|n| {
+            println!("removed {n} entr{}", if n == 1 { "y" } else { "ies" });
+            0
+        }),
+        "verify" => cache.verify().map(|v| {
+            println!("{} ok, {} corrupt", v.ok, v.corrupt.len());
+            for p in &v.corrupt {
+                println!("corrupt: {}", p.display());
+            }
+            i32::from(!v.corrupt.is_empty())
+        }),
+        other => {
+            eprintln!("unknown cache action: {other} (stats, clear, verify)\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    match outcome {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("cache {action}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Build the campaign, attaching the persistent cache when requested.
+fn build_campaign(params: ExpParams, cache_dir: Option<&PathBuf>) -> Campaign {
+    match cache_dir {
+        Some(dir) => match Campaign::with_disk_cache(params, dir) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("--cache-dir {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        },
+        None => Campaign::new(params),
+    }
 }
 
 /// Write any collected stats artifacts; called on every exit path.
@@ -120,13 +193,23 @@ fn flush_artifacts() {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(dir) = take_stats_json(&mut args) {
+    if let Some(dir) = take_dir_flag(&mut args, "stats-json") {
         if let Err(e) = artifacts::enable(&dir) {
             eprintln!("--stats-json {}: {e}", dir.display());
             std::process::exit(1);
         }
     }
+    let cache_dir = take_dir_flag(&mut args, "cache-dir");
     let quick = args.iter().any(|a| a == "--quick");
+
+    if args.first().map(String::as_str) == Some("cache") {
+        let Some(action) = args.get(1) else {
+            eprintln!("cache needs an action (stats, clear, verify)\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        };
+        cache_admin(action, cache_dir.as_ref());
+    }
 
     if args.first().map(String::as_str) == Some("trace") {
         let rest: Vec<&str> = args[1..]
@@ -164,7 +247,7 @@ fn main() {
         } else {
             ExpParams::standard()
         };
-        let campaign = Campaign::new(params);
+        let campaign = build_campaign(params, cache_dir.as_ref());
         print!("{}", compare(&campaign, &exps[1..]));
         flush_artifacts();
         return;
@@ -193,24 +276,15 @@ fn main() {
     } else {
         ExpParams::standard()
     };
-    let campaign = Campaign::new(params);
+    let campaign = build_campaign(params, cache_dir.as_ref());
     let t0 = Instant::now();
 
     for exp in exps {
         let started = Instant::now();
-        let report = match exp {
-            "table2a" => table2a::report(&table2a::compute(&campaign)),
-            "fig1" => figures::fig1_report(&figures::baseline_grid(&campaign)),
-            "fig2" => figures::fig2_report(&figures::fig2_compute(&campaign)),
-            "fig3" => figures::fig3_report(&figures::baseline_grid(&campaign)),
-            "table4" => table4::report(&table4::compute(&campaign)),
-            "fig4" => figures::fig4_report(&figures::small_grid(&campaign)),
-            "fig5" => figures::fig5_report(&figures::deep_grid(&campaign)),
-            "ablation" => ablation::report(&params),
-            "taxonomy" => smt_experiments::taxonomy::report(&campaign),
-            "extensions" => smt_experiments::extensions::report(&params),
-            other => {
-                eprintln!("unknown experiment: {other}\n");
+        let report = match suite::lookup(exp) {
+            Some(f) => f(&campaign),
+            None => {
+                eprintln!("unknown experiment: {exp}\n");
                 eprint!("{USAGE}");
                 std::process::exit(2);
             }

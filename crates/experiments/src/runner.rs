@@ -3,14 +3,19 @@
 //! Experiments share simulation results: Figure 1(b), Figure 3, Table 4 and
 //! the Figure 2 series are all views over the same (architecture, workload,
 //! policy) grid. [`Campaign`] memoizes each simulation and runs uncached
-//! batches in parallel across OS threads.
+//! batches in parallel across OS threads. With
+//! [`Campaign::with_disk_cache`], the memo additionally persists across
+//! processes through the content-addressed store in [`crate::cache`].
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Mutex;
 
 use dwarn_core::PolicyKind;
-use smt_pipeline::{SimConfig, SimResult, Simulator, ThreadSpec};
+use smt_pipeline::{FetchPolicy, SimConfig, SimResult, Simulator, ThreadSpec};
 use smt_workloads::Workload;
+
+use crate::cache::DiskCache;
 
 /// Simulation window lengths.
 #[derive(Debug, Clone, Copy)]
@@ -117,10 +122,41 @@ fn parse_workload_name(name: &str) -> (usize, smt_workloads::WorkloadClass) {
     (threads, class)
 }
 
+/// Canonical one-line description of a simulation request: everything that
+/// determines its result, prefixed by the cache's code-version salt. This
+/// string *is* the disk-cache key (content-addressed via FNV-1a).
+fn describe_run(
+    cfg: &SimConfig,
+    specs: &[ThreadSpec],
+    policy_desc: &str,
+    params: ExpParams,
+) -> String {
+    let mut s = format!(
+        "v{} warmup={} measure={} policy={} cfg={:?} threads=",
+        crate::cache::CODE_VERSION,
+        params.warmup,
+        params.measure,
+        policy_desc,
+        cfg,
+    );
+    for spec in specs {
+        s.push_str(&format!(
+            "{}:{}:{}|",
+            spec.profile.name, spec.seed, spec.skip
+        ));
+    }
+    s
+}
+
 /// Memoizing, parallel simulation campaign.
 pub struct Campaign {
     pub params: ExpParams,
     cache: Mutex<HashMap<RunKey, SimResult>>,
+    /// Memo for custom runs (ablation sweeps with perturbed configs or
+    /// parameterized policies), keyed by canonical run description.
+    custom: Mutex<HashMap<String, SimResult>>,
+    /// Cross-process persistent store, when `--cache-dir` is active.
+    disk: Option<DiskCache>,
     /// Maximum worker threads for batch runs.
     parallelism: usize,
 }
@@ -133,16 +169,83 @@ impl Campaign {
         Campaign {
             params,
             cache: Mutex::new(HashMap::new()),
+            custom: Mutex::new(HashMap::new()),
+            disk: None,
             parallelism,
         }
     }
 
-    fn simulate(params: ExpParams, key: &RunKey) -> SimResult {
+    /// A campaign whose memo persists under `dir` across processes.
+    pub fn with_disk_cache(params: ExpParams, dir: &Path) -> std::io::Result<Campaign> {
+        let mut c = Campaign::new(params);
+        c.disk = Some(DiskCache::open(dir)?);
+        Ok(c)
+    }
+
+    /// The persistent store, if one is attached.
+    pub fn disk(&self) -> Option<&DiskCache> {
+        self.disk.as_ref()
+    }
+
+    /// Run `key`, consulting and feeding the disk cache when attached.
+    /// Every result entering the process (fresh or loaded) is recorded as
+    /// a stats artifact exactly once.
+    fn run_or_load(params: ExpParams, disk: Option<&DiskCache>, key: &RunKey) -> SimResult {
         let specs = specs_for(key);
+        let desc = describe_run(&key.arch.config(), &specs, key.policy.name(), params);
+        if let Some(d) = disk {
+            if let Some(result) = d.load(&desc) {
+                crate::artifacts::record(key, &result);
+                return result;
+            }
+        }
         let mut sim = Simulator::new(key.arch.config(), key.policy.build(), &specs);
         let result = sim.run(params.warmup, params.measure);
         crate::artifacts::record(key, &result);
+        if let Some(d) = disk {
+            if let Err(e) = d.store(&desc, &result) {
+                eprintln!("cache: failed to store {desc:?}: {e}");
+            }
+        }
         result
+    }
+
+    /// Run an ad-hoc (config, workload, policy) combination through both
+    /// cache layers. `policy_desc` must uniquely identify the policy
+    /// *including its parameters* (e.g. `"DG(n=2)"`, not `"DG"`): it is
+    /// part of the cache key, and two different policies sharing a
+    /// description would alias. The policy itself is built lazily, only on
+    /// a full miss.
+    pub fn run_custom(
+        &self,
+        cfg: &SimConfig,
+        specs: &[ThreadSpec],
+        policy_desc: &str,
+        build: impl FnOnce() -> Box<dyn FetchPolicy>,
+    ) -> SimResult {
+        let desc = describe_run(cfg, specs, policy_desc, self.params);
+        if let Some(r) = self.custom.lock().unwrap().get(&desc) {
+            return r.clone();
+        }
+        let result = match self.disk.as_ref().and_then(|d| d.load(&desc)) {
+            Some(r) => r,
+            None => {
+                let mut sim = Simulator::new(cfg.clone(), build(), specs);
+                let r = sim.run(self.params.warmup, self.params.measure);
+                if let Some(d) = &self.disk {
+                    if let Err(e) = d.store(&desc, &r) {
+                        eprintln!("cache: failed to store {desc:?}: {e}");
+                    }
+                }
+                r
+            }
+        };
+        self.custom
+            .lock()
+            .unwrap()
+            .entry(desc)
+            .or_insert(result)
+            .clone()
     }
 
     /// Ensure all `keys` are cached, running missing ones in parallel.
@@ -159,6 +262,7 @@ impl Campaign {
             return;
         }
         let params = self.params;
+        let disk = self.disk.as_ref();
         let next = std::sync::atomic::AtomicUsize::new(0);
         let workers = self.parallelism.min(missing.len());
         std::thread::scope(|s| {
@@ -174,7 +278,7 @@ impl Campaign {
                                 break;
                             }
                             let key = missing[i].clone();
-                            let result = Self::simulate(params, &key);
+                            let result = Self::run_or_load(params, disk, &key);
                             out.push((key, result));
                         }
                         out
@@ -195,20 +299,31 @@ impl Campaign {
         if let Some(r) = self.cache.lock().unwrap().get(key) {
             return r.clone();
         }
-        let r = Self::simulate(self.params, key);
-        self.cache.lock().unwrap().insert(key.clone(), r.clone());
-        r
+        self.result_owned(key.clone())
+    }
+
+    /// [`Campaign::result`] for callers that already own the key, sparing
+    /// the clone on the miss path. The memo is re-checked and filled
+    /// through the entry API under a single lock acquisition; if another
+    /// thread raced us to the same key, its (identical — simulation is
+    /// deterministic) result wins and ours is dropped.
+    pub fn result_owned(&self, key: RunKey) -> SimResult {
+        if let Some(r) = self.cache.lock().unwrap().get(&key) {
+            return r.clone();
+        }
+        let r = Self::run_or_load(self.params, self.disk.as_ref(), &key);
+        self.cache.lock().unwrap().entry(key).or_insert(r).clone()
     }
 
     /// Result for a (workload, policy) pair on an architecture.
     pub fn workload_result(&self, arch: Arch, wl: &Workload, policy: PolicyKind) -> SimResult {
-        self.result(&RunKey::workload(arch, wl, policy))
+        self.result_owned(RunKey::workload(arch, wl, policy))
     }
 
     /// Single-threaded IPC of a benchmark under ICOUNT (the relative-IPC
     /// denominator).
     pub fn solo_ipc(&self, arch: Arch, bench: &str) -> f64 {
-        self.result(&RunKey::solo(arch, bench)).ipcs()[0]
+        self.result_owned(RunKey::solo(arch, bench)).ipcs()[0]
     }
 
     /// Per-thread relative IPCs for a (workload, policy) run.

@@ -1,0 +1,180 @@
+//! Golden-digest determinism suite.
+//!
+//! The hot-loop optimizations in `smt-pipeline` and the persistent campaign
+//! cache both promise *bit-identical* results: re-running a (workload,
+//! policy) pair, or serving it from disk, must reproduce every counter
+//! exactly. `SimResult::digest()` condenses a run to one order- and
+//! content-exact value, so every promise here is one `assert_eq!`.
+
+use std::path::PathBuf;
+
+use dwarn_core::PolicyKind;
+use smt_experiments::{Arch, Campaign, ExpParams, RunKey};
+use smt_workloads::{workload, WorkloadClass};
+
+fn quick() -> ExpParams {
+    ExpParams {
+        warmup: 1_000,
+        measure: 3_000,
+    }
+}
+
+/// A fresh, empty temp directory for one test's cache.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dwarn-determinism-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small cross-section of the grid: each thread-count regime and
+/// workload class, against the policies whose interplay the paper is about.
+fn grid() -> Vec<RunKey> {
+    let mut keys = Vec::new();
+    for (threads, class) in [
+        (2, WorkloadClass::Ilp),
+        (4, WorkloadClass::Mix),
+        (8, WorkloadClass::Mem),
+    ] {
+        let wl = workload(threads, class);
+        for policy in [PolicyKind::Icount, PolicyKind::Flush, PolicyKind::DWarn] {
+            keys.push(RunKey::workload(Arch::Baseline, &wl, policy));
+        }
+    }
+    keys.push(RunKey::solo(Arch::Baseline, "mcf"));
+    keys
+}
+
+#[test]
+fn independent_campaigns_agree_digest_for_digest() {
+    // Each pair simulated twice, in fresh campaigns: every counter of
+    // every run must come out bit-identical.
+    let a = Campaign::new(quick());
+    let b = Campaign::new(quick());
+    for key in grid() {
+        let da = a.result(&key).digest();
+        let db = b.result(&key).digest();
+        assert_eq!(da, db, "nondeterministic result for {key:?}");
+    }
+}
+
+#[test]
+fn prefetch_and_on_demand_agree() {
+    // The parallel batch path and the on-demand path must be the same
+    // simulation.
+    let keys = grid();
+    let batch = Campaign::new(quick());
+    batch.prefetch(&keys);
+    let serial = Campaign::new(quick());
+    for key in &keys {
+        assert_eq!(batch.result(key).digest(), serial.result(key).digest());
+    }
+}
+
+#[test]
+fn disk_cache_round_trip_is_bit_identical() {
+    let dir = temp_dir("roundtrip");
+    let keys = grid();
+
+    // Cold process: simulate and persist.
+    let cold = Campaign::with_disk_cache(quick(), &dir).unwrap();
+    let fresh: Vec<u64> = keys.iter().map(|k| cold.result(k).digest()).collect();
+
+    // Warm process: every result must load back digest-exact.
+    let warm = Campaign::with_disk_cache(quick(), &dir).unwrap();
+    for (key, &expect) in keys.iter().zip(&fresh) {
+        assert_eq!(
+            warm.result(key).digest(),
+            expect,
+            "cache round-trip altered {key:?}"
+        );
+    }
+    let stats = warm.disk().unwrap().stats().unwrap();
+    assert_eq!(stats.entries, keys.len());
+    assert_eq!(warm.disk().unwrap().verify().unwrap().corrupt.len(), 0);
+}
+
+#[test]
+fn custom_runs_round_trip_through_the_cache() {
+    let dir = temp_dir("custom");
+    let wl = workload(4, WorkloadClass::Mem);
+    let cfg = smt_pipeline::SimConfig::baseline();
+
+    let cold = Campaign::with_disk_cache(quick(), &dir).unwrap();
+    let a = cold.run_custom(&cfg, &wl.thread_specs(), "DG(n=2)", || {
+        Box::new(dwarn_core::DataGating::with_threshold(2))
+    });
+
+    let warm = Campaign::with_disk_cache(quick(), &dir).unwrap();
+    // The policy closure must not even be needed on a warm hit; a panic
+    // here would mean the cache missed.
+    let b = warm.run_custom(&cfg, &wl.thread_specs(), "DG(n=2)", || {
+        panic!("warm hit must not rebuild the policy")
+    });
+    assert_eq!(a.digest(), b.digest());
+}
+
+#[test]
+fn corrupt_cache_entries_are_resimulated_not_trusted() {
+    let dir = temp_dir("corrupt");
+    let keys = grid();
+
+    let cold = Campaign::with_disk_cache(quick(), &dir).unwrap();
+    let fresh: Vec<u64> = keys.iter().map(|k| cold.result(k).digest()).collect();
+
+    // Vandalize every stored entry: truncate half of them, fill the rest
+    // with garbage.
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    assert_eq!(entries.len(), keys.len());
+    for (i, path) in entries.iter().enumerate() {
+        if i % 2 == 0 {
+            let text = std::fs::read_to_string(path).unwrap();
+            std::fs::write(path, &text[..text.len() / 3]).unwrap();
+        } else {
+            std::fs::write(path, "{\"not\": \"a cache entry\"}\n").unwrap();
+        }
+    }
+    let verify = cold.disk().unwrap().verify().unwrap();
+    assert_eq!(verify.ok, 0, "vandalism must be detectable");
+    assert_eq!(verify.corrupt.len(), keys.len());
+
+    // A new campaign over the vandalized cache must fall back to
+    // simulation everywhere and still produce identical results.
+    let warm = Campaign::with_disk_cache(quick(), &dir).unwrap();
+    for (key, &expect) in keys.iter().zip(&fresh) {
+        assert_eq!(
+            warm.result(key).digest(),
+            expect,
+            "corrupt entry changed the result for {key:?}"
+        );
+    }
+    // The fallback runs also repaired the cache in passing.
+    assert_eq!(warm.disk().unwrap().verify().unwrap().ok, keys.len());
+}
+
+#[test]
+fn quick_and_standard_params_do_not_alias_in_the_cache() {
+    let dir = temp_dir("params");
+    let wl = workload(2, WorkloadClass::Mix);
+    let key = RunKey::workload(Arch::Baseline, &wl, PolicyKind::Icount);
+
+    let a = Campaign::with_disk_cache(quick(), &dir).unwrap();
+    let ra = a.result(&key);
+    let longer = Campaign::with_disk_cache(
+        ExpParams {
+            warmup: 1_000,
+            measure: 6_000,
+        },
+        &dir,
+    )
+    .unwrap();
+    let rb = longer.result(&key);
+    assert_ne!(
+        ra.cycles, rb.cycles,
+        "different windows must not share a cache entry"
+    );
+    assert_eq!(a.disk().unwrap().stats().unwrap().entries, 2);
+}

@@ -7,8 +7,8 @@ impl FetchPolicy for P {
     fn name(&self) -> &'static str {
         "T"
     }
-    fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize> {
-        view.icount_order()
+    fn fetch_order_into(&mut self, view: &PolicyView, out: &mut Vec<usize>) {
+        view.icount_order_into(out);
     }
 }
 

@@ -12,8 +12,25 @@
 //! The fetch-policy *interface* ([`policy::FetchPolicy`]) lives here, next
 //! to its call site in the fetch stage; the policy *implementations* — the
 //! paper's contribution — live in the `dwarn-core` crate.
+//!
+//! # Performance
+//!
+//! The cycle loop is allocation-free in steady state. All per-cycle
+//! working sets — due-event lists, issue candidates, per-thread policy
+//! views, the fetch order, and instruction waiter lists — live in scratch
+//! buffers owned by [`sim::Simulator`] and are reused across cycles;
+//! future events sit in a calendar-queue event wheel (per-cycle ring
+//! buckets with a heap spill-over for far-out events) instead of a global
+//! binary heap. Policies fill the caller's order buffer through
+//! [`policy::FetchPolicy::fetch_order_into`]; the allocating
+//! [`policy::FetchPolicy::fetch_order`] remains as a convenience wrapper.
+//! The full design, with measured numbers, is in the repository's
+//! `DESIGN.md` ("Performance model"). All of it is behaviour-preserving
+//! and pinned by the golden-digest determinism suite: results are
+//! bit-identical to the straightforward implementation, cycle for cycle.
 
 pub mod config;
+mod events;
 pub mod frontend;
 pub mod inflight;
 pub mod policy;

@@ -41,9 +41,18 @@ impl PolicyView<'_> {
 
     /// Thread indices sorted by ascending ICOUNT (the ICOUNT fetch order).
     pub fn icount_order(&self) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..self.threads.len()).collect();
-        order.sort_by_key(|&t| (self.threads[t].icount, t));
+        let mut order = Vec::new();
+        self.icount_order_into(&mut order);
         order
+    }
+
+    /// As [`PolicyView::icount_order`], filling `out` in place (cleared
+    /// first) so the per-cycle fetch path reuses one buffer instead of
+    /// allocating.
+    pub fn icount_order_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(0..self.threads.len());
+        out.sort_by_key(|&t| (self.threads[t].icount, t));
     }
 }
 
@@ -105,10 +114,23 @@ pub trait FetchPolicy {
     /// Short name as used in the paper's figures (e.g. "DWARN").
     fn name(&self) -> &'static str;
 
-    /// Threads allowed to fetch this cycle, highest priority first.
-    /// Threads not listed are gated. The fetch engine additionally skips
-    /// threads that cannot fetch (I-cache miss pending, full fetch queue).
-    fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize>;
+    /// Threads allowed to fetch this cycle, highest priority first, written
+    /// into `out` (cleared first). Threads not listed are gated. The fetch
+    /// engine additionally skips threads that cannot fetch (I-cache miss
+    /// pending, full fetch queue).
+    ///
+    /// This is the method the simulator calls every cycle; `out` is a
+    /// buffer owned by the simulator and reused across cycles, so a policy
+    /// that fills it in place keeps the fetch stage allocation-free.
+    fn fetch_order_into(&mut self, view: &PolicyView, out: &mut Vec<usize>);
+
+    /// Allocating convenience wrapper around
+    /// [`FetchPolicy::fetch_order_into`] (tests, diagnostics).
+    fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.fetch_order_into(view, &mut out);
+        out
+    }
 
     /// Observe a load-lifecycle event.
     fn on_event(&mut self, _ev: &PolicyEvent) {}
@@ -146,8 +168,8 @@ mod tests {
         fn name(&self) -> &'static str {
             "DUMMY"
         }
-        fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize> {
-            view.icount_order()
+        fn fetch_order_into(&mut self, view: &PolicyView, out: &mut Vec<usize>) {
+            view.icount_order_into(out);
         }
     }
 

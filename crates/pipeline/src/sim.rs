@@ -12,8 +12,7 @@
 //! after a misprediction — the same structure as the paper's SMTSIM-derived
 //! simulator.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use smt_obs::{GateReason, NullProbe, OccupancySample, Probe, SquashKind};
 use smt_trace::{BenchProfile, DynInst, OpClass, INST_BYTES, NUM_ARCH_REGS};
@@ -22,10 +21,20 @@ use smt_uarch::{
 };
 
 use crate::config::SimConfig;
+use crate::events::{Ev, EvKind, EventWheel};
 use crate::frontend::ThreadFront;
 use crate::inflight::{Handle, InFlight, Slab, Stage};
 use crate::policy::{DeclareAction, FetchPolicy, PolicyEvent, PolicyView, ThreadView};
 use crate::stats::{SimResult, ThreadStats};
+
+/// Event-wheel horizon in cycles (power of two). Covers the longest common
+/// scheduling distance — a TLB-missing memory access plus bank-queue slack —
+/// so spill-over to the heap is rare even on the deep configuration.
+const EVENT_HORIZON: usize = 1024;
+
+/// Upper bound on pooled waiter vectors; enough for every in-flight
+/// instruction of the largest configuration to hold one.
+const WAITER_POOL_CAP: usize = 4096;
 
 /// One hardware context's program: which benchmark to run, with which trace
 /// seed and stream shift.
@@ -43,39 +52,6 @@ impl ThreadSpec {
             seed: 0xDC_AC4E_0001,
             skip: 0,
         }
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum EvKind {
-    /// Result broadcast: consumers become issue-eligible this cycle, so a
-    /// dependent single-cycle op can execute back-to-back with its producer
-    /// (full bypass network).
-    Wakeup,
-    Complete,
-    L1Outcome,
-    Fill,
-    ResolveNotice,
-    Declare,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Ev {
-    at: u64,
-    seq: u64,
-    kind: EvKind,
-    h: Handle,
-}
-
-impl Ord for Ev {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq, self.kind).cmp(&(other.at, other.seq, other.kind))
-    }
-}
-
-impl PartialOrd for Ev {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
     }
 }
 
@@ -114,9 +90,24 @@ pub struct Simulator<P: Probe = NullProbe> {
     hier: MemHierarchy,
     branches: BranchUnit,
 
-    events: BinaryHeap<Reverse<Ev>>,
+    events: EventWheel,
     /// Per-IQ-kind ready lists (lazily cleaned of stale handles).
     ready: [Vec<Handle>; 3],
+
+    // --- Reusable hot-loop scratch (capacity persists across cycles so the
+    // --- steady-state cycle loop performs no heap allocation).
+    /// Events due this cycle, drained from the wheel.
+    due_buf: Vec<Ev>,
+    /// Issue candidates collected from the ready lists.
+    cands_buf: Vec<(u64, Handle, IqKind)>,
+    /// Per-thread policy views, rebuilt in place each cycle.
+    view_buf: Vec<ThreadView>,
+    /// The policy's fetch order, filled in place each cycle.
+    order_buf: Vec<usize>,
+    /// Recycled waiter vectors: handed to instructions at fetch, reclaimed
+    /// at wakeup/commit/squash, so consumer subscription never allocates in
+    /// steady state.
+    waiter_pool: Vec<Vec<Handle>>,
 
     icount: Vec<u32>,
     dmiss: Vec<u32>,
@@ -227,8 +218,13 @@ impl<P: Probe> Simulator<P> {
             rob_count: RobCounters::new(cfg.rob_per_thread, n),
             hier,
             branches: BranchUnit::new(cfg.predictor, n),
-            events: BinaryHeap::new(),
+            events: EventWheel::new(EVENT_HORIZON),
             ready: [Vec::new(), Vec::new(), Vec::new()],
+            due_buf: Vec::new(),
+            cands_buf: Vec::new(),
+            view_buf: Vec::with_capacity(n),
+            order_buf: Vec::with_capacity(n),
+            waiter_pool: Vec::new(),
             icount: vec![0; n],
             dmiss: vec![0; n],
             declared: vec![0; n],
@@ -284,8 +280,7 @@ impl<P: Probe> Simulator<P> {
     }
 
     fn schedule(&mut self, at: u64, kind: EvKind, h: Handle, seq: u64) {
-        debug_assert!(at > self.now, "events must be scheduled in the future");
-        self.events.push(Reverse(Ev { at, seq, kind, h }));
+        self.events.push(self.now, Ev { at, seq, kind, h });
     }
 
     /// Advance the machine one cycle.
@@ -443,11 +438,9 @@ impl<P: Probe> Simulator<P> {
     // ------------------------------------------------------------------
 
     fn process_events(&mut self) {
-        while let Some(&Reverse(ev)) = self.events.peek() {
-            if ev.at > self.now {
-                break;
-            }
-            self.events.pop();
+        let mut due = std::mem::take(&mut self.due_buf);
+        self.events.drain_due(self.now, &mut due);
+        for ev in &due {
             if self.slab.get(ev.h).is_none() {
                 continue; // squashed
             }
@@ -460,6 +453,8 @@ impl<P: Probe> Simulator<P> {
                 EvKind::ResolveNotice => self.on_resolve_notice(ev.h),
             }
         }
+        due.clear();
+        self.due_buf = due;
     }
 
     /// Result broadcast: wake consumers so their execution dovetails with
@@ -468,11 +463,21 @@ impl<P: Probe> Simulator<P> {
         let inst = self.slab.get_mut(h).expect("checked live");
         inst.result_ready = true;
         let waiters = std::mem::take(&mut inst.waiters);
-        self.wake_all(waiters);
+        self.wake_all(&waiters);
+        self.reclaim_waiters(waiters);
     }
 
-    fn wake_all(&mut self, waiters: Vec<Handle>) {
-        for w in waiters {
+    /// Return a spent waiter vector to the pool so its capacity is reused by
+    /// a later fetch instead of being freed.
+    fn reclaim_waiters(&mut self, mut ws: Vec<Handle>) {
+        if ws.capacity() > 0 && self.waiter_pool.len() < WAITER_POOL_CAP {
+            ws.clear();
+            self.waiter_pool.push(ws);
+        }
+    }
+
+    fn wake_all(&mut self, waiters: &[Handle]) {
+        for &w in waiters {
             if let Some(wi) = self.slab.get_mut(w) {
                 debug_assert!(wi.remaining_srcs > 0);
                 wi.remaining_srcs -= 1;
@@ -513,7 +518,8 @@ impl<P: Probe> Simulator<P> {
 
         // Wake any consumers that subscribed after the wakeup broadcast
         // (none in the common case).
-        self.wake_all(waiters);
+        self.wake_all(&waiters);
+        self.reclaim_waiters(waiters);
 
         // Misprediction recovery: squash younger, redirect fetch.
         if mispredicted {
@@ -609,7 +615,8 @@ impl<P: Probe> Simulator<P> {
                     break;
                 }
                 self.robs[t].pop_front();
-                let inst = self.slab.remove(h).expect("live");
+                let mut inst = self.slab.remove(h).expect("live");
+                self.reclaim_waiters(std::mem::take(&mut inst.waiters));
                 debug_assert!(
                     !inst.inst.wrong_path,
                     "wrong-path instructions never reach the ROB head"
@@ -657,28 +664,34 @@ impl<P: Probe> Simulator<P> {
         self.fus.new_cycle();
         let mut budget = self.cfg.issue_width;
 
-        // Collect issue candidates from the three ready lists, keeping
+        // Collect issue candidates from the three ready lists, compacting
         // not-yet-ready entries in place and dropping stale ones.
-        let mut cands: Vec<(u64, Handle, IqKind)> = Vec::new();
+        let mut cands = std::mem::take(&mut self.cands_buf);
+        debug_assert!(cands.is_empty());
         for kind in IqKind::ALL {
             let idx = iq_index(kind);
-            let list = std::mem::take(&mut self.ready[idx]);
-            for h in list {
+            let mut keep = 0;
+            for i in 0..self.ready[idx].len() {
+                let h = self.ready[idx][i];
                 // A squashed (no longer live) handle is silently dropped.
                 if let Some(inst) = self.slab.get(h) {
                     match inst.stage {
                         Stage::Ready { at } if at <= self.now => {
                             cands.push((inst.seq, h, kind));
                         }
-                        Stage::Ready { .. } => self.ready[idx].push(h),
+                        Stage::Ready { .. } => {
+                            self.ready[idx][keep] = h;
+                            keep += 1;
+                        }
                         _ => {} // issued or otherwise gone; drop
                     }
                 }
             }
+            self.ready[idx].truncate(keep);
         }
         cands.sort_unstable_by_key(|c| c.0);
 
-        for (_seq, h, kind) in cands {
+        for &(_seq, h, kind) in &cands {
             if budget == 0 {
                 // Out of issue bandwidth: everything else stays ready.
                 self.ready[iq_index(kind)].push(h);
@@ -753,6 +766,8 @@ impl<P: Probe> Simulator<P> {
             }
             self.schedule(complete_at, EvKind::Complete, h, seq);
         }
+        cands.clear();
+        self.cands_buf = cands;
     }
 
     // ------------------------------------------------------------------
@@ -767,12 +782,15 @@ impl<P: Probe> Simulator<P> {
         // of an L2 miss. Skipped entirely for the (common) policies that
         // never cap.
         let caps = if self.policy.uses_resource_caps() {
-            let views = self.thread_views();
+            let mut views = std::mem::take(&mut self.view_buf);
+            self.fill_thread_views(&mut views);
             let caps = self.policy.resource_caps(&PolicyView {
                 cycle: self.now,
                 threads: &views,
             });
             debug_assert_eq!(caps.len(), n);
+            views.clear();
+            self.view_buf = views;
             caps
         } else {
             Vec::new()
@@ -888,24 +906,31 @@ impl<P: Probe> Simulator<P> {
     // Fetch
     // ------------------------------------------------------------------
 
-    fn thread_views(&self) -> Vec<ThreadView> {
-        (0..self.num_threads())
-            .map(|t| ThreadView {
+    /// Rebuild the per-thread policy views in `out` (cleared first); the
+    /// caller owns the buffer so the per-cycle path never allocates.
+    fn fill_thread_views(&self, out: &mut Vec<ThreadView>) {
+        out.clear();
+        for t in 0..self.num_threads() {
+            out.push(ThreadView {
                 icount: self.icount[t],
                 dmiss_count: self.dmiss[t],
                 declared_l2: self.declared[t],
                 fetch_blocked: self.fronts[t].blocked(self.now, self.cfg.fetch_queue),
-            })
-            .collect()
+            });
+        }
     }
 
     fn fetch(&mut self) {
-        let views = self.thread_views();
-        let view = PolicyView {
-            cycle: self.now,
-            threads: &views,
-        };
-        let order = self.policy.fetch_order(&view);
+        let mut views = std::mem::take(&mut self.view_buf);
+        self.fill_thread_views(&mut views);
+        let mut order = std::mem::take(&mut self.order_buf);
+        self.policy.fetch_order_into(
+            &PolicyView {
+                cycle: self.now,
+                threads: &views,
+            },
+            &mut order,
+        );
         debug_assert!(
             order.iter().all(|&t| t < self.num_threads()),
             "policy returned an invalid thread index"
@@ -991,6 +1016,11 @@ impl<P: Probe> Simulator<P> {
                 let _ = mispredicted;
             }
         }
+
+        order.clear();
+        self.order_buf = order;
+        views.clear();
+        self.view_buf = views;
     }
 
     /// Install one fetched instruction; returns (`predicted-taken branch —
@@ -1040,7 +1070,7 @@ impl<P: Probe> Simulator<P> {
                 ready_at: self.now + self.cfg.frontend_latency,
             },
             remaining_srcs: 0,
-            waiters: Vec::new(),
+            waiters: self.waiter_pool.pop().unwrap_or_default(),
             iq: None,
             holds_reg: false,
             prev_producer: None,
@@ -1108,7 +1138,8 @@ impl<P: Probe> Simulator<P> {
     }
 
     fn squash_one(&mut self, h: Handle, reason: SquashReason, replay_rev: &mut Vec<DynInst>) {
-        let inst = self.slab.remove(h).expect("live");
+        let mut inst = self.slab.remove(h).expect("live");
+        self.reclaim_waiters(std::mem::take(&mut inst.waiters));
         let t = inst.thread;
         match inst.stage {
             Stage::Frontend { .. } => {

@@ -71,6 +71,52 @@ pub struct SimResult {
 }
 
 impl SimResult {
+    /// Order- and content-exact 64-bit digest of every counter in the
+    /// result (FNV-1a over a canonical little-endian serialization).
+    ///
+    /// Two `SimResult`s have equal digests iff every statistic — cycles,
+    /// all per-thread pipeline counters, all per-thread memory counters,
+    /// and the branch-mispredict rate — is bit-identical. The golden-digest
+    /// determinism suite and the campaign cache's `verify` subcommand both
+    /// rely on this: any behavioral drift in the simulator, however small,
+    /// changes the digest.
+    pub fn digest(&self) -> u64 {
+        // FNV-1a, 64-bit. Hand-rolled: the workspace is dependency-free,
+        // and `DefaultHasher` is allowed to change across Rust releases,
+        // which would silently invalidate stored golden digests.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(PRIME);
+            }
+        };
+        eat(self.cycles);
+        eat(self.threads.len() as u64);
+        for t in &self.threads {
+            eat(t.fetched);
+            eat(t.wrong_path_fetched);
+            eat(t.committed);
+            eat(t.squashed_mispredict);
+            eat(t.squashed_flush);
+            eat(t.gated_cycles);
+            eat(t.blocked_cycles);
+            eat(t.dispatch_stalls);
+            eat(t.branches);
+            eat(t.branch_mispredicts);
+        }
+        eat(self.mem.len() as u64);
+        for m in &self.mem {
+            eat(m.loads);
+            eat(m.l1_misses);
+            eat(m.l2_misses);
+            eat(m.tlb_misses);
+        }
+        eat(self.branch_mispredict_rate.to_bits());
+        h
+    }
+
     /// Per-thread IPCs.
     pub fn ipcs(&self) -> Vec<f64> {
         self.threads.iter().map(|t| t.ipc(self.cycles)).collect()

@@ -14,7 +14,7 @@
 //!   ([`ThreadTrace`]) and wrong-path synthesis ([`SynthState`]);
 //! * [`rng`] — a reproducible xoshiro256** PRNG so a `(profile, seed)` pair
 //!   pins the trace bit-for-bit;
-//! * [`file`] — record/replay of traces in a compact binary format
+//! * [`mod@file`] — record/replay of traces in a compact binary format
 //!   (`DWTR`), carrying the dictionary so wrong-path fetch still works.
 //!
 //! Loads draw addresses from three pools — an L1-resident *hot* set, a

@@ -7,7 +7,7 @@
 //! the outstanding fill (MSHR behaviour) instead of paying the full latency
 //! again.
 
-use std::collections::HashMap;
+use crate::fasthash::FastMap;
 
 use smt_obs::{NullProbe, Probe};
 
@@ -113,9 +113,9 @@ pub struct MemHierarchy {
     l2: Cache,
     dtlbs: Vec<Tlb>,
     /// In-flight data-side fills: line address → completion cycle.
-    inflight_d: HashMap<u64, u64>,
+    inflight_d: FastMap<u64, u64>,
     /// In-flight instruction-side fills.
-    inflight_i: HashMap<u64, u64>,
+    inflight_i: FastMap<u64, u64>,
     /// Earliest cycle the memory channel is free (bandwidth model).
     bus_free: u64,
     line_bytes: u64,
@@ -138,8 +138,8 @@ impl MemHierarchy {
             l1d: Cache::new(l1d),
             l2: Cache::new(l2),
             dtlbs: (0..num_threads).map(|_| Tlb::new(tlb)).collect(),
-            inflight_d: HashMap::new(),
-            inflight_i: HashMap::new(),
+            inflight_d: FastMap::default(),
+            inflight_i: FastMap::default(),
             bus_free: 0,
             thread_stats: vec![ThreadMemStats::default(); num_threads],
             timing,
@@ -159,7 +159,7 @@ impl MemHierarchy {
     }
 
     /// Drop completed in-flight entries. Called lazily on access.
-    fn gc_inflight(map: &mut HashMap<u64, u64>, now: u64) {
+    fn gc_inflight(map: &mut FastMap<u64, u64>, now: u64) {
         if map.len() > 64 {
             map.retain(|_, &mut t| t > now);
         }

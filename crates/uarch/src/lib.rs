@@ -9,15 +9,21 @@
 //! * [`predictor`] — gshare + BTB + per-context RAS (Table 3 configuration);
 //! * [`resources`] — the shared back-end resources the fetch policies fight
 //!   over: physical register pools, issue queues, FU bandwidth, per-thread
-//!   ROBs.
+//!   ROBs;
+//! * [`fasthash`] — an unseeded splitmix64-based hasher for the hot
+//!   integer-keyed maps (in-flight fill tracking, per-load policy state):
+//!   the simulator is queried every cycle with keys an adversary cannot
+//!   choose, so SipHash's DoS resistance is wasted cost here.
 
 pub mod cache;
+pub mod fasthash;
 pub mod hierarchy;
 pub mod predictor;
 pub mod resources;
 pub mod tlb;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
+pub use fasthash::{FastHasher, FastMap};
 pub use hierarchy::{IFetchAccess, MemAccess, MemHierarchy, MemTiming, ThreadMemStats};
 pub use predictor::{BranchUnit, Btb, Gshare, Prediction, PredictorConfig, Ras};
 pub use resources::{FuKind, FuPools, IqKind, IssueQueues, RegPool, RobCounters};

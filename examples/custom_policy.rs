@@ -29,10 +29,11 @@ impl FetchPolicy for RoundRobin {
         "RR"
     }
 
-    fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize> {
+    fn fetch_order_into(&mut self, view: &PolicyView, out: &mut Vec<usize>) {
         let n = view.num_threads();
         self.turn = (self.turn + 1) % n;
-        (0..n).map(|i| (self.turn + i) % n).collect()
+        out.clear();
+        out.extend((0..n).map(|i| (self.turn + i) % n));
     }
 }
 
@@ -45,9 +46,9 @@ impl FetchPolicy for ThreeClassDWarn {
         "DWARN-3C"
     }
 
-    fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize> {
-        let mut order = view.icount_order();
-        order.sort_by_key(|&t| {
+    fn fetch_order_into(&mut self, view: &PolicyView, out: &mut Vec<usize>) {
+        view.icount_order_into(out);
+        out.sort_by_key(|&t| {
             let v = view.threads[t];
             if v.declared_l2 > 0 {
                 2u32
@@ -57,7 +58,6 @@ impl FetchPolicy for ThreeClassDWarn {
                 0
             }
         });
-        order
     }
 }
 
