@@ -31,9 +31,17 @@ struct RunRecord {
     result: SimResult,
 }
 
+/// One recorded run failure (watchdog trip, isolated panic, cache fault).
+struct FailureRecord {
+    what: String,
+    kind: &'static str,
+    detail: String,
+}
+
 struct Sink {
     dir: PathBuf,
     records: Vec<RunRecord>,
+    failures: Vec<FailureRecord>,
 }
 
 static SINK: Mutex<Option<Sink>> = Mutex::new(None);
@@ -44,6 +52,7 @@ pub fn enable(dir: &Path) -> std::io::Result<()> {
     *SINK.lock().unwrap() = Some(Sink {
         dir: dir.to_path_buf(),
         records: Vec::new(),
+        failures: Vec::new(),
     });
     Ok(())
 }
@@ -79,8 +88,22 @@ pub fn record_tagged(tag: &str, arch: &str, workload: &str, policy: &str, result
     }
 }
 
-/// Write one JSON file per recorded run and disable the sink. Returns the
-/// number of files written and the directory, or `None` when not enabled.
+/// Record a failed run as a typed artifact. No-op unless [`enable`]d (the
+/// campaign additionally keeps its own in-memory failure list either way).
+pub fn record_failure(what: &str, error: &crate::error::ExpError) {
+    let mut sink = SINK.lock().unwrap();
+    if let Some(sink) = sink.as_mut() {
+        sink.failures.push(FailureRecord {
+            what: what.to_string(),
+            kind: error.kind(),
+            detail: error.to_string(),
+        });
+    }
+}
+
+/// Write one JSON file per recorded run (plus `failures.json` when any run
+/// failed) and disable the sink. Returns the number of files written and
+/// the directory, or `None` when not enabled.
 pub fn flush() -> std::io::Result<Option<(usize, PathBuf)>> {
     let Some(sink) = SINK.lock().unwrap().take() else {
         return Ok(None);
@@ -93,6 +116,25 @@ pub fn flush() -> std::io::Result<Option<(usize, PathBuf)>> {
             sanitize(&format!("{}-{}-{}", rec.arch, rec.workload, rec.policy))
         ));
         std::fs::write(&path, run_json(rec, &solos).render_pretty())?;
+        written += 1;
+    }
+    if !sink.failures.is_empty() {
+        let items: Vec<Json> = sink
+            .failures
+            .iter()
+            .map(|f| {
+                Json::obj(vec![
+                    ("run", Json::str(f.what.clone())),
+                    ("kind", Json::str(f.kind.to_string())),
+                    ("error", Json::str(f.detail.clone())),
+                ])
+            })
+            .collect();
+        let doc = Json::obj(vec![
+            ("schema", Json::str("smt-failures-v1")),
+            ("failures", Json::Arr(items)),
+        ]);
+        std::fs::write(sink.dir.join("failures.json"), doc.render_pretty())?;
         written += 1;
     }
     Ok(Some((written, sink.dir)))
@@ -141,7 +183,7 @@ fn benchmarks_of(workload: &str) -> Option<Vec<String>> {
         _ => return None,
     };
     Some(
-        smt_workloads::workload(threads, class)
+        smt_workloads::try_workload(threads, class)?
             .benchmarks
             .iter()
             .map(|b| b.to_string())

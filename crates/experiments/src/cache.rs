@@ -22,12 +22,20 @@
 //! can cost time but never wrong results. Floats are stored as bit
 //! patterns, so a round-trip is bit-exact and digest-preserving.
 //!
-//! Writes go through a temporary file followed by an atomic rename, so a
-//! crashed or concurrent writer never leaves a half-written entry under
-//! the final name.
+//! Writes go through a uniquely named temporary file followed by an atomic
+//! rename, so a crashed or concurrent writer never leaves a half-written
+//! entry under the final name; temp files orphaned by a crash are swept on
+//! the next [`DiskCache::open`]. Loads can distinguish *why* an entry was
+//! rejected ([`CacheFault`], via [`DiskCache::load_checked`]) so campaigns
+//! can surface corruption as typed failure artifacts while still treating
+//! it as a miss. Destructive administration (`cache clear`) takes an
+//! advisory lock file so two concurrent processes cannot interleave a
+//! clear with each other's writes.
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use smt_pipeline::{SimResult, ThreadStats};
 use smt_uarch::ThreadMemStats;
@@ -57,6 +65,40 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Why a cache entry was rejected. Every variant is still a *miss* — the
+/// campaign re-simulates — but typed so the irregularity can be reported
+/// as a failure artifact instead of vanishing silently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheFault {
+    /// The entry file exists but could not be read.
+    Unreadable(String),
+    /// The file does not start with the cache magic (wrong format or
+    /// overwritten by something else).
+    BadMagic,
+    /// The body does not match its stored checksum (bit flip, truncation,
+    /// torn write).
+    BadChecksum,
+    /// Magic and checksum line are fine but the body does not parse.
+    Malformed(&'static str),
+    /// The entry is internally consistent but records a *different* key —
+    /// an FNV-1a hash collision mapped another run onto this file.
+    KeyCollision,
+}
+
+impl std::fmt::Display for CacheFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheFault::Unreadable(e) => write!(f, "unreadable entry: {e}"),
+            CacheFault::BadMagic => write!(f, "bad magic (not a cache entry)"),
+            CacheFault::BadChecksum => write!(f, "checksum mismatch"),
+            CacheFault::Malformed(what) => write!(f, "malformed entry ({what})"),
+            CacheFault::KeyCollision => write!(f, "key collision (different run)"),
+        }
+    }
+}
+
+impl std::error::Error for CacheFault {}
+
 /// Aggregate numbers for `cache stats`.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
@@ -82,12 +124,40 @@ pub struct DiskCache {
 }
 
 impl DiskCache {
-    /// Open (creating if needed) a cache rooted at `dir`.
+    /// Open (creating if needed) a cache rooted at `dir`. Temp files left
+    /// behind by writers that crashed mid-store are removed.
     pub fn open(dir: &Path) -> std::io::Result<DiskCache> {
         std::fs::create_dir_all(dir)?;
-        Ok(DiskCache {
+        let cache = DiskCache {
             dir: dir.to_path_buf(),
-        })
+        };
+        cache.sweep_stale_tmp();
+        Ok(cache)
+    }
+
+    /// Remove `.tmpPID-SEQ` files whose writing process is no longer alive.
+    /// Best-effort: sweep failures never block opening the cache.
+    fn sweep_stale_tmp(&self) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        for e in entries.filter_map(|e| e.ok()) {
+            let path = e.path();
+            let Some(ext) = path.extension().and_then(|x| x.to_str()) else {
+                continue;
+            };
+            let Some(rest) = ext.strip_prefix("tmp") else {
+                continue;
+            };
+            let writer_pid = rest.split('-').next().and_then(|p| p.parse::<u32>().ok());
+            let stale = match writer_pid {
+                Some(pid) => pid != std::process::id() && !process_alive(pid),
+                None => true, // unparseable tmp name: an old format, sweep it
+            };
+            if stale {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
     }
 
     /// The directory this cache stores entries in.
@@ -95,7 +165,9 @@ impl DiskCache {
         &self.dir
     }
 
-    fn entry_path(&self, key_desc: &str) -> PathBuf {
+    /// The file an entry for `key_desc` lives in (diagnostics and fault
+    /// injection; the file may not exist).
+    pub fn entry_path(&self, key_desc: &str) -> PathBuf {
         self.dir
             .join(format!("{:016x}.{EXT}", fnv1a(key_desc.as_bytes())))
     }
@@ -104,20 +176,70 @@ impl DiskCache {
     /// corrupt, truncated, or a hash collision with a different key — is a
     /// miss.
     pub fn load(&self, key_desc: &str) -> Option<SimResult> {
-        let text = std::fs::read_to_string(self.entry_path(key_desc)).ok()?;
-        parse_entry(&text, Some(key_desc))
+        self.load_checked(key_desc).ok().flatten()
     }
 
-    /// Store a result under its key description (atomic rename).
+    /// As [`DiskCache::load`], but an irregular entry is returned as a
+    /// typed [`CacheFault`] instead of being folded into the miss.
+    /// `Ok(None)` means the entry simply is not there.
+    pub fn load_checked(&self, key_desc: &str) -> Result<Option<SimResult>, CacheFault> {
+        let text = match std::fs::read_to_string(self.entry_path(key_desc)) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(CacheFault::Unreadable(e.to_string())),
+        };
+        parse_entry(&text, Some(key_desc)).map(Some)
+    }
+
+    /// Store a result under its key description. The entry is written to a
+    /// uniquely named temp file (pid + per-process sequence number, so
+    /// concurrent stores in one process never collide), fsynced, and moved
+    /// into place with an atomic rename — a crash at any point leaves
+    /// either the old entry or no entry, never a torn one.
     pub fn store(&self, key_desc: &str, result: &SimResult) -> std::io::Result<()> {
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
         let path = self.entry_path(key_desc);
-        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
-        {
+        let tmp = path.with_extension(format!(
+            "tmp{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let written = (|| {
             let mut f = std::fs::File::create(&tmp)?;
             f.write_all(render_entry(key_desc, result).as_bytes())?;
-            f.sync_all()?;
+            f.sync_all()
+        })();
+        if let Err(e) = written {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
         }
-        std::fs::rename(&tmp, &path)
+        std::fs::rename(&tmp, &path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
+    }
+
+    /// [`DiskCache::store`] with bounded retry for transient I/O failures:
+    /// `attempts` tries total, backing off 5 ms, 10 ms, 20 ms, … between
+    /// them. Returns the last error if every attempt fails.
+    pub fn store_retrying(
+        &self,
+        key_desc: &str,
+        result: &SimResult,
+        attempts: u32,
+    ) -> std::io::Result<()> {
+        let mut delay = Duration::from_millis(5);
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay *= 2;
+            }
+            match self.store(key_desc, result) {
+                Ok(()) => return Ok(()),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
     }
 
     fn entry_files(&self) -> std::io::Result<Vec<PathBuf>> {
@@ -142,7 +264,13 @@ impl DiskCache {
 
     /// Remove every entry, returning how many were deleted. Only `.dwc`
     /// files are touched; anything else in the directory is left alone.
+    /// Takes the advisory lock so a clear cannot interleave with another
+    /// process's clear (writers are safe regardless: stores are atomic
+    /// renames, so the worst a concurrent writer sees is its fresh entry
+    /// surviving the clear).
     pub fn clear(&self) -> std::io::Result<usize> {
+        let _lock = self.lock_exclusive(Duration::from_secs(10))?;
+        self.sweep_stale_tmp();
         let files = self.entry_files()?;
         for p in &files {
             std::fs::remove_file(p)?;
@@ -156,7 +284,7 @@ impl DiskCache {
         for p in self.entry_files()? {
             let ok = std::fs::read_to_string(&p)
                 .ok()
-                .and_then(|text| parse_entry(&text, None))
+                .and_then(|text| parse_entry(&text, None).ok())
                 .is_some();
             if ok {
                 v.ok += 1;
@@ -165,6 +293,69 @@ impl DiskCache {
             }
         }
         Ok(v)
+    }
+
+    /// Acquire the cache's advisory lock, waiting up to `timeout`. The lock
+    /// is a `create_new` lock file recording the owner pid; a lock whose
+    /// owner is no longer alive is stolen. Released on drop.
+    pub fn lock_exclusive(&self, timeout: Duration) -> std::io::Result<CacheLock> {
+        let path = self.dir.join("lock");
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let _ = write!(f, "{}", std::process::id());
+                    return Ok(CacheLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let owner = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    let stale = match owner {
+                        Some(pid) => pid != std::process::id() && !process_alive(pid),
+                        None => false, // owner still writing its pid; wait
+                    };
+                    if stale {
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
+                    if std::time::Instant::now() >= deadline {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            format!("cache lock {} held by pid {owner:?}", path.display()),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Whether a process with this pid is currently alive. On Linux this reads
+/// `/proc`; elsewhere it conservatively answers `true` (never steal).
+fn process_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
+}
+
+/// RAII guard for the cache's advisory lock file.
+#[derive(Debug)]
+pub struct CacheLock {
+    path: PathBuf,
+}
+
+impl Drop for CacheLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
     }
 }
 
@@ -205,30 +396,73 @@ fn render_entry(key_desc: &str, r: &SimResult) -> String {
 }
 
 /// Strict parse of one entry; `expect_key` additionally guards against a
-/// hash collision mapping a different run onto this file. `None` on any
-/// deviation from the format.
-fn parse_entry(text: &str, expect_key: Option<&str>) -> Option<SimResult> {
-    let rest = text.strip_prefix(MAGIC)?.strip_prefix('\n')?;
-    let (checksum_line, body) = rest.split_once('\n')?;
-    let stored = u64::from_str_radix(checksum_line.strip_prefix("checksum ")?, 16).ok()?;
+/// hash collision mapping a different run onto this file. Any deviation
+/// from the format is a typed [`CacheFault`] (and, for callers going
+/// through [`DiskCache::load`], a miss).
+fn parse_entry(text: &str, expect_key: Option<&str>) -> Result<SimResult, CacheFault> {
+    let rest = text
+        .strip_prefix(MAGIC)
+        .and_then(|r| r.strip_prefix('\n'))
+        .ok_or(CacheFault::BadMagic)?;
+    let (checksum_line, body) = rest.split_once('\n').ok_or(CacheFault::BadChecksum)?;
+    let stored = checksum_line
+        .strip_prefix("checksum ")
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .ok_or(CacheFault::BadChecksum)?;
     if stored != fnv1a(body.as_bytes()) {
-        return None;
+        return Err(CacheFault::BadChecksum);
+    }
+    // The body checksummed clean, so parse failures below are format
+    // mismatches (e.g. a future layout change), not corruption.
+    parse_body(body, expect_key)
+}
+
+fn parse_body(body: &str, expect_key: Option<&str>) -> Result<SimResult, CacheFault> {
+    fn field<T>(v: Option<T>, what: &'static str) -> Result<T, CacheFault> {
+        v.ok_or(CacheFault::Malformed(what))
     }
 
     let mut lines = body.lines();
-    let key = lines.next()?.strip_prefix("key ")?;
+    let key = field(
+        lines.next().and_then(|l| l.strip_prefix("key ")),
+        "key line",
+    )?;
     if let Some(expect) = expect_key {
         if key != expect {
-            return None;
+            return Err(CacheFault::KeyCollision);
         }
     }
-    let cycles: u64 = lines.next()?.strip_prefix("cycles ")?.parse().ok()?;
-    let bp_bits = u64::from_str_radix(lines.next()?.strip_prefix("bp-rate ")?, 16).ok()?;
+    let cycles: u64 = field(
+        lines
+            .next()
+            .and_then(|l| l.strip_prefix("cycles "))
+            .and_then(|v| v.parse().ok()),
+        "cycles line",
+    )?;
+    let bp_bits = field(
+        lines
+            .next()
+            .and_then(|l| l.strip_prefix("bp-rate "))
+            .and_then(|v| u64::from_str_radix(v, 16).ok()),
+        "bp-rate line",
+    )?;
 
-    let nthreads: usize = lines.next()?.strip_prefix("threads ")?.parse().ok()?;
-    let mut threads = Vec::with_capacity(nthreads);
+    let nthreads: usize = field(
+        lines
+            .next()
+            .and_then(|l| l.strip_prefix("threads "))
+            .and_then(|v| v.parse().ok()),
+        "threads line",
+    )?;
+    let mut threads = Vec::with_capacity(nthreads.min(64));
     for _ in 0..nthreads {
-        let f = parse_u64_fields(lines.next()?.strip_prefix("t ")?, 10)?;
+        let f = field(
+            lines
+                .next()
+                .and_then(|l| l.strip_prefix("t "))
+                .and_then(|l| parse_u64_fields(l, 10)),
+            "thread line",
+        )?;
         threads.push(ThreadStats {
             fetched: f[0],
             wrong_path_fetched: f[1],
@@ -243,10 +477,22 @@ fn parse_entry(text: &str, expect_key: Option<&str>) -> Option<SimResult> {
         });
     }
 
-    let nmem: usize = lines.next()?.strip_prefix("mem ")?.parse().ok()?;
-    let mut mem = Vec::with_capacity(nmem);
+    let nmem: usize = field(
+        lines
+            .next()
+            .and_then(|l| l.strip_prefix("mem "))
+            .and_then(|v| v.parse().ok()),
+        "mem line",
+    )?;
+    let mut mem = Vec::with_capacity(nmem.min(64));
     for _ in 0..nmem {
-        let f = parse_u64_fields(lines.next()?.strip_prefix("m ")?, 4)?;
+        let f = field(
+            lines
+                .next()
+                .and_then(|l| l.strip_prefix("m "))
+                .and_then(|l| parse_u64_fields(l, 4)),
+            "mem stats line",
+        )?;
         mem.push(ThreadMemStats {
             loads: f[0],
             l1_misses: f[1],
@@ -255,10 +501,10 @@ fn parse_entry(text: &str, expect_key: Option<&str>) -> Option<SimResult> {
         });
     }
 
-    if lines.next()? != "end" || lines.next().is_some() {
-        return None;
+    if lines.next() != Some("end") || lines.next().is_some() {
+        return Err(CacheFault::Malformed("trailer"));
     }
-    Some(SimResult {
+    Ok(SimResult {
         cycles,
         threads,
         mem,
@@ -390,6 +636,108 @@ mod tests {
         let other = render_entry("other-key", &sample_result());
         std::fs::write(c.entry_path("k"), other).unwrap();
         assert!(c.load("k").is_none());
+    }
+
+    #[test]
+    fn load_checked_classifies_faults() {
+        let c = temp_cache("faults");
+        assert!(matches!(c.load_checked("absent"), Ok(None)));
+
+        c.store("k", &sample_result()).unwrap();
+        let path = c.entry_path("k");
+        let clean = std::fs::read_to_string(&path).unwrap();
+
+        std::fs::write(&path, "something else entirely\n").unwrap();
+        assert_eq!(c.load_checked("k").unwrap_err(), CacheFault::BadMagic);
+
+        std::fs::write(&path, clean.replace("cycles 60000", "cycles 60001")).unwrap();
+        assert_eq!(c.load_checked("k").unwrap_err(), CacheFault::BadChecksum);
+
+        std::fs::write(&path, &clean[..clean.len() / 2]).unwrap();
+        assert_eq!(c.load_checked("k").unwrap_err(), CacheFault::BadChecksum);
+
+        std::fs::write(&path, render_entry("other-key", &sample_result())).unwrap();
+        assert_eq!(c.load_checked("k").unwrap_err(), CacheFault::KeyCollision);
+
+        std::fs::write(&path, clean).unwrap();
+        assert!(c.load_checked("k").unwrap().is_some());
+    }
+
+    #[test]
+    fn crash_mid_store_is_a_miss_on_reload() {
+        // Simulate a writer that died between `File::create` and the
+        // rename: the final name holds the old (or no) entry and a torn
+        // temp file sits in the directory. Reopening must treat the key as
+        // a miss — never an error, never a hang — and sweep the orphan.
+        let c = temp_cache("crash");
+        let entry = render_entry("k", &sample_result());
+
+        // Torn temp file from a dead pid (u32::MAX exceeds pid_max, so it
+        // can never be a live process).
+        let tmp = c.entry_path("k").with_extension("tmp4294967295-0");
+        std::fs::write(&tmp, &entry[..entry.len() / 3]).unwrap();
+        // And a torn *final* file, as if a non-atomic writer had crashed.
+        std::fs::write(c.entry_path("k"), &entry[..entry.len() / 2]).unwrap();
+
+        let reopened = DiskCache::open(c.dir()).unwrap();
+        assert!(reopened.load("k").is_none(), "torn entry must be a miss");
+        assert!(
+            matches!(reopened.load_checked("k"), Err(CacheFault::BadChecksum)),
+            "the tear is attributable"
+        );
+        assert!(!tmp.exists(), "stale temp file swept on open");
+
+        // A live-pid temp file is left alone (its writer may still rename).
+        let mine = c
+            .entry_path("k")
+            .with_extension(format!("tmp{}-7", std::process::id()));
+        std::fs::write(&mine, "in flight").unwrap();
+        let _ = DiskCache::open(c.dir()).unwrap();
+        assert!(mine.exists(), "live writer's temp file must survive");
+
+        // Re-storing heals the entry.
+        reopened.store("k", &sample_result()).unwrap();
+        assert_eq!(
+            reopened.load("k").unwrap().digest(),
+            sample_result().digest()
+        );
+    }
+
+    #[test]
+    fn store_retrying_succeeds_and_reports_final_failure() {
+        let c = temp_cache("retry");
+        c.store_retrying("k", &sample_result(), 3).unwrap();
+        assert!(c.load("k").is_some());
+
+        // A cache whose directory vanished fails every attempt and reports
+        // the last error instead of panicking or spinning.
+        std::fs::remove_dir_all(c.dir()).unwrap();
+        let err = c.store_retrying("k2", &sample_result(), 2).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn exclusive_lock_blocks_and_releases() {
+        let c = temp_cache("lock");
+        let lock = c.lock_exclusive(Duration::from_millis(50)).unwrap();
+        // Second acquisition from the same (live) process times out.
+        let err = c.lock_exclusive(Duration::from_millis(50)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        drop(lock);
+        // Released on drop: acquirable again, and clear() works under it.
+        let lock = c.lock_exclusive(Duration::from_millis(50)).unwrap();
+        drop(lock);
+        c.store("a", &sample_result()).unwrap();
+        assert_eq!(c.clear().unwrap(), 1);
+    }
+
+    #[test]
+    fn stale_lock_from_a_dead_process_is_stolen() {
+        let c = temp_cache("stale-lock");
+        std::fs::write(c.dir().join("lock"), "4294967295").unwrap();
+        let _lock = c
+            .lock_exclusive(Duration::from_millis(200))
+            .expect("dead owner's lock must be stolen");
     }
 
     #[test]

@@ -39,6 +39,8 @@
 pub mod ablation;
 pub mod artifacts;
 pub mod cache;
+pub mod chaos;
+pub mod error;
 pub mod extensions;
 pub mod figures;
 pub mod grid;
@@ -50,6 +52,7 @@ pub mod table4;
 pub mod taxonomy;
 pub mod tracing;
 
-pub use cache::DiskCache;
+pub use cache::{CacheFault, DiskCache};
+pub use error::{ExpError, RunFailure};
 pub use grid::{GridData, Metric};
 pub use runner::{Arch, Campaign, ExpParams, RunKey};

@@ -10,6 +10,7 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use smt_experiments::error::{self, EXIT_CHAOS_VIOLATION, EXIT_PARTIAL, EXIT_RUNTIME, EXIT_USAGE};
 use smt_experiments::{artifacts, suite, Campaign, DiskCache, ExpParams};
 
 const USAGE: &str = "\
@@ -39,12 +40,22 @@ experiments:
              capture one run with the recording probe and write a Chrome
              trace-event JSON (Perfetto / chrome://tracing) plus stats JSON
 
+  chaos [--seed N] [--faults N] [--keep-dir <dir>]
+             deterministic fault injection: corrupt traces, cache entries,
+             and configs, then verify every fault resolves to a typed
+             error or a bit-identical golden result
+
 flags:
   --quick            short simulation windows (smoke test)
   --stats-json <dir> write one structured JSON stats file per simulation run
   --cache-dir <dir>  persist simulation results across invocations; results
                      are re-simulated (never trusted) if an entry is stale,
                      corrupt, or from a different code version
+
+exit codes:
+  0  success          1  runtime failure       2  bad usage
+  3  partial results (some runs failed)
+  4  chaos harness observed a robustness violation
 ";
 
 fn compare(campaign: &Campaign, args: &[&str]) -> String {
@@ -69,7 +80,7 @@ fn compare(campaign: &Campaign, args: &[&str]) -> String {
                         .any(|name| name == other);
                     if !known {
                         eprintln!("unknown workload: {other} (Table 2b has 2/4/6/8-ILP/MIX/MEM)");
-                        std::process::exit(2);
+                        std::process::exit(EXIT_USAGE);
                     }
                     workload = other.to_string();
                 }
@@ -78,15 +89,75 @@ fn compare(campaign: &Campaign, args: &[&str]) -> String {
             policies.push(k);
         } else {
             eprintln!("unknown policy: {a}");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         }
     }
     if policies.is_empty() {
         policies = dwarn_core::PolicyKind::paper_set().to_vec();
     }
-    let mut t = smt_experiments::runner::comparison_table(campaign, arch, &workload, &policies);
-    t.push('\n');
-    t
+    match smt_experiments::runner::comparison_table(campaign, arch, &workload, &policies) {
+        Ok(mut t) => {
+            t.push('\n');
+            t
+        }
+        Err(e) => {
+            eprintln!("compare: {e}");
+            std::process::exit(e.exit_code());
+        }
+    }
+}
+
+/// The `chaos` subcommand: run the deterministic fault-injection harness
+/// and map a violating report to [`EXIT_CHAOS_VIOLATION`].
+fn chaos_cmd(args: &[&str], quick: bool) -> ! {
+    use smt_experiments::chaos::{self, ChaosOpts};
+    let mut opts = ChaosOpts::new(1, 32);
+    opts.quick = quick;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |what: &str| -> u64 {
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => n,
+                None => {
+                    eprintln!("chaos: {what} needs a numeric argument\n");
+                    eprint!("{USAGE}");
+                    std::process::exit(EXIT_USAGE);
+                }
+            }
+        };
+        match *a {
+            "--seed" => opts.seed = num("--seed"),
+            "--faults" => opts.faults = num("--faults") as usize,
+            "--keep-dir" => match it.next() {
+                Some(d) => opts.dir = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("chaos: --keep-dir needs a directory argument\n");
+                    eprint!("{USAGE}");
+                    std::process::exit(EXIT_USAGE);
+                }
+            },
+            other => {
+                eprintln!("chaos: unknown flag {other}\n");
+                eprint!("{USAGE}");
+                std::process::exit(EXIT_USAGE);
+            }
+        }
+    }
+    match chaos::run(&opts) {
+        Ok(report) => {
+            print!("{}", report.render());
+            let code = if report.violations() > 0 {
+                EXIT_CHAOS_VIOLATION
+            } else {
+                error::EXIT_OK
+            };
+            std::process::exit(code);
+        }
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            std::process::exit(e.exit_code());
+        }
+    }
 }
 
 /// Extract `--<flag> <dir>` / `--<flag>=<dir>` from `args`.
@@ -100,7 +171,7 @@ fn take_dir_flag(args: &mut Vec<String>, flag: &str) -> Option<PathBuf> {
             if i + 1 >= args.len() {
                 eprintln!("--{flag} needs a directory argument\n");
                 eprint!("{USAGE}");
-                std::process::exit(2);
+                std::process::exit(EXIT_USAGE);
             }
             dir = Some(PathBuf::from(args.remove(i + 1)));
             args.remove(i);
@@ -119,13 +190,13 @@ fn cache_admin(action: &str, dir: Option<&PathBuf>) -> ! {
     let Some(dir) = dir else {
         eprintln!("cache {action} needs --cache-dir <dir>\n");
         eprint!("{USAGE}");
-        std::process::exit(2);
+        std::process::exit(EXIT_USAGE);
     };
     let cache = match DiskCache::open(dir) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("cache: {}: {e}", dir.display());
-            std::process::exit(1);
+            std::process::exit(EXIT_RUNTIME);
         }
     };
     let outcome = match action {
@@ -153,14 +224,14 @@ fn cache_admin(action: &str, dir: Option<&PathBuf>) -> ! {
         other => {
             eprintln!("unknown cache action: {other} (stats, clear, verify)\n");
             eprint!("{USAGE}");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         }
     };
     match outcome {
         Ok(code) => std::process::exit(code),
         Err(e) => {
             eprintln!("cache {action}: {e}");
-            std::process::exit(1);
+            std::process::exit(EXIT_RUNTIME);
         }
     }
 }
@@ -172,7 +243,7 @@ fn build_campaign(params: ExpParams, cache_dir: Option<&PathBuf>) -> Campaign {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("--cache-dir {}: {e}", dir.display());
-                std::process::exit(1);
+                std::process::exit(EXIT_RUNTIME);
             }
         },
         None => Campaign::new(params),
@@ -186,7 +257,7 @@ fn flush_artifacts() {
         Ok(None) => {}
         Err(e) => {
             eprintln!("failed to write stats artifacts: {e}");
-            std::process::exit(1);
+            std::process::exit(EXIT_RUNTIME);
         }
     }
 }
@@ -196,7 +267,7 @@ fn main() {
     if let Some(dir) = take_dir_flag(&mut args, "stats-json") {
         if let Err(e) = artifacts::enable(&dir) {
             eprintln!("--stats-json {}: {e}", dir.display());
-            std::process::exit(1);
+            std::process::exit(EXIT_RUNTIME);
         }
     }
     let cache_dir = take_dir_flag(&mut args, "cache-dir");
@@ -206,9 +277,18 @@ fn main() {
         let Some(action) = args.get(1) else {
             eprintln!("cache needs an action (stats, clear, verify)\n");
             eprint!("{USAGE}");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         };
         cache_admin(action, cache_dir.as_ref());
+    }
+
+    if args.first().map(String::as_str) == Some("chaos") {
+        let rest: Vec<&str> = args[1..]
+            .iter()
+            .map(String::as_str)
+            .filter(|a| *a != "--quick")
+            .collect();
+        chaos_cmd(&rest, quick);
     }
 
     if args.first().map(String::as_str) == Some("trace") {
@@ -222,14 +302,14 @@ fn main() {
             Err(e) => {
                 eprintln!("trace: {e}\n");
                 eprint!("{USAGE}");
-                std::process::exit(2);
+                std::process::exit(EXIT_USAGE);
             }
         };
         match smt_experiments::tracing::run(&opts) {
             Ok(summary) => println!("{summary}"),
             Err(e) => {
                 eprintln!("trace: {e}");
-                std::process::exit(1);
+                std::process::exit(e.exit_code());
             }
         }
         flush_artifacts();
@@ -254,7 +334,7 @@ fn main() {
     }
     if exps.is_empty() {
         eprint!("{USAGE}");
-        std::process::exit(2);
+        std::process::exit(EXIT_USAGE);
     }
     if exps.contains(&"all") {
         exps = vec![
@@ -279,23 +359,42 @@ fn main() {
     let campaign = build_campaign(params, cache_dir.as_ref());
     let t0 = Instant::now();
 
+    let mut broken_experiments = 0u32;
     for exp in exps {
         let started = Instant::now();
-        let report = match suite::lookup(exp) {
-            Some(f) => f(&campaign),
-            None => {
-                eprintln!("unknown experiment: {exp}\n");
-                eprint!("{USAGE}");
-                std::process::exit(2);
-            }
+        let Some(f) = suite::lookup(exp) else {
+            eprintln!("unknown experiment: {exp}\n");
+            eprint!("{USAGE}");
+            std::process::exit(EXIT_USAGE);
         };
-        println!("{report}");
-        println!(
-            "[{} done in {:.1}s]\n",
-            exp,
-            started.elapsed().as_secs_f64()
-        );
+        // Per-experiment isolation: one broken report must not take down
+        // the rest of the sweep (its failed runs are already recorded on
+        // the campaign as typed failures).
+        match error::protect(exp, || Ok(f(&campaign))) {
+            Ok(report) => {
+                println!("{report}");
+                println!(
+                    "[{} done in {:.1}s]\n",
+                    exp,
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            Err(e) => {
+                broken_experiments += 1;
+                eprintln!("[{exp} FAILED: {e}]\n");
+            }
+        }
     }
     flush_artifacts();
     eprintln!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+    if let Some(summary) = campaign.failure_summary() {
+        eprintln!("\n{summary}");
+    }
+    if broken_experiments > 0 || !campaign.failures().is_empty() {
+        std::process::exit(if campaign.failures().is_empty() {
+            EXIT_RUNTIME
+        } else {
+            EXIT_PARTIAL
+        });
+    }
 }

@@ -6,16 +6,27 @@
 //! batches in parallel across OS threads. With
 //! [`Campaign::with_disk_cache`], the memo additionally persists across
 //! processes through the content-addressed store in [`crate::cache`].
+//!
+//! # Fault isolation
+//!
+//! Every simulation runs behind a panic boundary and under the simulator's
+//! forward-progress watchdog; the configuration is validated before the
+//! disk cache is even consulted. A failed run becomes a [`RunFailure`]
+//! recorded on the campaign (and as a failure artifact) instead of taking
+//! the sweep down — callers that can degrade gracefully use the `try_*`
+//! entry points, while the legacy panicking accessors remain for report
+//! code whose caller (the CLI) provides per-experiment isolation.
 
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Mutex;
 
 use dwarn_core::PolicyKind;
-use smt_pipeline::{FetchPolicy, SimConfig, SimResult, Simulator, ThreadSpec};
+use smt_pipeline::{FetchPolicy, SimConfig, SimResult, Simulator, ThreadSpec, Watchdog};
 use smt_workloads::Workload;
 
 use crate::cache::DiskCache;
+use crate::error::{protect, ExpError, RunFailure};
 
 /// Simulation window lengths.
 #[derive(Debug, Clone, Copy)]
@@ -95,31 +106,43 @@ impl RunKey {
     }
 }
 
-fn specs_for(key: &RunKey) -> Vec<ThreadSpec> {
+fn specs_for(key: &RunKey) -> Result<Vec<ThreadSpec>, ExpError> {
     if let Some(bench) = key.workload.strip_prefix("solo:") {
-        vec![ThreadSpec {
-            profile: smt_trace::by_name(bench).expect("known benchmark"),
+        let profile = smt_trace::by_name(bench).ok_or_else(|| ExpError::UnknownBenchmark {
+            given: bench.to_string(),
+        })?;
+        Ok(vec![ThreadSpec {
+            profile,
             seed: smt_workloads::TRACE_SEED,
             skip: 0,
-        }]
+        }])
     } else {
-        let (threads, class) = parse_workload_name(&key.workload);
-        smt_workloads::workload(threads, class).thread_specs()
+        let (threads, class) = parse_workload_name(&key.workload)?;
+        let wl = smt_workloads::try_workload(threads, class).ok_or(ExpError::UnknownWorkload {
+            threads,
+            class: class.as_str(),
+        })?;
+        Ok(wl.thread_specs())
     }
 }
 
-fn parse_workload_name(name: &str) -> (usize, smt_workloads::WorkloadClass) {
-    let (n, c) = name
-        .split_once('-')
-        .expect("workload names look like '4-MIX'");
-    let threads: usize = n.parse().expect("numeric thread count");
+fn parse_workload_name(name: &str) -> Result<(usize, smt_workloads::WorkloadClass), ExpError> {
+    let bad = || ExpError::BadWorkloadName {
+        given: name.to_string(),
+    };
+    let (n, c) = name.split_once('-').ok_or_else(bad)?;
+    let threads: usize = n.parse().map_err(|_| bad())?;
     let class = match c {
         "ILP" => smt_workloads::WorkloadClass::Ilp,
         "MIX" => smt_workloads::WorkloadClass::Mix,
         "MEM" => smt_workloads::WorkloadClass::Mem,
-        other => panic!("unknown workload class {other}"),
+        other => {
+            return Err(ExpError::UnknownWorkloadClass {
+                given: other.to_string(),
+            })
+        }
     };
-    (threads, class)
+    Ok((threads, class))
 }
 
 /// Canonical one-line description of a simulation request: everything that
@@ -159,6 +182,11 @@ pub struct Campaign {
     disk: Option<DiskCache>,
     /// Maximum worker threads for batch runs.
     parallelism: usize,
+    /// Failed runs (watchdog trips, isolated panics, cache irregularities)
+    /// recorded so the campaign can finish with partial results.
+    failures: Mutex<Vec<RunFailure>>,
+    /// Watchdog applied to every simulation this campaign runs.
+    watchdog: Watchdog,
 }
 
 impl Campaign {
@@ -172,6 +200,8 @@ impl Campaign {
             custom: Mutex::new(HashMap::new()),
             disk: None,
             parallelism,
+            failures: Mutex::new(Vec::new()),
+            watchdog: Watchdog::default(),
         }
     }
 
@@ -187,27 +217,112 @@ impl Campaign {
         self.disk.as_ref()
     }
 
+    /// Override the per-run watchdog (tests, chaos harness).
+    pub fn set_watchdog(&mut self, wd: Watchdog) {
+        self.watchdog = wd;
+    }
+
+    /// The canonical cache-key description of `key` (diagnostics and fault
+    /// injection).
+    pub fn describe(&self, key: &RunKey) -> Result<String, ExpError> {
+        let specs = specs_for(key)?;
+        Ok(describe_run(
+            &key.arch.config(),
+            &specs,
+            key.policy.name(),
+            self.params,
+        ))
+    }
+
+    /// Record a failed run so the sweep can finish with partial results.
+    fn note_failure(&self, what: &str, error: &ExpError) {
+        crate::artifacts::record_failure(what, error);
+        self.failures.lock().unwrap().push(RunFailure {
+            what: what.to_string(),
+            error: error.clone(),
+        });
+    }
+
+    /// Failures recorded so far.
+    pub fn failures(&self) -> Vec<RunFailure> {
+        self.failures.lock().unwrap().clone()
+    }
+
+    /// Render the failure summary table, or `None` for a clean campaign.
+    pub fn failure_summary(&self) -> Option<String> {
+        let failures = self.failures.lock().unwrap();
+        if failures.is_empty() {
+            return None;
+        }
+        let mut t = smt_metrics::table::TextTable::new(vec!["kind", "run", "error"]);
+        for f in failures.iter() {
+            t.row(vec![
+                f.error.kind().to_string(),
+                f.what.clone(),
+                f.error.to_string().replace('\n', " | "),
+            ]);
+        }
+        Some(format!(
+            "{} run(s) failed; results are partial\n\n{}",
+            failures.len(),
+            t.render()
+        ))
+    }
+
     /// Run `key`, consulting and feeding the disk cache when attached.
     /// Every result entering the process (fresh or loaded) is recorded as
     /// a stats artifact exactly once.
-    fn run_or_load(params: ExpParams, disk: Option<&DiskCache>, key: &RunKey) -> SimResult {
-        let specs = specs_for(key);
-        let desc = describe_run(&key.arch.config(), &specs, key.policy.name(), params);
-        if let Some(d) = disk {
-            if let Some(result) = d.load(&desc) {
-                crate::artifacts::record(key, &result);
-                return result;
+    ///
+    /// The full robustness path: the configuration is validated before the
+    /// cache is consulted, an irregular cache entry is surfaced as a typed
+    /// failure artifact (and treated as a miss), the simulation itself runs
+    /// behind a panic boundary under the campaign watchdog, and stores
+    /// retry transient I/O failures with backoff (a final store failure
+    /// only costs future warm starts, so it is recorded, not fatal).
+    fn run_protected(&self, key: &RunKey) -> Result<SimResult, ExpError> {
+        let specs = specs_for(key)?;
+        let cfg = key.arch.config();
+        cfg.validate(specs.len())?;
+        let desc = describe_run(&cfg, &specs, key.policy.name(), self.params);
+        if let Some(d) = &self.disk {
+            match d.load_checked(&desc) {
+                Ok(Some(result)) => {
+                    crate::artifacts::record(key, &result);
+                    return Ok(result);
+                }
+                Ok(None) => {}
+                Err(fault) => {
+                    let e = ExpError::Cache {
+                        path: d.entry_path(&desc).display().to_string(),
+                        fault,
+                    };
+                    self.note_failure(&desc, &e);
+                }
             }
         }
-        let mut sim = Simulator::new(key.arch.config(), key.policy.build(), &specs);
-        let result = sim.run(params.warmup, params.measure);
+        let what = format!(
+            "{}/{}/{}",
+            key.arch.as_str(),
+            key.workload,
+            key.policy.name()
+        );
+        let result = protect(&what, || {
+            let mut sim = Simulator::try_new(cfg.clone(), key.policy.build(), &specs)?;
+            sim.try_run(self.params.warmup, self.params.measure, &self.watchdog)
+                .map_err(ExpError::from)
+        })?;
         crate::artifacts::record(key, &result);
-        if let Some(d) = disk {
-            if let Err(e) = d.store(&desc, &result) {
-                eprintln!("cache: failed to store {desc:?}: {e}");
+        if let Some(d) = &self.disk {
+            if let Err(e) = d.store_retrying(&desc, &result, 3) {
+                let e = ExpError::Io {
+                    context: format!("storing cache entry for {what}"),
+                    detail: e.to_string(),
+                };
+                eprintln!("cache: {e}");
+                self.note_failure(&desc, &e);
             }
         }
-        result
+        Ok(result)
     }
 
     /// Run an ad-hoc (config, workload, policy) combination through both
@@ -223,29 +338,78 @@ impl Campaign {
         policy_desc: &str,
         build: impl FnOnce() -> Box<dyn FetchPolicy>,
     ) -> SimResult {
+        self.try_run_custom(cfg, specs, policy_desc, build)
+            .unwrap_or_else(|e| panic!("custom run {policy_desc} failed: {e}"))
+    }
+
+    /// As [`Campaign::run_custom`], with the same fault isolation as the
+    /// grid path: config validation up front, panic capture, watchdog, and
+    /// retrying stores. Failures are recorded on the campaign.
+    pub fn try_run_custom(
+        &self,
+        cfg: &SimConfig,
+        specs: &[ThreadSpec],
+        policy_desc: &str,
+        build: impl FnOnce() -> Box<dyn FetchPolicy>,
+    ) -> Result<SimResult, ExpError> {
+        if let Err(e) = cfg.validate(specs.len()) {
+            let e = ExpError::Config(e);
+            self.note_failure(policy_desc, &e);
+            return Err(e);
+        }
         let desc = describe_run(cfg, specs, policy_desc, self.params);
         if let Some(r) = self.custom.lock().unwrap().get(&desc) {
-            return r.clone();
+            return Ok(r.clone());
         }
-        let result = match self.disk.as_ref().and_then(|d| d.load(&desc)) {
+        let loaded = match &self.disk {
+            Some(d) => match d.load_checked(&desc) {
+                Ok(r) => r,
+                Err(fault) => {
+                    let e = ExpError::Cache {
+                        path: d.entry_path(&desc).display().to_string(),
+                        fault,
+                    };
+                    self.note_failure(&desc, &e);
+                    None
+                }
+            },
+            None => None,
+        };
+        let result = match loaded {
             Some(r) => r,
             None => {
-                let mut sim = Simulator::new(cfg.clone(), build(), specs);
-                let r = sim.run(self.params.warmup, self.params.measure);
+                let run = protect(policy_desc, || {
+                    let mut sim = Simulator::try_new(cfg.clone(), build(), specs)?;
+                    sim.try_run(self.params.warmup, self.params.measure, &self.watchdog)
+                        .map_err(ExpError::from)
+                });
+                let r = match run {
+                    Ok(r) => r,
+                    Err(e) => {
+                        self.note_failure(policy_desc, &e);
+                        return Err(e);
+                    }
+                };
                 if let Some(d) = &self.disk {
-                    if let Err(e) = d.store(&desc, &r) {
-                        eprintln!("cache: failed to store {desc:?}: {e}");
+                    if let Err(e) = d.store_retrying(&desc, &r, 3) {
+                        let e = ExpError::Io {
+                            context: format!("storing cache entry for {policy_desc}"),
+                            detail: e.to_string(),
+                        };
+                        eprintln!("cache: {e}");
+                        self.note_failure(&desc, &e);
                     }
                 }
                 r
             }
         };
-        self.custom
+        Ok(self
+            .custom
             .lock()
             .unwrap()
             .entry(desc)
             .or_insert(result)
-            .clone()
+            .clone())
     }
 
     /// Ensure all `keys` are cached, running missing ones in parallel.
@@ -261,8 +425,6 @@ impl Campaign {
         if missing.is_empty() {
             return;
         }
-        let params = self.params;
-        let disk = self.disk.as_ref();
         let next = std::sync::atomic::AtomicUsize::new(0);
         let workers = self.parallelism.min(missing.len());
         std::thread::scope(|s| {
@@ -270,49 +432,69 @@ impl Campaign {
                 .map(|_| {
                     let missing = &missing;
                     let next = &next;
-                    s.spawn(move || {
-                        let mut out = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if i >= missing.len() {
-                                break;
-                            }
-                            let key = missing[i].clone();
-                            let result = Self::run_or_load(params, disk, &key);
-                            out.push((key, result));
+                    s.spawn(move || loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= missing.len() {
+                            break;
                         }
-                        out
+                        // Failures are recorded on the campaign; a failed
+                        // key simply stays unmemoized, and the rest of the
+                        // batch keeps going (partial results).
+                        let _ = self.try_result_owned(missing[i].clone());
                     })
                 })
                 .collect();
-            let mut cache = self.cache.lock().unwrap();
             for h in handles {
-                for (k, r) in h.join().expect("worker panicked") {
-                    cache.insert(k, r);
-                }
+                // Workers cannot panic: every simulation is behind the
+                // campaign's panic boundary.
+                h.join().expect("prefetch worker survived");
             }
         });
     }
 
     /// Get (running on demand if not cached) a simulation result.
+    ///
+    /// Panics if the run fails; sweeps that should degrade gracefully use
+    /// [`Campaign::try_result`]. (The failure is recorded on the campaign
+    /// *before* the panic, so a CLI-level `catch_unwind` still reports it.)
     pub fn result(&self, key: &RunKey) -> SimResult {
+        self.try_result(key)
+            .unwrap_or_else(|e| panic!("run {key:?} failed: {e}"))
+    }
+
+    /// Fallible [`Campaign::result`]: a failed run is recorded as a
+    /// [`RunFailure`] and returned as the error, leaving the rest of the
+    /// campaign untouched.
+    pub fn try_result(&self, key: &RunKey) -> Result<SimResult, ExpError> {
         if let Some(r) = self.cache.lock().unwrap().get(key) {
-            return r.clone();
+            return Ok(r.clone());
         }
-        self.result_owned(key.clone())
+        self.try_result_owned(key.clone())
     }
 
     /// [`Campaign::result`] for callers that already own the key, sparing
-    /// the clone on the miss path. The memo is re-checked and filled
-    /// through the entry API under a single lock acquisition; if another
-    /// thread raced us to the same key, its (identical — simulation is
-    /// deterministic) result wins and ours is dropped.
+    /// the clone on the miss path. Panics on failure like
+    /// [`Campaign::result`].
     pub fn result_owned(&self, key: RunKey) -> SimResult {
+        self.try_result_owned(key)
+            .unwrap_or_else(|e| panic!("run failed: {e}"))
+    }
+
+    /// Fallible [`Campaign::result_owned`]. The memo is re-checked and
+    /// filled through the entry API under a single lock acquisition; if
+    /// another thread raced us to the same key, its (identical —
+    /// simulation is deterministic) result wins and ours is dropped.
+    pub fn try_result_owned(&self, key: RunKey) -> Result<SimResult, ExpError> {
         if let Some(r) = self.cache.lock().unwrap().get(&key) {
-            return r.clone();
+            return Ok(r.clone());
         }
-        let r = Self::run_or_load(self.params, self.disk.as_ref(), &key);
-        self.cache.lock().unwrap().entry(key).or_insert(r).clone()
+        match self.run_protected(&key) {
+            Ok(r) => Ok(self.cache.lock().unwrap().entry(key).or_insert(r).clone()),
+            Err(e) => {
+                self.note_failure(&format!("{}/{}", key.arch.as_str(), key.workload), &e);
+                Err(e)
+            }
+        }
     }
 
     /// Result for a (workload, policy) pair on an architecture.
@@ -374,21 +556,20 @@ impl Campaign {
 }
 
 /// Render an ad-hoc comparison of `policies` on one workload: throughput,
-/// Hmean, per-thread IPCs, gating and flush statistics.
-///
-/// # Panics
-///
-/// Panics if `workload_name` is not a Table 2(b) name of the form
-/// `"<2|4|6|8>-<ILP|MIX|MEM>"` (callers exposing user input should
-/// validate first, as the CLI does).
+/// Hmean, per-thread IPCs, gating and flush statistics. A `workload_name`
+/// outside Table 2(b)'s `"<2|4|6|8>-<ILP|MIX|MEM>"` grammar is a typed
+/// error (the CLI maps it to a usage exit code).
 pub fn comparison_table(
     campaign: &Campaign,
     arch: Arch,
     workload_name: &str,
     policies: &[PolicyKind],
-) -> String {
-    let (threads, class) = parse_workload_name(workload_name);
-    let wl = smt_workloads::workload(threads, class);
+) -> Result<String, ExpError> {
+    let (threads, class) = parse_workload_name(workload_name)?;
+    let wl = smt_workloads::try_workload(threads, class).ok_or(ExpError::UnknownWorkload {
+        threads,
+        class: class.as_str(),
+    })?;
     let mut keys: Vec<RunKey> = policies
         .iter()
         .map(|&p| RunKey::workload(arch, &wl, p))
@@ -417,13 +598,13 @@ pub fn comparison_table(
             ipcs.join(" / "),
         ]);
     }
-    format!(
+    Ok(format!(
         "{} on the {} architecture ({})\n\n{}",
         wl.name,
         arch.as_str(),
         wl.benchmarks.join(", "),
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -504,8 +685,76 @@ mod tests {
 
     #[test]
     fn workload_name_round_trip() {
-        let (t, c) = parse_workload_name("6-MEM");
+        let (t, c) = parse_workload_name("6-MEM").unwrap();
         assert_eq!(t, 6);
         assert_eq!(c, WorkloadClass::Mem);
+    }
+
+    #[test]
+    fn workload_name_errors_are_typed() {
+        use crate::error::ExpError;
+        assert!(matches!(
+            parse_workload_name("nonsense"),
+            Err(ExpError::BadWorkloadName { .. })
+        ));
+        assert!(matches!(
+            parse_workload_name("x-MIX"),
+            Err(ExpError::BadWorkloadName { .. })
+        ));
+        // The satellite case: a well-formed name with an invented class
+        // must name the valid classes instead of panicking.
+        match parse_workload_name("4-QUX") {
+            Err(e @ ExpError::UnknownWorkloadClass { .. }) => {
+                assert!(e.to_string().contains("ILP, MIX, MEM"));
+            }
+            other => panic!("expected UnknownWorkloadClass, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_runs_are_recorded_not_fatal() {
+        let c = quick_campaign();
+        // Table 2(b) has no 3-thread workloads.
+        let bad = RunKey {
+            arch: Arch::Baseline,
+            workload: "3-MIX".into(),
+            policy: PolicyKind::Icount,
+        };
+        let err = c.try_result(&bad).unwrap_err();
+        assert!(matches!(err, ExpError::UnknownWorkload { threads: 3, .. }));
+        let failures = c.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].error.kind(), "unknown-workload");
+        assert!(c.failure_summary().unwrap().contains("partial"));
+
+        // The campaign keeps working after the failure.
+        let wl = workload(2, WorkloadClass::Ilp);
+        let r = c.workload_result(Arch::Baseline, &wl, PolicyKind::Icount);
+        assert!(r.throughput() > 0.0);
+    }
+
+    #[test]
+    fn prefetch_survives_failing_keys() {
+        let c = quick_campaign();
+        let wl = workload(2, WorkloadClass::Mix);
+        let keys = vec![
+            RunKey {
+                arch: Arch::Baseline,
+                workload: "9-MIX".into(),
+                policy: PolicyKind::Icount,
+            },
+            RunKey::workload(Arch::Baseline, &wl, PolicyKind::Icount),
+            RunKey {
+                arch: Arch::Baseline,
+                workload: "solo:nosuchbench".into(),
+                policy: PolicyKind::Icount,
+            },
+        ];
+        c.prefetch(&keys);
+        // The good key is cached; the bad ones are failures, not crashes.
+        assert_eq!(c.cached(), 1);
+        assert_eq!(c.failures().len(), 2);
+        let r = c.workload_result(Arch::Baseline, &wl, PolicyKind::Icount);
+        assert!(r.throughput() > 0.0);
     }
 }

@@ -122,11 +122,28 @@ pub fn parse_args(args: &[&str]) -> Result<TraceOpts, String> {
 
 /// Run the traced simulation and write `<arch>-<workload>-<policy>.trace.json`
 /// and `...stats.json` under `out_dir`. Returns a human-readable summary.
-pub fn run(o: &TraceOpts) -> Result<String, String> {
-    let wl = smt_workloads::workload(o.threads, o.class);
+///
+/// Like every other CLI entry path, the workload and configuration are
+/// validated up front with typed errors rather than trusted to downstream
+/// panics.
+pub fn run(o: &TraceOpts) -> Result<String, crate::error::ExpError> {
+    use crate::error::ExpError;
+    let io = |path: &std::path::Path| {
+        let context = path.display().to_string();
+        move |e: std::io::Error| ExpError::Io {
+            context,
+            detail: e.to_string(),
+        }
+    };
+    let wl = smt_workloads::try_workload(o.threads, o.class).ok_or(ExpError::UnknownWorkload {
+        threads: o.threads,
+        class: o.class.as_str(),
+    })?;
     let specs = wl.thread_specs();
+    let cfg = o.arch.config();
+    cfg.validate(specs.len())?;
     let probe = RecordingProbe::new(specs.len(), o.ring).with_detail(o.detail);
-    let mut sim = Simulator::with_probe(o.arch.config(), o.policy.build(), &specs, probe);
+    let mut sim = Simulator::with_probe(cfg, o.policy.build(), &specs, probe);
     let (result, occ) = sim.run_sampled(o.warmup, o.measure, o.sample_every);
     let probe = sim.into_probe();
 
@@ -171,7 +188,7 @@ pub fn run(o: &TraceOpts) -> Result<String, String> {
     // Also feed the global --stats-json sink, when active.
     crate::artifacts::record_tagged("trace", o.arch.as_str(), &wl.name, o.policy.name(), &result);
 
-    std::fs::create_dir_all(&o.out_dir).map_err(|e| format!("{}: {e}", o.out_dir.display()))?;
+    std::fs::create_dir_all(&o.out_dir).map_err(io(&o.out_dir))?;
     let stem = format!(
         "{}-{}-{}",
         o.arch.as_str(),
@@ -180,9 +197,8 @@ pub fn run(o: &TraceOpts) -> Result<String, String> {
     );
     let trace_path = o.out_dir.join(format!("{stem}.trace.json"));
     let stats_path = o.out_dir.join(format!("{stem}.stats.json"));
-    std::fs::write(&trace_path, &trace).map_err(|e| format!("{}: {e}", trace_path.display()))?;
-    std::fs::write(&stats_path, stats.render_pretty())
-        .map_err(|e| format!("{}: {e}", stats_path.display()))?;
+    std::fs::write(&trace_path, &trace).map_err(io(&trace_path))?;
+    std::fs::write(&stats_path, stats.render_pretty()).map_err(io(&stats_path))?;
 
     Ok(format!(
         "traced {} / {} / {} for {} cycles (+{} warmup)\n\

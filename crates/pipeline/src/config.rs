@@ -1,6 +1,7 @@
 //! Simulator configuration: the paper's baseline processor (Table 3) and the
 //! two §6 variant architectures.
 
+use crate::error::ConfigError;
 use smt_uarch::{CacheConfig, MemTiming, PredictorConfig, TlbConfig};
 
 /// Full processor + memory configuration.
@@ -147,19 +148,24 @@ impl SimConfig {
     }
 
     /// Validate that `num_threads` contexts fit this configuration.
-    pub fn validate(&self, num_threads: usize) -> Result<(), String> {
+    pub fn validate(&self, num_threads: usize) -> Result<(), ConfigError> {
         let reserved = self.arch_regs_per_thread() * num_threads as u32;
         if reserved >= self.phys_int || reserved >= self.phys_fp {
-            return Err(format!(
-                "{} threads reserve {} registers, exceeding the physical file",
-                num_threads, reserved
-            ));
+            return Err(ConfigError::NotEnoughRegisters {
+                threads: num_threads,
+                reserved,
+                phys_int: self.phys_int,
+                phys_fp: self.phys_fp,
+            });
         }
         if self.fetch_threads == 0 || self.fetch_width == 0 {
-            return Err("fetch mechanism must be at least 1.1".into());
+            return Err(ConfigError::ZeroFetch {
+                fetch_threads: self.fetch_threads,
+                fetch_width: self.fetch_width,
+            });
         }
         if num_threads == 0 {
-            return Err("need at least one thread".into());
+            return Err(ConfigError::NoThreads);
         }
         Ok(())
     }
@@ -225,5 +231,18 @@ mod tests {
     #[test]
     fn baseline_supports_eight_threads() {
         assert!(SimConfig::baseline().validate(8).is_ok());
+    }
+
+    #[test]
+    fn validation_errors_are_typed() {
+        let c = SimConfig::small();
+        assert!(matches!(
+            c.validate(8),
+            Err(ConfigError::NotEnoughRegisters { threads: 8, .. })
+        ));
+        assert!(matches!(c.validate(0), Err(ConfigError::NoThreads)));
+        let mut z = SimConfig::baseline();
+        z.fetch_threads = 0;
+        assert!(matches!(z.validate(2), Err(ConfigError::ZeroFetch { .. })));
     }
 }

@@ -1,0 +1,348 @@
+//! Typed simulation errors and the forward-progress watchdog.
+//!
+//! The simulator can fail in exactly two ways: it can be *misconfigured*
+//! ([`ConfigError`], caught before the first cycle), or it can stop making
+//! forward progress at runtime ([`SimError::NoForwardProgress`] and the
+//! budget variants, caught by the [`Watchdog`] inside
+//! [`Simulator::try_run`](crate::Simulator::try_run)). Both carry enough
+//! structure for a campaign runner to classify, report, and continue —
+//! nothing in this crate panics on a user-reachable path.
+//!
+//! A watchdog abort includes a [`ProgressSnapshot`]: the cycle of the last
+//! commit, per-thread ICOUNT / outstanding-miss / occupancy counters, and
+//! shared-resource usage — the state needed to tell a starved fetch policy
+//! from a resource deadlock from a runaway event loop.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A structurally invalid [`SimConfig`](crate::SimConfig) / thread-count
+/// combination, rejected before simulation starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The per-context architectural-register reservation does not leave any
+    /// physical registers to rename into.
+    NotEnoughRegisters {
+        threads: usize,
+        reserved: u32,
+        phys_int: u32,
+        phys_fp: u32,
+    },
+    /// `fetch_threads` or `fetch_width` is zero — the ICOUNT x.y fetch
+    /// mechanism needs at least 1.1.
+    ZeroFetch {
+        fetch_threads: u32,
+        fetch_width: u32,
+    },
+    /// A simulation needs at least one hardware context.
+    NoThreads,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NotEnoughRegisters {
+                threads,
+                reserved,
+                phys_int,
+                phys_fp,
+            } => write!(
+                f,
+                "{threads} threads reserve {reserved} architectural registers, \
+                 exceeding the physical file ({phys_int} int / {phys_fp} fp)"
+            ),
+            ConfigError::ZeroFetch {
+                fetch_threads,
+                fetch_width,
+            } => write!(
+                f,
+                "fetch mechanism must be at least 1.1 \
+                 (got {fetch_threads}.{fetch_width})"
+            ),
+            ConfigError::NoThreads => write!(f, "need at least one thread"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Per-thread state captured when the watchdog aborts a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadProgress {
+    /// In-flight instruction count (the ICOUNT the fetch policy sees).
+    pub icount: u32,
+    /// Outstanding L1-D misses.
+    pub dmiss: u32,
+    /// Declared (or predicted) L2 misses — non-zero means the thread sits in
+    /// the policy's low-priority fetch group.
+    pub declared: u32,
+    /// Issue-queue entries held.
+    pub iq_held: u32,
+    /// Physical registers held.
+    pub regs_held: u32,
+    /// Reorder-buffer occupancy.
+    pub rob: usize,
+    /// Fetch-queue occupancy (instructions buffered between fetch and
+    /// dispatch).
+    pub fetch_queue: usize,
+    /// Instructions committed by this thread since cycle 0.
+    pub committed: u64,
+}
+
+/// A structured deadlock/livelock report: everything the watchdog saw when
+/// it pulled the plug.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressSnapshot {
+    /// Cycle at which the run was aborted.
+    pub cycle: u64,
+    /// Cycle of the most recent commit (equal to the run's start cycle if
+    /// nothing ever committed).
+    pub last_commit_cycle: u64,
+    /// Instructions committed machine-wide since cycle 0.
+    pub total_committed: u64,
+    /// The active fetch policy.
+    pub policy: &'static str,
+    /// Per-thread counters, indexed by hardware context.
+    pub threads: Vec<ThreadProgress>,
+    /// Shared issue-queue occupancy: [int, fp, ldst].
+    pub iq_usage: [u32; 3],
+    /// Shared physical registers in use (int, fp).
+    pub regs_in_use: (u32, u32),
+}
+
+impl fmt::Display for ProgressSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cycle {} (last commit at {}, {} committed total, policy {})",
+            self.cycle, self.last_commit_cycle, self.total_committed, self.policy
+        )?;
+        writeln!(
+            f,
+            "  shared: iq[int/fp/ldst]={}/{}/{} regs[int/fp]={}/{}",
+            self.iq_usage[0],
+            self.iq_usage[1],
+            self.iq_usage[2],
+            self.regs_in_use.0,
+            self.regs_in_use.1
+        )?;
+        for (t, p) in self.threads.iter().enumerate() {
+            let group = if p.declared > 0 { "dmiss" } else { "normal" };
+            writeln!(
+                f,
+                "  t{t}[{group}]: icount={} dmiss={} declared={} iq={} regs={} \
+                 rob={} fq={} committed={}",
+                p.icount,
+                p.dmiss,
+                p.declared,
+                p.iq_held,
+                p.regs_held,
+                p.rob,
+                p.fetch_queue,
+                p.committed
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A failed simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The configuration was rejected before the first cycle.
+    Config(ConfigError),
+    /// No instruction committed for the watchdog's `no_commit_cycles`
+    /// budget — the machine is deadlocked or livelocked.
+    NoForwardProgress {
+        /// Cycles without a commit when the run was aborted.
+        stalled_for: u64,
+        snapshot: Box<ProgressSnapshot>,
+    },
+    /// The run exceeded the watchdog's total cycle budget.
+    CycleBudgetExceeded {
+        budget: u64,
+        snapshot: Box<ProgressSnapshot>,
+    },
+    /// The run exceeded the watchdog's wall-clock budget.
+    WallClockExceeded {
+        budget: Duration,
+        snapshot: Box<ProgressSnapshot>,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "invalid configuration: {e}"),
+            SimError::NoForwardProgress {
+                stalled_for,
+                snapshot,
+            } => write!(
+                f,
+                "no forward progress: no commit for {stalled_for} cycles at {snapshot}"
+            ),
+            SimError::CycleBudgetExceeded { budget, snapshot } => {
+                write!(f, "cycle budget of {budget} exceeded at {snapshot}")
+            }
+            SimError::WallClockExceeded { budget, snapshot } => write!(
+                f,
+                "wall-clock budget of {:.1}s exceeded at {snapshot}",
+                budget.as_secs_f64()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> SimError {
+        SimError::Config(e)
+    }
+}
+
+impl SimError {
+    /// The abort snapshot, if this error carries one.
+    pub fn snapshot(&self) -> Option<&ProgressSnapshot> {
+        match self {
+            SimError::Config(_) => None,
+            SimError::NoForwardProgress { snapshot, .. }
+            | SimError::CycleBudgetExceeded { snapshot, .. }
+            | SimError::WallClockExceeded { snapshot, .. } => Some(snapshot),
+        }
+    }
+}
+
+/// Forward-progress and budget limits enforced by
+/// [`Simulator::try_run`](crate::Simulator::try_run).
+///
+/// The watchdog is *observation-only*: it reads counters the simulator
+/// already maintains and never influences simulation state, so guarded and
+/// unguarded runs produce bit-identical results. The commit check costs two
+/// compares per cycle; the wall clock is consulted only every
+/// [`Watchdog::WALL_CHECK_INTERVAL`] cycles to keep `Instant::now` off the
+/// hot path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Watchdog {
+    /// Abort when no instruction commits machine-wide for this many cycles
+    /// (0 disables the check). The default, 20 000 cycles, is two orders of
+    /// magnitude above the longest legitimate full-machine stall (a TLB miss
+    /// plus a deep-config memory access is under 400 cycles).
+    pub no_commit_cycles: u64,
+    /// Abort after this many cycles total across the guarded run
+    /// (0 disables the check).
+    pub max_cycles: u64,
+    /// Abort when the guarded run exceeds this much wall-clock time.
+    pub max_wall: Option<Duration>,
+}
+
+impl Watchdog {
+    /// Cycles between wall-clock checks.
+    pub const WALL_CHECK_INTERVAL: u64 = 4096;
+
+    /// Default livelock threshold (cycles without a commit).
+    pub const DEFAULT_NO_COMMIT_CYCLES: u64 = 20_000;
+
+    /// No limits at all — restores the unguarded `run` behaviour exactly.
+    pub fn disabled() -> Watchdog {
+        Watchdog {
+            no_commit_cycles: 0,
+            max_cycles: 0,
+            max_wall: None,
+        }
+    }
+}
+
+impl Default for Watchdog {
+    /// Livelock detection on, budgets off.
+    fn default() -> Watchdog {
+        Watchdog {
+            no_commit_cycles: Watchdog::DEFAULT_NO_COMMIT_CYCLES,
+            max_cycles: 0,
+            max_wall: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_errors_render_their_parameters() {
+        let e = ConfigError::NotEnoughRegisters {
+            threads: 8,
+            reserved: 256,
+            phys_int: 256,
+            phys_fp: 256,
+        };
+        let s = e.to_string();
+        assert!(s.contains("8 threads"), "{s}");
+        assert!(s.contains("256"), "{s}");
+        let z = ConfigError::ZeroFetch {
+            fetch_threads: 0,
+            fetch_width: 8,
+        }
+        .to_string();
+        assert!(z.contains("at least 1.1"), "{z}");
+    }
+
+    #[test]
+    fn snapshot_display_lists_every_thread_and_its_group() {
+        let snap = ProgressSnapshot {
+            cycle: 1234,
+            last_commit_cycle: 200,
+            total_committed: 17,
+            policy: "ICOUNT",
+            threads: vec![
+                ThreadProgress {
+                    icount: 3,
+                    dmiss: 0,
+                    declared: 0,
+                    iq_held: 1,
+                    regs_held: 2,
+                    rob: 3,
+                    fetch_queue: 4,
+                    committed: 10,
+                },
+                ThreadProgress {
+                    icount: 9,
+                    dmiss: 1,
+                    declared: 1,
+                    iq_held: 5,
+                    regs_held: 6,
+                    rob: 7,
+                    fetch_queue: 8,
+                    committed: 7,
+                },
+            ],
+            iq_usage: [4, 0, 2],
+            regs_in_use: (11, 12),
+        };
+        let s = snap.to_string();
+        assert!(s.contains("t0[normal]"), "{s}");
+        assert!(s.contains("t1[dmiss]"), "{s}");
+        assert!(s.contains("last commit at 200"), "{s}");
+        let e = SimError::NoForwardProgress {
+            stalled_for: 1034,
+            snapshot: Box::new(snap),
+        };
+        assert!(e.to_string().contains("no commit for 1034 cycles"));
+    }
+
+    #[test]
+    fn default_watchdog_detects_livelock_only() {
+        let wd = Watchdog::default();
+        assert_eq!(wd.no_commit_cycles, Watchdog::DEFAULT_NO_COMMIT_CYCLES);
+        assert_eq!(wd.max_cycles, 0);
+        assert!(wd.max_wall.is_none());
+        assert_eq!(Watchdog::disabled().no_commit_cycles, 0);
+    }
+}

@@ -30,6 +30,7 @@
 //! bit-identical to the straightforward implementation, cycle for cycle.
 
 pub mod config;
+pub mod error;
 mod events;
 pub mod frontend;
 pub mod inflight;
@@ -38,6 +39,7 @@ pub mod sim;
 pub mod stats;
 
 pub use config::SimConfig;
+pub use error::{ConfigError, ProgressSnapshot, SimError, ThreadProgress, Watchdog};
 pub use frontend::{CorrectPath, ThreadFront};
 pub use inflight::{Handle, InFlight, Slab, Stage};
 pub use policy::{DeclareAction, FetchPolicy, PolicyEvent, PolicyView, ThreadView};

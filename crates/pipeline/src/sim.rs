@@ -21,6 +21,7 @@ use smt_uarch::{
 };
 
 use crate::config::SimConfig;
+use crate::error::{ConfigError, ProgressSnapshot, SimError, ThreadProgress, Watchdog};
 use crate::events::{Ev, EvKind, EventWheel};
 use crate::frontend::ThreadFront;
 use crate::inflight::{Handle, InFlight, Slab, Stage};
@@ -133,11 +134,90 @@ fn iq_index(kind: IqKind) -> usize {
     }
 }
 
+/// Per-run watchdog bookkeeping for [`Simulator::try_run`]. Reads simulator
+/// counters, never writes them — guarded runs stay bit-identical.
+struct WatchState {
+    /// Cycles stepped in this guarded run (warmup + measure).
+    cycles: u64,
+    /// Machine-wide commit count at the last observed commit.
+    last_commit_total: u64,
+    /// Cycle of the last observed commit (run start if none yet).
+    last_commit_cycle: u64,
+    /// When the guarded run started, for the wall-clock budget.
+    started: std::time::Instant,
+}
+
+impl WatchState {
+    fn new<P: Probe>(sim: &Simulator<P>) -> WatchState {
+        WatchState {
+            cycles: 0,
+            last_commit_total: sim.total_committed,
+            last_commit_cycle: sim.now,
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Called once per stepped cycle: two compares on the happy path, the
+    /// wall clock only every [`Watchdog::WALL_CHECK_INTERVAL`] cycles.
+    #[inline]
+    fn check<P: Probe>(&mut self, sim: &Simulator<P>, wd: &Watchdog) -> Result<(), SimError> {
+        self.cycles += 1;
+        if sim.total_committed != self.last_commit_total {
+            self.last_commit_total = sim.total_committed;
+            self.last_commit_cycle = sim.now;
+        } else if wd.no_commit_cycles > 0 {
+            let stalled = sim.now.saturating_sub(self.last_commit_cycle);
+            if stalled >= wd.no_commit_cycles {
+                return Err(SimError::NoForwardProgress {
+                    stalled_for: stalled,
+                    snapshot: self.snapshot(sim),
+                });
+            }
+        }
+        if wd.max_cycles > 0 && self.cycles >= wd.max_cycles {
+            return Err(SimError::CycleBudgetExceeded {
+                budget: wd.max_cycles,
+                snapshot: self.snapshot(sim),
+            });
+        }
+        if let Some(budget) = wd.max_wall {
+            if self.cycles.is_multiple_of(Watchdog::WALL_CHECK_INTERVAL)
+                && self.started.elapsed() > budget
+            {
+                return Err(SimError::WallClockExceeded {
+                    budget,
+                    snapshot: self.snapshot(sim),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn snapshot<P: Probe>(&self, sim: &Simulator<P>) -> Box<ProgressSnapshot> {
+        let mut s = sim.progress_snapshot();
+        s.last_commit_cycle = self.last_commit_cycle;
+        Box::new(s)
+    }
+}
+
 impl Simulator {
     /// Build a simulator for `specs` (one entry per hardware context) under
     /// `policy`. Each context gets a disjoint address-space base.
+    ///
+    /// Panics on an invalid configuration; [`Simulator::try_new`] is the
+    /// fallible form.
     pub fn new(cfg: SimConfig, policy: Box<dyn FetchPolicy>, specs: &[ThreadSpec]) -> Simulator {
         Simulator::with_probe(cfg, policy, specs, NullProbe)
+    }
+
+    /// As [`Simulator::new`], but an invalid configuration is returned as a
+    /// typed [`ConfigError`] instead of panicking.
+    pub fn try_new(
+        cfg: SimConfig,
+        policy: Box<dyn FetchPolicy>,
+        specs: &[ThreadSpec],
+    ) -> Result<Simulator, ConfigError> {
+        Simulator::try_with_probe(cfg, policy, specs, NullProbe)
     }
 
     /// The default per-context address base: disjoint per context, staggered
@@ -168,6 +248,17 @@ impl<P: Probe> Simulator<P> {
         specs: &[ThreadSpec],
         probe: P,
     ) -> Simulator<P> {
+        Self::try_with_probe(cfg, policy, specs, probe).expect("invalid configuration")
+    }
+
+    /// As [`Simulator::with_probe`], returning a typed [`ConfigError`] on an
+    /// invalid configuration.
+    pub fn try_with_probe(
+        cfg: SimConfig,
+        policy: Box<dyn FetchPolicy>,
+        specs: &[ThreadSpec],
+        probe: P,
+    ) -> Result<Simulator<P>, ConfigError> {
         let fronts: Vec<ThreadFront> = specs
             .iter()
             .enumerate()
@@ -175,7 +266,7 @@ impl<P: Probe> Simulator<P> {
                 ThreadFront::new(&s.profile, s.seed, Simulator::thread_addr_base(t), s.skip)
             })
             .collect();
-        Self::with_probe_fronts(cfg, policy, fronts, probe)
+        Self::try_with_probe_fronts(cfg, policy, fronts, probe)
     }
 
     /// As [`Simulator::with_fronts`], with an explicit observability probe.
@@ -185,7 +276,18 @@ impl<P: Probe> Simulator<P> {
         fronts: Vec<ThreadFront>,
         probe: P,
     ) -> Simulator<P> {
-        cfg.validate(fronts.len()).expect("invalid configuration");
+        Self::try_with_probe_fronts(cfg, policy, fronts, probe).expect("invalid configuration")
+    }
+
+    /// As [`Simulator::with_probe_fronts`], returning a typed
+    /// [`ConfigError`] on an invalid configuration.
+    pub fn try_with_probe_fronts(
+        cfg: SimConfig,
+        policy: Box<dyn FetchPolicy>,
+        fronts: Vec<ThreadFront>,
+        probe: P,
+    ) -> Result<Simulator<P>, ConfigError> {
+        cfg.validate(fronts.len())?;
         let n = fronts.len();
         let reserved = cfg.arch_regs_per_thread() * n as u32;
         let mut hier = MemHierarchy::new(cfg.l1i, cfg.l1d, cfg.l2, cfg.tlb, cfg.timing, n);
@@ -205,7 +307,7 @@ impl<P: Probe> Simulator<P> {
                 hier.prewarm_dtlb(t, line, 1);
             }
         }
-        Simulator {
+        Ok(Simulator {
             fronts,
             slab: Slab::new(),
             robs: (0..n).map(|_| VecDeque::new()).collect(),
@@ -239,7 +341,7 @@ impl<P: Probe> Simulator<P> {
             cfg,
             probe,
             gate_state: vec![None; n],
-        }
+        })
     }
 
     /// The attached probe.
@@ -296,9 +398,30 @@ impl<P: Probe> Simulator<P> {
 
     /// Run `warmup` cycles, reset statistics, run `measure` cycles, and
     /// report the measured window.
+    ///
+    /// Guarded by the default [`Watchdog`] (livelock detection only): a
+    /// machine that stops committing panics with a [`ProgressSnapshot`]
+    /// instead of spinning forever. Campaign code should prefer
+    /// [`Simulator::try_run`], which returns the abort as a typed
+    /// [`SimError`]. The watchdog is observation-only, so guarded results
+    /// are bit-identical to unguarded ones.
     pub fn run(&mut self, warmup: u64, measure: u64) -> SimResult {
+        self.try_run(warmup, measure, &Watchdog::default())
+            .unwrap_or_else(|e| panic!("simulation aborted: {e}"))
+    }
+
+    /// As [`Simulator::run`], but aborts with a typed [`SimError`] when the
+    /// watchdog detects no forward progress or a budget overrun.
+    pub fn try_run(
+        &mut self,
+        warmup: u64,
+        measure: u64,
+        wd: &Watchdog,
+    ) -> Result<SimResult, SimError> {
+        let mut watch = WatchState::new(self);
         for _ in 0..warmup {
             self.step();
+            watch.check(self, wd)?;
         }
         let stats_base = self.stats.clone();
         let mem_base: Vec<_> = (0..self.num_threads())
@@ -307,12 +430,14 @@ impl<P: Probe> Simulator<P> {
         let pred_base = (self.branches.predictions, self.branches.mispredictions);
         for _ in 0..measure {
             self.step();
+            watch.check(self, wd)?;
         }
-        self.window_result(measure, stats_base, mem_base, pred_base)
+        Ok(self.window_result(measure, stats_base, mem_base, pred_base))
     }
 
     /// As [`Simulator::run`], additionally sampling shared-resource
     /// occupancy every `sample_every` cycles over the measured window.
+    /// Guarded by the default [`Watchdog`] like [`Simulator::run`].
     pub fn run_sampled(
         &mut self,
         warmup: u64,
@@ -320,8 +445,13 @@ impl<P: Probe> Simulator<P> {
         sample_every: u64,
     ) -> (SimResult, crate::stats::OccupancyStats) {
         assert!(sample_every >= 1);
+        let wd = Watchdog::default();
+        let mut watch = WatchState::new(self);
         for _ in 0..warmup {
             self.step();
+            if let Err(e) = watch.check(self, &wd) {
+                panic!("simulation aborted: {e}");
+            }
         }
         let n = self.num_threads();
         let mut occ = crate::stats::OccupancyStats {
@@ -334,6 +464,9 @@ impl<P: Probe> Simulator<P> {
         let pred_base = (self.branches.predictions, self.branches.mispredictions);
         for c in 0..measure {
             self.step();
+            if let Err(e) = watch.check(self, &wd) {
+                panic!("simulation aborted: {e}");
+            }
             if c % sample_every == 0 {
                 occ.samples += 1;
                 let iq = self.iq_usage();
@@ -430,6 +563,32 @@ impl<P: Probe> Simulator<P> {
             } else {
                 mis as f64 / preds as f64
             },
+        }
+    }
+
+    /// Capture the forward-progress counters the watchdog reports on abort.
+    /// Purely observational — never touches simulation state.
+    pub fn progress_snapshot(&self) -> ProgressSnapshot {
+        let threads = (0..self.num_threads())
+            .map(|t| ThreadProgress {
+                icount: self.icount[t],
+                dmiss: self.dmiss[t],
+                declared: self.declared[t],
+                iq_held: self.iq_held[t],
+                regs_held: self.regs_held[t],
+                rob: self.robs[t].len(),
+                fetch_queue: self.fronts[t].queue.len(),
+                committed: self.stats[t].committed,
+            })
+            .collect();
+        ProgressSnapshot {
+            cycle: self.now,
+            last_commit_cycle: 0, // filled in by the watchdog
+            total_committed: self.total_committed,
+            policy: self.policy.name(),
+            threads,
+            iq_usage: self.iq_usage(),
+            regs_in_use: (self.regs_int.in_use(), self.regs_fp.in_use()),
         }
     }
 

@@ -252,6 +252,12 @@ impl RecordedTrace {
         let mut name = vec![0u8; name_len];
         r.r.read_exact(&mut name)?;
         let profile_name = String::from_utf8(name).map_err(|_| bad("profile name is not UTF-8"))?;
+        // Replay needs the profile's pool calibration for wrong-path
+        // synthesis; an unknown name would panic much later, in
+        // `ThreadFront::from_recording`.
+        if by_name(&profile_name).is_none() {
+            return Err(bad("trace names an unknown benchmark profile"));
+        }
         let code_base = r.u64()?;
 
         let n_static = r.u32()? as usize;
@@ -320,6 +326,12 @@ impl RecordedTrace {
                 return Err(bad("dynamic record has out-of-range successor"));
             }
             let si = program.inst(static_idx);
+            // A load record with no address would panic the pipeline's
+            // cache-access stage much later; reject it here, where the
+            // corruption is attributable to the file.
+            if si.class == OpClass::Load && mem_addr.is_none() {
+                return Err(bad("load record is missing its memory address"));
+            }
             dyn_insts.push(DynInst {
                 pc: code_base + static_idx as u64 * INST_BYTES,
                 static_idx,
@@ -332,6 +344,9 @@ impl RecordedTrace {
                 next_pc: code_base + next_idx as u64 * INST_BYTES,
                 wrong_path: false,
             });
+        }
+        if dyn_insts.is_empty() {
+            return Err(bad("trace has no dynamic records"));
         }
         Ok(RecordedTrace {
             profile_name,
@@ -402,6 +417,22 @@ mod tests {
                 "truncation at {cut} must fail"
             );
         }
+    }
+
+    #[test]
+    fn rejects_load_records_without_an_address() {
+        // A flags-byte corruption can clear the has-address bit of a load
+        // record; the file must be rejected at parse time, not allowed to
+        // panic the pipeline's cache-access stage later.
+        let mut rec = RecordedTrace::record(&mcf(), 5, 0x2000, 2_000);
+        let victim = rec
+            .insts
+            .iter_mut()
+            .find(|d| d.class == OpClass::Load)
+            .expect("mcf traces contain loads");
+        victim.mem_addr = None;
+        let err = RecordedTrace::from_bytes(&rec.to_bytes()).unwrap_err();
+        assert!(err.to_string().contains("missing its memory address"));
     }
 
     #[test]

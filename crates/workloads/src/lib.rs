@@ -90,8 +90,20 @@ impl Workload {
 }
 
 /// Build the workload for a given thread count and class (Table 2b).
-/// Panics on a (count, class) pair outside the table.
+/// Panics on a (count, class) pair outside the table;
+/// [`try_workload`] is the fallible form.
 pub fn workload(threads: usize, class: WorkloadClass) -> Workload {
+    try_workload(threads, class).unwrap_or_else(|| {
+        panic!(
+            "Table 2b has no {threads}-thread {} workload",
+            class.as_str()
+        )
+    })
+}
+
+/// As [`workload`], returning `None` for a (count, class) pair outside
+/// Table 2(b) instead of panicking.
+pub fn try_workload(threads: usize, class: WorkloadClass) -> Option<Workload> {
     use WorkloadClass::*;
     let benchmarks: Vec<&'static str> = match (threads, class) {
         (2, Ilp) => vec!["gzip", "bzip2"],
@@ -112,16 +124,13 @@ pub fn workload(threads: usize, class: WorkloadClass) -> Workload {
         (8, Mem) => vec![
             "mcf", "twolf", "vpr", "parser", "mcf", "twolf", "vpr", "parser",
         ],
-        _ => panic!(
-            "Table 2b has no {threads}-thread {} workload",
-            class.as_str()
-        ),
+        _ => return None,
     };
-    Workload {
+    Some(Workload {
         name: format!("{threads}-{}", class.as_str()),
         class,
         benchmarks,
-    }
+    })
 }
 
 /// All 12 workloads in the paper's figure order (2/4/6/8 × ILP/MIX/MEM).
