@@ -90,6 +90,57 @@ impl FetchPolicy for DWarn {
             crate::stall_flush::retain_ungated_keep_one(out, view);
         }
     }
+
+    /// The sanitizer's `INV013` check: DWarn's published order must obey the
+    /// paper's two-group rule and the hybrid gating rule.
+    fn audit_order(&self, view: &PolicyView, order: &[usize]) -> Result<(), String> {
+        let hybrid_active = view.num_threads() < self.hybrid_below;
+        // Group rule: a thread is in the Dmiss group iff it has an
+        // outstanding L1 data miss; Normal threads fetch first, ICOUNT
+        // ascending within each group (ties by thread index).
+        let key = |t: usize| {
+            let v = &view.threads[t];
+            ((v.dmiss_count > 0) as u32, v.icount, t)
+        };
+        for w in order.windows(2) {
+            if key(w[0]) > key(w[1]) {
+                return Err(format!(
+                    "thread {} (dmiss={} icount={}) ordered before thread {} \
+                     (dmiss={} icount={}), violating Normal-first / ICOUNT order",
+                    w[0],
+                    view.threads[w[0]].dmiss_count,
+                    view.threads[w[0]].icount,
+                    w[1],
+                    view.threads[w[1]].dmiss_count,
+                    view.threads[w[1]].icount,
+                ));
+            }
+        }
+        // Gating rule: threads are only ever omitted by the hybrid RA —
+        // declared L2 miss outstanding, fewer threads than the threshold —
+        // and never all of them.
+        if view.num_threads() > 0 && order.is_empty() {
+            return Err("every thread gated (the keep-one rule forbids this)".into());
+        }
+        for t in 0..view.num_threads() {
+            if order.contains(&t) {
+                continue;
+            }
+            if !hybrid_active {
+                return Err(format!(
+                    "thread {t} gated with {} threads running (DWarn only gates below {})",
+                    view.num_threads(),
+                    self.hybrid_below
+                ));
+            }
+            if view.threads[t].declared_l2 == 0 {
+                return Err(format!(
+                    "thread {t} gated without a declared L2 miss outstanding"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +206,72 @@ mod tests {
         let threads = vec![tv(5, 0, 0), tv(2, 0, 0), tv(8, 0, 0)];
         let order = DWarn::new().fetch_order(&view(&threads));
         assert_eq!(order, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn audit_accepts_every_order_the_policy_produces() {
+        let scenarios = vec![
+            vec![tv(9, 0, 0), tv(1, 1, 0), tv(4, 0, 0)],
+            vec![tv(9, 2, 0), tv(5, 1, 0), tv(7, 0, 0), tv(2, 0, 0)],
+            vec![tv(1, 1, 1), tv(9, 0, 0)],
+            vec![tv(1, 1, 1), tv(9, 0, 1)], // all declared: keep-one applies
+            vec![tv(5, 0, 0)],
+        ];
+        for threads in scenarios {
+            let mut p = DWarn::new();
+            let v = view(&threads);
+            let order = p.fetch_order(&v);
+            assert_eq!(
+                p.audit_order(&v, &order),
+                Ok(()),
+                "own order rejected for {threads:?} -> {order:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn audit_rejects_dmiss_thread_ahead_of_normal_thread() {
+        let threads = vec![tv(9, 0, 0), tv(1, 1, 0)];
+        let p = DWarn::new();
+        // Correct order is [0, 1]; a Dmiss thread first violates the group
+        // rule even though its ICOUNT is lower.
+        let err = p.audit_order(&view(&threads), &[1, 0]).unwrap_err();
+        assert!(err.contains("Normal-first"), "{err}");
+    }
+
+    #[test]
+    fn audit_rejects_icount_disorder_within_a_group() {
+        let threads = vec![tv(9, 0, 0), tv(1, 0, 0)];
+        let p = DWarn::new();
+        let err = p.audit_order(&view(&threads), &[0, 1]).unwrap_err();
+        assert!(err.contains("ICOUNT"), "{err}");
+    }
+
+    #[test]
+    fn audit_rejects_gating_without_a_declared_miss() {
+        // Two threads, hybrid active: omitting an undeclared thread is a
+        // violation.
+        let threads = vec![tv(1, 1, 0), tv(9, 0, 0)];
+        let p = DWarn::new();
+        let err = p.audit_order(&view(&threads), &[1]).unwrap_err();
+        assert!(err.contains("without a declared L2 miss"), "{err}");
+    }
+
+    #[test]
+    fn audit_rejects_gating_at_or_above_the_hybrid_threshold() {
+        // Three threads: DWarn never gates, only deprioritizes.
+        let threads = vec![tv(1, 1, 1), tv(5, 0, 0), tv(9, 0, 0)];
+        let p = DWarn::new();
+        let err = p.audit_order(&view(&threads), &[1, 2]).unwrap_err();
+        assert!(err.contains("only gates below"), "{err}");
+    }
+
+    #[test]
+    fn audit_rejects_the_empty_order() {
+        let threads = vec![tv(1, 1, 1), tv(9, 0, 1)];
+        let p = DWarn::new();
+        let err = p.audit_order(&view(&threads), &[]).unwrap_err();
+        assert!(err.contains("keep-one"), "{err}");
     }
 
     #[test]

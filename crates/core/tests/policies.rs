@@ -222,3 +222,41 @@ fn dwarn_never_fully_starves_the_mem_thread() {
         );
     }
 }
+
+#[test]
+fn every_paper_policy_runs_clean_under_the_sanitizer() {
+    // The sanitizer audits the whole machine every cycle (resource
+    // conservation, ICOUNT/dmiss/declared counters, event wheel, and each
+    // policy's own ordering/gating rules via `audit_order`). A violation
+    // here means a policy's published fetch order contradicts the machine
+    // state the paper's accounting depends on.
+    use smt_pipeline::RecordingSanitizer;
+    for kind in PolicyKind::paper_set() {
+        for wl in [mix2(), mix4()] {
+            let mut plain = Simulator::new(SimConfig::baseline(), kind.build(), &wl);
+            let mut checked = Simulator::try_sanitized(
+                SimConfig::baseline(),
+                kind.build(),
+                &wl,
+                RecordingSanitizer::new(),
+            )
+            .expect("baseline config is valid");
+            let r_plain = plain.run(2_000, 8_000);
+            let r_checked = checked.run(2_000, 8_000);
+            assert_eq!(
+                r_plain.digest(),
+                r_checked.digest(),
+                "{}: sanitized run must be bit-identical ({} threads)",
+                kind.name(),
+                wl.len()
+            );
+            assert!(
+                checked.sanitizer().is_clean(),
+                "{} ({} threads) violated invariants:\n{}",
+                kind.name(),
+                wl.len(),
+                checked.sanitizer().render_report()
+            );
+        }
+    }
+}

@@ -49,7 +49,7 @@ static SINK: Mutex<Option<Sink>> = Mutex::new(None);
 /// Start collecting run artifacts, to be written under `dir` by [`flush`].
 pub fn enable(dir: &Path) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
-    *SINK.lock().unwrap() = Some(Sink {
+    *crate::lock_unpoisoned(&SINK) = Some(Sink {
         dir: dir.to_path_buf(),
         records: Vec::new(),
         failures: Vec::new(),
@@ -59,7 +59,7 @@ pub fn enable(dir: &Path) -> std::io::Result<()> {
 
 /// Whether [`enable`] has been called (and [`flush`] has not yet run).
 pub fn enabled() -> bool {
-    SINK.lock().unwrap().is_some()
+    crate::lock_unpoisoned(&SINK).is_some()
 }
 
 /// Record a campaign run. No-op unless [`enable`]d.
@@ -76,7 +76,7 @@ pub fn record(key: &RunKey, result: &SimResult) {
 /// Record an arbitrary run (the ablation sweeps build their own
 /// simulators outside the campaign cache). No-op unless [`enable`]d.
 pub fn record_tagged(tag: &str, arch: &str, workload: &str, policy: &str, result: &SimResult) {
-    let mut sink = SINK.lock().unwrap();
+    let mut sink = crate::lock_unpoisoned(&SINK);
     if let Some(sink) = sink.as_mut() {
         sink.records.push(RunRecord {
             tag: tag.to_string(),
@@ -91,7 +91,7 @@ pub fn record_tagged(tag: &str, arch: &str, workload: &str, policy: &str, result
 /// Record a failed run as a typed artifact. No-op unless [`enable`]d (the
 /// campaign additionally keeps its own in-memory failure list either way).
 pub fn record_failure(what: &str, error: &crate::error::ExpError) {
-    let mut sink = SINK.lock().unwrap();
+    let mut sink = crate::lock_unpoisoned(&SINK);
     if let Some(sink) = sink.as_mut() {
         sink.failures.push(FailureRecord {
             what: what.to_string(),
@@ -105,7 +105,7 @@ pub fn record_failure(what: &str, error: &crate::error::ExpError) {
 /// failed) and disable the sink. Returns the number of files written and
 /// the directory, or `None` when not enabled.
 pub fn flush() -> std::io::Result<Option<(usize, PathBuf)>> {
-    let Some(sink) = SINK.lock().unwrap().take() else {
+    let Some(sink) = crate::lock_unpoisoned(&SINK).take() else {
         return Ok(None);
     };
     let solos = solo_ipcs(&sink.records);
@@ -264,7 +264,7 @@ fn run_json(rec: &RunRecord, solos: &[(String, String, f64)]) -> Json {
         None
     } else if rels.iter().all(|r| r.is_some()) && !rels.is_empty() {
         Some(smt_metrics::hmean(
-            &rels.iter().map(|r| r.unwrap()).collect::<Vec<_>>(),
+            &rels.iter().copied().flatten().collect::<Vec<_>>(),
         ))
     } else {
         None

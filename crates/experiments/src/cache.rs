@@ -239,7 +239,9 @@ impl DiskCache {
                 Err(e) => last = Some(e),
             }
         }
-        Err(last.expect("at least one attempt ran"))
+        // `attempts.max(1)` guarantees one iteration; the fallback keeps
+        // this path panic-free if that invariant ever changes.
+        Err(last.unwrap_or_else(|| std::io::Error::other("store_retrying ran zero attempts")))
     }
 
     fn entry_files(&self) -> std::io::Result<Vec<PathBuf>> {

@@ -45,6 +45,18 @@ pub enum ExpError {
     Sim(SimError),
     /// A panic caught at the campaign's isolation boundary.
     Panicked { what: String, payload: String },
+    /// The cycle-level sanitizer (`--sanitize`) reported µarch invariant
+    /// violations during the run. The result is *suspect*, not merely
+    /// failed: the numbers were produced by a machine whose bookkeeping
+    /// disagreed with itself.
+    Invariant {
+        what: String,
+        /// Total violations recorded (reports are capped; see
+        /// `RecordingSanitizer`).
+        violations: usize,
+        /// Rendered first violation, `INV…` code included.
+        first: String,
+    },
     /// A disk-cache entry was present but irregular (recorded as a failure
     /// artifact; the run itself falls back to re-simulation).
     Cache { path: String, fault: CacheFault },
@@ -77,6 +89,14 @@ impl fmt::Display for ExpError {
             ExpError::Panicked { what, payload } => {
                 write!(f, "panic isolated while running {what}: {payload}")
             }
+            ExpError::Invariant {
+                what,
+                violations,
+                first,
+            } => write!(
+                f,
+                "sanitizer reported {violations} invariant violation(s) in {what}; first: {first}"
+            ),
             ExpError::Cache { path, fault } => {
                 write!(f, "cache entry {path}: {fault} (re-simulated)")
             }
@@ -113,6 +133,7 @@ impl ExpError {
             ExpError::Config(_) => "config",
             ExpError::Sim(_) => "sim",
             ExpError::Panicked { .. } => "panic",
+            ExpError::Invariant { .. } => "invariant",
             ExpError::Cache { .. } => "cache",
             ExpError::Io { .. } => "io",
         }

@@ -64,8 +64,11 @@ impl GridData {
             Metric::Throughput => &self.throughput,
             Metric::Hmean => &self.hmean,
         };
-        *map.get(&(wl.to_string(), policy))
-            .expect("workload/policy in grid")
+        // A cell absent from the grid (a failed run that was recorded and
+        // skipped) renders as NaN in the report instead of aborting it.
+        map.get(&(wl.to_string(), policy))
+            .copied()
+            .unwrap_or(f64::NAN)
     }
 
     /// DWarn's improvement (%) over `baseline` on one workload.

@@ -56,3 +56,12 @@ pub use cache::{CacheFault, DiskCache};
 pub use error::{ExpError, RunFailure};
 pub use grid::{GridData, Metric};
 pub use runner::{Arch, Campaign, ExpParams, RunKey};
+
+/// Lock `m`, recovering the guard when the mutex is poisoned. Campaign
+/// state (memo tables, failure lists, artifact sinks) stays structurally
+/// valid under panics — every writer either completes its push/insert or
+/// leaves the collection untouched — and a sweep degrades to partial
+/// results rather than cascading one isolated panic into an abort.
+pub(crate) fn lock_unpoisoned<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -45,8 +45,16 @@ experiments:
              and configs, then verify every fault resolves to a typed
              error or a bit-identical golden result
 
+  lint [--verbose]
+             static analysis over this repository's own sources (the
+             determinism/robustness rules SMT001..SMT005, allowlisted in
+             lint.allow); same pass as `cargo run -p smt-lint`
+
 flags:
   --quick            short simulation windows (smoke test)
+  --sanitize         attach the cycle-level uarch sanitizer to every
+                     simulation; invariant violations fail the run (and
+                     disk-cache loads are bypassed so runs really execute)
   --stats-json <dir> write one structured JSON stats file per simulation run
   --cache-dir <dir>  persist simulation results across invocations; results
                      are re-simulated (never trusted) if an entry is stale,
@@ -237,8 +245,8 @@ fn cache_admin(action: &str, dir: Option<&PathBuf>) -> ! {
 }
 
 /// Build the campaign, attaching the persistent cache when requested.
-fn build_campaign(params: ExpParams, cache_dir: Option<&PathBuf>) -> Campaign {
-    match cache_dir {
+fn build_campaign(params: ExpParams, cache_dir: Option<&PathBuf>, sanitize: bool) -> Campaign {
+    let mut campaign = match cache_dir {
         Some(dir) => match Campaign::with_disk_cache(params, dir) {
             Ok(c) => c,
             Err(e) => {
@@ -247,6 +255,33 @@ fn build_campaign(params: ExpParams, cache_dir: Option<&PathBuf>) -> Campaign {
             }
         },
         None => Campaign::new(params),
+    };
+    campaign.set_sanitize(sanitize);
+    campaign
+}
+
+/// The `lint` subcommand: the workspace's own determinism/robustness
+/// static analysis (also available as `cargo run -p smt-lint`).
+fn lint_cmd(args: &[String]) -> ! {
+    let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let Some(root) = smt_lint::find_workspace_root(&cwd) else {
+        eprintln!("lint: not inside the cargo workspace");
+        std::process::exit(EXIT_USAGE);
+    };
+    match smt_lint::run(&root) {
+        Ok(report) => {
+            print!("{}", smt_lint::render(&report, verbose));
+            std::process::exit(if report.is_clean() {
+                error::EXIT_OK
+            } else {
+                EXIT_RUNTIME
+            });
+        }
+        Err(e) => {
+            eprintln!("lint: {e}");
+            std::process::exit(EXIT_USAGE);
+        }
     }
 }
 
@@ -272,6 +307,11 @@ fn main() {
     }
     let cache_dir = take_dir_flag(&mut args, "cache-dir");
     let quick = args.iter().any(|a| a == "--quick");
+    let sanitize = args.iter().any(|a| a == "--sanitize");
+
+    if args.first().map(String::as_str) == Some("lint") {
+        lint_cmd(&args[1..]);
+    }
 
     if args.first().map(String::as_str) == Some("cache") {
         let Some(action) = args.get(1) else {
@@ -286,7 +326,7 @@ fn main() {
         let rest: Vec<&str> = args[1..]
             .iter()
             .map(String::as_str)
-            .filter(|a| *a != "--quick")
+            .filter(|a| *a != "--quick" && *a != "--sanitize")
             .collect();
         chaos_cmd(&rest, quick);
     }
@@ -295,7 +335,7 @@ fn main() {
         let rest: Vec<&str> = args[1..]
             .iter()
             .map(String::as_str)
-            .filter(|a| *a != "--quick")
+            .filter(|a| *a != "--quick" && *a != "--sanitize")
             .collect();
         let opts = match smt_experiments::tracing::parse_args(&rest) {
             Ok(o) => o,
@@ -327,7 +367,7 @@ fn main() {
         } else {
             ExpParams::standard()
         };
-        let campaign = build_campaign(params, cache_dir.as_ref());
+        let campaign = build_campaign(params, cache_dir.as_ref(), sanitize);
         print!("{}", compare(&campaign, &exps[1..]));
         flush_artifacts();
         return;
@@ -356,7 +396,7 @@ fn main() {
     } else {
         ExpParams::standard()
     };
-    let campaign = build_campaign(params, cache_dir.as_ref());
+    let campaign = build_campaign(params, cache_dir.as_ref(), sanitize);
     let t0 = Instant::now();
 
     let mut broken_experiments = 0u32;

@@ -22,7 +22,9 @@ use std::path::Path;
 use std::sync::Mutex;
 
 use dwarn_core::PolicyKind;
-use smt_pipeline::{FetchPolicy, SimConfig, SimResult, Simulator, ThreadSpec, Watchdog};
+use smt_pipeline::{
+    FetchPolicy, RecordingSanitizer, SimConfig, SimResult, Simulator, ThreadSpec, Watchdog,
+};
 use smt_workloads::Workload;
 
 use crate::cache::DiskCache;
@@ -187,6 +189,11 @@ pub struct Campaign {
     failures: Mutex<Vec<RunFailure>>,
     /// Watchdog applied to every simulation this campaign runs.
     watchdog: Watchdog,
+    /// Attach the cycle-level µarch sanitizer to every simulation
+    /// (`--sanitize`). Disk-cache *loads* are skipped so each run actually
+    /// executes under audit; results are still stored (the sanitizer is
+    /// observation-only, so sanitized results are bit-identical).
+    sanitize: bool,
 }
 
 impl Campaign {
@@ -202,6 +209,7 @@ impl Campaign {
             parallelism,
             failures: Mutex::new(Vec::new()),
             watchdog: Watchdog::default(),
+            sanitize: false,
         }
     }
 
@@ -222,6 +230,61 @@ impl Campaign {
         self.watchdog = wd;
     }
 
+    /// Run every simulation under the cycle-level µarch sanitizer. A run
+    /// that records violations fails as [`ExpError::Invariant`] — its
+    /// numbers came from a machine whose bookkeeping disagreed with
+    /// itself. Disk-cache loads are bypassed (stores still happen) so
+    /// each result really executed under audit.
+    pub fn set_sanitize(&mut self, on: bool) {
+        self.sanitize = on;
+    }
+
+    /// Whether the sanitizer is attached ([`Campaign::set_sanitize`]).
+    pub fn sanitize(&self) -> bool {
+        self.sanitize
+    }
+
+    /// One simulation behind the panic boundary and watchdog, with the
+    /// sanitizer attached when [`Campaign::set_sanitize`] is on. The
+    /// sanitizer monomorphizes in — the unsanitized arm runs the same
+    /// zero-cost `NullSanitizer` code as before.
+    fn simulate(
+        &self,
+        what: &str,
+        cfg: &SimConfig,
+        specs: &[ThreadSpec],
+        build: impl FnOnce() -> Box<dyn FetchPolicy>,
+    ) -> Result<SimResult, ExpError> {
+        if self.sanitize {
+            protect(what, || {
+                let mut sim = Simulator::try_sanitized(
+                    cfg.clone(),
+                    build(),
+                    specs,
+                    RecordingSanitizer::new(),
+                )?;
+                let result = sim
+                    .try_run(self.params.warmup, self.params.measure, &self.watchdog)
+                    .map_err(ExpError::from)?;
+                let rec = sim.sanitizer();
+                if !rec.is_clean() {
+                    return Err(ExpError::Invariant {
+                        what: what.to_string(),
+                        violations: rec.total() as usize,
+                        first: rec.first().map(ToString::to_string).unwrap_or_default(),
+                    });
+                }
+                Ok(result)
+            })
+        } else {
+            protect(what, || {
+                let mut sim = Simulator::try_new(cfg.clone(), build(), specs)?;
+                sim.try_run(self.params.warmup, self.params.measure, &self.watchdog)
+                    .map_err(ExpError::from)
+            })
+        }
+    }
+
     /// The canonical cache-key description of `key` (diagnostics and fault
     /// injection).
     pub fn describe(&self, key: &RunKey) -> Result<String, ExpError> {
@@ -237,7 +300,7 @@ impl Campaign {
     /// Record a failed run so the sweep can finish with partial results.
     fn note_failure(&self, what: &str, error: &ExpError) {
         crate::artifacts::record_failure(what, error);
-        self.failures.lock().unwrap().push(RunFailure {
+        crate::lock_unpoisoned(&self.failures).push(RunFailure {
             what: what.to_string(),
             error: error.clone(),
         });
@@ -245,12 +308,12 @@ impl Campaign {
 
     /// Failures recorded so far.
     pub fn failures(&self) -> Vec<RunFailure> {
-        self.failures.lock().unwrap().clone()
+        crate::lock_unpoisoned(&self.failures).clone()
     }
 
     /// Render the failure summary table, or `None` for a clean campaign.
     pub fn failure_summary(&self) -> Option<String> {
-        let failures = self.failures.lock().unwrap();
+        let failures = crate::lock_unpoisoned(&self.failures);
         if failures.is_empty() {
             return None;
         }
@@ -284,7 +347,10 @@ impl Campaign {
         let cfg = key.arch.config();
         cfg.validate(specs.len())?;
         let desc = describe_run(&cfg, &specs, key.policy.name(), self.params);
-        if let Some(d) = &self.disk {
+        // Under --sanitize a cache hit would dodge the audit entirely, so
+        // loads are skipped; the store below still refreshes the entry
+        // (sanitized results are bit-identical to unsanitized ones).
+        if let Some(d) = self.disk.as_ref().filter(|_| !self.sanitize) {
             match d.load_checked(&desc) {
                 Ok(Some(result)) => {
                     crate::artifacts::record(key, &result);
@@ -306,11 +372,7 @@ impl Campaign {
             key.workload,
             key.policy.name()
         );
-        let result = protect(&what, || {
-            let mut sim = Simulator::try_new(cfg.clone(), key.policy.build(), &specs)?;
-            sim.try_run(self.params.warmup, self.params.measure, &self.watchdog)
-                .map_err(ExpError::from)
-        })?;
+        let result = self.simulate(&what, &cfg, &specs, || key.policy.build())?;
         crate::artifacts::record(key, &result);
         if let Some(d) = &self.disk {
             if let Err(e) = d.store_retrying(&desc, &result, 3) {
@@ -358,10 +420,12 @@ impl Campaign {
             return Err(e);
         }
         let desc = describe_run(cfg, specs, policy_desc, self.params);
-        if let Some(r) = self.custom.lock().unwrap().get(&desc) {
+        if let Some(r) = crate::lock_unpoisoned(&self.custom).get(&desc) {
             return Ok(r.clone());
         }
-        let loaded = match &self.disk {
+        // As in `run_protected`: --sanitize bypasses cache loads so the
+        // run actually executes under audit.
+        let loaded = match self.disk.as_ref().filter(|_| !self.sanitize) {
             Some(d) => match d.load_checked(&desc) {
                 Ok(r) => r,
                 Err(fault) => {
@@ -378,11 +442,7 @@ impl Campaign {
         let result = match loaded {
             Some(r) => r,
             None => {
-                let run = protect(policy_desc, || {
-                    let mut sim = Simulator::try_new(cfg.clone(), build(), specs)?;
-                    sim.try_run(self.params.warmup, self.params.measure, &self.watchdog)
-                        .map_err(ExpError::from)
-                });
+                let run = self.simulate(policy_desc, cfg, specs, build);
                 let r = match run {
                     Ok(r) => r,
                     Err(e) => {
@@ -403,10 +463,7 @@ impl Campaign {
                 r
             }
         };
-        Ok(self
-            .custom
-            .lock()
-            .unwrap()
+        Ok(crate::lock_unpoisoned(&self.custom)
             .entry(desc)
             .or_insert(result)
             .clone())
@@ -415,7 +472,7 @@ impl Campaign {
     /// Ensure all `keys` are cached, running missing ones in parallel.
     pub fn prefetch(&self, keys: &[RunKey]) {
         let missing: Vec<RunKey> = {
-            let cache = self.cache.lock().unwrap();
+            let cache = crate::lock_unpoisoned(&self.cache);
             let mut seen = std::collections::HashSet::new();
             keys.iter()
                 .filter(|k| !cache.contains_key(*k) && seen.insert((*k).clone()))
@@ -445,9 +502,18 @@ impl Campaign {
                 })
                 .collect();
             for h in handles {
-                // Workers cannot panic: every simulation is behind the
-                // campaign's panic boundary.
-                h.join().expect("prefetch worker survived");
+                // Workers shouldn't panic (every simulation is behind the
+                // campaign's panic boundary), but if one does, record it
+                // and let the remaining keys finish on later demand.
+                if let Err(payload) = h.join() {
+                    self.note_failure(
+                        "prefetch worker",
+                        &ExpError::Panicked {
+                            what: "prefetch worker".to_string(),
+                            payload: crate::error::panic_message(&*payload),
+                        },
+                    );
+                }
             }
         });
     }
@@ -466,7 +532,7 @@ impl Campaign {
     /// [`RunFailure`] and returned as the error, leaving the rest of the
     /// campaign untouched.
     pub fn try_result(&self, key: &RunKey) -> Result<SimResult, ExpError> {
-        if let Some(r) = self.cache.lock().unwrap().get(key) {
+        if let Some(r) = crate::lock_unpoisoned(&self.cache).get(key) {
             return Ok(r.clone());
         }
         self.try_result_owned(key.clone())
@@ -485,11 +551,14 @@ impl Campaign {
     /// another thread raced us to the same key, its (identical —
     /// simulation is deterministic) result wins and ours is dropped.
     pub fn try_result_owned(&self, key: RunKey) -> Result<SimResult, ExpError> {
-        if let Some(r) = self.cache.lock().unwrap().get(&key) {
+        if let Some(r) = crate::lock_unpoisoned(&self.cache).get(&key) {
             return Ok(r.clone());
         }
         match self.run_protected(&key) {
-            Ok(r) => Ok(self.cache.lock().unwrap().entry(key).or_insert(r).clone()),
+            Ok(r) => Ok(crate::lock_unpoisoned(&self.cache)
+                .entry(key)
+                .or_insert(r)
+                .clone()),
             Err(e) => {
                 self.note_failure(&format!("{}/{}", key.arch.as_str(), key.workload), &e);
                 Err(e)
@@ -526,7 +595,7 @@ impl Campaign {
 
     /// Number of cached results (for tests).
     pub fn cached(&self) -> usize {
-        self.cache.lock().unwrap().len()
+        crate::lock_unpoisoned(&self.cache).len()
     }
 
     /// Build the full key grid for a set of workloads × policies.

@@ -67,3 +67,80 @@ fn chaos_is_deterministic_per_seed() {
     assert_ne!(a.render(), c.render(), "different seeds must diverge");
     assert!(c.goldens_ok);
 }
+
+/// ISSUE 4 extension: a fault class the typed-error/golden checks above
+/// cannot see — a policy whose published fetch order contradicts its own
+/// invariants — is caught by the cycle-level sanitizer and resolves to a
+/// typed `ExpError::Invariant`, not a panic or a silently wrong number.
+#[test]
+fn sanitizer_catches_a_self_contradicting_policy_as_a_typed_error() {
+    use smt_experiments::{Campaign, ExpError, ExpParams};
+    use smt_pipeline::{FetchPolicy, PolicyView, SimConfig};
+    use smt_workloads::{workload, WorkloadClass};
+
+    /// Claims (via audit_order) to order by ascending ICOUNT but emits
+    /// the reverse — the kind of policy bug only a per-cycle audit sees.
+    struct Contradict;
+    impl FetchPolicy for Contradict {
+        fn name(&self) -> &'static str {
+            "CONTRADICT"
+        }
+        fn fetch_order_into(&mut self, view: &PolicyView, out: &mut Vec<usize>) {
+            view.icount_order_into(out);
+            out.reverse();
+        }
+        fn audit_order(&self, view: &PolicyView, order: &[usize]) -> Result<(), String> {
+            for w in order.windows(2) {
+                if view.threads[w[0]].icount > view.threads[w[1]].icount {
+                    return Err("order is not ascending ICOUNT".to_string());
+                }
+            }
+            Ok(())
+        }
+    }
+
+    let mut campaign = Campaign::new(ExpParams {
+        warmup: 1_000,
+        measure: 3_000,
+    });
+    campaign.set_sanitize(true);
+    let wl = workload(2, WorkloadClass::Mix);
+    let err = campaign
+        .try_run_custom(
+            &SimConfig::baseline(),
+            &wl.thread_specs(),
+            "CONTRADICT",
+            || Box::new(Contradict),
+        )
+        .expect_err("a self-contradicting policy must fail under --sanitize");
+    match &err {
+        ExpError::Invariant {
+            violations, first, ..
+        } => {
+            assert!(*violations > 0);
+            assert!(
+                first.contains("INV013"),
+                "unexpected first violation: {first}"
+            );
+        }
+        other => panic!("expected ExpError::Invariant, got {other}"),
+    }
+    assert_eq!(err.kind(), "invariant");
+    // The failure is recorded on the campaign like any other fault.
+    assert_eq!(campaign.failures().len(), 1);
+
+    // The same policy without the sanitizer runs to completion — the
+    // whole point: this fault class is invisible to every other check.
+    let blind = Campaign::new(ExpParams {
+        warmup: 1_000,
+        measure: 3_000,
+    });
+    blind
+        .try_run_custom(
+            &SimConfig::baseline(),
+            &wl.thread_specs(),
+            "CONTRADICT",
+            || Box::new(Contradict),
+        )
+        .expect("unsanitized run completes, silently wrong");
+}

@@ -178,3 +178,58 @@ fn quick_and_standard_params_do_not_alias_in_the_cache() {
     );
     assert_eq!(a.disk().unwrap().stats().unwrap().entries, 2);
 }
+
+#[test]
+fn sanitized_campaign_is_bit_identical_and_clean() {
+    // --sanitize attaches the cycle-level µarch sanitizer to every run.
+    // It is observation-only: every digest must match the unsanitized
+    // campaign's exactly, and a clean machine must produce zero
+    // violations (a violation would fail the run as ExpError::Invariant
+    // and show up as a recorded failure).
+    let plain = Campaign::new(quick());
+    let mut checked = Campaign::new(quick());
+    checked.set_sanitize(true);
+    for key in grid() {
+        assert_eq!(
+            plain.result(&key).digest(),
+            checked.result(&key).digest(),
+            "sanitizer changed the result for {key:?}"
+        );
+    }
+    assert!(
+        checked.failures().is_empty(),
+        "sanitized campaign recorded failures: {:?}",
+        checked.failures()
+    );
+}
+
+#[test]
+fn sanitize_bypasses_disk_cache_loads_but_still_stores() {
+    let dir = temp_dir("sanitize");
+    let key = RunKey::solo(Arch::Baseline, "mcf");
+
+    // A sanitized campaign still *stores* its (bit-identical) results...
+    let mut cold = Campaign::with_disk_cache(quick(), &dir).unwrap();
+    cold.set_sanitize(true);
+    let d0 = cold.result(&key).digest();
+    let warm = Campaign::with_disk_cache(quick(), &dir).unwrap();
+    assert_eq!(warm.result(&key).digest(), d0, "sanitized store not served");
+
+    // ...but never *loads*: vandalize every stored entry — an unsanitized
+    // campaign would surface a cache fault; the sanitized one must not
+    // even notice, because each run really executes under audit.
+    for e in std::fs::read_dir(&dir).unwrap() {
+        let p = e.unwrap().path();
+        if p.extension().and_then(|x| x.to_str()) == Some("dwc") {
+            std::fs::write(&p, "vandalized\n").unwrap();
+        }
+    }
+    let mut audited = Campaign::with_disk_cache(quick(), &dir).unwrap();
+    audited.set_sanitize(true);
+    assert_eq!(audited.result(&key).digest(), d0);
+    assert!(
+        audited.failures().is_empty(),
+        "sanitized campaign consulted the (corrupt) cache: {:?}",
+        audited.failures()
+    );
+}

@@ -1,0 +1,329 @@
+//! A masking lexer for Rust sources.
+//!
+//! The lint rules are substring/token scans, so the first pass replaces
+//! everything a rule must never match inside — comments, string literals,
+//! char literals — with spaces, preserving byte offsets and newlines so
+//! line numbers in diagnostics stay exact. This is not a full Rust lexer;
+//! it handles the constructs that occur in this repository (nested block
+//! comments, raw strings with hash fences, byte strings, char literals vs
+//! lifetimes) and degrades to "mask nothing" only on inputs no rustc-clean
+//! source produces.
+
+/// Replace comments and string/char literal *contents* with spaces.
+/// Newlines are preserved (so line numbering is unchanged) and the output
+/// has the same byte length as the input.
+pub fn mask_source(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = b.to_vec();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => i = mask_line_comment(b, &mut out, i),
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => i = mask_block_comment(b, &mut out, i),
+            b'"' => i = mask_string(b, &mut out, i),
+            b'r' | b'b' | b'c' if is_raw_string_start(b, i) => i = mask_raw_string(b, &mut out, i),
+            b'b' if i + 1 < b.len() && b[i + 1] == b'"' => {
+                i = mask_string(b, &mut out, i + 1);
+            }
+            b'\'' => i = mask_char_or_lifetime(b, &mut out, i),
+            _ => i += 1,
+        }
+    }
+    // Masking only ever writes spaces over non-newline bytes, so the
+    // result is valid UTF-8 (multi-byte sequences are either untouched or
+    // fully replaced).
+    String::from_utf8(out).unwrap_or_else(|_| src.to_string())
+}
+
+fn blank(out: &mut [u8], from: usize, to: usize) {
+    for o in out.iter_mut().take(to).skip(from) {
+        if *o != b'\n' {
+            *o = b' ';
+        }
+    }
+}
+
+fn mask_line_comment(b: &[u8], out: &mut [u8], start: usize) -> usize {
+    let mut i = start;
+    while i < b.len() && b[i] != b'\n' {
+        i += 1;
+    }
+    blank(out, start, i);
+    i
+}
+
+fn mask_block_comment(b: &[u8], out: &mut [u8], start: usize) -> usize {
+    // Rust block comments nest.
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < b.len() {
+        if i + 1 < b.len() && b[i] == b'/' && b[i + 1] == b'*' {
+            depth += 1;
+            i += 2;
+        } else if i + 1 < b.len() && b[i] == b'*' && b[i + 1] == b'/' {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                break;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    blank(out, start, i);
+    i
+}
+
+fn mask_string(b: &[u8], out: &mut [u8], quote: usize) -> usize {
+    let mut i = quote + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    blank(out, quote, i);
+    i
+}
+
+/// `r"..."`, `r#"..."#`, `br#"..."#`, `cr"..."` — a raw-string opener at
+/// `i`?
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' || b[j] == b'c' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    // Must not be preceded by an identifier char (else `for r in ..` or
+    // `var"` lookalikes would misfire — identifiers can't contain `"`).
+    let prefixed = i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_');
+    j < b.len() && b[j] == b'"' && !prefixed
+}
+
+fn mask_raw_string(b: &[u8], out: &mut [u8], start: usize) -> usize {
+    let mut i = start;
+    if b[i] == b'b' || b[i] == b'c' {
+        i += 1;
+    }
+    i += 1; // the 'r'
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < b.len() {
+        if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut h = 0usize;
+            while j < b.len() && h < hashes && b[j] == b'#' {
+                h += 1;
+                j += 1;
+            }
+            if h == hashes {
+                i = j;
+                break;
+            }
+        }
+        i += 1;
+    }
+    blank(out, start, i);
+    i
+}
+
+fn mask_char_or_lifetime(b: &[u8], out: &mut [u8], start: usize) -> usize {
+    let i = start + 1;
+    if i >= b.len() {
+        return i;
+    }
+    if b[i] == b'\\' {
+        // Escaped char literal: '\n', '\u{1F600}', '\''.
+        let mut j = i + 1;
+        if j < b.len() && b[j] == b'u' {
+            while j < b.len() && b[j] != b'}' {
+                j += 1;
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+        let end = (j + 1).min(b.len()); // closing quote
+        blank(out, start, end);
+        return end;
+    }
+    // 'x' is a char literal iff the very next char closes it; otherwise
+    // it's a lifetime ('a, 'static) or a label ('outer:) — left unmasked.
+    // Multi-byte chars ('é') are covered by scanning to the next quote
+    // within a small window.
+    let mut j = i;
+    while j < b.len() && j - i < 6 && b[j] != b'\'' && b[j] != b'\n' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'\'' && j > i {
+        // Lifetimes are never followed by a closing quote at short range
+        // unless this really is a char literal like 'a' or 'é'.
+        let inner_is_ident = b[i..j]
+            .iter()
+            .all(|c| c.is_ascii_alphanumeric() || *c == b'_');
+        if j == i + 1 || !inner_is_ident || b[i].is_ascii_digit() {
+            blank(out, start, j + 1);
+            return j + 1;
+        }
+        // `'ab'`-shaped: not valid Rust; treat as lifetime.
+    }
+    i
+}
+
+/// Per-line flags (index = line − 1): true when the line lies inside a
+/// `#[cfg(test)]`-gated item body. Operates on *masked* source so comments
+/// and strings cannot fake an attribute, tracking brace depth from the
+/// item's opening `{` to its matching `}`.
+pub fn test_region_lines(masked: &str) -> Vec<bool> {
+    let num_lines = masked.lines().count();
+    let mut flags = vec![false; num_lines];
+    let b = masked.as_bytes();
+    let mut i = 0;
+    while let Some(at) = find_from(masked, i, "#[cfg(test)]") {
+        let mut j = at + "#[cfg(test)]".len();
+        // Skip whitespace and further attributes to the item keyword.
+        let mut depth = 0usize;
+        let mut opened = false;
+        while j < b.len() {
+            match b[j] {
+                b'{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if opened && depth == 0 {
+                        break;
+                    }
+                }
+                // `#[cfg(test)] mod tests;` (out-of-line module): no body
+                // here; the file itself should live under tests/.
+                b';' if !opened => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let start_line = line_of(masked, at);
+        let end_line = line_of(masked, j.min(b.len().saturating_sub(1)));
+        for f in flags
+            .iter_mut()
+            .take(end_line.min(num_lines))
+            .skip(start_line - 1)
+        {
+            *f = true;
+        }
+        i = j.max(at + 1);
+    }
+    flags
+}
+
+fn find_from(s: &str, from: usize, needle: &str) -> Option<usize> {
+    s.get(from..).and_then(|t| t.find(needle)).map(|p| p + from)
+}
+
+/// 1-based line number of byte offset `at`.
+pub fn line_of(s: &str, at: usize) -> usize {
+    s.as_bytes()[..at.min(s.len())]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count()
+        + 1
+}
+
+/// True when the identifier occupying `at..at+len` in `s` stands alone
+/// (not a fragment of a longer identifier).
+pub fn ident_boundary(s: &str, at: usize, len: usize) -> bool {
+    let b = s.as_bytes();
+    let before_ok = at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_');
+    let end = at + len;
+    let after_ok = end >= b.len() || !(b[end].is_ascii_alphanumeric() || b[end] == b'_');
+    before_ok && after_ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_masked() {
+        let m = mask_source("let x = 1; // HashMap here\nlet y = 2;\n");
+        assert!(!m.contains("HashMap"));
+        assert!(m.contains("let y = 2;"));
+        assert_eq!(m.len(), "let x = 1; // HashMap here\nlet y = 2;\n".len());
+    }
+
+    #[test]
+    fn nested_block_comments_are_masked() {
+        let m = mask_source("a /* outer /* inner */ still */ b");
+        assert_eq!(m, "a                               b");
+    }
+
+    #[test]
+    fn strings_and_escapes_are_masked() {
+        let m = mask_source(r#"call("panic! \" inside") + x"#);
+        assert!(!m.contains("panic!"));
+        assert!(m.contains("call("));
+        assert!(m.ends_with("+ x"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences_are_masked() {
+        let m = mask_source(r###"let s = r#"has "quotes" and Instant::now"#; done"###);
+        assert!(!m.contains("Instant::now"));
+        assert!(m.contains("done"));
+    }
+
+    #[test]
+    fn char_literals_mask_but_lifetimes_survive() {
+        let m = mask_source("fn f<'a>(x: &'a str) { let c = '\"'; let d = 'z'; }");
+        assert!(m.contains("<'a>"), "{m}");
+        assert!(m.contains("&'a str"), "{m}");
+        assert!(!m.contains('z'), "{m}");
+        // The masked '"' must not open a phantom string.
+        assert!(m.contains('}'), "{m}");
+    }
+
+    #[test]
+    fn newlines_survive_masking_for_stable_line_numbers() {
+        let src = "a\n/* two\nlines */\nb // c\n";
+        let m = mask_source(src);
+        assert_eq!(m.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn cfg_test_region_covers_the_module_body() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let flags = test_region_lines(&mask_source(src));
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_in_a_string_is_ignored() {
+        let src = "let s = \"#[cfg(test)]\";\nlet t = 1;\n";
+        let flags = test_region_lines(&mask_source(src));
+        assert!(flags.iter().all(|f| !f));
+    }
+
+    #[test]
+    fn ident_boundaries_reject_fragments() {
+        let s = "MyHashMap HashMap HashMapX";
+        let at = s.find("HashMap").unwrap(); // inside MyHashMap
+        assert!(!ident_boundary(s, at, 7));
+        assert!(ident_boundary(s, 10, 7));
+        assert!(!ident_boundary(s, 18, 7));
+    }
+}

@@ -1,0 +1,171 @@
+//! # smt-lint — the workspace's determinism and robustness lint
+//!
+//! An offline static-analysis pass over this repository's *own* sources,
+//! enforcing syntactically the policies the simulator's bit-identical
+//! determinism and the campaign's fault tolerance rely on:
+//!
+//! | Code | Rule | Scope |
+//! |---|---|---|
+//! | `SMT001` | no default-hasher `HashMap`/`HashSet` (use `FastMap`) | pipeline, uarch, core |
+//! | `SMT002` | no `Instant::now` / `SystemTime` | everywhere but `bench` |
+//! | `SMT003` | no `unwrap()` / `expect()` / `panic!` | experiments, trace (not chaos) |
+//! | `SMT004` | no float `==` / `!=` | metrics |
+//! | `SMT005` | no stale allowlist entries | the allowlist itself |
+//!
+//! `#[cfg(test)]` modules, `tests/`, `benches/` and `examples/` trees are
+//! exempt throughout: the rules guard production paths.
+//!
+//! Intentional exceptions live in `lint.allow` at the repository root,
+//! one per line with a mandatory justification
+//! (`CODE path  why this is fine`); an entry that stops matching anything
+//! becomes an `SMT005` error so the list can only shrink. Run it as
+//! `cargo run -p smt-lint` or `smt-experiments lint`; CI runs it as the
+//! "Static analysis" gate. The implementation is dependency-free: a
+//! masking lexer ([`lexer::mask_source`]) blanks comments and string
+//! literals, then each rule is a token scan over the masked text.
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+
+pub use allow::{apply, parse_allowlist, AllowEntry, Report};
+pub use rules::{scan_file, Diagnostic, RuleCode};
+
+use std::path::{Path, PathBuf};
+
+/// The allowlist's canonical location, relative to the workspace root.
+pub const ALLOWLIST_NAME: &str = "lint.allow";
+
+/// Every `.rs` production source in the workspace: `crates/*/src/**/*.rs`,
+/// excluding `tests/`, `benches/` and `examples/` trees. Sorted, so runs
+/// are deterministic.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    for entry in std::fs::read_dir(&crates)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if !matches!(name, "tests" | "benches" | "examples") {
+                collect_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Repo-relative, `/`-separated rendering of `path` under `root`.
+fn rel(root: &Path, path: &Path) -> String {
+    let r = path.strip_prefix(root).unwrap_or(path);
+    r.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Scan the whole workspace and apply the allowlist at
+/// `root/lint.allow` (an absent allowlist means "no exceptions").
+/// `Err` carries usage-level failures: unreadable files, malformed
+/// allowlist.
+pub fn run(root: &Path) -> Result<Report, String> {
+    let allow_path = root.join(ALLOWLIST_NAME);
+    let entries = if allow_path.is_file() {
+        let text = std::fs::read_to_string(&allow_path)
+            .map_err(|e| format!("reading {}: {e}", allow_path.display()))?;
+        parse_allowlist(&text).map_err(|errs| errs.join("\n"))?
+    } else {
+        Vec::new()
+    };
+    let files = workspace_sources(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    if files.is_empty() {
+        return Err(format!("no sources under {}/crates", root.display()));
+    }
+    let mut diags = Vec::new();
+    for f in &files {
+        let src =
+            std::fs::read_to_string(f).map_err(|e| format!("reading {}: {e}", f.display()))?;
+        diags.extend(scan_file(&rel(root, f), &src));
+    }
+    let mut report = apply(diags, &entries, ALLOWLIST_NAME);
+    report.files = files.len();
+    Ok(report)
+}
+
+/// Walk upward from `start` to the workspace root (the directory whose
+/// `Cargo.toml` declares `[workspace]`).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Human-readable report; `verbose` also lists suppressed diagnostics
+/// with the allowlist reasons they matched.
+pub fn render(report: &Report, verbose: bool) -> String {
+    let mut s = String::new();
+    for d in &report.active {
+        s.push_str(&format!("{d}\n"));
+    }
+    if verbose && !report.suppressed.is_empty() {
+        s.push_str(&format!(
+            "\n{} diagnostic(s) suppressed by {}:\n",
+            report.suppressed.len(),
+            ALLOWLIST_NAME
+        ));
+        for d in &report.suppressed {
+            s.push_str(&format!("  [allowed] {}:{} {}\n", d.path, d.line, d.code));
+        }
+    }
+    s.push_str(&format!(
+        "{} file(s) scanned: {} violation(s), {} suppressed\n",
+        report.files,
+        report.active.len(),
+        report.suppressed.len()
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_is_found_from_this_crate() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root above crates/lint");
+        assert!(root.join("crates/lint/Cargo.toml").is_file());
+    }
+
+    #[test]
+    fn source_walk_skips_test_trees() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        let files = workspace_sources(&root).expect("walk");
+        assert!(files.iter().any(|f| f.ends_with("src/sim.rs")));
+        assert!(!files.iter().any(|f| {
+            f.components()
+                .any(|c| c.as_os_str() == "tests" || c.as_os_str() == "examples")
+        }));
+    }
+}

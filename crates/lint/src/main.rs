@@ -1,0 +1,66 @@
+//! `smt-lint` — CLI for the workspace determinism lint.
+//!
+//! ```text
+//! smt-lint [--root DIR] [--verbose] [--rules]
+//! ```
+//!
+//! Exit 0: clean. Exit 1: non-allowlisted diagnostics (printed one per
+//! line as `path:line: CODE message`). Exit 2: usage or I/O failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(d) => root = Some(PathBuf::from(d)),
+                None => return usage("--root needs a directory"),
+            },
+            "--verbose" | "-v" => verbose = true,
+            "--rules" => {
+                for c in smt_lint::RuleCode::ALL {
+                    println!("{c}  {}", c.summary());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: smt-lint [--root DIR] [--verbose] [--rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match smt_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => return usage("not inside a cargo workspace (pass --root)"),
+            }
+        }
+    };
+    match smt_lint::run(&root) {
+        Ok(report) => {
+            print!("{}", smt_lint::render(&report, verbose));
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("smt-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("smt-lint: {msg}\nusage: smt-lint [--root DIR] [--verbose] [--rules]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,53 @@
+//! The lint's own gate: this repository, scanned with its checked-in
+//! allowlist, must be clean. This is the same check CI's "Static
+//! analysis" job runs via the `smt-lint` binary; keeping it as a test
+//! means `cargo test` alone already enforces the policy.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_is_lint_clean_under_the_checked_in_allowlist() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = smt_lint::find_workspace_root(here).expect("workspace root above crates/lint");
+    let report = smt_lint::run(&root).expect("lint run");
+    assert!(
+        report.files > 50,
+        "suspiciously few sources scanned ({}); did the walk break?",
+        report.files
+    );
+    assert!(
+        report.is_clean(),
+        "non-allowlisted diagnostics:\n{}",
+        smt_lint::render(&report, false)
+    );
+    // The allowlist itself must be load-bearing: if it suppresses nothing
+    // at all, it should be deleted (individual stale entries already fail
+    // as SMT005 inside `run`).
+    assert!(
+        !report.suppressed.is_empty(),
+        "lint.allow exists but suppressed nothing"
+    );
+}
+
+#[test]
+fn every_allowlist_entry_names_an_existing_file() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = smt_lint::find_workspace_root(here).expect("workspace root");
+    let text = std::fs::read_to_string(root.join(smt_lint::ALLOWLIST_NAME)).expect("allowlist");
+    let entries = smt_lint::parse_allowlist(&text).expect("well-formed allowlist");
+    assert!(!entries.is_empty());
+    for e in &entries {
+        assert!(
+            root.join(&e.path).is_file(),
+            "allowlist entry points at a missing file: {}",
+            e.path
+        );
+        assert!(
+            e.reason.split_whitespace().count() >= 4,
+            "justification for {} {} is too thin: {:?}",
+            e.code,
+            e.path,
+            e.reason
+        );
+    }
+}

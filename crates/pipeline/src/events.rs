@@ -127,6 +127,57 @@ impl EventWheel {
     pub fn len(&self) -> usize {
         self.len
     }
+
+    /// Sanitizer audit (`INV007`/`INV008`): scan the whole structure for
+    /// events that are already due (they will never drain — `drain_due`
+    /// visits only the current cycle's bucket) and cross-check the cached
+    /// length against the actual queued count.
+    pub fn audit(&self, now: u64) -> WheelAudit {
+        let mut past_due: Option<(u64, u64)> = None;
+        let mut note = |ev: &Ev| {
+            if ev.at <= now && past_due.is_none_or(|p| (ev.at, ev.seq) < p) {
+                past_due = Some((ev.at, ev.seq));
+            }
+        };
+        let mut queued = self.overflow.len();
+        for bucket in &self.buckets {
+            queued += bucket.len();
+            for ev in bucket {
+                note(ev);
+            }
+        }
+        // The overflow is a min-heap: its root is the earliest entry.
+        if let Some(&Reverse(ev)) = self.overflow.peek() {
+            note(&ev);
+        }
+        WheelAudit {
+            past_due,
+            queued,
+            cached_len: self.len,
+        }
+    }
+
+    /// Mutation-test hook: file `ev` unconditionally, bypassing the
+    /// future-only precondition of [`EventWheel::push`]. A past-due event
+    /// lands in a bucket `drain_due` will not visit for a full horizon,
+    /// mimicking a missed drain so the sanitizer's `INV007` check can be
+    /// exercised.
+    #[doc(hidden)]
+    pub fn inject_unchecked(&mut self, ev: Ev) {
+        self.len += 1;
+        self.buckets[(ev.at & self.mask) as usize].push(ev);
+    }
+}
+
+/// Result of [`EventWheel::audit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct WheelAudit {
+    /// Earliest event due at or before `now` still queued, as `(at, seq)`.
+    pub past_due: Option<(u64, u64)>,
+    /// Events actually present across buckets and overflow.
+    pub queued: usize,
+    /// The cached length counter.
+    pub cached_len: usize,
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@ mod events;
 pub mod frontend;
 pub mod inflight;
 pub mod policy;
+pub mod sanitizer;
 pub mod sim;
 pub mod stats;
 
@@ -43,5 +44,9 @@ pub use error::{ConfigError, ProgressSnapshot, SimError, ThreadProgress, Watchdo
 pub use frontend::{CorrectPath, ThreadFront};
 pub use inflight::{Handle, InFlight, Slab, Stage};
 pub use policy::{DeclareAction, FetchPolicy, PolicyEvent, PolicyView, ThreadView};
-pub use sim::{Simulator, ThreadSpec};
+pub use sanitizer::{
+    InvariantCode, InvariantViolation, NullSanitizer, RecordingSanitizer, Sanitizer,
+};
+pub use sim::{Mutation, Simulator, ThreadSpec};
+pub use smt_obs::{NullProbe, Probe};
 pub use stats::{OccupancyStats, SimResult, ThreadStats};

@@ -135,6 +135,21 @@ pub trait FetchPolicy {
     /// Observe a load-lifecycle event.
     fn on_event(&mut self, _ev: &PolicyEvent) {}
 
+    /// Sanitizer hook: verify that `order` — the fetch order this policy
+    /// just produced from `view` — satisfies the policy's own documented
+    /// invariants (e.g. for DWarn: Normal-group threads precede Dmiss-group
+    /// threads, ICOUNT ascends within each group, and the hybrid rule gates
+    /// only declared-L2-miss threads below the thread-count threshold).
+    ///
+    /// Called once per cycle when a sanitizer is attached, never otherwise.
+    /// `order` is guaranteed in-range and duplicate-free (the simulator
+    /// checks that first). Returns a description of the first inconsistency
+    /// found; the simulator reports it as an `INV013` violation. The
+    /// default claims nothing.
+    fn audit_order(&self, _view: &PolicyView, _order: &[usize]) -> Result<(), String> {
+        Ok(())
+    }
+
     /// Structural response when an L2 miss is declared.
     fn declare_action(&self) -> DeclareAction {
         DeclareAction::None

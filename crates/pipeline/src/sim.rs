@@ -26,7 +26,13 @@ use crate::events::{Ev, EvKind, EventWheel};
 use crate::frontend::ThreadFront;
 use crate::inflight::{Handle, InFlight, Slab, Stage};
 use crate::policy::{DeclareAction, FetchPolicy, PolicyEvent, PolicyView, ThreadView};
+use crate::sanitizer::{InvariantCode, InvariantViolation, NullSanitizer, Sanitizer};
 use crate::stats::{SimResult, ThreadStats};
+
+/// Cycle period of the cache tag-array integrity audit (`INV014`): scanning
+/// every set of every cache is the one audit whose cost scales with machine
+/// size rather than occupancy, so it runs periodically instead of per cycle.
+const TAG_AUDIT_PERIOD: u64 = 256;
 
 /// Event-wheel horizon in cycles (power of two). Covers the longest common
 /// scheduling distance — a TLB-missing memory access plus bank-queue slack —
@@ -63,16 +69,55 @@ enum SquashReason {
     Flush,
 }
 
+/// A deliberate single-point invariant corruption, applied by
+/// [`Simulator::inject_for_test`] so mutation tests can prove the sanitizer
+/// actually catches each invariant class. All corruptions *inflate* state
+/// (leak a resource, add a phantom count) rather than underflow it, so they
+/// reach the audit instead of tripping a fast-path `debug_assert!` first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Mutation {
+    /// Allocate an int physical register nobody holds (`INV001`).
+    LeakIntReg,
+    /// Allocate an fp physical register nobody holds (`INV002`).
+    LeakFpReg,
+    /// Allocate an int issue-queue entry nobody holds (`INV003`).
+    LeakIqEntry,
+    /// Allocate a ROB slot of thread 0 with no matching ROB entry
+    /// (`INV004`).
+    LeakRobSlot,
+    /// Inflate thread 0's ICOUNT counter (`INV006`).
+    InflateIcount,
+    /// Inflate thread 0's outstanding-L1-D-miss counter — the thread would
+    /// sort into DWarn's Dmiss group without an outstanding miss (`INV009`).
+    PhantomDmiss,
+    /// Inflate thread 0's declared-L2-miss counter (`INV010`).
+    PhantomDeclared,
+    /// File an event one cycle in the past, as if a drain were missed
+    /// (`INV007`).
+    PastDueEvent,
+    /// Swap the two oldest ROB entries of thread 0 (`INV005`).
+    RobAgeSwap,
+}
+
 /// The SMT processor simulator.
 ///
 /// Generic over an observability [`Probe`]; the default [`NullProbe`] has
 /// empty inlined hooks and `ENABLED = false`, so an unprobed simulator
 /// compiles to exactly the unobserved machine (the probe-only bookkeeping
 /// below is guarded by `P::ENABLED`, a compile-time constant).
-pub struct Simulator<P: Probe = NullProbe> {
+///
+/// Also generic over a [`Sanitizer`]; the default [`NullSanitizer`]
+/// likewise has `ENABLED = false`, so the per-cycle invariant audit
+/// monomorphizes away entirely unless a real sanitizer (e.g.
+/// [`RecordingSanitizer`](crate::sanitizer::RecordingSanitizer)) is
+/// attached via [`Simulator::try_with_parts`]. The audit is
+/// observation-only: sanitized and unsanitized runs are bit-identical.
+pub struct Simulator<P: Probe = NullProbe, S: Sanitizer = NullSanitizer> {
     cfg: SimConfig,
     policy: Box<dyn FetchPolicy>,
     probe: P,
+    sanitizer: S,
     /// Probe-only: the gate reason currently reported for each thread
     /// (`None` = fetching normally). Maintained only when `P::ENABLED`.
     gate_state: Vec<Option<GateReason>>,
@@ -148,7 +193,7 @@ struct WatchState {
 }
 
 impl WatchState {
-    fn new<P: Probe>(sim: &Simulator<P>) -> WatchState {
+    fn new<P: Probe, S: Sanitizer>(sim: &Simulator<P, S>) -> WatchState {
         WatchState {
             cycles: 0,
             last_commit_total: sim.total_committed,
@@ -160,7 +205,11 @@ impl WatchState {
     /// Called once per stepped cycle: two compares on the happy path, the
     /// wall clock only every [`Watchdog::WALL_CHECK_INTERVAL`] cycles.
     #[inline]
-    fn check<P: Probe>(&mut self, sim: &Simulator<P>, wd: &Watchdog) -> Result<(), SimError> {
+    fn check<P: Probe, S: Sanitizer>(
+        &mut self,
+        sim: &Simulator<P, S>,
+        wd: &Watchdog,
+    ) -> Result<(), SimError> {
         self.cycles += 1;
         if sim.total_committed != self.last_commit_total {
             self.last_commit_total = sim.total_committed;
@@ -193,7 +242,7 @@ impl WatchState {
         Ok(())
     }
 
-    fn snapshot<P: Probe>(&self, sim: &Simulator<P>) -> Box<ProgressSnapshot> {
+    fn snapshot<P: Probe, S: Sanitizer>(&self, sim: &Simulator<P, S>) -> Box<ProgressSnapshot> {
         let mut s = sim.progress_snapshot();
         s.last_commit_cycle = self.last_commit_cycle;
         Box::new(s)
@@ -237,6 +286,26 @@ impl Simulator {
         fronts: Vec<ThreadFront>,
     ) -> Simulator {
         Simulator::with_probe_fronts(cfg, policy, fronts, NullProbe)
+    }
+}
+
+impl<S: Sanitizer> Simulator<NullProbe, S> {
+    /// As [`Simulator::try_new`] with an explicit sanitizer — the
+    /// convenience entry point for sanitized (invariant-checked) runs.
+    pub fn try_sanitized(
+        cfg: SimConfig,
+        policy: Box<dyn FetchPolicy>,
+        specs: &[ThreadSpec],
+        sanitizer: S,
+    ) -> Result<Simulator<NullProbe, S>, ConfigError> {
+        let fronts: Vec<ThreadFront> = specs
+            .iter()
+            .enumerate()
+            .map(|(t, s)| {
+                ThreadFront::new(&s.profile, s.seed, Simulator::thread_addr_base(t), s.skip)
+            })
+            .collect();
+        Simulator::try_with_parts(cfg, policy, fronts, NullProbe, sanitizer)
     }
 }
 
@@ -287,6 +356,22 @@ impl<P: Probe> Simulator<P> {
         fronts: Vec<ThreadFront>,
         probe: P,
     ) -> Result<Simulator<P>, ConfigError> {
+        Simulator::try_with_parts(cfg, policy, fronts, probe, NullSanitizer)
+    }
+}
+
+impl<P: Probe, S: Sanitizer> Simulator<P, S> {
+    /// The full builder: explicit probe *and* sanitizer. All other
+    /// constructors delegate here; sanitized campaign runs attach a
+    /// [`RecordingSanitizer`](crate::sanitizer::RecordingSanitizer) through
+    /// this entry point.
+    pub fn try_with_parts(
+        cfg: SimConfig,
+        policy: Box<dyn FetchPolicy>,
+        fronts: Vec<ThreadFront>,
+        probe: P,
+        sanitizer: S,
+    ) -> Result<Simulator<P, S>, ConfigError> {
         cfg.validate(fronts.len())?;
         let n = fronts.len();
         let reserved = cfg.arch_regs_per_thread() * n as u32;
@@ -340,8 +425,19 @@ impl<P: Probe> Simulator<P> {
             policy,
             cfg,
             probe,
+            sanitizer,
             gate_state: vec![None; n],
         })
+    }
+
+    /// The attached sanitizer (e.g. to read recorded violations).
+    pub fn sanitizer(&self) -> &S {
+        &self.sanitizer
+    }
+
+    /// Consume the simulator and return the sanitizer.
+    pub fn into_sanitizer(self) -> S {
+        self.sanitizer
     }
 
     /// The attached probe.
@@ -392,6 +488,9 @@ impl<P: Probe> Simulator<P> {
         self.issue();
         self.dispatch();
         self.fetch();
+        if S::ENABLED {
+            self.audit_cycle();
+        }
         self.now += 1;
         self.rr = (self.rr + 1) % self.num_threads();
     }
@@ -1094,6 +1193,9 @@ impl<P: Probe> Simulator<P> {
             order.iter().all(|&t| t < self.num_threads()),
             "policy returned an invalid thread index"
         );
+        if S::ENABLED {
+            self.audit_fetch_order(&views, &order);
+        }
 
         // Gating statistics.
         for (t, v) in views.iter().enumerate() {
@@ -1375,6 +1477,458 @@ impl<P: Probe> Simulator<P> {
     }
 
     // ------------------------------------------------------------------
+    // Sanitizer audit (compiled out unless S::ENABLED)
+    // ------------------------------------------------------------------
+
+    /// File one violation with the attached sanitizer, stamped with the
+    /// current cycle and a full machine snapshot.
+    #[cold]
+    fn report_violation(
+        &mut self,
+        code: InvariantCode,
+        thread: Option<usize>,
+        expected: u64,
+        actual: u64,
+        detail: String,
+    ) {
+        let snapshot = Box::new(self.progress_snapshot());
+        self.sanitizer.on_violation(InvariantViolation {
+            code,
+            cycle: self.now,
+            thread,
+            expected,
+            actual,
+            detail,
+            snapshot,
+        });
+    }
+
+    /// Validate the fetch order the policy just produced (`INV012`), then
+    /// let the policy check its own ordering/gating rules (`INV013`).
+    ///
+    /// Never inlined: with a real sanitizer attached this keeps the audit
+    /// out of the fetch stage's instruction stream; with `NullSanitizer`
+    /// the call site is compiled out entirely.
+    #[inline(never)]
+    fn audit_fetch_order(&mut self, views: &[ThreadView], order: &[usize]) {
+        let n = self.num_threads();
+        for (i, &t) in order.iter().enumerate() {
+            if t >= n {
+                self.report_violation(
+                    InvariantCode::PolicyOrder,
+                    None,
+                    n as u64,
+                    t as u64,
+                    format!("fetch order names out-of-range thread {t} of {n}"),
+                );
+                return; // the policy audit cannot index such an order
+            }
+            if order[..i].contains(&t) {
+                self.report_violation(
+                    InvariantCode::PolicyOrder,
+                    Some(t),
+                    1,
+                    2,
+                    format!("thread {t} listed twice in the fetch order"),
+                );
+                return;
+            }
+        }
+        let verdict = self.policy.audit_order(
+            &PolicyView {
+                cycle: self.now,
+                threads: views,
+            },
+            order,
+        );
+        if let Err(detail) = verdict {
+            self.report_violation(InvariantCode::PolicyGating, None, 0, 1, detail);
+        }
+    }
+
+    /// The end-of-cycle whole-machine audit: every invariant in the catalog
+    /// except the fetch-stage `INV012`/`INV013` (checked where the order is
+    /// produced). Read-only over machine state; violations are collected
+    /// first and reported after, so in the clean steady state the local
+    /// `Vec` stays empty and never allocates.
+    ///
+    /// Never inlined, for the same code-placement reason as
+    /// [`Simulator::audit_fetch_order`].
+    #[inline(never)]
+    fn audit_cycle(&mut self) {
+        use InvariantCode as C;
+        let n = self.num_threads();
+        let mut found: Vec<(C, Option<usize>, u64, u64, String)> = Vec::new();
+
+        // INV011: every live instruction is in exactly one queue / ROB.
+        let queued: usize = self.fronts.iter().map(|f| f.queue.len()).sum();
+        let robbed: usize = self.robs.iter().map(|r| r.len()).sum();
+        if queued + robbed != self.slab.live() {
+            found.push((
+                C::SlabConservation,
+                None,
+                (queued + robbed) as u64,
+                self.slab.live() as u64,
+                format!(
+                    "fetch queues hold {queued}, ROBs hold {robbed}, slab reports {} live",
+                    self.slab.live()
+                ),
+            ));
+        }
+
+        let mut int_holders = 0u32;
+        let mut fp_holders = 0u32;
+        let mut iq_by_kind = [0u32; 3];
+        for t in 0..n {
+            // INV004: ROB counters track the deques; handles resolve.
+            let rob_len = self.robs[t].len() as u64;
+            let rob_used = self.rob_count.used(t) as u64;
+            if rob_used != rob_len {
+                found.push((
+                    C::RobConservation,
+                    Some(t),
+                    rob_len,
+                    rob_used,
+                    "ROB occupancy counter diverges from the ROB deque".into(),
+                ));
+            }
+            let mut dead = 0u64;
+            let mut prev_seq: Option<u64> = None;
+            let mut age_bad: Option<(u64, u64)> = None;
+            let mut pre_issue_rob = 0u32;
+            let mut t_int = 0u32;
+            let mut t_fp = 0u32;
+            let mut dmiss_live = 0u32;
+            let mut declared_live = 0u32;
+            for &h in &self.robs[t] {
+                let Some(inst) = self.slab.get(h) else {
+                    dead += 1;
+                    continue;
+                };
+                if inst.thread != t {
+                    found.push((
+                        C::RobConservation,
+                        Some(t),
+                        t as u64,
+                        inst.thread as u64,
+                        format!(
+                            "seq {} in thread {t}'s ROB belongs to thread {}",
+                            inst.seq, inst.thread
+                        ),
+                    ));
+                }
+                // INV005: sequence numbers strictly ascend head to tail.
+                if let Some(p) = prev_seq {
+                    if inst.seq <= p && age_bad.is_none() {
+                        age_bad = Some((p, inst.seq));
+                    }
+                }
+                prev_seq = Some(inst.seq);
+                if matches!(inst.stage, Stage::Waiting | Stage::Ready { .. }) {
+                    pre_issue_rob += 1;
+                    match inst.iq {
+                        Some(kind) => iq_by_kind[iq_index(kind)] += 1,
+                        None => found.push((
+                            C::IqConservation,
+                            Some(t),
+                            1,
+                            0,
+                            format!("pre-issue seq {} holds no IQ entry", inst.seq),
+                        )),
+                    }
+                }
+                if inst.holds_reg {
+                    if inst.inst.class.dest_is_fp() {
+                        t_fp += 1;
+                    } else {
+                        t_int += 1;
+                    }
+                }
+                // INV009: each counted L1-D miss is a load whose recorded
+                // hierarchy outcome says "L1 miss, fill still in flight".
+                if inst.dmiss_counted {
+                    dmiss_live += 1;
+                    match inst.mem {
+                        None => found.push((
+                            C::DmissConsistency,
+                            Some(t),
+                            1,
+                            0,
+                            format!("dmiss-counted seq {} has no memory outcome", inst.seq),
+                        )),
+                        Some(m) => {
+                            if !m.l1_miss {
+                                found.push((
+                                    C::DmissConsistency,
+                                    Some(t),
+                                    1,
+                                    0,
+                                    format!("dmiss-counted seq {} hit in L1", inst.seq),
+                                ));
+                            }
+                            if m.complete_at <= self.now {
+                                found.push((
+                                    C::DmissConsistency,
+                                    Some(t),
+                                    self.now + 1,
+                                    m.complete_at,
+                                    format!(
+                                        "dmiss-counted seq {} fill was due at cycle {}",
+                                        inst.seq, m.complete_at
+                                    ),
+                                ));
+                            }
+                            if m.l2_miss && !m.l1_miss {
+                                found.push((
+                                    C::DmissConsistency,
+                                    Some(t),
+                                    0,
+                                    1,
+                                    format!(
+                                        "seq {} reports an L2 miss without an L1 miss",
+                                        inst.seq
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+                // INV010: each declared L2 miss still awaits its resolve
+                // notice.
+                if inst.declared {
+                    declared_live += 1;
+                    match inst.mem {
+                        None => found.push((
+                            C::DeclaredConsistency,
+                            Some(t),
+                            1,
+                            0,
+                            format!("declared seq {} has no memory outcome", inst.seq),
+                        )),
+                        Some(m) => {
+                            let notice_at =
+                                m.complete_at.saturating_sub(self.cfg.early_resolve_notice);
+                            if notice_at <= self.now {
+                                found.push((
+                                    C::DeclaredConsistency,
+                                    Some(t),
+                                    self.now + 1,
+                                    notice_at,
+                                    format!(
+                                        "declared seq {} resolve notice was due at cycle \
+                                         {notice_at}",
+                                        inst.seq
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            if dead > 0 {
+                found.push((
+                    C::RobConservation,
+                    Some(t),
+                    0,
+                    dead,
+                    "ROB holds handles to removed instructions".into(),
+                ));
+            }
+            if let Some((p, s)) = age_bad {
+                found.push((
+                    C::RobAgeOrder,
+                    Some(t),
+                    p + 1,
+                    s,
+                    format!("seq {s} follows seq {p} in the ROB (commit order is fetch order)"),
+                ));
+            }
+            // INV006: ICOUNT == pre-issue occupancy (fetch queue + IQ).
+            let pre_issue = self.fronts[t].queue.len() as u64 + pre_issue_rob as u64;
+            if pre_issue != self.icount[t] as u64 {
+                found.push((
+                    C::IcountConsistency,
+                    Some(t),
+                    pre_issue,
+                    self.icount[t] as u64,
+                    "ICOUNT counter diverges from pre-issue occupancy".into(),
+                ));
+            }
+            // INV003: per-thread IQ holdings.
+            if pre_issue_rob != self.iq_held[t] {
+                found.push((
+                    C::IqConservation,
+                    Some(t),
+                    pre_issue_rob as u64,
+                    self.iq_held[t] as u64,
+                    "per-thread IQ holdings counter diverges".into(),
+                ));
+            }
+            // INV001 per-thread (the counter is int+fp combined).
+            if t_int + t_fp != self.regs_held[t] {
+                found.push((
+                    C::RegConservationInt,
+                    Some(t),
+                    (t_int + t_fp) as u64,
+                    self.regs_held[t] as u64,
+                    "per-thread register holdings counter diverges (int+fp combined)".into(),
+                ));
+            }
+            // INV009/INV010: the per-thread counters the policy reads.
+            if dmiss_live != self.dmiss[t] {
+                found.push((
+                    C::DmissConsistency,
+                    Some(t),
+                    dmiss_live as u64,
+                    self.dmiss[t] as u64,
+                    "outstanding L1-D miss counter diverges from live dmiss-counted loads \
+                     (the thread would be misclassified into the wrong DWarn group)"
+                        .into(),
+                ));
+            }
+            if declared_live != self.declared[t] {
+                found.push((
+                    C::DeclaredConsistency,
+                    Some(t),
+                    declared_live as u64,
+                    self.declared[t] as u64,
+                    "declared-L2-miss counter diverges from live declared loads".into(),
+                ));
+            }
+            int_holders += t_int;
+            fp_holders += t_fp;
+        }
+
+        // INV001/INV002: freelist conservation — a leak shows as in_use >
+        // holders, a double-free as in_use < holders.
+        if int_holders != self.regs_int.in_use() {
+            found.push((
+                C::RegConservationInt,
+                None,
+                int_holders as u64,
+                self.regs_int.in_use() as u64,
+                "int freelist in-use count diverges from live holders (leak or double-free)".into(),
+            ));
+        }
+        if fp_holders != self.regs_fp.in_use() {
+            found.push((
+                C::RegConservationFp,
+                None,
+                fp_holders as u64,
+                self.regs_fp.in_use() as u64,
+                "fp freelist in-use count diverges from live holders (leak or double-free)".into(),
+            ));
+        }
+
+        // INV003: shared IQ occupancy, per kind.
+        for kind in IqKind::ALL {
+            let counted = iq_by_kind[iq_index(kind)];
+            let used = self.iqs.used(kind);
+            if counted != used {
+                found.push((
+                    C::IqConservation,
+                    None,
+                    counted as u64,
+                    used as u64,
+                    format!("{kind:?} IQ occupancy diverges from pre-issue instructions"),
+                ));
+            }
+        }
+
+        // INV007/INV008: event-wheel sanity.
+        let wheel = self.events.audit(self.now);
+        if let Some((at, seq)) = wheel.past_due {
+            found.push((
+                C::EventPastDue,
+                None,
+                self.now + 1,
+                at,
+                format!("event for seq {seq} due at cycle {at} is still queued"),
+            ));
+        }
+        if wheel.queued != wheel.cached_len {
+            found.push((
+                C::EventLenMismatch,
+                None,
+                wheel.queued as u64,
+                wheel.cached_len as u64,
+                "event-wheel cached length diverges from queued events".into(),
+            ));
+        }
+
+        // INV014: cache tag-array integrity, periodically (its cost scales
+        // with cache size, not occupancy).
+        if self.now.is_multiple_of(TAG_AUDIT_PERIOD) {
+            if let Err(detail) = self.hier.audit_tags() {
+                found.push((C::CacheTagIntegrity, None, 0, 1, detail));
+            }
+        }
+
+        for (code, thread, expected, actual, detail) in found {
+            self.report_violation(code, thread, expected, actual, detail);
+        }
+    }
+
+    /// Run the whole-machine audit immediately (mutation tests): the
+    /// per-cycle audit only fires inside [`Simulator::step`], but a test
+    /// that just injected a corruption wants the verdict deterministically,
+    /// before the machine can evolve.
+    #[doc(hidden)]
+    pub fn force_audit(&mut self) {
+        if S::ENABLED {
+            self.audit_cycle();
+        }
+    }
+
+    /// Deliberately corrupt one machine invariant (mutation tests; see
+    /// [`Mutation`]). Returns false when the corruption could not be
+    /// applied (e.g. a pool already exhausted or an empty ROB).
+    #[doc(hidden)]
+    pub fn inject_for_test(&mut self, m: Mutation) -> bool {
+        match m {
+            Mutation::LeakIntReg => self.regs_int.alloc(),
+            Mutation::LeakFpReg => self.regs_fp.alloc(),
+            Mutation::LeakIqEntry => self.iqs.alloc(IqKind::Int),
+            Mutation::LeakRobSlot => self.rob_count.alloc(0),
+            Mutation::InflateIcount => {
+                self.icount[0] += 1;
+                true
+            }
+            Mutation::PhantomDmiss => {
+                self.dmiss[0] += 1;
+                true
+            }
+            Mutation::PhantomDeclared => {
+                self.declared[0] += 1;
+                true
+            }
+            Mutation::PastDueEvent => {
+                // A handle no live slot matches, so the event is inert even
+                // if it ever drains.
+                let h = Handle {
+                    idx: u32::MAX,
+                    gen: u32::MAX,
+                };
+                self.events.inject_unchecked(Ev {
+                    at: self.now.saturating_sub(1),
+                    seq: 0,
+                    kind: EvKind::Wakeup,
+                    h,
+                });
+                true
+            }
+            Mutation::RobAgeSwap => {
+                if self.robs[0].len() >= 2 {
+                    self.robs[0].swap(0, 1);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Introspection for tests
     // ------------------------------------------------------------------
 
@@ -1526,7 +2080,7 @@ impl<P: Probe> Simulator<P> {
     }
 }
 
-impl<P: Probe> Simulator<P> {
+impl<P: Probe, S: Sanitizer> Simulator<P, S> {
     /// Physical registers currently held (int, fp) — diagnostics.
     pub fn regs_in_use(&self) -> (u32, u32) {
         (self.regs_int.in_use(), self.regs_fp.in_use())
@@ -1538,21 +2092,21 @@ impl<P: Probe> Simulator<P> {
     }
 }
 
-impl<P: Probe> Simulator<P> {
+impl<P: Probe, S: Sanitizer> Simulator<P, S> {
     /// Pool-draw statistics of a thread's correct-path trace — diagnostics.
     pub fn trace_pool_draws(&self, thread: usize) -> (u64, [u64; 3]) {
         self.fronts[thread].pool_draws()
     }
 }
 
-impl<P: Probe> Simulator<P> {
+impl<P: Probe, S: Sanitizer> Simulator<P, S> {
     /// Correct-path instructions emitted by a thread's trace — diagnostics.
     pub fn trace_emitted(&self, thread: usize) -> u64 {
         self.fronts[thread].emitted()
     }
 }
 
-impl<P: Probe> Simulator<P> {
+impl<P: Probe, S: Sanitizer> Simulator<P, S> {
     /// Per-kind branch (predictions, mispredictions): [CondBr, Jump, Call,
     /// Return] — diagnostics.
     pub fn branch_kind_stats(&self) -> [(u64, u64); 4] {

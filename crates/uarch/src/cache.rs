@@ -217,6 +217,27 @@ impl Cache {
     pub fn resident_lines(&self) -> usize {
         self.sets.iter().filter(|l| l.valid).count()
     }
+
+    /// Tag-array integrity audit (sanitizer invariant `INV014`): within a
+    /// set, valid lines must carry distinct tags — a duplicate would make
+    /// hit results depend on probe order. Returns the first offending
+    /// `(set, tag)`.
+    pub fn audit_tags(&self) -> Result<(), (u64, u64)> {
+        let w = self.cfg.ways as usize;
+        for (set, lines) in self.sets.chunks(w).enumerate() {
+            for i in 0..lines.len() {
+                if !lines[i].valid {
+                    continue;
+                }
+                for j in i + 1..lines.len() {
+                    if lines[j].valid && lines[j].tag == lines[i].tag {
+                        return Err((set as u64, lines[i].tag));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

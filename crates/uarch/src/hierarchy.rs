@@ -311,6 +311,20 @@ impl MemHierarchy {
         }
     }
 
+    /// Sanitizer hook: tag-array integrity of all three cache levels
+    /// (invariant `INV014`). Returns a description of the first duplicate
+    /// valid tag found within a set.
+    pub fn audit_tags(&self) -> Result<(), String> {
+        for (name, cache) in [("L1I", &self.l1i), ("L1D", &self.l1d), ("L2", &self.l2)] {
+            if let Err((set, tag)) = cache.audit_tags() {
+                return Err(format!(
+                    "{name} set {set} holds two valid lines with tag {tag:#x}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Pre-install a region's lines into the L2 (simulating steady-state
     /// residency that a short simulation window cannot establish by demand
     /// misses alone).
