@@ -67,7 +67,7 @@ impl DWarn {
     pub(crate) fn grouped_order_into(view: &PolicyView, out: &mut Vec<usize>) {
         view.icount_order_into(out);
         // Stable partition: Normal group keeps ICOUNT order, then Dmiss.
-        out.sort_by_key(|&t| (view.threads[t].dmiss_count > 0) as u32);
+        crate::stall_flush::stable_partition(out, |t| view.threads[t].dmiss_count > 0);
     }
 }
 
@@ -140,6 +140,11 @@ impl FetchPolicy for DWarn {
             }
         }
         Ok(())
+    }
+
+    // Pure function of the view: the quiescence engine may skip idle spans.
+    fn quiescence_safe(&self) -> bool {
+        true
     }
 }
 

@@ -74,6 +74,13 @@ impl FetchPolicy for DWarnFlush {
             DeclareAction::None
         }
     }
+
+    // `flushing` is recomputed from the (constant) thread count on every
+    // call, so a repeated call with the same view is indistinguishable from
+    // one: the quiescence engine may skip idle spans.
+    fn quiescence_safe(&self) -> bool {
+        true
+    }
 }
 
 /// DWarn with a configurable in-flight-miss threshold for Dmiss membership.
@@ -98,7 +105,12 @@ impl FetchPolicy for DWarnThreshold {
 
     fn fetch_order_into(&mut self, view: &PolicyView, out: &mut Vec<usize>) {
         view.icount_order_into(out);
-        out.sort_by_key(|&t| (view.threads[t].dmiss_count >= self.k) as u32);
+        crate::stall_flush::stable_partition(out, |t| view.threads[t].dmiss_count >= self.k);
+    }
+
+    // Pure function of the view: the quiescence engine may skip idle spans.
+    fn quiescence_safe(&self) -> bool {
+        true
     }
 }
 

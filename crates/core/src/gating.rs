@@ -61,6 +61,11 @@ impl FetchPolicy for DataGating {
         view.icount_order_into(out);
         out.retain(|&t| view.threads[t].dmiss_count < self.n);
     }
+
+    // Pure function of the view: the quiescence engine may skip idle spans.
+    fn quiescence_safe(&self) -> bool {
+        true
+    }
 }
 
 /// Per-load PDG tracking state.
@@ -135,6 +140,13 @@ impl FetchPolicy for PredictiveDataGating {
         view.icount_order_into(out);
         let counts = &self.counts;
         out.retain(|&t| counts[t] < self.n);
+    }
+
+    // `ensure_threads` is an idempotent resize and the gate counters change
+    // only through `on_event`, so the order is a pure function of the view
+    // between events: the quiescence engine may skip idle spans.
+    fn quiescence_safe(&self) -> bool {
+        true
     }
 
     fn on_event(&mut self, ev: &PolicyEvent) {

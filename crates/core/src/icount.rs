@@ -31,6 +31,11 @@ impl FetchPolicy for Icount {
     fn fetch_order_into(&mut self, view: &PolicyView, out: &mut Vec<usize>) {
         view.icount_order_into(out);
     }
+
+    // Pure function of the view: the quiescence engine may skip idle spans.
+    fn quiescence_safe(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -45,7 +45,7 @@ pub mod taxonomy;
 pub use dcpred::DcPred;
 pub use dwarn::DWarn;
 pub use extensions::{DWarnFlush, DWarnThreshold};
-pub use factory::PolicyKind;
+pub use factory::{PolicyKind, PolicyVisitor};
 pub use gating::{DataGating, PredictiveDataGating};
 pub use icount::Icount;
 pub use predictor::MissPredictor;

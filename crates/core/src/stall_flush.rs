@@ -25,6 +25,24 @@ pub(crate) fn retain_ungated_keep_one(order: &mut Vec<usize>, view: &PolicyView)
     }
 }
 
+/// Stable in-place partition of a thread order: entries where `demote`
+/// holds move after the rest, both groups keeping their relative order.
+/// Equivalent to a stable sort by the predicate, without the general
+/// sort's dispatch overhead (orders hold at most the context count, ≤ 8).
+pub(crate) fn stable_partition(order: &mut [usize], demote: impl Fn(usize) -> bool) {
+    let mut insert = 0;
+    for i in 0..order.len() {
+        let t = order[i];
+        if !demote(t) {
+            // Shift the demoted run one slot right, then place `t` at the
+            // boundary — both groups keep their relative order.
+            order.copy_within(insert..i, insert + 1);
+            order[insert] = t;
+            insert += 1;
+        }
+    }
+}
+
 /// Shared gating logic: ICOUNT order, minus declared threads, keep-one.
 fn stall_order_into(view: &PolicyView, out: &mut Vec<usize>) {
     view.icount_order_into(out);
@@ -52,6 +70,11 @@ impl FetchPolicy for Stall {
 
     fn fetch_order_into(&mut self, view: &PolicyView, out: &mut Vec<usize>) {
         stall_order_into(view, out);
+    }
+
+    // Pure function of the view: the quiescence engine may skip idle spans.
+    fn quiescence_safe(&self) -> bool {
+        true
     }
 }
 
@@ -81,6 +104,11 @@ impl FetchPolicy for Flush {
 
     fn declare_action(&self) -> DeclareAction {
         DeclareAction::FlushAfterLoad
+    }
+
+    // Pure function of the view: the quiescence engine may skip idle spans.
+    fn quiescence_safe(&self) -> bool {
+        true
     }
 }
 

@@ -37,6 +37,12 @@ pub struct ChaosOpts {
     pub faults: usize,
     /// Short simulation windows (CI smoke); full windows otherwise.
     pub quick: bool,
+    /// Run every simulation with the quiescence-skipping engine disabled
+    /// (the naive per-cycle loop). Results are bit-identical either way,
+    /// so goldens recorded by a skipping run verify under `--no-skip` and
+    /// vice versa; this exercises the fault surfaces on the escape-hatch
+    /// path.
+    pub no_skip: bool,
     /// Directory for the scratch disk cache. Defaults to a per-seed,
     /// per-process directory under the system temp dir.
     pub dir: Option<PathBuf>,
@@ -48,6 +54,7 @@ impl ChaosOpts {
             seed,
             faults,
             quick: false,
+            no_skip: false,
             dir: None,
         }
     }
@@ -313,12 +320,13 @@ fn chaos_watchdog() -> Watchdog {
     }
 }
 
-fn campaign(p: ExpParams, dir: &Path) -> Result<Campaign, ExpError> {
+fn campaign(p: ExpParams, dir: &Path, no_skip: bool) -> Result<Campaign, ExpError> {
     let mut c = Campaign::with_disk_cache(p, dir).map_err(|e| ExpError::Io {
         context: format!("opening chaos cache {}", dir.display()),
         detail: e.to_string(),
     })?;
     c.set_watchdog(chaos_watchdog());
+    c.set_skip(!no_skip);
     Ok(c)
 }
 
@@ -348,7 +356,7 @@ pub fn run(opts: &ChaosOpts) -> Result<ChaosReport, ExpError> {
 
     // Phase 1: goldens. A fresh campaign populates the disk cache and
     // records the reference digest of every key.
-    let baseline = campaign(p, &dir)?;
+    let baseline = campaign(p, &dir, opts.no_skip)?;
     let mut goldens = Vec::with_capacity(keys.len());
     for key in &keys {
         goldens.push(baseline.try_result(key)?.digest());
@@ -366,7 +374,16 @@ pub fn run(opts: &ChaosOpts) -> Result<ChaosReport, ExpError> {
             Some(&k) => k,
             None => ALL_KINDS[rng.below(ALL_KINDS.len() as u64) as usize],
         };
-        let outcome = inject(kind, &mut rng, &dir, p, &keys, &goldens, index);
+        let outcome = inject(
+            kind,
+            &mut rng,
+            &dir,
+            p,
+            &keys,
+            &goldens,
+            index,
+            opts.no_skip,
+        );
         reports.push(FaultReport {
             index,
             fault: kind.name(),
@@ -378,7 +395,7 @@ pub fn run(opts: &ChaosOpts) -> Result<ChaosReport, ExpError> {
     // Phase 3: final golden verification. Whatever the faults did to the
     // cache, a fresh campaign must reproduce every golden bit-for-bit
     // (healing damaged entries by re-simulation where needed).
-    let verify = campaign(p, &dir)?;
+    let verify = campaign(p, &dir, opts.no_skip)?;
     let mut goldens_ok = true;
     for (key, &want) in keys.iter().zip(&goldens) {
         match verify.try_result(key) {
@@ -400,6 +417,7 @@ pub fn run(opts: &ChaosOpts) -> Result<ChaosReport, ExpError> {
 }
 
 /// Inject one fault and classify its resolution.
+#[allow(clippy::too_many_arguments)]
 fn inject(
     kind: FaultKind,
     rng: &mut Rng,
@@ -408,24 +426,25 @@ fn inject(
     keys: &[RunKey],
     goldens: &[u64],
     index: usize,
+    no_skip: bool,
 ) -> Outcome {
     match kind {
-        FaultKind::TraceTruncate | FaultKind::TraceBitFlip => trace_fault(kind, rng),
+        FaultKind::TraceTruncate | FaultKind::TraceBitFlip => trace_fault(kind, rng, no_skip),
         FaultKind::CacheTruncate
         | FaultKind::CacheGarbage
         | FaultKind::CacheBitFlip
-        | FaultKind::CachePartialStore => cache_fault(kind, rng, dir, p, keys, goldens),
+        | FaultKind::CachePartialStore => cache_fault(kind, rng, dir, p, keys, goldens, no_skip),
         FaultKind::ConfigZeroFetch
         | FaultKind::ConfigTooManyThreads
-        | FaultKind::ConfigNoThreads => config_fault(kind, dir, p, index),
-        FaultKind::PolicyPanic => policy_panic_fault(rng, dir, p, index),
-        FaultKind::BadWorkloadClass => bad_input_fault(rng, dir, p),
+        | FaultKind::ConfigNoThreads => config_fault(kind, dir, p, index, no_skip),
+        FaultKind::PolicyPanic => policy_panic_fault(rng, dir, p, index, no_skip),
+        FaultKind::BadWorkloadClass => bad_input_fault(rng, dir, p, no_skip),
     }
 }
 
 // --- Trace faults ---------------------------------------------------------
 
-fn trace_fault(kind: FaultKind, rng: &mut Rng) -> Outcome {
+fn trace_fault(kind: FaultKind, rng: &mut Rng, no_skip: bool) -> Outcome {
     let benches = smt_trace::all_benchmarks();
     let profile = &benches[rng.below(benches.len() as u64) as usize];
     let rec = RecordedTrace::record(profile, rng.range(1, 1 << 20), 0x1_0000, 1_500);
@@ -458,6 +477,7 @@ fn trace_fault(kind: FaultKind, rng: &mut Rng) -> Outcome {
                     vec![front],
                     smt_obs::NullProbe,
                 )?;
+                sim.set_skip_enabled(!no_skip);
                 sim.try_run(200, 800, &chaos_watchdog())
                     .map_err(ExpError::from)
             });
@@ -489,13 +509,14 @@ fn cache_fault(
     p: ExpParams,
     keys: &[RunKey],
     goldens: &[u64],
+    no_skip: bool,
 ) -> Outcome {
     let pick = rng.below(keys.len() as u64) as usize;
     let key = &keys[pick];
     let golden = goldens[pick];
 
     // Locate the on-disk entry through the campaign's own key derivation.
-    let locate = campaign(p, dir).and_then(|c| {
+    let locate = campaign(p, dir, no_skip).and_then(|c| {
         let desc = c.describe(key)?;
         let disk = c.disk().expect("chaos campaign has a disk cache");
         Ok(disk.entry_path(&desc))
@@ -548,7 +569,7 @@ fn cache_fault(
     // (typed Cache failure + re-simulation) or absorbed (a flipped bit in
     // trailing whitespace, say) — and the digest must match the golden
     // either way.
-    let reloaded = campaign(p, dir).and_then(|c| {
+    let reloaded = campaign(p, dir, no_skip).and_then(|c| {
         let r = c.try_result(key)?;
         Ok((r, c.failures()))
     });
@@ -586,8 +607,8 @@ fn cache_fault(
 
 // --- Config faults --------------------------------------------------------
 
-fn config_fault(kind: FaultKind, dir: &Path, p: ExpParams, index: usize) -> Outcome {
-    let c = match campaign(p, dir) {
+fn config_fault(kind: FaultKind, dir: &Path, p: ExpParams, index: usize, no_skip: bool) -> Outcome {
+    let c = match campaign(p, dir, no_skip) {
         Ok(c) => c,
         Err(e) => {
             return Outcome::Violation {
@@ -649,8 +670,14 @@ impl FetchPolicy for FusedPolicy {
     }
 }
 
-fn policy_panic_fault(rng: &mut Rng, dir: &Path, p: ExpParams, index: usize) -> Outcome {
-    let c = match campaign(p, dir) {
+fn policy_panic_fault(
+    rng: &mut Rng,
+    dir: &Path,
+    p: ExpParams,
+    index: usize,
+    no_skip: bool,
+) -> Outcome {
+    let c = match campaign(p, dir, no_skip) {
         Ok(c) => c,
         Err(e) => {
             return Outcome::Violation {
@@ -688,8 +715,8 @@ fn policy_panic_fault(rng: &mut Rng, dir: &Path, p: ExpParams, index: usize) -> 
 
 // --- Bad input ------------------------------------------------------------
 
-fn bad_input_fault(rng: &mut Rng, dir: &Path, p: ExpParams) -> Outcome {
-    let c = match campaign(p, dir) {
+fn bad_input_fault(rng: &mut Rng, dir: &Path, p: ExpParams, no_skip: bool) -> Outcome {
+    let c = match campaign(p, dir, no_skip) {
         Ok(c) => c,
         Err(e) => {
             return Outcome::Violation {

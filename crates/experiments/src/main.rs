@@ -47,11 +47,14 @@ experiments:
 
   lint [--verbose]
              static analysis over this repository's own sources (the
-             determinism/robustness rules SMT001..SMT005, allowlisted in
+             determinism/robustness rules SMT001..SMT006, allowlisted in
              lint.allow); same pass as `cargo run -p smt-lint`
 
 flags:
   --quick            short simulation windows (smoke test)
+  --no-skip          disable the quiescence-skipping cycle engine and run
+                     the naive per-cycle loop (results are bit-identical
+                     either way; this is the verification escape hatch)
   --sanitize         attach the cycle-level uarch sanitizer to every
                      simulation; invariant violations fail the run (and
                      disk-cache loads are bypassed so runs really execute)
@@ -117,10 +120,11 @@ fn compare(campaign: &Campaign, args: &[&str]) -> String {
 
 /// The `chaos` subcommand: run the deterministic fault-injection harness
 /// and map a violating report to [`EXIT_CHAOS_VIOLATION`].
-fn chaos_cmd(args: &[&str], quick: bool) -> ! {
+fn chaos_cmd(args: &[&str], quick: bool, no_skip: bool) -> ! {
     use smt_experiments::chaos::{self, ChaosOpts};
     let mut opts = ChaosOpts::new(1, 32);
     opts.quick = quick;
+    opts.no_skip = no_skip;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut num = |what: &str| -> u64 {
@@ -245,7 +249,12 @@ fn cache_admin(action: &str, dir: Option<&PathBuf>) -> ! {
 }
 
 /// Build the campaign, attaching the persistent cache when requested.
-fn build_campaign(params: ExpParams, cache_dir: Option<&PathBuf>, sanitize: bool) -> Campaign {
+fn build_campaign(
+    params: ExpParams,
+    cache_dir: Option<&PathBuf>,
+    sanitize: bool,
+    no_skip: bool,
+) -> Campaign {
     let mut campaign = match cache_dir {
         Some(dir) => match Campaign::with_disk_cache(params, dir) {
             Ok(c) => c,
@@ -257,6 +266,7 @@ fn build_campaign(params: ExpParams, cache_dir: Option<&PathBuf>, sanitize: bool
         None => Campaign::new(params),
     };
     campaign.set_sanitize(sanitize);
+    campaign.set_skip(!no_skip);
     campaign
 }
 
@@ -308,6 +318,7 @@ fn main() {
     let cache_dir = take_dir_flag(&mut args, "cache-dir");
     let quick = args.iter().any(|a| a == "--quick");
     let sanitize = args.iter().any(|a| a == "--sanitize");
+    let no_skip = args.iter().any(|a| a == "--no-skip");
 
     if args.first().map(String::as_str) == Some("lint") {
         lint_cmd(&args[1..]);
@@ -326,16 +337,16 @@ fn main() {
         let rest: Vec<&str> = args[1..]
             .iter()
             .map(String::as_str)
-            .filter(|a| *a != "--quick" && *a != "--sanitize")
+            .filter(|a| *a != "--quick" && *a != "--sanitize" && *a != "--no-skip")
             .collect();
-        chaos_cmd(&rest, quick);
+        chaos_cmd(&rest, quick, no_skip);
     }
 
     if args.first().map(String::as_str) == Some("trace") {
         let rest: Vec<&str> = args[1..]
             .iter()
             .map(String::as_str)
-            .filter(|a| *a != "--quick" && *a != "--sanitize")
+            .filter(|a| *a != "--quick" && *a != "--sanitize" && *a != "--no-skip")
             .collect();
         let opts = match smt_experiments::tracing::parse_args(&rest) {
             Ok(o) => o,
@@ -367,7 +378,7 @@ fn main() {
         } else {
             ExpParams::standard()
         };
-        let campaign = build_campaign(params, cache_dir.as_ref(), sanitize);
+        let campaign = build_campaign(params, cache_dir.as_ref(), sanitize, no_skip);
         print!("{}", compare(&campaign, &exps[1..]));
         flush_artifacts();
         return;
@@ -396,7 +407,7 @@ fn main() {
     } else {
         ExpParams::standard()
     };
-    let campaign = build_campaign(params, cache_dir.as_ref(), sanitize);
+    let campaign = build_campaign(params, cache_dir.as_ref(), sanitize, no_skip);
     let t0 = Instant::now();
 
     let mut broken_experiments = 0u32;

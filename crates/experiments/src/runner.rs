@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Mutex;
 
-use dwarn_core::PolicyKind;
+use dwarn_core::{PolicyKind, PolicyVisitor};
 use smt_pipeline::{
     FetchPolicy, RecordingSanitizer, SimConfig, SimResult, Simulator, ThreadSpec, Watchdog,
 };
@@ -194,13 +194,25 @@ pub struct Campaign {
     /// executes under audit; results are still stored (the sanitizer is
     /// observation-only, so sanitized results are bit-identical).
     sanitize: bool,
+    /// Let simulations use the quiescence-skipping engine (`--no-skip`
+    /// clears it). Skipped and unskipped runs are bit-identical, so this
+    /// does not enter the cache key.
+    skip: bool,
 }
 
 impl Campaign {
     pub fn new(params: ExpParams) -> Campaign {
-        let parallelism = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+        // `SMT_JOBS` overrides the detected core count (CI runners and
+        // benchmark boxes want a pinned, reproducible width).
+        let parallelism = std::env::var("SMT_JOBS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
         Campaign {
             params,
             cache: Mutex::new(HashMap::new()),
@@ -210,6 +222,7 @@ impl Campaign {
             failures: Mutex::new(Vec::new()),
             watchdog: Watchdog::default(),
             sanitize: false,
+            skip: true,
         }
     }
 
@@ -244,25 +257,42 @@ impl Campaign {
         self.sanitize
     }
 
+    /// Disable (or re-enable) the quiescence-skipping engine for every
+    /// simulation this campaign runs (`--no-skip`). Observation-only:
+    /// results are bit-identical either way.
+    pub fn set_skip(&mut self, on: bool) {
+        self.skip = on;
+    }
+
+    /// Whether simulations may use the quiescence engine
+    /// ([`Campaign::set_skip`]).
+    pub fn skip(&self) -> bool {
+        self.skip
+    }
+
     /// One simulation behind the panic boundary and watchdog, with the
-    /// sanitizer attached when [`Campaign::set_sanitize`] is on. The
-    /// sanitizer monomorphizes in — the unsanitized arm runs the same
-    /// zero-cost `NullSanitizer` code as before.
-    fn simulate(
+    /// sanitizer attached when [`Campaign::set_sanitize`] is on. Generic
+    /// over the concrete policy type: grid runs arrive here through
+    /// [`PolicyKind::dispatch`], so the paper's policies run with
+    /// monomorphized (static) per-cycle dispatch, while custom policies
+    /// pass `Box<dyn FetchPolicy>`. The sanitizer likewise monomorphizes
+    /// in — the unsanitized arm runs the zero-cost `NullSanitizer` code.
+    fn simulate_policy<F: FetchPolicy + 'static>(
         &self,
         what: &str,
         cfg: &SimConfig,
         specs: &[ThreadSpec],
-        build: impl FnOnce() -> Box<dyn FetchPolicy>,
+        policy: F,
     ) -> Result<SimResult, ExpError> {
         if self.sanitize {
-            protect(what, || {
+            protect(what, move || {
                 let mut sim = Simulator::try_sanitized(
                     cfg.clone(),
-                    build(),
+                    policy,
                     specs,
                     RecordingSanitizer::new(),
                 )?;
+                sim.set_skip_enabled(self.skip);
                 let result = sim
                     .try_run(self.params.warmup, self.params.measure, &self.watchdog)
                     .map_err(ExpError::from)?;
@@ -277,12 +307,25 @@ impl Campaign {
                 Ok(result)
             })
         } else {
-            protect(what, || {
-                let mut sim = Simulator::try_new(cfg.clone(), build(), specs)?;
+            protect(what, move || {
+                let mut sim = Simulator::try_new(cfg.clone(), policy, specs)?;
+                sim.set_skip_enabled(self.skip);
                 sim.try_run(self.params.warmup, self.params.measure, &self.watchdog)
                     .map_err(ExpError::from)
             })
         }
+    }
+
+    /// [`Campaign::simulate_policy`] for lazily-built dyn policies (the
+    /// custom-run path).
+    fn simulate(
+        &self,
+        what: &str,
+        cfg: &SimConfig,
+        specs: &[ThreadSpec],
+        build: impl FnOnce() -> Box<dyn FetchPolicy>,
+    ) -> Result<SimResult, ExpError> {
+        self.simulate_policy(what, cfg, specs, build())
     }
 
     /// The canonical cache-key description of `key` (diagnostics and fault
@@ -372,7 +415,27 @@ impl Campaign {
             key.workload,
             key.policy.name()
         );
-        let result = self.simulate(&what, &cfg, &specs, || key.policy.build())?;
+        // Dispatch the policy at its concrete type: the simulator below is
+        // monomorphized per policy, removing the per-cycle virtual call.
+        struct GridRun<'a> {
+            campaign: &'a Campaign,
+            what: &'a str,
+            cfg: &'a SimConfig,
+            specs: &'a [ThreadSpec],
+        }
+        impl PolicyVisitor for GridRun<'_> {
+            type Out = Result<SimResult, ExpError>;
+            fn visit<F: FetchPolicy + 'static>(self, policy: F) -> Self::Out {
+                self.campaign
+                    .simulate_policy(self.what, self.cfg, self.specs, policy)
+            }
+        }
+        let result = key.policy.dispatch(GridRun {
+            campaign: self,
+            what: &what,
+            cfg: &cfg,
+            specs: &specs,
+        })?;
         crate::artifacts::record(key, &result);
         if let Some(d) = &self.disk {
             if let Err(e) = d.store_retrying(&desc, &result, 3) {
@@ -483,7 +546,22 @@ impl Campaign {
             return;
         }
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let workers = self.parallelism.min(missing.len());
+        // Clamp the worker pool to the runs that will actually simulate: on
+        // a warm batch most keys resolve from the disk cache (cheap loads),
+        // and spawning a thread per key would mostly spawn idle threads.
+        let pending = match self.disk.as_ref().filter(|_| !self.sanitize) {
+            Some(d) => missing
+                .iter()
+                .filter(|k| {
+                    self.describe(k)
+                        .map(|desc| !d.entry_path(&desc).exists())
+                        .unwrap_or(true)
+                })
+                .count()
+                .max(1),
+            None => missing.len(),
+        };
+        let workers = self.parallelism.min(pending);
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {

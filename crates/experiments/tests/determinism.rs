@@ -203,6 +203,108 @@ fn sanitized_campaign_is_bit_identical_and_clean() {
     );
 }
 
+// --- Quiescence-skip engine -----------------------------------------------
+
+/// One (policy, workload) pair simulated twice — skipping engine on, then
+/// the `--no-skip` naive loop — returning both digests and the skipping
+/// run's bulk-advanced cycle count.
+fn skip_pair(policy: PolicyKind, threads: usize, class: WorkloadClass) -> (u64, u64, u64) {
+    let specs = workload(threads, class).thread_specs();
+    let cfg = smt_pipeline::SimConfig::baseline();
+    let mut fast = smt_pipeline::Simulator::new(cfg.clone(), policy.build(), &specs);
+    let fast_result = fast.run(1_000, 3_000);
+    let mut naive = smt_pipeline::Simulator::new(cfg, policy.build(), &specs);
+    naive.set_skip_enabled(false);
+    let naive_result = naive.run(1_000, 3_000);
+    assert_eq!(naive.skipped_cycles(), 0, "escape hatch must not skip");
+    (
+        fast_result.digest(),
+        naive_result.digest(),
+        fast.skipped_cycles(),
+    )
+}
+
+#[test]
+fn quiescence_skip_is_bit_identical_across_the_paper_grid() {
+    // Every paper policy against each workload-class regime: the skipping
+    // engine must reproduce the naive loop's every counter exactly.
+    let mut total_skipped = 0;
+    for (threads, class) in [
+        (2, WorkloadClass::Ilp),
+        (4, WorkloadClass::Mix),
+        (8, WorkloadClass::Mem),
+    ] {
+        for policy in PolicyKind::paper_set() {
+            let (fast, naive, skipped) = skip_pair(policy, threads, class);
+            assert_eq!(
+                fast, naive,
+                "skip changed the result for {policy:?} on {threads}-{class:?}"
+            );
+            total_skipped += skipped;
+        }
+    }
+    assert!(
+        total_skipped > 0,
+        "the quiescence engine never engaged; the grid proves nothing"
+    );
+}
+
+#[test]
+fn campaign_skip_toggle_is_bit_identical() {
+    // `Campaign::set_skip(false)` is the CLI's `--no-skip` path; skip and
+    // no-skip campaigns share cache keys precisely because of this.
+    let fast = Campaign::new(quick());
+    let mut naive = Campaign::new(quick());
+    naive.set_skip(false);
+    for key in grid() {
+        assert_eq!(
+            fast.result(&key).digest(),
+            naive.result(&key).digest(),
+            "--no-skip changed the result for {key:?}"
+        );
+    }
+}
+
+#[test]
+fn sanitized_skipped_run_is_clean_and_identical() {
+    // The cycle-level sanitizer must tolerate bulk clock advances: its
+    // past-due scans see the jump to the frontier, and a clean machine
+    // stays clean whether cycles are stepped or skipped.
+    use smt_pipeline::{RecordingSanitizer, Simulator};
+    let specs = workload(4, WorkloadClass::Mem).thread_specs();
+    let cfg = smt_pipeline::SimConfig::baseline();
+
+    let mut fast = Simulator::try_sanitized(
+        cfg.clone(),
+        PolicyKind::DWarn.build(),
+        &specs,
+        RecordingSanitizer::new(),
+    )
+    .unwrap();
+    let fast_result = fast.run(1_000, 3_000);
+    assert!(
+        fast.skipped_cycles() > 0,
+        "skip must engage under the sanitizer for this test to mean anything"
+    );
+    assert!(
+        fast.sanitizer().is_clean(),
+        "sanitizer flagged a skipped run: {:?}",
+        fast.sanitizer().first()
+    );
+
+    let mut naive = Simulator::try_sanitized(
+        cfg,
+        PolicyKind::DWarn.build(),
+        &specs,
+        RecordingSanitizer::new(),
+    )
+    .unwrap();
+    naive.set_skip_enabled(false);
+    let naive_result = naive.run(1_000, 3_000);
+    assert!(naive.sanitizer().is_clean());
+    assert_eq!(fast_result.digest(), naive_result.digest());
+}
+
 #[test]
 fn sanitize_bypasses_disk_cache_loads_but_still_stores() {
     let dir = temp_dir("sanitize");

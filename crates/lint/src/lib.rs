@@ -11,6 +11,7 @@
 //! | `SMT003` | no `unwrap()` / `expect()` / `panic!` | experiments, trace (not chaos) |
 //! | `SMT004` | no float `==` / `!=` | metrics |
 //! | `SMT005` | no stale allowlist entries | the allowlist itself |
+//! | `SMT006` | cycle counter written only in `advance_clock` | pipeline |
 //!
 //! `#[cfg(test)]` modules, `tests/`, `benches/` and `examples/` trees are
 //! exempt throughout: the rules guard production paths.

@@ -34,15 +34,23 @@ pub enum RuleCode {
     /// entries hide regressions (the next real diagnostic in that file
     /// would be silently absorbed), so they are errors themselves.
     Smt005,
+    /// A direct write to the simulator's cycle counter (`self.now`) in the
+    /// pipeline crate outside `advance_clock`, the engine's single
+    /// clock-advance point. The quiescence-skipping engine's closed-form
+    /// accounting (round-robin offset, watchdog checkpoints, skip
+    /// statistics) is only correct if every advance — naive step or bulk
+    /// skip — funnels through that one function.
+    Smt006,
 }
 
 impl RuleCode {
-    pub const ALL: [RuleCode; 5] = [
+    pub const ALL: [RuleCode; 6] = [
         RuleCode::Smt001,
         RuleCode::Smt002,
         RuleCode::Smt003,
         RuleCode::Smt004,
         RuleCode::Smt005,
+        RuleCode::Smt006,
     ];
 
     pub fn as_str(self) -> &'static str {
@@ -52,6 +60,7 @@ impl RuleCode {
             RuleCode::Smt003 => "SMT003",
             RuleCode::Smt004 => "SMT004",
             RuleCode::Smt005 => "SMT005",
+            RuleCode::Smt006 => "SMT006",
         }
     }
 
@@ -66,6 +75,7 @@ impl RuleCode {
             RuleCode::Smt003 => "unwrap/expect/panic! on a user-facing path",
             RuleCode::Smt004 => "exact float equality in metrics",
             RuleCode::Smt005 => "stale allowlist entry (suppressed nothing)",
+            RuleCode::Smt006 => "cycle counter written outside advance_clock",
         }
     }
 }
@@ -220,6 +230,43 @@ pub fn scan_file(path: &str, src: &str) -> Vec<Diagnostic> {
         }
     }
 
+    if in_crate(path, "pipeline") {
+        let exempt = advance_clock_lines(&masked);
+        for at in find_idents(&masked, "now") {
+            let b = masked.as_bytes();
+            // Only writes to the simulator's own counter: `self.now`
+            // followed by an assignment operator.
+            if prev_nonspace(b, at) != Some(b'.') {
+                continue;
+            }
+            let dot = masked[..at].rfind('.').expect("prev nonspace was a dot");
+            let receiver = masked[..dot].trim_end();
+            if !receiver.ends_with("self")
+                || receiver
+                    .as_bytes()
+                    .get(receiver.len().wrapping_sub(5))
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+            {
+                continue;
+            }
+            let rest = masked[at + "now".len()..].trim_start();
+            let is_write = rest.starts_with("+=")
+                || rest.starts_with("-=")
+                || (rest.starts_with('=') && !rest.starts_with("==") && !rest.starts_with("=>"));
+            if !is_write {
+                continue;
+            }
+            let line = line_of(&masked, at);
+            if !in_test(line) && !exempt.as_ref().is_some_and(|r| r.contains(&line)) {
+                push(
+                    RuleCode::Smt006,
+                    line,
+                    "cycle counter written outside advance_clock; every clock advance (naive or bulk) must go through the single advance point".to_string(),
+                );
+            }
+        }
+    }
+
     if in_crate(path, "metrics") {
         for (idx, line) in masked.lines().enumerate() {
             if !in_test(idx + 1) && float_equality(line) {
@@ -247,6 +294,32 @@ fn find_idents(s: &str, name: &str) -> Vec<usize> {
         from = at + 1;
     }
     hits
+}
+
+/// 1-based line numbers of the body of `fn advance_clock` — the engine's
+/// single clock-advance point, exempt from `SMT006` — located by brace
+/// matching on the masked source (masking guarantees no braces hide in
+/// strings or comments). Returns `None` when the file has no such
+/// function.
+fn advance_clock_lines(masked: &str) -> Option<std::ops::RangeInclusive<usize>> {
+    let at = masked.find("fn advance_clock")?;
+    let open = masked[at..].find('{').map(|p| at + p)?;
+    let mut depth = 0usize;
+    let mut end = open;
+    for (i, &c) in masked.as_bytes()[open..].iter().enumerate() {
+        match c {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = open + i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    Some(line_of(masked, open)..=line_of(masked, end))
 }
 
 fn prev_nonspace(b: &[u8], at: usize) -> Option<u8> {
@@ -383,6 +456,46 @@ mod tests {
         // Tolerance-based comparison: fine.
         let tol = "fn k(x: f64) -> bool { (x - 0.95).abs() < 1e-9 }\n";
         assert!(codes("crates/metrics/src/x.rs", tol).is_empty());
+    }
+
+    #[test]
+    fn cycle_counter_writes_outside_advance_clock_are_flagged() {
+        for write in ["self.now += 1;", "self.now -= 1;", "self.now = 5;"] {
+            let src = format!("impl Sim {{ fn tick(&mut self) {{ {write} }} }}\n");
+            assert_eq!(
+                codes("crates/pipeline/src/sim.rs", &src),
+                vec![RuleCode::Smt006],
+                "{write}"
+            );
+            // The rule is scoped to the pipeline crate.
+            assert!(codes("crates/uarch/src/x.rs", &src).is_empty());
+        }
+    }
+
+    #[test]
+    fn cycle_counter_reads_and_comparisons_are_allowed() {
+        let src = "impl Sim { fn q(&self) -> bool { self.now == 3 || self.now >= 4 }\n\
+                   fn r(&self) -> u64 { self.now + 1 } }\n";
+        assert!(codes("crates/pipeline/src/sim.rs", src).is_empty());
+        // A local variable named `now` is not the simulator's counter.
+        let local = "fn f() { let mut now = 0u64; now += 1; let _ = now; }\n";
+        assert!(codes("crates/pipeline/src/events.rs", local).is_empty());
+    }
+
+    #[test]
+    fn advance_clock_body_is_the_exempt_single_advance_point() {
+        let src = "impl Sim {\n\
+                   fn advance_clock(&mut self, cycles: u64) {\n\
+                   if cycles > 0 {\n\
+                   self.now += cycles;\n\
+                   }\n\
+                   }\n\
+                   fn elsewhere(&mut self) { self.now += 1; }\n\
+                   }\n";
+        let got = scan_file("crates/pipeline/src/sim.rs", src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].code, RuleCode::Smt006);
+        assert_eq!(got[0].line, 7, "only the write outside advance_clock");
     }
 
     #[test]

@@ -102,6 +102,23 @@ impl EventWheel {
         }
     }
 
+    /// Whether any event is due exactly at `now` — the O(1) fast-path probe
+    /// the cycle loop uses to bypass the drain machinery on the (frequent)
+    /// cycles with an empty calendar slot.
+    #[inline]
+    pub fn has_due(&self, now: u64) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        self.buckets[(now & self.mask) as usize]
+            .iter()
+            .any(|e| e.at == now)
+            || self
+                .overflow
+                .peek()
+                .is_some_and(|&Reverse(ev)| ev.at == now)
+    }
+
     /// Move every event scheduled for cycle `now` into `out`, sorted by
     /// `(seq, kind)`. `out` is cleared first; its capacity is reused across
     /// cycles by the caller.
@@ -119,13 +136,54 @@ impl EventWheel {
             self.overflow.pop();
         }
         self.len -= out.len();
-        out.sort_unstable_by_key(|e| (e.seq, e.kind));
+        // Insertion sort: a cycle rarely has more than a handful of due
+        // events, where the general sort's dispatch overhead dominates.
+        for i in 1..out.len() {
+            let mut j = i;
+            while j > 0 && (out[j - 1].seq, out[j - 1].kind) > (out[j].seq, out[j].kind) {
+                out.swap(j - 1, j);
+                j -= 1;
+            }
+        }
     }
 
     /// Queued events across buckets and overflow.
     #[cfg(test)]
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Earliest cycle `>= now` with a queued event, or `None` when the
+    /// wheel is empty. This is the quiescence engine's skip target: when
+    /// the pipeline is provably idle, the clock can jump straight here.
+    /// Events due exactly at `now` (queued for the upcoming step) are
+    /// included so the engine never skips over pending work.
+    ///
+    /// Cost is proportional to the distance scanned, i.e. to the cycles a
+    /// naive loop would have ticked through anyway — so the scan is
+    /// amortized against the work it saves.
+    pub fn next_due(&self, now: u64) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let horizon = self.buckets.len() as u64;
+        let mut wheel_next = None;
+        for delta in 0..horizon {
+            let at = now + delta;
+            let bucket = &self.buckets[(at & self.mask) as usize];
+            // A bucket may hold events one full horizon ahead of the slot
+            // being probed (filed before `now` advanced past them), so the
+            // stored timestamp — not mere non-emptiness — decides.
+            if bucket.iter().any(|e| e.at == at) {
+                wheel_next = Some(at);
+                break;
+            }
+        }
+        let overflow_next = self.overflow.peek().map(|&Reverse(ev)| ev.at);
+        match (wheel_next, overflow_next) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Sanitizer audit (`INV007`/`INV008`): scan the whole structure for
@@ -265,6 +323,20 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn next_due_reports_earliest_pending_event() {
+        let mut wheel = EventWheel::new(4);
+        assert_eq!(wheel.next_due(0), None);
+        wheel.push(0, ev(100, 1, EvKind::Complete)); // beyond horizon
+        wheel.push(0, ev(3, 2, EvKind::Wakeup));
+        assert_eq!(wheel.next_due(1), Some(3));
+        assert_eq!(wheel.next_due(3), Some(3), "events due now are pending");
+        let mut buf = Vec::new();
+        wheel.drain_due(3, &mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(wheel.next_due(4), Some(100), "overflow bounds the frontier");
     }
 
     #[test]

@@ -4,6 +4,17 @@
 //! from fetch until commit or squash. Handles are generational so that
 //! stale references (e.g. a waiter list entry pointing at a squashed
 //! producer) are detected instead of aliasing a recycled slot.
+//!
+//! # Layout
+//!
+//! The slab is a structure-of-arrays split along access frequency: the two
+//! fields every per-cycle scan touches — the pipeline [`Stage`] (ready-list
+//! compaction, commit-head checks, the quiescence probe) and the global
+//! sequence number (age-ordered issue selection, squash walks) — live in
+//! dense parallel arrays, while the cold remainder of the record stays in
+//! [`InFlight`]. A stage sweep then reads 16-byte entries back-to-back
+//! instead of striding over ~200-byte records, which is where the cycle
+//! loop spends its scan time.
 
 use smt_trace::DynInst;
 use smt_uarch::{IqKind, MemAccess};
@@ -30,14 +41,13 @@ pub enum Stage {
     Done,
 }
 
-/// An in-flight dynamic instruction plus its pipeline state.
+/// An in-flight dynamic instruction's cold state. The hot fields — stage
+/// and sequence number — live in the [`Slab`]'s parallel arrays and are
+/// read through [`Slab::stage`] / [`Slab::seq_of`].
 #[derive(Debug, Clone)]
 pub struct InFlight {
     pub thread: usize,
-    /// Global fetch sequence number: the age order used by the scheduler.
-    pub seq: u64,
     pub inst: DynInst,
-    pub stage: Stage,
     /// Unready source count (producers still in flight).
     pub remaining_srcs: u8,
     /// Instructions waiting on this one's result.
@@ -67,10 +77,24 @@ pub struct InFlight {
     pub squashed: bool,
 }
 
-/// Generational slab.
+/// Generational slab, SoA-split (see the module docs).
+///
+/// Liveness invariant: `gens[idx]` advances exactly when the slot's
+/// occupant is removed, and a handle carrying a given generation is only
+/// ever minted by [`Slab::insert`]. A generation match therefore proves
+/// the slot is live *and* still holds that handle's instruction — the hot
+/// validity checks ([`Slab::stage`], [`Slab::seq_of`]) never need to touch
+/// the cold `items` array.
 #[derive(Debug, Default)]
 pub struct Slab {
-    slots: Vec<(u32, Option<InFlight>)>,
+    /// Cold per-instruction records.
+    items: Vec<Option<InFlight>>,
+    /// Generation per slot (hot: every handle validity check reads this).
+    gens: Vec<u32>,
+    /// Pipeline stage per slot (hot: every per-cycle scan reads this).
+    stages: Vec<Stage>,
+    /// Global sequence number per slot (hot: age-ordered selection).
+    seqs: Vec<u64>,
     free: Vec<u32>,
     live: usize,
 }
@@ -80,47 +104,94 @@ impl Slab {
         Slab::default()
     }
 
-    pub fn insert(&mut self, item: InFlight) -> Handle {
+    pub fn insert(&mut self, seq: u64, stage: Stage, item: InFlight) -> Handle {
         self.live += 1;
         if let Some(idx) = self.free.pop() {
-            let slot = &mut self.slots[idx as usize];
-            debug_assert!(slot.1.is_none());
-            slot.1 = Some(item);
-            Handle { idx, gen: slot.0 }
+            let i = idx as usize;
+            debug_assert!(self.items[i].is_none());
+            self.items[i] = Some(item);
+            self.stages[i] = stage;
+            self.seqs[i] = seq;
+            Handle {
+                idx,
+                gen: self.gens[i],
+            }
         } else {
-            let idx = self.slots.len() as u32;
-            self.slots.push((0, Some(item)));
+            let idx = self.items.len() as u32;
+            self.items.push(Some(item));
+            self.gens.push(0);
+            self.stages.push(stage);
+            self.seqs.push(seq);
             Handle { idx, gen: 0 }
         }
     }
 
-    /// Access if the handle is still current.
+    /// Access the cold record if the handle is still current.
+    #[inline]
     pub fn get(&self, h: Handle) -> Option<&InFlight> {
-        self.slots
-            .get(h.idx as usize)
-            .filter(|s| s.0 == h.gen)
-            .and_then(|s| s.1.as_ref())
+        if self.gens.get(h.idx as usize) != Some(&h.gen) {
+            return None;
+        }
+        self.items[h.idx as usize].as_ref()
     }
 
+    #[inline]
     pub fn get_mut(&mut self, h: Handle) -> Option<&mut InFlight> {
-        self.slots
-            .get_mut(h.idx as usize)
-            .filter(|s| s.0 == h.gen)
-            .and_then(|s| s.1.as_mut())
+        if self.gens.get(h.idx as usize) != Some(&h.gen) {
+            return None;
+        }
+        self.items[h.idx as usize].as_mut()
+    }
+
+    /// The instruction's pipeline stage, if the handle is still current.
+    #[inline]
+    pub fn stage(&self, h: Handle) -> Option<Stage> {
+        match self.gens.get(h.idx as usize) {
+            Some(&gen) if gen == h.gen => Some(self.stages[h.idx as usize]),
+            _ => None,
+        }
+    }
+
+    /// The instruction's stage and sequence number in one validity check.
+    #[inline]
+    pub fn stage_seq(&self, h: Handle) -> Option<(Stage, u64)> {
+        match self.gens.get(h.idx as usize) {
+            Some(&gen) if gen == h.gen => {
+                Some((self.stages[h.idx as usize], self.seqs[h.idx as usize]))
+            }
+            _ => None,
+        }
+    }
+
+    /// Move the instruction to `stage`; the handle must be current.
+    #[inline]
+    pub fn set_stage(&mut self, h: Handle, stage: Stage) {
+        debug_assert!(self.get(h).is_some(), "set_stage on a stale handle");
+        self.stages[h.idx as usize] = stage;
+    }
+
+    /// The instruction's global sequence number, if the handle is still
+    /// current.
+    #[inline]
+    pub fn seq_of(&self, h: Handle) -> Option<u64> {
+        match self.gens.get(h.idx as usize) {
+            Some(&gen) if gen == h.gen => Some(self.seqs[h.idx as usize]),
+            _ => None,
+        }
     }
 
     /// Remove the instruction; the slot's generation advances, invalidating
     /// all outstanding handles to it.
     pub fn remove(&mut self, h: Handle) -> Option<InFlight> {
-        let slot = self.slots.get_mut(h.idx as usize)?;
-        if slot.0 != h.gen || slot.1.is_none() {
+        if self.gens.get(h.idx as usize) != Some(&h.gen) {
             return None;
         }
-        let item = slot.1.take();
-        slot.0 = slot.0.wrapping_add(1);
+        let i = h.idx as usize;
+        let item = self.items[i].take()?;
+        self.gens[i] = self.gens[i].wrapping_add(1);
         self.free.push(h.idx);
         self.live -= 1;
-        item
+        Some(item)
     }
 
     pub fn live(&self) -> usize {
@@ -137,10 +208,9 @@ mod tests {
     use super::*;
     use smt_trace::{CtrlKind, OpClass};
 
-    fn dummy(thread: usize, seq: u64) -> InFlight {
+    fn dummy(thread: usize) -> InFlight {
         InFlight {
             thread,
-            seq,
             inst: DynInst {
                 pc: 0,
                 static_idx: 0,
@@ -153,7 +223,6 @@ mod tests {
                 next_pc: 4,
                 wrong_path: false,
             },
-            stage: Stage::Frontend { ready_at: 0 },
             remaining_srcs: 0,
             waiters: Vec::new(),
             iq: None,
@@ -169,14 +238,17 @@ mod tests {
         }
     }
 
+    const FE: Stage = Stage::Frontend { ready_at: 0 };
+
     #[test]
     fn insert_get_remove_round_trip() {
         let mut s = Slab::new();
-        let h = s.insert(dummy(0, 1));
-        assert_eq!(s.get(h).unwrap().seq, 1);
+        let h = s.insert(1, FE, dummy(0));
+        assert_eq!(s.seq_of(h), Some(1));
+        assert_eq!(s.stage(h), Some(FE));
         assert_eq!(s.live(), 1);
         let item = s.remove(h).unwrap();
-        assert_eq!(item.seq, 1);
+        assert_eq!(item.thread, 0);
         assert!(s.is_empty());
         assert!(s.get(h).is_none());
     }
@@ -184,35 +256,38 @@ mod tests {
     #[test]
     fn stale_handles_do_not_alias_recycled_slots() {
         let mut s = Slab::new();
-        let h1 = s.insert(dummy(0, 1));
+        let h1 = s.insert(1, FE, dummy(0));
         s.remove(h1);
-        let h2 = s.insert(dummy(0, 2)); // reuses the slot
+        let h2 = s.insert(2, FE, dummy(0)); // reuses the slot
         assert_eq!(h1.idx, h2.idx, "slot must be recycled");
         assert!(s.get(h1).is_none(), "stale handle must not resolve");
-        assert_eq!(s.get(h2).unwrap().seq, 2);
+        assert!(s.stage(h1).is_none(), "stale stage read must not resolve");
+        assert!(s.seq_of(h1).is_none(), "stale seq read must not resolve");
+        assert_eq!(s.seq_of(h2), Some(2));
     }
 
     #[test]
     fn double_remove_is_none() {
         let mut s = Slab::new();
-        let h = s.insert(dummy(0, 1));
+        let h = s.insert(1, FE, dummy(0));
         assert!(s.remove(h).is_some());
         assert!(s.remove(h).is_none());
         assert_eq!(s.live(), 0);
     }
 
     #[test]
-    fn get_mut_mutates_in_place() {
+    fn set_stage_updates_the_parallel_array() {
         let mut s = Slab::new();
-        let h = s.insert(dummy(0, 1));
-        s.get_mut(h).unwrap().stage = Stage::Done;
-        assert_eq!(s.get(h).unwrap().stage, Stage::Done);
+        let h = s.insert(1, FE, dummy(0));
+        s.set_stage(h, Stage::Done);
+        assert_eq!(s.stage(h), Some(Stage::Done));
+        assert_eq!(s.seq_of(h), Some(1), "seq untouched by stage moves");
     }
 
     #[test]
     fn live_count_tracks_inserts_and_removes() {
         let mut s = Slab::new();
-        let hs: Vec<Handle> = (0..10).map(|i| s.insert(dummy(0, i))).collect();
+        let hs: Vec<Handle> = (0..10).map(|i| s.insert(i, FE, dummy(0))).collect();
         assert_eq!(s.live(), 10);
         for h in &hs[..5] {
             s.remove(*h);

@@ -48,11 +48,24 @@ impl PolicyView<'_> {
 
     /// As [`PolicyView::icount_order`], filling `out` in place (cleared
     /// first) so the per-cycle fetch path reuses one buffer instead of
-    /// allocating.
+    /// allocating. Hand-rolled insertion sort: the list is at most the
+    /// hardware context count (≤ 8), where the general sort's dispatch
+    /// overhead dominates the per-cycle cost.
     pub fn icount_order_into(&self, out: &mut Vec<usize>) {
         out.clear();
-        out.extend(0..self.threads.len());
-        out.sort_by_key(|&t| (self.threads[t].icount, t));
+        for t in 0..self.threads.len() {
+            let key = self.threads[t].icount;
+            let mut i = out.len();
+            out.push(t);
+            // Ties break by thread index; `t` is the largest index so far,
+            // so a strict comparison keeps the order identical to sorting
+            // by `(icount, t)`.
+            while i > 0 && self.threads[out[i - 1]].icount > key {
+                out[i] = out[i - 1];
+                i -= 1;
+            }
+            out[i] = t;
+        }
     }
 }
 
@@ -171,6 +184,56 @@ pub trait FetchPolicy {
     /// [`FetchPolicy::uses_resource_caps`] returns true.
     fn resource_caps(&mut self, view: &PolicyView) -> Vec<Option<f32>> {
         vec![None; view.num_threads()]
+    }
+
+    /// Whether the quiescence-skipping engine may fast-forward the clock
+    /// while this policy is attached.
+    ///
+    /// Opting in asserts a contract: [`FetchPolicy::fetch_order_into`] is a
+    /// *pure, idempotent* function of the [`PolicyView`] thread states —
+    /// it keeps no per-cycle mutable state, does not read
+    /// [`PolicyView::cycle`], and calling it twice with the same view is
+    /// indistinguishable from calling it once. Under that contract, cycles
+    /// in which no thread can fetch, dispatch, issue, or commit produce the
+    /// same fetch order every cycle, so the engine can account for the
+    /// whole idle span in closed form. Policies with per-cycle internal
+    /// dynamics (or resource caps, which feed dispatch every cycle) must
+    /// keep the default `false`, which pins them to the naive loop.
+    fn quiescence_safe(&self) -> bool {
+        false
+    }
+}
+
+/// Boxed policies forward everything, so `Box<dyn FetchPolicy>` is itself
+/// a `FetchPolicy` and the simulator can be generic over `F: FetchPolicy`
+/// with the dyn path as just another instantiation.
+impl<T: FetchPolicy + ?Sized> FetchPolicy for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn fetch_order_into(&mut self, view: &PolicyView, out: &mut Vec<usize>) {
+        (**self).fetch_order_into(view, out)
+    }
+    fn fetch_order(&mut self, view: &PolicyView) -> Vec<usize> {
+        (**self).fetch_order(view)
+    }
+    fn on_event(&mut self, ev: &PolicyEvent) {
+        (**self).on_event(ev)
+    }
+    fn audit_order(&self, view: &PolicyView, order: &[usize]) -> Result<(), String> {
+        (**self).audit_order(view, order)
+    }
+    fn declare_action(&self) -> DeclareAction {
+        (**self).declare_action()
+    }
+    fn uses_resource_caps(&self) -> bool {
+        (**self).uses_resource_caps()
+    }
+    fn resource_caps(&mut self, view: &PolicyView) -> Vec<Option<f32>> {
+        (**self).resource_caps(view)
+    }
+    fn quiescence_safe(&self) -> bool {
+        (**self).quiescence_safe()
     }
 }
 

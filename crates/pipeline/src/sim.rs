@@ -113,9 +113,21 @@ pub enum Mutation {
 /// [`RecordingSanitizer`](crate::sanitizer::RecordingSanitizer)) is
 /// attached via [`Simulator::try_with_parts`]. The audit is
 /// observation-only: sanitized and unsanitized runs are bit-identical.
-pub struct Simulator<P: Probe = NullProbe, S: Sanitizer = NullSanitizer> {
+///
+/// Finally, generic over the fetch policy itself. The default
+/// `Box<dyn FetchPolicy>` keeps the flexible runtime path (custom and
+/// chaos policies); passing a concrete policy type instead monomorphizes
+/// the per-cycle `fetch_order_into` call — the hottest virtual dispatch in
+/// the simulator — into a direct, inlinable call
+/// (`PolicyKind::dispatch` in `dwarn-core` routes the paper's policies
+/// through this statically).
+pub struct Simulator<
+    P: Probe = NullProbe,
+    S: Sanitizer = NullSanitizer,
+    F: FetchPolicy = Box<dyn FetchPolicy>,
+> {
     cfg: SimConfig,
-    policy: Box<dyn FetchPolicy>,
+    policy: F,
     probe: P,
     sanitizer: S,
     /// Probe-only: the gate reason currently reported for each thread
@@ -169,6 +181,19 @@ pub struct Simulator<P: Probe = NullProbe, S: Sanitizer = NullSanitizer> {
 
     stats: Vec<ThreadStats>,
     total_committed: u64,
+
+    // --- Quiescence-skipping engine state.
+    /// Runtime switch for the quiescence engine (the `--no-skip` escape
+    /// hatch clears it); on by default.
+    skip_enabled: bool,
+    /// Whether the attached policy's contract permits skipping at all
+    /// ([`FetchPolicy::quiescence_safe`] and no resource caps), cached at
+    /// construction.
+    skip_ok: bool,
+    /// Cycles advanced in bulk by the quiescence engine (diagnostics).
+    skipped_cycles: u64,
+    /// Quiescent spans taken (diagnostics).
+    skip_spans: u64,
 }
 
 fn iq_index(kind: IqKind) -> usize {
@@ -193,7 +218,7 @@ struct WatchState {
 }
 
 impl WatchState {
-    fn new<P: Probe, S: Sanitizer>(sim: &Simulator<P, S>) -> WatchState {
+    fn new<P: Probe, S: Sanitizer, F: FetchPolicy>(sim: &Simulator<P, S, F>) -> WatchState {
         WatchState {
             cycles: 0,
             last_commit_total: sim.total_committed,
@@ -202,12 +227,49 @@ impl WatchState {
         }
     }
 
+    /// Longest quiescent span the watchdog tolerates being advanced in bulk
+    /// without losing bit-identical abort behavior: every cycle at which a
+    /// per-step [`WatchState::check`] could fire — the no-commit trip, the
+    /// cycle-budget trip, a wall-clock checkpoint — must still be reached
+    /// by a naive step so the error (and its snapshot) comes out exactly as
+    /// the unskipped loop would produce it. Quiescent spans commit nothing,
+    /// so the no-commit trip cycle is fully determined up front.
+    fn skip_cap<P: Probe, S: Sanitizer, F: FetchPolicy>(
+        &self,
+        sim: &Simulator<P, S, F>,
+        wd: &Watchdog,
+    ) -> u64 {
+        let mut cap = u64::MAX;
+        if wd.no_commit_cycles > 0 {
+            let trip = self.last_commit_cycle + wd.no_commit_cycles - 1;
+            cap = cap.min(trip.saturating_sub(sim.now));
+        }
+        if wd.max_cycles > 0 {
+            cap = cap.min((wd.max_cycles - 1).saturating_sub(self.cycles));
+        }
+        if wd.max_wall.is_some() {
+            // Stop short of the next wall-clock checkpoint so the check
+            // itself runs on a naive step, at the exact naive cycle.
+            let interval = Watchdog::WALL_CHECK_INTERVAL;
+            let next = (self.cycles / interval + 1) * interval;
+            cap = cap.min(next - 1 - self.cycles);
+        }
+        cap
+    }
+
+    /// Account `k` cycles advanced in bulk by the quiescence engine. The
+    /// span was capped by [`WatchState::skip_cap`], so no per-step check
+    /// could have fired inside it.
+    fn bulk_advance(&mut self, k: u64) {
+        self.cycles += k;
+    }
+
     /// Called once per stepped cycle: two compares on the happy path, the
     /// wall clock only every [`Watchdog::WALL_CHECK_INTERVAL`] cycles.
     #[inline]
-    fn check<P: Probe, S: Sanitizer>(
+    fn check<P: Probe, S: Sanitizer, F: FetchPolicy>(
         &mut self,
-        sim: &Simulator<P, S>,
+        sim: &Simulator<P, S, F>,
         wd: &Watchdog,
     ) -> Result<(), SimError> {
         self.cycles += 1;
@@ -242,33 +304,41 @@ impl WatchState {
         Ok(())
     }
 
-    fn snapshot<P: Probe, S: Sanitizer>(&self, sim: &Simulator<P, S>) -> Box<ProgressSnapshot> {
+    fn snapshot<P: Probe, S: Sanitizer, F: FetchPolicy>(
+        &self,
+        sim: &Simulator<P, S, F>,
+    ) -> Box<ProgressSnapshot> {
         let mut s = sim.progress_snapshot();
         s.last_commit_cycle = self.last_commit_cycle;
         Box::new(s)
     }
 }
 
-impl Simulator {
+impl<F: FetchPolicy> Simulator<NullProbe, NullSanitizer, F> {
     /// Build a simulator for `specs` (one entry per hardware context) under
     /// `policy`. Each context gets a disjoint address-space base.
     ///
     /// Panics on an invalid configuration; [`Simulator::try_new`] is the
     /// fallible form.
-    pub fn new(cfg: SimConfig, policy: Box<dyn FetchPolicy>, specs: &[ThreadSpec]) -> Simulator {
+    pub fn new(cfg: SimConfig, policy: F, specs: &[ThreadSpec]) -> Self {
         Simulator::with_probe(cfg, policy, specs, NullProbe)
     }
 
     /// As [`Simulator::new`], but an invalid configuration is returned as a
     /// typed [`ConfigError`] instead of panicking.
-    pub fn try_new(
-        cfg: SimConfig,
-        policy: Box<dyn FetchPolicy>,
-        specs: &[ThreadSpec],
-    ) -> Result<Simulator, ConfigError> {
+    pub fn try_new(cfg: SimConfig, policy: F, specs: &[ThreadSpec]) -> Result<Self, ConfigError> {
         Simulator::try_with_probe(cfg, policy, specs, NullProbe)
     }
 
+    /// Build a simulator from pre-constructed front-ends — the entry point
+    /// for replaying recorded traces ([`ThreadFront::from_recording`]) or
+    /// mixing recorded and synthetic contexts.
+    pub fn with_fronts(cfg: SimConfig, policy: F, fronts: Vec<ThreadFront>) -> Self {
+        Simulator::with_probe_fronts(cfg, policy, fronts, NullProbe)
+    }
+}
+
+impl Simulator {
     /// The default per-context address base: disjoint per context, staggered
     /// by a prime number of cache lines (149 of the L1's 512 sets) so
     /// different threads' images spread across the whole set space instead
@@ -276,28 +346,17 @@ impl Simulator {
     pub fn thread_addr_base(t: usize) -> u64 {
         (((t as u64) + 1) << 40) | ((t as u64) * 149 * 64)
     }
-
-    /// Build a simulator from pre-constructed front-ends — the entry point
-    /// for replaying recorded traces ([`ThreadFront::from_recording`]) or
-    /// mixing recorded and synthetic contexts.
-    pub fn with_fronts(
-        cfg: SimConfig,
-        policy: Box<dyn FetchPolicy>,
-        fronts: Vec<ThreadFront>,
-    ) -> Simulator {
-        Simulator::with_probe_fronts(cfg, policy, fronts, NullProbe)
-    }
 }
 
-impl<S: Sanitizer> Simulator<NullProbe, S> {
+impl<S: Sanitizer, F: FetchPolicy> Simulator<NullProbe, S, F> {
     /// As [`Simulator::try_new`] with an explicit sanitizer — the
     /// convenience entry point for sanitized (invariant-checked) runs.
     pub fn try_sanitized(
         cfg: SimConfig,
-        policy: Box<dyn FetchPolicy>,
+        policy: F,
         specs: &[ThreadSpec],
         sanitizer: S,
-    ) -> Result<Simulator<NullProbe, S>, ConfigError> {
+    ) -> Result<Self, ConfigError> {
         let fronts: Vec<ThreadFront> = specs
             .iter()
             .enumerate()
@@ -309,14 +368,9 @@ impl<S: Sanitizer> Simulator<NullProbe, S> {
     }
 }
 
-impl<P: Probe> Simulator<P> {
+impl<P: Probe, F: FetchPolicy> Simulator<P, NullSanitizer, F> {
     /// As [`Simulator::new`], with an explicit observability probe.
-    pub fn with_probe(
-        cfg: SimConfig,
-        policy: Box<dyn FetchPolicy>,
-        specs: &[ThreadSpec],
-        probe: P,
-    ) -> Simulator<P> {
+    pub fn with_probe(cfg: SimConfig, policy: F, specs: &[ThreadSpec], probe: P) -> Self {
         Self::try_with_probe(cfg, policy, specs, probe).expect("invalid configuration")
     }
 
@@ -324,10 +378,10 @@ impl<P: Probe> Simulator<P> {
     /// invalid configuration.
     pub fn try_with_probe(
         cfg: SimConfig,
-        policy: Box<dyn FetchPolicy>,
+        policy: F,
         specs: &[ThreadSpec],
         probe: P,
-    ) -> Result<Simulator<P>, ConfigError> {
+    ) -> Result<Self, ConfigError> {
         let fronts: Vec<ThreadFront> = specs
             .iter()
             .enumerate()
@@ -341,10 +395,10 @@ impl<P: Probe> Simulator<P> {
     /// As [`Simulator::with_fronts`], with an explicit observability probe.
     pub fn with_probe_fronts(
         cfg: SimConfig,
-        policy: Box<dyn FetchPolicy>,
+        policy: F,
         fronts: Vec<ThreadFront>,
         probe: P,
-    ) -> Simulator<P> {
+    ) -> Self {
         Self::try_with_probe_fronts(cfg, policy, fronts, probe).expect("invalid configuration")
     }
 
@@ -352,27 +406,31 @@ impl<P: Probe> Simulator<P> {
     /// [`ConfigError`] on an invalid configuration.
     pub fn try_with_probe_fronts(
         cfg: SimConfig,
-        policy: Box<dyn FetchPolicy>,
+        policy: F,
         fronts: Vec<ThreadFront>,
         probe: P,
-    ) -> Result<Simulator<P>, ConfigError> {
+    ) -> Result<Self, ConfigError> {
         Simulator::try_with_parts(cfg, policy, fronts, probe, NullSanitizer)
     }
 }
 
-impl<P: Probe, S: Sanitizer> Simulator<P, S> {
+impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
     /// The full builder: explicit probe *and* sanitizer. All other
     /// constructors delegate here; sanitized campaign runs attach a
     /// [`RecordingSanitizer`](crate::sanitizer::RecordingSanitizer) through
     /// this entry point.
     pub fn try_with_parts(
         cfg: SimConfig,
-        policy: Box<dyn FetchPolicy>,
+        policy: F,
         fronts: Vec<ThreadFront>,
         probe: P,
         sanitizer: S,
-    ) -> Result<Simulator<P, S>, ConfigError> {
+    ) -> Result<Simulator<P, S, F>, ConfigError> {
         cfg.validate(fronts.len())?;
+        // Skipping requires the policy's idempotence contract and is
+        // incompatible with per-cycle resource caps (they feed dispatch
+        // every cycle, skipped or not).
+        let skip_ok = policy.quiescence_safe() && !policy.uses_resource_caps();
         let n = fronts.len();
         let reserved = cfg.arch_regs_per_thread() * n as u32;
         let mut hier = MemHierarchy::new(cfg.l1i, cfg.l1d, cfg.l2, cfg.tlb, cfg.timing, n);
@@ -427,6 +485,10 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
             probe,
             sanitizer,
             gate_state: vec![None; n],
+            skip_enabled: true,
+            skip_ok,
+            skipped_cycles: 0,
+            skip_spans: 0,
         })
     }
 
@@ -491,8 +553,226 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
         if S::ENABLED {
             self.audit_cycle();
         }
-        self.now += 1;
-        self.rr = (self.rr + 1) % self.num_threads();
+        self.advance_clock(1);
+    }
+
+    /// The engine's single clock-advance point (naive steps and bulk
+    /// quiescence skips both come through here; lint rule `SMT006` rejects
+    /// any other write to the cycle counter). Advances the round-robin
+    /// offset exactly as `cycles` naive steps would.
+    fn advance_clock(&mut self, cycles: u64) {
+        self.now += cycles;
+        self.rr = ((self.rr as u64 + cycles) % self.num_threads() as u64) as usize;
+    }
+
+    /// Disable or re-enable the quiescence-skipping engine (the `--no-skip`
+    /// escape hatch). Skip-enabled and skip-disabled runs are bit-identical
+    /// in every statistic; only wall-clock differs.
+    pub fn set_skip_enabled(&mut self, on: bool) {
+        self.skip_enabled = on;
+    }
+
+    /// Whether guarded runs may skip quiescent spans: the policy's contract
+    /// allows it and the escape hatch is open.
+    pub fn skip_active(&self) -> bool {
+        self.skip_ok && self.skip_enabled
+    }
+
+    /// Cycles advanced in bulk by the quiescence engine so far.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
+    }
+
+    /// Quiescent spans taken by the engine so far.
+    pub fn skip_spans(&self) -> u64 {
+        self.skip_spans
+    }
+
+    /// Quiescence probe + bulk advance: if no stage can change machine
+    /// state this cycle, find the earliest cycle at which anything *can*
+    /// act (an event falls due, a fetch-queue head matures, an I-cache
+    /// fill lands), advance the clock straight to it — at most `cap`
+    /// cycles — and account every per-cycle statistic of the skipped span
+    /// in closed form. Returns the number of cycles skipped (0 = the
+    /// machine is not quiescent, or `cap` was 0).
+    ///
+    /// Determinism argument, stage by stage, for a span in which this
+    /// probe found nothing actionable:
+    /// * **events** — none fall due before the frontier (the wheel's
+    ///   `next_due` is a frontier bound), so `process_events` is a no-op.
+    /// * **commit** — no ROB head is `Done`, and only a `Complete` event
+    ///   can make one `Done`.
+    /// * **issue** — the ready lists are empty, and only dispatch or a
+    ///   wakeup event refills them.
+    /// * **dispatch** — every queue head is either immature
+    ///   (`ready_at` bounds the frontier) or resource-blocked; blocked
+    ///   stays blocked because resources are only freed by commit, issue,
+    ///   or squash, all impossible in the span. Blocked heads accrue
+    ///   `dispatch_stalls` each cycle — added in closed form.
+    /// * **fetch** — every selected thread is I-cache-blocked or
+    ///   queue-full. Queue fullness is frozen (no dispatch drains, no
+    ///   fetch fills); every thread's `icache_ready_at` bounds the
+    ///   frontier, so the policy's view (and therefore its order, by the
+    ///   [`FetchPolicy::quiescence_safe`] contract) and the per-thread
+    ///   gated/blocked classification are constant — `gated_cycles` /
+    ///   `blocked_cycles` accrue per cycle, added in closed form. The
+    ///   probe's gate-state classification is likewise frozen, so no
+    ///   gate/ungate transitions are missed.
+    ///
+    /// The sanitizer's per-cycle audit does not run for skipped cycles;
+    /// it is observation-only, and every audited quantity is frozen
+    /// across the span anyway (INV007's past-due scan sees the bulk
+    /// advance as an atomic jump to the frontier, which by construction
+    /// strands no event behind `now`).
+    fn try_skip(&mut self, cap: u64) -> u64 {
+        if cap == 0 {
+            return 0;
+        }
+        let now = self.now;
+        let n = self.num_threads();
+
+        // Commit: a Done ROB head retires this cycle.
+        for rob in &self.robs {
+            if let Some(&h) = rob.front() {
+                if matches!(self.slab.stage(h), Some(Stage::Done)) {
+                    return 0;
+                }
+            }
+        }
+        // Issue: anything on a ready list can issue now or next cycle;
+        // stale entries are compacted away within one naive step, so a
+        // non-empty list simply defers skipping by a cycle.
+        if self.ready.iter().any(|r| !r.is_empty()) {
+            return 0;
+        }
+        // Events: something due this very cycle means the machine acts now.
+        // The O(1) probe runs before the (distance-proportional) frontier
+        // scan so failed attempts stay cheap.
+        if self.events.has_due(now) {
+            return 0;
+        }
+        // Dispatch: an eligible, unblocked queue head dispatches now; an
+        // immature head bounds the frontier; a resource-blocked head
+        // stays blocked for the whole span and stalls every cycle.
+        let mut frontier = u64::MAX;
+        let mut stall_mask: u64 = 0;
+        for t in 0..n {
+            let Some(&h) = self.fronts[t].queue.front() else {
+                continue;
+            };
+            match self.slab.stage(h) {
+                Some(Stage::Frontend { ready_at }) if ready_at > now => {
+                    frontier = frontier.min(ready_at);
+                }
+                Some(Stage::Frontend { .. }) => {
+                    if self.dispatch_head_unblocked(t, h) {
+                        return 0;
+                    }
+                    stall_mask |= 1 << t;
+                }
+                _ => return 0, // defensive: unexpected queue-head state
+            }
+        }
+        // Fetch: replicate the fetch stage's thread selection on the
+        // current view. The quiescence contract makes the extra
+        // `fetch_order_into` call unobservable.
+        let mut views = std::mem::take(&mut self.view_buf);
+        self.fill_thread_views(&mut views);
+        let mut order = std::mem::take(&mut self.order_buf);
+        self.policy.fetch_order_into(
+            &PolicyView {
+                cycle: now,
+                threads: &views,
+            },
+            &mut order,
+        );
+        let mut would_fetch = false;
+        let mut threads_used = 0u32;
+        for &t in &order {
+            if threads_used == self.cfg.fetch_threads {
+                break;
+            }
+            if now < self.fronts[t].icache_ready_at {
+                continue;
+            }
+            threads_used += 1;
+            if self.fronts[t].queue.len() as u32 >= self.cfg.fetch_queue {
+                continue;
+            }
+            would_fetch = true; // this thread accesses the I-cache now
+            break;
+        }
+        let mut gated_mask: u64 = 0;
+        let mut blocked_mask: u64 = 0;
+        if !would_fetch {
+            for (t, v) in views.iter().enumerate() {
+                if !order.contains(&t) {
+                    gated_mask |= 1 << t;
+                } else if v.fetch_blocked {
+                    blocked_mask |= 1 << t;
+                }
+            }
+            // Any I-cache fill landing flips a view bit (and possibly the
+            // policy's order), so every pending fill bounds the frontier.
+            for f in &self.fronts {
+                if f.icache_ready_at > now {
+                    frontier = frontier.min(f.icache_ready_at);
+                }
+            }
+        }
+        order.clear();
+        self.order_buf = order;
+        views.clear();
+        self.view_buf = views;
+        if would_fetch {
+            return 0;
+        }
+        // The wheel bounds the frontier last: its scan cost is proportional
+        // to the distance covered, so it only runs once every cheaper
+        // not-quiescent exit has been ruled out, amortized against the
+        // cycles the skip saves.
+        if let Some(at) = self.events.next_due(now) {
+            debug_assert!(at > now, "has_due probe rejected due-now events");
+            frontier = frontier.min(at);
+        }
+        if frontier == u64::MAX {
+            // A dead machine (no pending work at all) is left to the naive
+            // loop so the watchdog trips with its exact naive timing.
+            return 0;
+        }
+
+        let k = (frontier - now).min(cap);
+        debug_assert!(k >= 1);
+        for t in 0..n {
+            if gated_mask >> t & 1 == 1 {
+                self.stats[t].gated_cycles += k;
+            } else if blocked_mask >> t & 1 == 1 {
+                self.stats[t].blocked_cycles += k;
+            }
+            if stall_mask >> t & 1 == 1 {
+                self.stats[t].dispatch_stalls += k;
+            }
+        }
+        self.skipped_cycles += k;
+        self.skip_spans += 1;
+        self.advance_clock(k);
+        k
+    }
+
+    /// Would `dispatch` move thread `t`'s mature queue head into the
+    /// back end this cycle? Mirrors the all-or-nothing resource check of
+    /// the dispatch stage.
+    fn dispatch_head_unblocked(&self, t: usize, h: Handle) -> bool {
+        let inst = self.slab.get(h).expect("queue handles are live");
+        let class = inst.inst.class;
+        let dest = inst.inst.dest;
+        let kind = IqKind::for_class(class);
+        let needs_fp_reg = dest.is_some() && class.dest_is_fp();
+        let needs_int_reg = dest.is_some() && !class.dest_is_fp();
+        self.rob_count.free(t) > 0
+            && self.iqs.free(kind) > 0
+            && (!needs_int_reg || self.regs_int.free() > 0)
+            && (!needs_fp_reg || self.regs_fp.free() > 0)
     }
 
     /// Run `warmup` cycles, reset statistics, run `measure` cycles, and
@@ -518,20 +798,43 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
         wd: &Watchdog,
     ) -> Result<SimResult, SimError> {
         let mut watch = WatchState::new(self);
-        for _ in 0..warmup {
-            self.step();
-            watch.check(self, wd)?;
-        }
+        self.run_guarded(warmup, &mut watch, wd)?;
         let stats_base = self.stats.clone();
         let mem_base: Vec<_> = (0..self.num_threads())
             .map(|t| self.hier.thread_stats(t))
             .collect();
         let pred_base = (self.branches.predictions, self.branches.mispredictions);
-        for _ in 0..measure {
+        self.run_guarded(measure, &mut watch, wd)?;
+        Ok(self.window_result(measure, stats_base, mem_base, pred_base))
+    }
+
+    /// Advance `cycles` cycles under the watchdog, letting the quiescence
+    /// engine take provably idle spans in bulk (when the attached policy
+    /// permits it and the escape hatch is open). Bit-identical to stepping
+    /// `cycles` times and checking after each step.
+    fn run_guarded(
+        &mut self,
+        cycles: u64,
+        watch: &mut WatchState,
+        wd: &Watchdog,
+    ) -> Result<(), SimError> {
+        let skip = self.skip_active();
+        let mut left = cycles;
+        while left > 0 {
+            if skip {
+                let cap = watch.skip_cap(self, wd).min(left);
+                let k = self.try_skip(cap);
+                if k > 0 {
+                    watch.bulk_advance(k);
+                    left -= k;
+                    continue;
+                }
+            }
             self.step();
             watch.check(self, wd)?;
+            left -= 1;
         }
-        Ok(self.window_result(measure, stats_base, mem_base, pred_base))
+        Ok(())
     }
 
     /// As [`Simulator::run`], additionally sampling shared-resource
@@ -546,11 +849,8 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
         assert!(sample_every >= 1);
         let wd = Watchdog::default();
         let mut watch = WatchState::new(self);
-        for _ in 0..warmup {
-            self.step();
-            if let Err(e) = watch.check(self, &wd) {
-                panic!("simulation aborted: {e}");
-            }
+        if let Err(e) = self.run_guarded(warmup, &mut watch, &wd) {
+            panic!("simulation aborted: {e}");
         }
         let n = self.num_threads();
         let mut occ = crate::stats::OccupancyStats {
@@ -561,12 +861,27 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
         let stats_base = self.stats.clone();
         let mem_base: Vec<_> = (0..n).map(|t| self.hier.thread_stats(t)).collect();
         let pred_base = (self.branches.predictions, self.branches.mispredictions);
-        for c in 0..measure {
+        let skip = self.skip_active();
+        let mut c = 0u64;
+        while c < measure {
+            // Sample cycles must step naively (the sample reads live state
+            // at the exact naive cycle), so skips are capped at the next
+            // sample boundary.
+            if skip && !c.is_multiple_of(sample_every) {
+                let to_boundary = sample_every - c % sample_every;
+                let cap = watch.skip_cap(self, &wd).min(measure - c).min(to_boundary);
+                let k = self.try_skip(cap);
+                if k > 0 {
+                    watch.bulk_advance(k);
+                    c += k;
+                    continue;
+                }
+            }
             self.step();
             if let Err(e) = watch.check(self, &wd) {
                 panic!("simulation aborted: {e}");
             }
-            if c % sample_every == 0 {
+            if c.is_multiple_of(sample_every) {
                 occ.samples += 1;
                 let iq = self.iq_usage();
                 for (i, &q) in iq.iter().enumerate() {
@@ -594,6 +909,7 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
                     self.probe.on_sample(&sample);
                 }
             }
+            c += 1;
         }
         let samples = occ.samples.max(1) as f64;
         for v in &mut occ.avg_iq {
@@ -696,6 +1012,9 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
     // ------------------------------------------------------------------
 
     fn process_events(&mut self) {
+        if !self.events.has_due(self.now) {
+            return;
+        }
         let mut due = std::mem::take(&mut self.due_buf);
         self.events.drain_due(self.now, &mut due);
         for ev in &due {
@@ -736,27 +1055,30 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
 
     fn wake_all(&mut self, waiters: &[Handle]) {
         for &w in waiters {
-            if let Some(wi) = self.slab.get_mut(w) {
-                debug_assert!(wi.remaining_srcs > 0);
-                wi.remaining_srcs -= 1;
-                if wi.remaining_srcs == 0 && wi.stage == Stage::Waiting {
-                    wi.stage = Stage::Ready { at: self.now };
-                    if let Some(kind) = wi.iq {
-                        self.ready[iq_index(kind)].push(w);
-                    }
+            let Some(wi) = self.slab.get_mut(w) else {
+                continue;
+            };
+            debug_assert!(wi.remaining_srcs > 0);
+            wi.remaining_srcs -= 1;
+            let srcs_ready = wi.remaining_srcs == 0;
+            let iq = wi.iq;
+            if srcs_ready && self.slab.stage(w) == Some(Stage::Waiting) {
+                self.slab.set_stage(w, Stage::Ready { at: self.now });
+                if let Some(kind) = iq {
+                    self.ready[iq_index(kind)].push(w);
                 }
             }
         }
     }
 
     fn on_complete(&mut self, h: Handle) {
+        let seq = self.slab.seq_of(h).expect("checked live");
+        self.slab.set_stage(h, Stage::Done);
         let inst = self.slab.get_mut(h).expect("checked live");
-        inst.stage = Stage::Done;
         inst.result_ready = true;
         let waiters = std::mem::take(&mut inst.waiters);
         let thread = inst.thread;
         let d = inst.inst;
-        let seq = inst.seq;
         let mispredicted = inst.mispredicted;
 
         // Stores update the tag state when they complete (commit-time drain
@@ -793,9 +1115,10 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
     }
 
     fn on_l1_outcome(&mut self, h: Handle) {
+        let load_id = self.slab.seq_of(h).expect("checked live");
         let inst = self.slab.get_mut(h).expect("checked live");
         let mem = inst.mem.expect("outcome event only for executed loads");
-        let (thread, pc, load_id) = (inst.thread, inst.inst.pc, inst.seq);
+        let (thread, pc) = (inst.thread, inst.inst.pc);
         if mem.l1_miss {
             inst.dmiss_counted = true;
             self.dmiss[thread] += 1;
@@ -810,8 +1133,9 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
     }
 
     fn on_fill(&mut self, h: Handle) {
+        let load_id = self.slab.seq_of(h).expect("checked live");
         let inst = self.slab.get_mut(h).expect("checked live");
-        let (thread, pc, load_id) = (inst.thread, inst.inst.pc, inst.seq);
+        let (thread, pc) = (inst.thread, inst.inst.pc);
         if inst.dmiss_counted {
             inst.dmiss_counted = false;
             debug_assert!(self.dmiss[thread] > 0);
@@ -826,8 +1150,10 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
     }
 
     fn on_declare(&mut self, h: Handle) {
+        let load_id = self.slab.seq_of(h).expect("checked live");
+        let seq = load_id;
         let inst = self.slab.get_mut(h).expect("checked live");
-        let (thread, load_id, seq) = (inst.thread, inst.seq, inst.seq);
+        let thread = inst.thread;
         inst.declared = true;
         self.declared[thread] += 1;
         self.probe.on_l2_declare(self.now, thread, load_id);
@@ -840,8 +1166,9 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
     }
 
     fn on_resolve_notice(&mut self, h: Handle) {
+        let load_id = self.slab.seq_of(h).expect("checked live");
         let inst = self.slab.get_mut(h).expect("checked live");
-        let (thread, load_id) = (inst.thread, inst.seq);
+        let thread = inst.thread;
         if inst.declared {
             inst.declared = false;
             debug_assert!(self.declared[thread] > 0);
@@ -865,13 +1192,9 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
                 let Some(&h) = self.robs[t].front() else {
                     break;
                 };
-                let done = matches!(
-                    self.slab.get(h).expect("ROB handles are live").stage,
-                    Stage::Done
-                );
-                if !done {
+                let Some((Stage::Done, seq)) = self.slab.stage_seq(h) else {
                     break;
-                }
+                };
                 self.robs[t].pop_front();
                 let mut inst = self.slab.remove(h).expect("live");
                 self.reclaim_waiters(std::mem::take(&mut inst.waiters));
@@ -903,7 +1226,7 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
                 }
                 self.stats[t].committed += 1;
                 self.total_committed += 1;
-                self.probe.on_commit(self.now, t, inst.seq, inst.inst.pc);
+                self.probe.on_commit(self.now, t, seq, inst.inst.pc);
                 if inst.inst.class.is_branch() {
                     self.stats[t].branches += 1;
                     if inst.mispredicted {
@@ -932,40 +1255,55 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
             for i in 0..self.ready[idx].len() {
                 let h = self.ready[idx][i];
                 // A squashed (no longer live) handle is silently dropped.
-                if let Some(inst) = self.slab.get(h) {
-                    match inst.stage {
-                        Stage::Ready { at } if at <= self.now => {
-                            cands.push((inst.seq, h, kind));
-                        }
-                        Stage::Ready { .. } => {
-                            self.ready[idx][keep] = h;
-                            keep += 1;
-                        }
-                        _ => {} // issued or otherwise gone; drop
+                match self.slab.stage_seq(h) {
+                    Some((Stage::Ready { at }, seq)) if at <= self.now => {
+                        cands.push((seq, h, kind));
                     }
+                    Some((Stage::Ready { .. }, _)) => {
+                        self.ready[idx][keep] = h;
+                        keep += 1;
+                    }
+                    _ => {} // issued or otherwise gone; drop
                 }
             }
             self.ready[idx].truncate(keep);
         }
-        cands.sort_unstable_by_key(|c| c.0);
+        // Sequence numbers are unique, so any sort yields the same order;
+        // insertion sort beats the general sort's dispatch overhead on the
+        // small, nearly-sorted lists the common cycle produces.
+        if cands.len() <= 16 {
+            for i in 1..cands.len() {
+                let mut j = i;
+                while j > 0 && cands[j - 1].0 > cands[j].0 {
+                    cands.swap(j - 1, j);
+                    j -= 1;
+                }
+            }
+        } else {
+            cands.sort_unstable_by_key(|c| c.0);
+        }
 
-        for &(_seq, h, kind) in &cands {
+        for &(seq, h, kind) in &cands {
             if budget == 0 {
                 // Out of issue bandwidth: everything else stays ready.
                 self.ready[iq_index(kind)].push(h);
                 continue;
             }
-            let class = self.slab.get(h).expect("live candidate").inst.class;
+            let (class, thread, mem_addr, wrong_path) = {
+                let inst = self.slab.get(h).expect("live candidate");
+                (
+                    inst.inst.class,
+                    inst.thread,
+                    inst.inst.mem_addr,
+                    inst.inst.wrong_path,
+                )
+            };
             if !self.fus.issue(FuKind::for_class(class)) {
                 self.ready[iq_index(kind)].push(h);
                 continue;
             }
             budget -= 1;
             let exec_start = self.now + self.cfg.issue_to_exec;
-            let (thread, seq, mem_addr) = {
-                let inst = self.slab.get(h).expect("live");
-                (inst.thread, inst.seq, inst.inst.mem_addr)
-            };
             self.probe.on_issue(self.now, thread, seq);
             // Leave the issue queue.
             self.iqs.release(kind);
@@ -976,10 +1314,6 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
 
             let complete_at = if class == OpClass::Load {
                 let addr = mem_addr.expect("loads carry an address");
-                let wrong_path = {
-                    let inst = self.slab.get(h).expect("live");
-                    inst.inst.wrong_path
-                };
                 let acc = self.hier.load_probed(
                     thread,
                     addr,
@@ -1012,8 +1346,7 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
                 inst.iq = None;
                 exec_start + class.base_latency()
             };
-            let inst = self.slab.get_mut(h).expect("live");
-            inst.stage = Stage::Executing { complete_at };
+            self.slab.set_stage(h, Stage::Executing { complete_at });
             // Result broadcast one issue-to-exec bubble before completion,
             // so dependent ops execute back-to-back through the bypass.
             let wake_at = complete_at
@@ -1070,22 +1403,16 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
                 let Some(&h) = self.fronts[t].queue.front() else {
                     break;
                 };
-                let (ready_at, class, dest, srcs, seq) = {
-                    let inst = self.slab.get(h).expect("queue handles are live");
-                    let Stage::Frontend { ready_at } = inst.stage else {
-                        unreachable!("queued instructions are in Frontend stage")
-                    };
-                    (
-                        ready_at,
-                        inst.inst.class,
-                        inst.inst.dest,
-                        inst.inst.srcs,
-                        inst.seq,
-                    )
+                let Some((Stage::Frontend { ready_at }, seq)) = self.slab.stage_seq(h) else {
+                    unreachable!("queued instructions are in Frontend stage")
                 };
                 if ready_at > self.now {
                     break;
                 }
+                let (class, dest, srcs) = {
+                    let inst = self.slab.get(h).expect("queue handles are live");
+                    (inst.inst.class, inst.inst.dest, inst.inst.srcs)
+                };
                 // Resource check (all-or-nothing).
                 let kind = IqKind::for_class(class);
                 let needs_fp_reg = dest.is_some() && class.dest_is_fp();
@@ -1150,10 +1477,10 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
                 inst.holds_reg = dest.is_some();
                 inst.prev_producer = prev_producer;
                 if remaining == 0 {
-                    inst.stage = Stage::Ready { at: self.now + 1 };
+                    self.slab.set_stage(h, Stage::Ready { at: self.now + 1 });
                     self.ready[iq_index(kind)].push(h);
                 } else {
-                    inst.stage = Stage::Waiting;
+                    self.slab.set_stage(h, Stage::Waiting);
                 }
                 self.robs[t].push_back(h);
             }
@@ -1323,26 +1650,29 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
         let is_load = d.class == OpClass::Load;
         let pc = d.pc;
         let wrong_path = d.wrong_path;
-        let h = self.slab.insert(InFlight {
-            thread: t,
+        let stage = Stage::Frontend {
+            ready_at: self.now + self.cfg.frontend_latency,
+        };
+        let h = self.slab.insert(
             seq,
-            inst: d,
-            stage: Stage::Frontend {
-                ready_at: self.now + self.cfg.frontend_latency,
+            stage,
+            InFlight {
+                thread: t,
+                inst: d,
+                remaining_srcs: 0,
+                waiters: self.waiter_pool.pop().unwrap_or_default(),
+                iq: None,
+                holds_reg: false,
+                prev_producer: None,
+                result_ready: false,
+                mem: None,
+                dmiss_counted: false,
+                declared: false,
+                fetch_next_pc,
+                mispredicted,
+                squashed: false,
             },
-            remaining_srcs: 0,
-            waiters: self.waiter_pool.pop().unwrap_or_default(),
-            iq: None,
-            holds_reg: false,
-            prev_producer: None,
-            result_ready: false,
-            mem: None,
-            dmiss_counted: false,
-            declared: false,
-            fetch_next_pc,
-            mispredicted,
-            squashed: false,
-        });
+        );
         self.fronts[t].queue.push_back(h);
         self.icount[t] += 1;
         self.stats[t].fetched += 1;
@@ -1377,7 +1707,7 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
 
         // Fetch queue holds the youngest instructions; drain it first.
         while let Some(&h) = self.fronts[thread].queue.back() {
-            let seq = self.slab.get(h).expect("queue handles live").seq;
+            let seq = self.slab.seq_of(h).expect("queue handles live");
             if seq <= older_than {
                 break;
             }
@@ -1386,7 +1716,7 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
         }
         // Then the ROB, youngest-first (rename repair relies on this order).
         while let Some(&h) = self.robs[thread].back() {
-            let seq = self.slab.get(h).expect("ROB handles live").seq;
+            let seq = self.slab.seq_of(h).expect("ROB handles live");
             if seq <= older_than {
                 break;
             }
@@ -1399,10 +1729,11 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
     }
 
     fn squash_one(&mut self, h: Handle, reason: SquashReason, replay_rev: &mut Vec<DynInst>) {
+        let (stage, seq) = self.slab.stage_seq(h).expect("live");
         let mut inst = self.slab.remove(h).expect("live");
         self.reclaim_waiters(std::mem::take(&mut inst.waiters));
         let t = inst.thread;
-        match inst.stage {
+        match stage {
             Stage::Frontend { .. } => {
                 debug_assert!(self.icount[t] > 0);
                 self.icount[t] -= 1;
@@ -1431,7 +1762,7 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
         }
         // Rename repair (walked youngest-first by the caller).
         if matches!(
-            inst.stage,
+            stage,
             Stage::Waiting | Stage::Ready { .. } | Stage::Executing { .. } | Stage::Done
         ) {
             if let Some(dreg) = inst.inst.dest {
@@ -1459,7 +1790,7 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
             self.policy.on_event(&PolicyEvent::LoadSquashed {
                 thread: t,
                 pc: inst.inst.pc,
-                load_id: inst.seq,
+                load_id: seq,
             });
         }
         match reason {
@@ -1470,7 +1801,7 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
             SquashReason::Mispredict => SquashKind::Mispredict,
             SquashReason::Flush => SquashKind::Flush,
         };
-        self.probe.on_squash(self.now, t, inst.seq, kind);
+        self.probe.on_squash(self.now, t, seq, kind);
         if !inst.inst.wrong_path {
             replay_rev.push(inst.inst);
         }
@@ -1605,6 +1936,8 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
                     dead += 1;
                     continue;
                 };
+                let seq = self.slab.seq_of(h).expect("live");
+                let stage = self.slab.stage(h).expect("live");
                 if inst.thread != t {
                     found.push((
                         C::RobConservation,
@@ -1612,19 +1945,19 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
                         t as u64,
                         inst.thread as u64,
                         format!(
-                            "seq {} in thread {t}'s ROB belongs to thread {}",
-                            inst.seq, inst.thread
+                            "seq {seq} in thread {t}'s ROB belongs to thread {}",
+                            inst.thread
                         ),
                     ));
                 }
                 // INV005: sequence numbers strictly ascend head to tail.
                 if let Some(p) = prev_seq {
-                    if inst.seq <= p && age_bad.is_none() {
-                        age_bad = Some((p, inst.seq));
+                    if seq <= p && age_bad.is_none() {
+                        age_bad = Some((p, seq));
                     }
                 }
-                prev_seq = Some(inst.seq);
-                if matches!(inst.stage, Stage::Waiting | Stage::Ready { .. }) {
+                prev_seq = Some(seq);
+                if matches!(stage, Stage::Waiting | Stage::Ready { .. }) {
                     pre_issue_rob += 1;
                     match inst.iq {
                         Some(kind) => iq_by_kind[iq_index(kind)] += 1,
@@ -1633,7 +1966,7 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
                             Some(t),
                             1,
                             0,
-                            format!("pre-issue seq {} holds no IQ entry", inst.seq),
+                            format!("pre-issue seq {seq} holds no IQ entry"),
                         )),
                     }
                 }
@@ -1654,7 +1987,7 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
                             Some(t),
                             1,
                             0,
-                            format!("dmiss-counted seq {} has no memory outcome", inst.seq),
+                            format!("dmiss-counted seq {seq} has no memory outcome"),
                         )),
                         Some(m) => {
                             if !m.l1_miss {
@@ -1663,7 +1996,7 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
                                     Some(t),
                                     1,
                                     0,
-                                    format!("dmiss-counted seq {} hit in L1", inst.seq),
+                                    format!("dmiss-counted seq {seq} hit in L1"),
                                 ));
                             }
                             if m.complete_at <= self.now {
@@ -1673,8 +2006,8 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
                                     self.now + 1,
                                     m.complete_at,
                                     format!(
-                                        "dmiss-counted seq {} fill was due at cycle {}",
-                                        inst.seq, m.complete_at
+                                        "dmiss-counted seq {seq} fill was due at cycle {}",
+                                        m.complete_at
                                     ),
                                 ));
                             }
@@ -1684,10 +2017,7 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
                                     Some(t),
                                     0,
                                     1,
-                                    format!(
-                                        "seq {} reports an L2 miss without an L1 miss",
-                                        inst.seq
-                                    ),
+                                    format!("seq {seq} reports an L2 miss without an L1 miss"),
                                 ));
                             }
                         }
@@ -1703,7 +2033,7 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
                             Some(t),
                             1,
                             0,
-                            format!("declared seq {} has no memory outcome", inst.seq),
+                            format!("declared seq {seq} has no memory outcome"),
                         )),
                         Some(m) => {
                             let notice_at =
@@ -1715,9 +2045,8 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
                                     self.now + 1,
                                     notice_at,
                                     format!(
-                                        "declared seq {} resolve notice was due at cycle \
-                                         {notice_at}",
-                                        inst.seq
+                                        "declared seq {seq} resolve notice was due at cycle \
+                                         {notice_at}"
                                     ),
                                 ));
                             }
@@ -1955,7 +2284,7 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
                     .iter()
                     .filter(|&&h| {
                         matches!(
-                            self.slab.get(h).unwrap().stage,
+                            self.slab.stage(h).unwrap(),
                             Stage::Waiting | Stage::Ready { .. }
                         )
                     })
@@ -1970,7 +2299,7 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
                 .iter()
                 .filter(|&&h| {
                     matches!(
-                        self.slab.get(h).unwrap().stage,
+                        self.slab.stage(h).unwrap(),
                         Stage::Waiting | Stage::Ready { .. }
                     )
                 })
@@ -1992,7 +2321,7 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
             .flatten()
             .filter(|&&h| {
                 matches!(
-                    self.slab.get(h).unwrap().stage,
+                    self.slab.stage(h).unwrap(),
                     Stage::Waiting | Stage::Ready { .. }
                 )
             })
@@ -2030,7 +2359,7 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
             let stages: Vec<&str> = self.robs[t]
                 .iter()
                 .take(4)
-                .map(|&h| match self.slab.get(h).unwrap().stage {
+                .map(|&h| match self.slab.stage(h).unwrap() {
                     Stage::Frontend { .. } => "F",
                     Stage::Waiting => "W",
                     Stage::Ready { .. } => "R",
@@ -2080,7 +2409,7 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
     }
 }
 
-impl<P: Probe, S: Sanitizer> Simulator<P, S> {
+impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
     /// Physical registers currently held (int, fp) — diagnostics.
     pub fn regs_in_use(&self) -> (u32, u32) {
         (self.regs_int.in_use(), self.regs_fp.in_use())
@@ -2090,23 +2419,17 @@ impl<P: Probe, S: Sanitizer> Simulator<P, S> {
     pub fn rob_len(&self, thread: usize) -> usize {
         self.robs[thread].len()
     }
-}
 
-impl<P: Probe, S: Sanitizer> Simulator<P, S> {
     /// Pool-draw statistics of a thread's correct-path trace — diagnostics.
     pub fn trace_pool_draws(&self, thread: usize) -> (u64, [u64; 3]) {
         self.fronts[thread].pool_draws()
     }
-}
 
-impl<P: Probe, S: Sanitizer> Simulator<P, S> {
     /// Correct-path instructions emitted by a thread's trace — diagnostics.
     pub fn trace_emitted(&self, thread: usize) -> u64 {
         self.fronts[thread].emitted()
     }
-}
 
-impl<P: Probe, S: Sanitizer> Simulator<P, S> {
     /// Per-kind branch (predictions, mispredictions): [CondBr, Jump, Call,
     /// Return] — diagnostics.
     pub fn branch_kind_stats(&self) -> [(u64, u64); 4] {

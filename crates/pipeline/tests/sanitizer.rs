@@ -29,7 +29,7 @@ fn specs() -> Vec<ThreadSpec> {
 fn sanitized() -> Simulator<NullProbe, RecordingSanitizer> {
     Simulator::try_sanitized(
         SimConfig::baseline(),
-        Box::new(IcountTest),
+        Box::new(IcountTest) as Box<dyn FetchPolicy>,
         &specs(),
         RecordingSanitizer::new(),
     )
