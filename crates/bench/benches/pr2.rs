@@ -78,6 +78,7 @@ fn main() {
 
     let json = Json::obj(vec![
         ("bench", Json::str("pr2")),
+        ("schema_version", Json::U64(1)),
         ("micro_cycles_per_policy_run", Json::U64(MICRO_CYCLES)),
         (
             "cycles_per_sec",

@@ -142,6 +142,21 @@ impl FetchPolicy for DWarn {
         Ok(())
     }
 
+    /// Warn levels for the interval telemetry: 0 = Normal group, 1 = Dmiss
+    /// group (priority reduced), 2 = gated by the hybrid declared-L2 rule.
+    /// Pure function of the view, like `fetch_order_into` — required so
+    /// levels are frozen across quiescence-skipped spans.
+    fn warn_level(&self, view: &PolicyView, thread: usize) -> u8 {
+        let v = &view.threads[thread];
+        if v.declared_l2 > 0 && view.num_threads() < self.hybrid_below {
+            2
+        } else if v.dmiss_count > 0 {
+            1
+        } else {
+            0
+        }
+    }
+
     // Pure function of the view: the quiescence engine may skip idle spans.
     fn quiescence_safe(&self) -> bool {
         true
@@ -277,6 +292,24 @@ mod tests {
         let p = DWarn::new();
         let err = p.audit_order(&view(&threads), &[]).unwrap_err();
         assert!(err.contains("keep-one"), "{err}");
+    }
+
+    #[test]
+    fn warn_levels_track_group_and_hybrid_state() {
+        let p = DWarn::new();
+        // 2 threads (hybrid active): declared → 2, dmiss-only → 1, clean → 0.
+        let threads = vec![tv(1, 1, 1), tv(9, 0, 0)];
+        let v = view(&threads);
+        assert_eq!(p.warn_level(&v, 0), 2);
+        assert_eq!(p.warn_level(&v, 1), 0);
+        let threads = vec![tv(1, 1, 0), tv(9, 0, 0)];
+        assert_eq!(p.warn_level(&view(&threads), 0), 1);
+        // 4 threads: hybrid inactive, a declared miss is still only level 1.
+        let threads = vec![tv(1, 1, 1), tv(2, 0, 0), tv(3, 0, 0), tv(4, 0, 0)];
+        assert_eq!(p.warn_level(&view(&threads), 0), 1);
+        // Priority-only variant never reaches level 2.
+        let threads = vec![tv(1, 1, 1), tv(9, 0, 0)];
+        assert_eq!(DWarn::priority_only().warn_level(&view(&threads), 0), 1);
     }
 
     #[test]

@@ -29,6 +29,11 @@ struct RunRecord {
     workload: String,
     policy: String,
     result: SimResult,
+    /// `(skipped_cycles, total_cycles)` when the run executed in this
+    /// process; `None` for cache-served results (the quiescence engine's
+    /// skip count is observation-only and deliberately kept out of the
+    /// persisted [`SimResult`]).
+    skip: Option<(u64, u64)>,
 }
 
 /// One recorded run failure (watchdog trip, isolated panic, cache fault).
@@ -64,13 +69,23 @@ pub fn enabled() -> bool {
 
 /// Record a campaign run. No-op unless [`enable`]d.
 pub fn record(key: &RunKey, result: &SimResult) {
-    record_tagged(
-        "campaign",
-        key.arch.as_str(),
-        &key.workload,
-        key.policy.name(),
-        result,
-    );
+    record_with_skip(key, result, None);
+}
+
+/// As [`record`], with the run's quiescence-skip accounting when it
+/// executed in this process (`skip = (skipped_cycles, total_cycles)`).
+pub fn record_with_skip(key: &RunKey, result: &SimResult, skip: Option<(u64, u64)>) {
+    let mut sink = crate::lock_unpoisoned(&SINK);
+    if let Some(sink) = sink.as_mut() {
+        sink.records.push(RunRecord {
+            tag: "campaign".to_string(),
+            arch: key.arch.as_str().to_string(),
+            workload: key.workload.clone(),
+            policy: key.policy.name().to_string(),
+            result: result.clone(),
+            skip,
+        });
+    }
 }
 
 /// Record an arbitrary run (the ablation sweeps build their own
@@ -84,6 +99,7 @@ pub fn record_tagged(tag: &str, arch: &str, workload: &str, policy: &str, result
             workload: workload.to_string(),
             policy: policy.to_string(),
             result: result.clone(),
+            skip: None,
         });
     }
 }
@@ -132,6 +148,7 @@ pub fn flush() -> std::io::Result<Option<(usize, PathBuf)>> {
             .collect();
         let doc = Json::obj(vec![
             ("schema", Json::str("smt-failures-v1")),
+            ("schema_version", Json::U64(1)),
             ("failures", Json::Arr(items)),
         ]);
         std::fs::write(sink.dir.join("failures.json"), doc.render_pretty())?;
@@ -151,6 +168,7 @@ pub fn stats_json(tag: &str, arch: &str, workload: &str, policy: &str, result: &
             workload: workload.to_string(),
             policy: policy.to_string(),
             result: result.clone(),
+            skip: None,
         },
         &[],
     )
@@ -191,7 +209,7 @@ fn benchmarks_of(workload: &str) -> Option<Vec<String>> {
     )
 }
 
-fn sanitize(s: &str) -> String {
+pub(crate) fn sanitize(s: &str) -> String {
     s.chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
@@ -282,12 +300,26 @@ fn run_json(rec: &RunRecord, solos: &[(String, String, f64)]) -> Json {
 
     let sum = |f: fn(&ThreadStats) -> u64| -> u64 { r.threads.iter().map(f).sum() };
     Json::obj(vec![
-        ("schema", Json::str("smt-stats-v1")),
+        ("schema", Json::str("smt-stats-v2")),
+        ("schema_version", Json::U64(2)),
         ("experiment", Json::str(rec.tag.clone())),
         ("arch", Json::str(rec.arch.clone())),
         ("workload", Json::str(rec.workload.clone())),
         ("policy", Json::str(rec.policy.clone())),
         ("cycles", Json::U64(r.cycles)),
+        // Fraction of simulated cycles the quiescence engine bulk-advanced.
+        // Null for cache-served results: skip accounting is observational
+        // (results are bit-identical either way) and not persisted.
+        (
+            "skip_ratio",
+            rec.skip.map_or(Json::Null, |(skipped, total)| {
+                Json::F64(if total == 0 {
+                    0.0
+                } else {
+                    skipped as f64 / total as f64
+                })
+            }),
+        ),
         ("throughput_ipc", Json::F64(r.throughput())),
         ("hmean_relative_ipc", hmean.map_or(Json::Null, Json::F64)),
         (
@@ -353,6 +385,7 @@ mod tests {
             workload: wl.name.clone(),
             policy: "DWARN".into(),
             result: fake_result(&[1.0, 1.0]),
+            skip: Some((250, 1_000)),
         };
         let solos: Vec<(String, String, f64)> = wl
             .benchmarks
@@ -362,10 +395,26 @@ mod tests {
         let doc = run_json(&rec, &solos).render();
         assert!(doc.contains("\"hmean_relative_ipc\":0.5"), "{doc}");
         assert!(doc.contains("\"wrong_path_fetched\":20"), "{doc}");
+        assert!(doc.contains("\"schema\":\"smt-stats-v2\""), "{doc}");
+        assert!(doc.contains("\"schema_version\":2"), "{doc}");
+        assert!(doc.contains("\"skip_ratio\":0.25"), "{doc}");
 
         // Without solo baselines the Hmean is null, not wrong.
         let doc = run_json(&rec, &[]).render();
         assert!(doc.contains("\"hmean_relative_ipc\":null"), "{doc}");
+    }
+
+    #[test]
+    fn skip_ratio_is_null_for_cache_served_runs() {
+        let doc = stats_json(
+            "trace",
+            "baseline",
+            "2-MIX",
+            "ICOUNT",
+            &fake_result(&[1.0, 1.0]),
+        )
+        .render();
+        assert!(doc.contains("\"skip_ratio\":null"), "{doc}");
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod extensions;
 pub mod figures;
 pub mod grid;
 pub mod paper;
+pub mod report;
 pub mod runner;
 pub mod suite;
 pub mod table2a;

@@ -14,7 +14,8 @@ use smt_experiments::error::{self, EXIT_CHAOS_VIOLATION, EXIT_PARTIAL, EXIT_RUNT
 use smt_experiments::{artifacts, suite, Campaign, DiskCache, ExpParams};
 
 const USAGE: &str = "\
-usage: smt-experiments [--quick] [--stats-json <dir>] [--cache-dir <dir>] <experiment>...
+usage: smt-experiments [--quick] [--stats-json <dir>] [--cache-dir <dir>]
+                       [--intervals <dir>] [--live] <experiment>...
 
 experiments:
   table2a    cache behaviour of isolated benchmarks (Table 2a)
@@ -47,8 +48,13 @@ experiments:
 
   lint [--verbose]
              static analysis over this repository's own sources (the
-             determinism/robustness rules SMT001..SMT006, allowlisted in
+             determinism/robustness rules SMT001..SMT007, allowlisted in
              lint.allow); same pass as `cargo run -p smt-lint`
+
+  report [<dir>]
+             segment the interval time-series a previous `--intervals <dir>`
+             campaign wrote into phases and print per-run phase summary
+             tables (defaults to the --intervals directory when given)
 
 flags:
   --quick            short simulation windows (smoke test)
@@ -59,6 +65,14 @@ flags:
                      simulation; invariant violations fail the run (and
                      disk-cache loads are bypassed so runs really execute)
   --stats-json <dir> write one structured JSON stats file per simulation run
+  --intervals <dir>  attach the interval sampler to every simulation and
+                     write per-run interval JSONL + Chrome counter-track
+                     files (plus the events.jsonl heartbeat stream) there;
+                     disk-cache loads are bypassed so runs really execute
+  --interval-window <n>
+                     interval length in cycles (default 1024)
+  --live             per-completion campaign progress on stderr: worker
+                     status, cache hit/miss/coalesce counters, runs/sec, ETA
   --cache-dir <dir>  persist simulation results across invocations; results
                      are re-simulated (never trusted) if an entry is stale,
                      corrupt, or from a different code version
@@ -197,6 +211,26 @@ fn take_dir_flag(args: &mut Vec<String>, flag: &str) -> Option<PathBuf> {
     dir
 }
 
+/// Extract `--<flag> <n>` / `--<flag>=<n>` from `args` as a positive
+/// number, or `default` when absent.
+fn take_num_flag(args: &mut Vec<String>, flag: &str, default: u64) -> u64 {
+    let Some(v) = take_dir_flag(args, flag) else {
+        return default;
+    };
+    match v
+        .to_str()
+        .and_then(|s| s.parse::<u64>().ok())
+        .filter(|&n| n > 0)
+    {
+        Some(n) => n,
+        None => {
+            eprintln!("--{flag} needs a positive numeric argument\n");
+            eprint!("{USAGE}");
+            std::process::exit(EXIT_USAGE);
+        }
+    }
+}
+
 /// The `cache <stats|clear|verify>` subcommand.
 fn cache_admin(action: &str, dir: Option<&PathBuf>) -> ! {
     let Some(dir) = dir else {
@@ -248,13 +282,16 @@ fn cache_admin(action: &str, dir: Option<&PathBuf>) -> ! {
     }
 }
 
-/// Build the campaign, attaching the persistent cache when requested.
-fn build_campaign(
-    params: ExpParams,
-    cache_dir: Option<&PathBuf>,
+/// Campaign-level options parsed off the command line.
+struct CampaignOpts {
     sanitize: bool,
     no_skip: bool,
-) -> Campaign {
+    live: bool,
+    intervals: Option<(PathBuf, u64)>,
+}
+
+/// Build the campaign, attaching the persistent cache when requested.
+fn build_campaign(params: ExpParams, cache_dir: Option<&PathBuf>, opts: &CampaignOpts) -> Campaign {
     let mut campaign = match cache_dir {
         Some(dir) => match Campaign::with_disk_cache(params, dir) {
             Ok(c) => c,
@@ -265,8 +302,15 @@ fn build_campaign(
         },
         None => Campaign::new(params),
     };
-    campaign.set_sanitize(sanitize);
-    campaign.set_skip(!no_skip);
+    campaign.set_sanitize(opts.sanitize);
+    campaign.set_skip(!opts.no_skip);
+    campaign.set_live(opts.live);
+    if let Some((dir, window)) = &opts.intervals {
+        if let Err(e) = campaign.set_intervals(dir, *window) {
+            eprintln!("--intervals {}: {e}", dir.display());
+            std::process::exit(EXIT_RUNTIME);
+        }
+    }
     campaign
 }
 
@@ -316,12 +360,44 @@ fn main() {
         }
     }
     let cache_dir = take_dir_flag(&mut args, "cache-dir");
+    let intervals_dir = take_dir_flag(&mut args, "intervals");
+    let interval_window = take_num_flag(&mut args, "interval-window", 1024);
     let quick = args.iter().any(|a| a == "--quick");
     let sanitize = args.iter().any(|a| a == "--sanitize");
     let no_skip = args.iter().any(|a| a == "--no-skip");
+    let live = args.iter().any(|a| a == "--live");
+    let opts = CampaignOpts {
+        sanitize,
+        no_skip,
+        live,
+        intervals: intervals_dir.clone().map(|dir| (dir, interval_window)),
+    };
 
     if args.first().map(String::as_str) == Some("lint") {
         lint_cmd(&args[1..]);
+    }
+
+    if args.first().map(String::as_str) == Some("report") {
+        let dir = args
+            .get(1)
+            .filter(|a| !a.starts_with("--"))
+            .map(PathBuf::from)
+            .or(intervals_dir);
+        let Some(dir) = dir else {
+            eprintln!("report needs a directory (positional or --intervals <dir>)\n");
+            eprint!("{USAGE}");
+            std::process::exit(EXIT_USAGE);
+        };
+        match smt_experiments::report::report_dir(&dir) {
+            Ok(rendered) => {
+                print!("{rendered}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("report: {e}");
+                std::process::exit(e.exit_code());
+            }
+        }
     }
 
     if args.first().map(String::as_str) == Some("cache") {
@@ -337,7 +413,9 @@ fn main() {
         let rest: Vec<&str> = args[1..]
             .iter()
             .map(String::as_str)
-            .filter(|a| *a != "--quick" && *a != "--sanitize" && *a != "--no-skip")
+            .filter(|a| {
+                *a != "--quick" && *a != "--sanitize" && *a != "--no-skip" && *a != "--live"
+            })
             .collect();
         chaos_cmd(&rest, quick, no_skip);
     }
@@ -346,7 +424,9 @@ fn main() {
         let rest: Vec<&str> = args[1..]
             .iter()
             .map(String::as_str)
-            .filter(|a| *a != "--quick" && *a != "--sanitize" && *a != "--no-skip")
+            .filter(|a| {
+                *a != "--quick" && *a != "--sanitize" && *a != "--no-skip" && *a != "--live"
+            })
             .collect();
         let opts = match smt_experiments::tracing::parse_args(&rest) {
             Ok(o) => o,
@@ -378,7 +458,7 @@ fn main() {
         } else {
             ExpParams::standard()
         };
-        let campaign = build_campaign(params, cache_dir.as_ref(), sanitize, no_skip);
+        let campaign = build_campaign(params, cache_dir.as_ref(), &opts);
         print!("{}", compare(&campaign, &exps[1..]));
         flush_artifacts();
         return;
@@ -407,7 +487,7 @@ fn main() {
     } else {
         ExpParams::standard()
     };
-    let campaign = build_campaign(params, cache_dir.as_ref(), sanitize, no_skip);
+    let campaign = build_campaign(params, cache_dir.as_ref(), &opts);
     let t0 = Instant::now();
 
     let mut broken_experiments = 0u32;

@@ -18,10 +18,14 @@
 //! code whose caller (the CLI) provides per-experiment isolation.
 
 use std::collections::HashMap;
-use std::path::Path;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use dwarn_core::{PolicyKind, PolicyVisitor};
+use smt_obs::{IntervalConfig, IntervalProbe, IntervalSeries, Json};
 use smt_pipeline::{
     FetchPolicy, RecordingSanitizer, SimConfig, SimResult, Simulator, ThreadSpec, Watchdog,
 };
@@ -198,6 +202,47 @@ pub struct Campaign {
     /// clears it). Skipped and unskipped runs are bit-identical, so this
     /// does not enter the cache key.
     skip: bool,
+    /// Attach the interval sampler to every simulation and write its
+    /// time-series files here (`--intervals <dir>`). Like the sanitizer,
+    /// interval runs bypass disk-cache *loads*: a cache hit would produce
+    /// no series.
+    intervals: Option<IntervalOpts>,
+    /// Live campaign telemetry counters (always maintained; cheap).
+    telemetry: Telemetry,
+    /// Print per-completion progress lines on stderr (`--live`).
+    live: bool,
+    /// Machine-readable heartbeat stream (`events.jsonl`): one line per
+    /// completed run, flushed eagerly so it can be tailed.
+    heartbeat: Mutex<Option<std::io::BufWriter<std::fs::File>>>,
+    /// Per-run quiescence-skip accounting, keyed by the run's `what`
+    /// string: `(skipped_cycles, total_cycles)`. Filled by
+    /// [`Campaign::simulate_policy`], drained by `run_protected` into the
+    /// stats artifact (`skip_ratio`).
+    skip_stats: Mutex<HashMap<String, (u64, u64)>>,
+    /// Progress of the current prefetch batch, for runs/sec and ETA:
+    /// `(batch_total, started, completed_before_batch)`.
+    batch: Mutex<Option<(usize, Instant, u64)>>,
+}
+
+/// Destination and window length for interval telemetry
+/// ([`Campaign::set_intervals`]).
+struct IntervalOpts {
+    dir: PathBuf,
+    window: u64,
+}
+
+/// Cache-layer hit/miss/coalesce counters, maintained across the whole
+/// campaign (not just live batches). Relaxed ordering throughout: these are
+/// monotonic event counts, never synchronization.
+#[derive(Default)]
+struct Telemetry {
+    /// Results served from the cross-process disk cache.
+    disk_hits: AtomicU64,
+    /// Results that actually simulated in this process.
+    sim_runs: AtomicU64,
+    /// Identical results dropped because another worker raced the same key
+    /// into the memo first.
+    coalesced: AtomicU64,
 }
 
 impl Campaign {
@@ -223,6 +268,12 @@ impl Campaign {
             watchdog: Watchdog::default(),
             sanitize: false,
             skip: true,
+            intervals: None,
+            telemetry: Telemetry::default(),
+            live: false,
+            heartbeat: Mutex::new(None),
+            skip_stats: Mutex::new(HashMap::new()),
+            batch: Mutex::new(None),
         }
     }
 
@@ -257,6 +308,13 @@ impl Campaign {
         self.sanitize
     }
 
+    /// Whether disk-cache loads must be bypassed so every run actually
+    /// executes in-process: under `--sanitize` (the audit must run) and
+    /// under `--intervals` (a cache hit would produce no time-series).
+    fn bypass_cache_loads(&self) -> bool {
+        self.sanitize || self.intervals.is_some()
+    }
+
     /// Disable (or re-enable) the quiescence-skipping engine for every
     /// simulation this campaign runs (`--no-skip`). Observation-only:
     /// results are bit-identical either way.
@@ -268,6 +326,140 @@ impl Campaign {
     /// ([`Campaign::set_skip`]).
     pub fn skip(&self) -> bool {
         self.skip
+    }
+
+    /// Attach the interval sampler (`--intervals <dir>`): every simulation
+    /// this campaign runs records a per-interval, per-thread time-series
+    /// and writes `<run>.intervals.jsonl` plus a Chrome counter-track
+    /// export under `dir`. Also opens the `events.jsonl` heartbeat stream
+    /// there. Disk-cache *loads* are bypassed (a cache hit would produce no
+    /// series); stores still happen, and results stay bit-identical — the
+    /// sampler is observation-only.
+    pub fn set_intervals(&mut self, dir: &Path, window: u64) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut hb = std::io::BufWriter::new(std::fs::File::create(dir.join("events.jsonl"))?);
+        let header = Json::obj(vec![
+            ("schema", Json::str("smt-heartbeat-v1")),
+            ("schema_version", Json::U64(1)),
+            ("interval_window", Json::U64(window)),
+        ])
+        .render();
+        writeln!(hb, "{header}")?;
+        hb.flush()?;
+        *crate::lock_unpoisoned(&self.heartbeat) = Some(hb);
+        self.intervals = Some(IntervalOpts {
+            dir: dir.to_path_buf(),
+            window,
+        });
+        Ok(())
+    }
+
+    /// Whether the interval sampler is attached ([`Campaign::set_intervals`]).
+    pub fn intervals_enabled(&self) -> bool {
+        self.intervals.is_some()
+    }
+
+    /// Print a progress line on stderr for every completed run (`--live`):
+    /// source (disk/sim), cache counters, and — inside a prefetch batch —
+    /// runs/sec and ETA.
+    pub fn set_live(&mut self, on: bool) {
+        self.live = on;
+    }
+
+    /// Cache-layer counters so far: `(disk_hits, sim_runs, coalesced)`.
+    pub fn telemetry_counters(&self) -> (u64, u64, u64) {
+        (
+            self.telemetry.disk_hits.load(Ordering::Relaxed),
+            self.telemetry.sim_runs.load(Ordering::Relaxed),
+            self.telemetry.coalesced.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Record one completed run in the telemetry counters, the heartbeat
+    /// stream, and (when `--live`) on stderr.
+    fn note_done(&self, what: &str, source: &str) {
+        match source {
+            "disk" => self.telemetry.disk_hits.fetch_add(1, Ordering::Relaxed),
+            _ => self.telemetry.sim_runs.fetch_add(1, Ordering::Relaxed),
+        };
+        let (hits, sims, coalesced) = self.telemetry_counters();
+        let done = hits + sims;
+        if let Some(hb) = crate::lock_unpoisoned(&self.heartbeat).as_mut() {
+            let line = Json::obj(vec![
+                ("event", Json::str("run")),
+                ("what", Json::str(what.to_string())),
+                ("source", Json::str(source.to_string())),
+                ("completed", Json::U64(done)),
+                ("disk_hits", Json::U64(hits)),
+                ("sim_runs", Json::U64(sims)),
+                ("memo_coalesced", Json::U64(coalesced)),
+            ])
+            .render();
+            // Heartbeat I/O failures cost telemetry, never results.
+            let _ = writeln!(hb, "{line}");
+            let _ = hb.flush();
+        }
+        if self.live {
+            let progress = match crate::lock_unpoisoned(&self.batch).as_ref() {
+                Some((total, started, base)) => {
+                    let in_batch = done.saturating_sub(*base);
+                    let secs = started.elapsed().as_secs_f64().max(1e-9);
+                    let rate = in_batch as f64 / secs;
+                    let left = (*total as u64).saturating_sub(in_batch);
+                    let eta = if rate > 0.0 {
+                        format!("{:.0}s", left as f64 / rate)
+                    } else {
+                        "?".to_string()
+                    };
+                    format!(" {in_batch}/{total} {rate:.1} runs/s ETA {eta}")
+                }
+                None => String::new(),
+            };
+            eprintln!(
+                "[campaign]{progress} {source} {what} (hits={hits} sims={sims} coalesced={coalesced})"
+            );
+        }
+    }
+
+    /// Stash a fresh run's quiescence-skip accounting for the stats
+    /// artifact ([`Campaign::take_skip`]).
+    fn note_skip(&self, what: &str, skipped: u64) {
+        let total = self.params.warmup + self.params.measure;
+        crate::lock_unpoisoned(&self.skip_stats).insert(what.to_string(), (skipped, total));
+    }
+
+    fn take_skip(&self, what: &str) -> Option<(u64, u64)> {
+        crate::lock_unpoisoned(&self.skip_stats).remove(what)
+    }
+
+    /// Write one run's interval series (`<run>.intervals.jsonl` + Chrome
+    /// counter-track export) under the `--intervals` directory. Telemetry
+    /// I/O failures are recorded as campaign failures but do not fail the
+    /// run: the simulation result itself is valid.
+    fn write_intervals(&self, what: &str, specs: &[ThreadSpec], series: &IntervalSeries) {
+        let Some(opts) = self.intervals.as_ref() else {
+            return;
+        };
+        let names: Vec<String> = specs.iter().map(|s| s.profile.name.to_string()).collect();
+        let stem = crate::artifacts::sanitize(what);
+        let files = [
+            (format!("{stem}.intervals.jsonl"), series.to_jsonl(&names)),
+            (
+                format!("{stem}.counters.trace.json"),
+                series.counter_trace(&names),
+            ),
+        ];
+        for (name, body) in files {
+            let path = opts.dir.join(name);
+            if let Err(e) = std::fs::write(&path, body) {
+                let e = ExpError::Io {
+                    context: format!("writing interval telemetry for {what}"),
+                    detail: e.to_string(),
+                };
+                eprintln!("intervals: {e}");
+                self.note_failure(what, &e);
+            }
+        }
     }
 
     /// One simulation behind the panic boundary and watchdog, with the
@@ -284,8 +476,42 @@ impl Campaign {
         specs: &[ThreadSpec],
         policy: F,
     ) -> Result<SimResult, ExpError> {
-        if self.sanitize {
-            protect(what, move || {
+        fn check_clean(what: &str, rec: &RecordingSanitizer) -> Result<(), ExpError> {
+            if rec.is_clean() {
+                Ok(())
+            } else {
+                Err(ExpError::Invariant {
+                    what: what.to_string(),
+                    violations: rec.total() as usize,
+                    first: rec.first().map(ToString::to_string).unwrap_or_default(),
+                })
+            }
+        }
+        let window = self.intervals.as_ref().map(|o| o.window);
+        // Four monomorphized arms: the sanitizer and the interval probe each
+        // either compile in or compile out (`const ENABLED`), so the plain
+        // arm still runs the zero-cost NullProbe/NullSanitizer code.
+        match (self.sanitize, window) {
+            (true, Some(window)) => protect(what, move || {
+                let probe = IntervalProbe::new(IntervalConfig { window });
+                let mut sim = Simulator::try_with_specs(
+                    cfg.clone(),
+                    policy,
+                    specs,
+                    probe,
+                    RecordingSanitizer::new(),
+                )?;
+                sim.set_skip_enabled(self.skip);
+                let result = sim
+                    .try_run(self.params.warmup, self.params.measure, &self.watchdog)
+                    .map_err(ExpError::from)?;
+                self.note_skip(what, sim.skipped_cycles());
+                check_clean(what, sim.sanitizer())?;
+                let series = sim.into_probe().into_series();
+                self.write_intervals(what, specs, &series);
+                Ok(result)
+            }),
+            (true, None) => protect(what, move || {
                 let mut sim = Simulator::try_sanitized(
                     cfg.clone(),
                     policy,
@@ -296,23 +522,31 @@ impl Campaign {
                 let result = sim
                     .try_run(self.params.warmup, self.params.measure, &self.watchdog)
                     .map_err(ExpError::from)?;
-                let rec = sim.sanitizer();
-                if !rec.is_clean() {
-                    return Err(ExpError::Invariant {
-                        what: what.to_string(),
-                        violations: rec.total() as usize,
-                        first: rec.first().map(ToString::to_string).unwrap_or_default(),
-                    });
-                }
+                self.note_skip(what, sim.skipped_cycles());
+                check_clean(what, sim.sanitizer())?;
                 Ok(result)
-            })
-        } else {
-            protect(what, move || {
+            }),
+            (false, Some(window)) => protect(what, move || {
+                let probe = IntervalProbe::new(IntervalConfig { window });
+                let mut sim = Simulator::try_with_probe(cfg.clone(), policy, specs, probe)?;
+                sim.set_skip_enabled(self.skip);
+                let result = sim
+                    .try_run(self.params.warmup, self.params.measure, &self.watchdog)
+                    .map_err(ExpError::from)?;
+                self.note_skip(what, sim.skipped_cycles());
+                let series = sim.into_probe().into_series();
+                self.write_intervals(what, specs, &series);
+                Ok(result)
+            }),
+            (false, None) => protect(what, move || {
                 let mut sim = Simulator::try_new(cfg.clone(), policy, specs)?;
                 sim.set_skip_enabled(self.skip);
-                sim.try_run(self.params.warmup, self.params.measure, &self.watchdog)
-                    .map_err(ExpError::from)
-            })
+                let result = sim
+                    .try_run(self.params.warmup, self.params.measure, &self.watchdog)
+                    .map_err(ExpError::from)?;
+                self.note_skip(what, sim.skipped_cycles());
+                Ok(result)
+            }),
         }
     }
 
@@ -390,13 +624,21 @@ impl Campaign {
         let cfg = key.arch.config();
         cfg.validate(specs.len())?;
         let desc = describe_run(&cfg, &specs, key.policy.name(), self.params);
-        // Under --sanitize a cache hit would dodge the audit entirely, so
-        // loads are skipped; the store below still refreshes the entry
-        // (sanitized results are bit-identical to unsanitized ones).
-        if let Some(d) = self.disk.as_ref().filter(|_| !self.sanitize) {
+        let what = format!(
+            "{}/{}/{}",
+            key.arch.as_str(),
+            key.workload,
+            key.policy.name()
+        );
+        // Under --sanitize a cache hit would dodge the audit entirely, and
+        // under --intervals it would produce no time-series, so loads are
+        // skipped in both modes; the store below still refreshes the entry
+        // (probed and sanitized results are bit-identical to plain ones).
+        if let Some(d) = self.disk.as_ref().filter(|_| !self.bypass_cache_loads()) {
             match d.load_checked(&desc) {
                 Ok(Some(result)) => {
                     crate::artifacts::record(key, &result);
+                    self.note_done(&what, "disk");
                     return Ok(result);
                 }
                 Ok(None) => {}
@@ -409,12 +651,6 @@ impl Campaign {
                 }
             }
         }
-        let what = format!(
-            "{}/{}/{}",
-            key.arch.as_str(),
-            key.workload,
-            key.policy.name()
-        );
         // Dispatch the policy at its concrete type: the simulator below is
         // monomorphized per policy, removing the per-cycle virtual call.
         struct GridRun<'a> {
@@ -436,7 +672,8 @@ impl Campaign {
             cfg: &cfg,
             specs: &specs,
         })?;
-        crate::artifacts::record(key, &result);
+        crate::artifacts::record_with_skip(key, &result, self.take_skip(&what));
+        self.note_done(&what, "sim");
         if let Some(d) = &self.disk {
             if let Err(e) = d.store_retrying(&desc, &result, 3) {
                 let e = ExpError::Io {
@@ -486,9 +723,9 @@ impl Campaign {
         if let Some(r) = crate::lock_unpoisoned(&self.custom).get(&desc) {
             return Ok(r.clone());
         }
-        // As in `run_protected`: --sanitize bypasses cache loads so the
-        // run actually executes under audit.
-        let loaded = match self.disk.as_ref().filter(|_| !self.sanitize) {
+        // As in `run_protected`: --sanitize and --intervals bypass cache
+        // loads so the run actually executes under audit / with the probe.
+        let loaded = match self.disk.as_ref().filter(|_| !self.bypass_cache_loads()) {
             Some(d) => match d.load_checked(&desc) {
                 Ok(r) => r,
                 Err(fault) => {
@@ -549,7 +786,7 @@ impl Campaign {
         // Clamp the worker pool to the runs that will actually simulate: on
         // a warm batch most keys resolve from the disk cache (cheap loads),
         // and spawning a thread per key would mostly spawn idle threads.
-        let pending = match self.disk.as_ref().filter(|_| !self.sanitize) {
+        let pending = match self.disk.as_ref().filter(|_| !self.bypass_cache_loads()) {
             Some(d) => missing
                 .iter()
                 .filter(|k| {
@@ -562,9 +799,20 @@ impl Campaign {
             None => missing.len(),
         };
         let workers = self.parallelism.min(pending);
+        if self.live {
+            let (hits, sims, _) = self.telemetry_counters();
+            *crate::lock_unpoisoned(&self.batch) =
+                Some((missing.len(), Instant::now(), hits + sims));
+            eprintln!(
+                "[campaign] prefetch: {} keys ({} pending simulation), {} worker(s)",
+                missing.len(),
+                pending,
+                workers
+            );
+        }
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|w| {
                     let missing = &missing;
                     let next = &next;
                     s.spawn(move || loop {
@@ -572,10 +820,21 @@ impl Campaign {
                         if i >= missing.len() {
                             break;
                         }
+                        let k = &missing[i];
+                        if self.live {
+                            eprintln!(
+                                "[worker {w}] {}/{}/{} ({}/{})",
+                                k.arch.as_str(),
+                                k.workload,
+                                k.policy.name(),
+                                i + 1,
+                                missing.len()
+                            );
+                        }
                         // Failures are recorded on the campaign; a failed
                         // key simply stays unmemoized, and the rest of the
                         // batch keeps going (partial results).
-                        let _ = self.try_result_owned(missing[i].clone());
+                        let _ = self.try_result_owned(k.clone());
                     })
                 })
                 .collect();
@@ -594,6 +853,17 @@ impl Campaign {
                 }
             }
         });
+        if self.live {
+            if let Some((total, started, base)) = crate::lock_unpoisoned(&self.batch).take() {
+                let (hits, sims, coalesced) = self.telemetry_counters();
+                let done = (hits + sims).saturating_sub(base);
+                let secs = started.elapsed().as_secs_f64().max(1e-9);
+                eprintln!(
+                    "[campaign] batch done: {done}/{total} in {secs:.1}s ({:.1} runs/s; hits={hits} sims={sims} coalesced={coalesced})",
+                    done as f64 / secs
+                );
+            }
+        }
     }
 
     /// Get (running on demand if not cached) a simulation result.
@@ -633,10 +903,20 @@ impl Campaign {
             return Ok(r.clone());
         }
         match self.run_protected(&key) {
-            Ok(r) => Ok(crate::lock_unpoisoned(&self.cache)
-                .entry(key)
-                .or_insert(r)
-                .clone()),
+            Ok(r) => {
+                let mut cache = crate::lock_unpoisoned(&self.cache);
+                let out = match cache.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        // Another worker raced the same key to completion;
+                        // its (identical — simulation is deterministic)
+                        // result wins and ours is dropped.
+                        self.telemetry.coalesced.fetch_add(1, Ordering::Relaxed);
+                        e.get().clone()
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => v.insert(r).clone(),
+                };
+                Ok(out)
+            }
             Err(e) => {
                 self.note_failure(&format!("{}/{}", key.arch.as_str(), key.workload), &e);
                 Err(e)

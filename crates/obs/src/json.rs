@@ -45,6 +45,63 @@ impl Json {
         out
     }
 
+    /// Parse a JSON document (RFC 8259). Numbers parse as `U64`/`I64` when
+    /// integral and in range, `F64` otherwise — matching what the builders
+    /// in this workspace emit, so `parse(render(x))` round-trips counters
+    /// exactly. Rejects trailing garbage.
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            b: src.as_bytes(),
+            at: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.at != p.b.len() {
+            return Err(format!("trailing data at byte {}", p.at));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(n) => Some(*n),
+            Json::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(n) => Some(*n as f64),
+            Json::I64(n) => Some(*n as f64),
+            Json::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -110,6 +167,196 @@ impl Json {
             }
             other => other.write(out),
         }
+    }
+}
+
+/// Recursive-descent parser over the input bytes. Depth is bounded by the
+/// caller's documents (our emitters nest a handful of levels), so plain
+/// recursion is fine.
+struct Parser<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&c) = self.b.get(self.at) {
+            if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.b.get(self.at) == Some(&c) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.at))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.at..].starts_with(lit.as_bytes()) {
+            self.at += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.at))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.b.get(self.at) {
+            Some(b'n') => self.eat_lit("null", Json::Null),
+            Some(b't') => self.eat_lit("true", Json::Bool(true)),
+            Some(b'f') => self.eat_lit("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.at)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.at) == Some(&b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.b.get(self.at) {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.at)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.at) == Some(&b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let k = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            pairs.push((k, v));
+            self.skip_ws();
+            match self.b.get(self.at) {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.at)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.at) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.b.get(self.at) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.at + 1..self.at + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            // Surrogates (emitted by no writer here) decode
+                            // to the replacement character rather than
+                            // failing the whole document.
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            self.at += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.at)),
+                    }
+                    self.at += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // boundaries are valid).
+                    let s = &self.b[self.at..];
+                    let step = match s[0] {
+                        c if c < 0x80 => 1,
+                        c if c >= 0xf0 => 4,
+                        c if c >= 0xe0 => 3,
+                        _ => 2,
+                    };
+                    let chunk =
+                        std::str::from_utf8(&s[..step]).map_err(|_| "invalid utf-8".to_string())?;
+                    out.push_str(chunk);
+                    self.at += step;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        if self.b.get(self.at) == Some(&b'-') {
+            self.at += 1;
+        }
+        let mut float = false;
+        while let Some(&c) = self.b.get(self.at) {
+            match c {
+                b'0'..=b'9' => self.at += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.at += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.at]).unwrap();
+        if !float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| format!("bad number at byte {start}"))
     }
 }
 
@@ -245,5 +492,50 @@ mod tests {
     fn integral_floats_are_valid_numbers() {
         assert_eq!(Json::F64(2.0).render(), "2");
         assert_eq!(Json::F64(-0.5).render(), "-0.5");
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let doc = Json::obj(vec![
+            ("n", Json::U64(u64::MAX)),
+            ("neg", Json::I64(-7)),
+            ("x", Json::F64(0.125)),
+            ("s", Json::str("a\"b\\c\nd")),
+            ("none", Json::Null),
+            ("yes", Json::Bool(true)),
+            ("xs", Json::Arr(vec![Json::U64(1), Json::U64(2)])),
+            ("o", Json::obj(vec![("k", Json::str("v"))])),
+        ]);
+        assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
+        assert_eq!(Json::parse(&doc.render_pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn parse_accessors() {
+        let v = Json::parse("{\"a\": [1, 2.5, \"x\"], \"b\": -3}").unwrap();
+        assert_eq!(v.get("b").and_then(Json::as_f64), Some(-3.0));
+        let xs = v.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(xs[0].as_u64(), Some(1));
+        assert_eq!(xs[1].as_f64(), Some(2.5));
+        assert_eq!(xs[2].as_str(), Some("x"));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{\"a\":}").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        assert_eq!(
+            Json::parse("\"\\u0041\\u00e9 ü\"").unwrap(),
+            Json::str("Aé ü")
+        );
     }
 }

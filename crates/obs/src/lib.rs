@@ -18,12 +18,18 @@
 //! * [`RecordingProbe`] — the batteries-included [`Probe`]: per-thread
 //!   counters, miss-latency and gate-duration histograms, the event ring,
 //!   and per-thread occupancy time-series.
+//! * [`IntervalProbe`] — fixed-window interval sampler: per-interval,
+//!   per-thread time-series (IPC, gate breakdown, miss counts, occupancy
+//!   integrals) with closed-form accounting across quiescence-skipped
+//!   spans, so skipped and `--no-skip` runs produce bit-identical series.
 //! * [`chrome`] — export captured events as Chrome trace-event JSON,
 //!   loadable in Perfetto / `chrome://tracing`.
-//! * [`json`] — a small dependency-free JSON document builder used by the
-//!   exporters and by `smt-experiments`' `--stats-json` run artifacts.
+//! * [`json`] — a small dependency-free JSON document builder (and parser)
+//!   used by the exporters and by `smt-experiments`' `--stats-json` run
+//!   artifacts and `report` subcommand.
 
 pub mod chrome;
+pub mod interval;
 pub mod json;
 pub mod probe;
 pub mod record;
@@ -31,8 +37,9 @@ pub mod registry;
 pub mod ring;
 
 pub use chrome::chrome_trace;
+pub use interval::{Interval, IntervalConfig, IntervalProbe, IntervalSeries, ThreadWindow};
 pub use json::Json;
-pub use probe::{GateReason, NullProbe, OccupancySample, Probe, SquashKind};
+pub use probe::{CycleState, GateReason, NullProbe, OccupancySample, Probe, SquashKind};
 pub use record::RecordingProbe;
 pub use registry::{Histogram, Registry};
 pub use ring::{EventKind, EventRing, TraceEvent};

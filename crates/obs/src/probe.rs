@@ -82,6 +82,35 @@ pub struct OccupancySample {
     pub iq_per_thread: Vec<u32>,
 }
 
+/// End-of-cycle resource snapshot handed to [`Probe::on_cycle_state`] and
+/// [`Probe::on_quiescent_span`]. Built by the simulator once per cycle (or
+/// once per bulk-advanced span) only when [`Probe::ENABLED`] is true; the
+/// slices borrow the simulator's scratch buffers, so no per-cycle
+/// allocation occurs after warm-up.
+#[derive(Debug)]
+pub struct CycleState<'a> {
+    /// The cycle this state describes (the first cycle of the span for
+    /// [`Probe::on_quiescent_span`]).
+    pub cycle: u64,
+    /// Shared issue-queue occupancy [int, fp, ldst].
+    pub iq: [u32; 3],
+    /// Physical integer registers in use beyond the architectural
+    /// reservation.
+    pub regs_int: u32,
+    /// Physical floating-point registers in use.
+    pub regs_fp: u32,
+    /// Per-thread ROB occupancy.
+    pub rob: &'a [u32],
+    /// Per-thread issue-queue entries held (all kinds combined).
+    pub iq_per_thread: &'a [u32],
+    /// Per-thread outstanding L1 data-cache misses (the paper's per-context
+    /// miss counter).
+    pub outstanding_miss: &'a [u32],
+    /// Per-thread gate state at the end of the fetch stage: `None` while
+    /// fetching, `Some(reason)` while gated.
+    pub gate: &'a [Option<GateReason>],
+}
+
 /// Observability hook points. All hooks default to nothing; `cycle` is the
 /// simulator cycle the event occurred in, `seq` the global dynamic-instruction
 /// sequence number (also used as `load_id` for loads).
@@ -143,6 +172,21 @@ pub trait Probe {
 
     /// A shared-resource occupancy sample (from `run_sampled`).
     fn on_sample(&mut self, _sample: &OccupancySample) {}
+
+    /// End-of-cycle resource state for one normally-stepped cycle. The
+    /// interval sampler accumulates its time-series here.
+    fn on_cycle_state(&mut self, _state: &CycleState<'_>) {}
+
+    /// End-of-cycle resource state covering a quiescence-skipped span of
+    /// `span` cycles starting at `state.cycle`. Every per-cycle quantity in
+    /// `state` is provably constant across the span (that is what made the
+    /// span skippable), so a probe that adds `span × value` observes exactly
+    /// what `span` calls to [`Probe::on_cycle_state`] would have produced.
+    fn on_quiescent_span(&mut self, _state: &CycleState<'_>, _span: u64) {}
+
+    /// The fetch policy's telemetry warn level for a thread changed (e.g.
+    /// DWarn's Normal → Dmiss group demotion, or the hybrid L2 gate).
+    fn on_warn_change(&mut self, _cycle: u64, _thread: usize, _from: u8, _to: u8) {}
 }
 
 /// The disabled probe: every hook is a no-op and [`Probe::ENABLED`] is
@@ -198,5 +242,14 @@ impl<P: Probe> Probe for &mut P {
     }
     fn on_sample(&mut self, sample: &OccupancySample) {
         (**self).on_sample(sample)
+    }
+    fn on_cycle_state(&mut self, state: &CycleState<'_>) {
+        (**self).on_cycle_state(state)
+    }
+    fn on_quiescent_span(&mut self, state: &CycleState<'_>, span: u64) {
+        (**self).on_quiescent_span(state, span)
+    }
+    fn on_warn_change(&mut self, cycle: u64, thread: usize, from: u8, to: u8) {
+        (**self).on_warn_change(cycle, thread, from, to)
     }
 }

@@ -186,6 +186,18 @@ pub trait FetchPolicy {
         vec![None; view.num_threads()]
     }
 
+    /// Telemetry: the policy's warn level for `thread` given `view` — e.g.
+    /// DWarn reports 1 while a thread sits in the demoted Dmiss priority
+    /// group and 2 while the hybrid rule gates it outright. Must be a pure
+    /// function of the view (no internal state, no [`PolicyView::cycle`]
+    /// reads) so that levels are frozen across quiescent spans; the
+    /// simulator samples it only when a probe is attached and reports
+    /// *transitions* through the probe's `on_warn_change` hook. The
+    /// default — policies with no warn concept — is a constant 0.
+    fn warn_level(&self, _view: &PolicyView, _thread: usize) -> u8 {
+        0
+    }
+
     /// Whether the quiescence-skipping engine may fast-forward the clock
     /// while this policy is attached.
     ///
@@ -231,6 +243,9 @@ impl<T: FetchPolicy + ?Sized> FetchPolicy for Box<T> {
     }
     fn resource_caps(&mut self, view: &PolicyView) -> Vec<Option<f32>> {
         (**self).resource_caps(view)
+    }
+    fn warn_level(&self, view: &PolicyView, thread: usize) -> u8 {
+        (**self).warn_level(view, thread)
     }
     fn quiescence_safe(&self) -> bool {
         (**self).quiescence_safe()

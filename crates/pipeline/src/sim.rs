@@ -14,7 +14,7 @@
 
 use std::collections::VecDeque;
 
-use smt_obs::{GateReason, NullProbe, OccupancySample, Probe, SquashKind};
+use smt_obs::{CycleState, GateReason, NullProbe, OccupancySample, Probe, SquashKind};
 use smt_trace::{BenchProfile, DynInst, OpClass, INST_BYTES, NUM_ARCH_REGS};
 use smt_uarch::{
     BranchUnit, FuKind, FuPools, IqKind, IssueQueues, MemHierarchy, RegPool, RobCounters,
@@ -133,6 +133,16 @@ pub struct Simulator<
     /// Probe-only: the gate reason currently reported for each thread
     /// (`None` = fetching normally). Maintained only when `P::ENABLED`.
     gate_state: Vec<Option<GateReason>>,
+    /// Probe-only: the policy warn level last reported per thread
+    /// ([`FetchPolicy::warn_level`]). Maintained only when `P::ENABLED`.
+    warn_state: Vec<u8>,
+    /// Probe-only scratch for the end-of-cycle [`CycleState`] snapshot:
+    /// taken, filled, and restored around the probe call, so the probed
+    /// steady-state loop performs no heap allocation either.
+    obs_rob: Vec<u32>,
+    obs_iq: Vec<u32>,
+    obs_out: Vec<u32>,
+    obs_gate: Vec<Option<GateReason>>,
 
     fronts: Vec<ThreadFront>,
     slab: Slab,
@@ -419,6 +429,27 @@ impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
     /// constructors delegate here; sanitized campaign runs attach a
     /// [`RecordingSanitizer`](crate::sanitizer::RecordingSanitizer) through
     /// this entry point.
+    /// As [`Simulator::try_with_parts`], building the per-thread front-ends
+    /// from specs (the standard synthetic-trace path) — the entry point for
+    /// runs that attach both a probe and a sanitizer, e.g. `--sanitize`
+    /// campaign runs with interval telemetry.
+    pub fn try_with_specs(
+        cfg: SimConfig,
+        policy: F,
+        specs: &[ThreadSpec],
+        probe: P,
+        sanitizer: S,
+    ) -> Result<Simulator<P, S, F>, ConfigError> {
+        let fronts: Vec<ThreadFront> = specs
+            .iter()
+            .enumerate()
+            .map(|(t, s)| {
+                ThreadFront::new(&s.profile, s.seed, Simulator::thread_addr_base(t), s.skip)
+            })
+            .collect();
+        Simulator::try_with_parts(cfg, policy, fronts, probe, sanitizer)
+    }
+
     pub fn try_with_parts(
         cfg: SimConfig,
         policy: F,
@@ -485,6 +516,11 @@ impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
             probe,
             sanitizer,
             gate_state: vec![None; n],
+            warn_state: vec![0; n],
+            obs_rob: Vec::with_capacity(n),
+            obs_iq: Vec::with_capacity(n),
+            obs_out: Vec::with_capacity(n),
+            obs_gate: Vec::with_capacity(n),
             skip_enabled: true,
             skip_ok,
             skipped_cycles: 0,
@@ -553,7 +589,63 @@ impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
         if S::ENABLED {
             self.audit_cycle();
         }
+        if P::ENABLED {
+            self.feed_cycle_probe(1, false);
+        }
         self.advance_clock(1);
+    }
+
+    /// Probe-only: deliver the end-of-cycle resource snapshot to the probe —
+    /// one [`Probe::on_cycle_state`] per naive step, or one
+    /// [`Probe::on_quiescent_span`] covering a bulk advance (every snapshot
+    /// quantity is frozen across a quiescent span, so the single call
+    /// carries exactly what `span` per-cycle calls would have). Out of line
+    /// and called only under `P::ENABLED`, so the unprobed simulator keeps
+    /// its exact pre-telemetry code.
+    #[inline(never)]
+    fn feed_cycle_probe(&mut self, span: u64, skipped: bool) {
+        if !P::ENABLED {
+            // Every call site is already gated; this guard makes the
+            // gating local (lint rule SMT007) and lets the Null
+            // instantiation compile to an empty body.
+            return;
+        }
+        let n = self.num_threads();
+        let mut rob = std::mem::take(&mut self.obs_rob);
+        let mut iq = std::mem::take(&mut self.obs_iq);
+        let mut out = std::mem::take(&mut self.obs_out);
+        let mut gate = std::mem::take(&mut self.obs_gate);
+        rob.clear();
+        iq.clear();
+        out.clear();
+        gate.clear();
+        for t in 0..n {
+            rob.push(self.robs[t].len() as u32);
+            iq.push(self.iq_held[t]);
+            out.push(self.dmiss[t]);
+            gate.push(self.gate_state[t]);
+        }
+        let (regs_int, regs_fp) = self.regs_in_use();
+        let state = CycleState {
+            cycle: self.now,
+            iq: self.iq_usage(),
+            regs_int,
+            regs_fp,
+            rob: &rob,
+            iq_per_thread: &iq,
+            outstanding_miss: &out,
+            gate: &gate,
+        };
+        if skipped {
+            self.probe.on_quiescent_span(&state, span);
+        } else {
+            debug_assert_eq!(span, 1);
+            self.probe.on_cycle_state(&state);
+        }
+        self.obs_rob = rob;
+        self.obs_iq = iq;
+        self.obs_out = out;
+        self.obs_gate = gate;
     }
 
     /// The engine's single clock-advance point (naive steps and bulk
@@ -720,11 +812,14 @@ impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
                 }
             }
         }
-        order.clear();
-        self.order_buf = order;
-        views.clear();
-        self.view_buf = views;
+        let put_back = |s: &mut Self, mut order: Vec<usize>, mut views: Vec<ThreadView>| {
+            order.clear();
+            s.order_buf = order;
+            views.clear();
+            s.view_buf = views;
+        };
         if would_fetch {
+            put_back(self, order, views);
             return 0;
         }
         // The wheel bounds the frontier last: its scan cost is proportional
@@ -738,11 +833,50 @@ impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
         if frontier == u64::MAX {
             // A dead machine (no pending work at all) is left to the naive
             // loop so the watchdog trips with its exact naive timing.
+            put_back(self, order, views);
             return 0;
         }
 
         let k = (frontier - now).min(cap);
         debug_assert!(k >= 1);
+        // Probe-only: the naive fetch at this cycle would refresh the
+        // gate/warn classifications *before* discovering it cannot fetch,
+        // so replicate that refresh here — transitions land on the span's
+        // first cycle, keeping probed series bit-identical under skip.
+        // The classification is then frozen for the whole span (the view
+        // is frozen — that is what made the span skippable).
+        if P::ENABLED {
+            let pv = PolicyView {
+                cycle: now,
+                threads: &views,
+            };
+            for t in 0..n {
+                let lvl = self.policy.warn_level(&pv, t);
+                if lvl != self.warn_state[t] {
+                    self.probe.on_warn_change(now, t, self.warn_state[t], lvl);
+                    self.warn_state[t] = lvl;
+                }
+                let reason = if !order.contains(&t) {
+                    Some(GateReason::Policy)
+                } else if now < self.fronts[t].icache_ready_at {
+                    Some(GateReason::IcacheMiss)
+                } else if self.fronts[t].queue.len() as u32 >= self.cfg.fetch_queue {
+                    Some(GateReason::FetchQueueFull)
+                } else {
+                    None
+                };
+                if reason != self.gate_state[t] {
+                    if let Some(old) = self.gate_state[t] {
+                        self.probe.on_ungate(now, t, old);
+                    }
+                    if let Some(new) = reason {
+                        self.probe.on_gate(now, t, new);
+                    }
+                    self.gate_state[t] = reason;
+                }
+            }
+        }
+        put_back(self, order, views);
         for t in 0..n {
             if gated_mask >> t & 1 == 1 {
                 self.stats[t].gated_cycles += k;
@@ -755,6 +889,9 @@ impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
         }
         self.skipped_cycles += k;
         self.skip_spans += 1;
+        if P::ENABLED {
+            self.feed_cycle_probe(k, true);
+        }
         self.advance_clock(k);
         k
     }
@@ -1536,8 +1673,20 @@ impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
         // Probe-only: report gate-state *transitions* so a recording probe
         // sees gate episodes (begin/end) rather than per-cycle ticks. The
         // classification mirrors the skip conditions in the loop below.
+        // Warn levels likewise report transitions only; `try_skip` performs
+        // the identical refresh at the head of a bulk-advanced span.
         if P::ENABLED {
+            let pv = PolicyView {
+                cycle: self.now,
+                threads: &views,
+            };
             for t in 0..self.num_threads() {
+                let lvl = self.policy.warn_level(&pv, t);
+                if lvl != self.warn_state[t] {
+                    self.probe
+                        .on_warn_change(self.now, t, self.warn_state[t], lvl);
+                    self.warn_state[t] = lvl;
+                }
                 let reason = if !order.contains(&t) {
                     Some(GateReason::Policy)
                 } else if self.now < self.fronts[t].icache_ready_at {
