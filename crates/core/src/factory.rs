@@ -6,10 +6,11 @@ use smt_pipeline::FetchPolicy;
 use crate::dwarn::DWarn;
 use crate::gating::{DataGating, PredictiveDataGating};
 use crate::icount::Icount;
+use crate::meta::{MetaPolicy, SelectorKind};
 use crate::stall_flush::{Flush, Stall};
 
 /// The policies evaluated in the paper, plus the pure-priority DWarn
-/// ablation.
+/// ablation and the beyond-the-paper switching meta-policies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     Icount,
@@ -23,6 +24,10 @@ pub enum PolicyKind {
     /// DC-PRED \[7\]: fetch-stage L2-miss prediction + resource limiting
     /// (discussed in the paper's §2.1 taxonomy; not in its figure series).
     DcPred,
+    /// Switching composite over {DWarn, STALL, FLUSH, ICOUNT}, re-selected
+    /// at interval boundaries by the given rule (beyond the paper; see
+    /// [`crate::meta`]).
+    Meta(SelectorKind),
 }
 
 impl PolicyKind {
@@ -51,6 +56,16 @@ impl PolicyKind {
         ]
     }
 
+    /// The three switching meta-policies (beyond the paper), in the order
+    /// the results chapter tabulates them.
+    pub fn meta_set() -> [PolicyKind; 3] {
+        [
+            PolicyKind::Meta(SelectorKind::MissRate),
+            PolicyKind::Meta(SelectorKind::IpcGreedy),
+            PolicyKind::Meta(SelectorKind::Epsilon),
+        ]
+    }
+
     /// Display name as used in the paper.
     pub fn name(self) -> &'static str {
         match self {
@@ -62,6 +77,19 @@ impl PolicyKind {
             PolicyKind::DWarn => "DWARN",
             PolicyKind::DWarnPriorityOnly => "DWARN-PRIO",
             PolicyKind::DcPred => "DC-PRED",
+            PolicyKind::Meta(s) => s.policy_name(),
+        }
+    }
+
+    /// Campaign cache-key description. Identical to [`PolicyKind::name`]
+    /// for the static policies (existing cache entries stay valid); for
+    /// the meta-policies it additionally pins the full selector
+    /// configuration (window, candidate set, rule constants), so a
+    /// reconfigured selector can never be served a stale cached result.
+    pub fn cache_desc(self) -> String {
+        match self {
+            PolicyKind::Meta(s) => MetaPolicy::cache_desc(s, crate::meta::DEFAULT_WINDOW),
+            k => k.name().to_string(),
         }
     }
 
@@ -76,6 +104,9 @@ impl PolicyKind {
             "DWARN" => Some(PolicyKind::DWarn),
             "DWARN-PRIO" | "DWARNPRIO" => Some(PolicyKind::DWarnPriorityOnly),
             "DC-PRED" | "DCPRED" => Some(PolicyKind::DcPred),
+            "META-MISS" | "METAMISS" => Some(PolicyKind::Meta(SelectorKind::MissRate)),
+            "META-IPC" | "METAIPC" => Some(PolicyKind::Meta(SelectorKind::IpcGreedy)),
+            "META-EPS" | "METAEPS" => Some(PolicyKind::Meta(SelectorKind::Epsilon)),
             _ => None,
         }
     }
@@ -91,6 +122,7 @@ impl PolicyKind {
             PolicyKind::DWarn => Box::new(DWarn::new()),
             PolicyKind::DWarnPriorityOnly => Box::new(DWarn::priority_only()),
             PolicyKind::DcPred => Box::new(crate::dcpred::DcPred::new()),
+            PolicyKind::Meta(s) => Box::new(MetaPolicy::new(s)),
         }
     }
 
@@ -113,6 +145,12 @@ impl PolicyKind {
             PolicyKind::DWarn => v.visit(DWarn::new()),
             PolicyKind::DWarnPriorityOnly => v.visit(DWarn::priority_only()),
             PolicyKind::DcPred => v.visit(crate::dcpred::DcPred::new()),
+            // The composite switching arm: the visitor receives the
+            // concrete MetaPolicy, so a switching campaign run gets the
+            // same monomorphized fetch path as the static policies (the
+            // remaining dynamism — one boxed candidate call per cycle —
+            // is the composite's own).
+            PolicyKind::Meta(s) => v.visit(MetaPolicy::new(s)),
         }
     }
 }

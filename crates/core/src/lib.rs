@@ -31,6 +31,32 @@
 //! let result = sim.run(1_000, 2_000);
 //! assert!(result.throughput() > 0.0);
 //! ```
+//!
+//! Beyond the paper, the crate also ships DC-PRED ([`dcpred`]), two DWarn
+//! hybrids ([`extensions`]), and the switching meta-policies ([`meta`]):
+//! a [`MetaPolicy`] runs one candidate of {DWARN, STALL, FLUSH, ICOUNT}
+//! at a time and re-selects at fixed interval boundaries from runtime
+//! metrics, under one of three [`SelectorKind`] rules.
+//!
+//! ```
+//! use dwarn_core::{MetaPolicy, SelectorKind};
+//! use smt_pipeline::{FetchPolicy, SimConfig, Simulator, ThreadSpec};
+//! use smt_trace::profile;
+//!
+//! let specs = vec![
+//!     ThreadSpec::new(profile::mcf()),
+//!     ThreadSpec::new(profile::gzip()),
+//! ];
+//! let policy = Box::new(MetaPolicy::new(SelectorKind::IpcGreedy));
+//! let mut sim = Simulator::new(SimConfig::baseline(), policy, &specs);
+//! let result = sim.run(2_000, 6_000);
+//! assert!(result.throughput() > 0.0);
+//! // Switch decisions are architectural events, logged with their cycle —
+//! // and only ever taken on a decision-window boundary.
+//! for s in sim.policy().switch_log() {
+//!     assert_eq!(s.cycle % dwarn_core::meta::DEFAULT_WINDOW, 0);
+//! }
+//! ```
 
 pub mod dcpred;
 pub mod dwarn;
@@ -38,6 +64,7 @@ pub mod extensions;
 pub mod factory;
 pub mod gating;
 pub mod icount;
+pub mod meta;
 pub mod predictor;
 pub mod stall_flush;
 pub mod taxonomy;
@@ -48,6 +75,7 @@ pub use extensions::{DWarnFlush, DWarnThreshold};
 pub use factory::{PolicyKind, PolicyVisitor};
 pub use gating::{DataGating, PredictiveDataGating};
 pub use icount::Icount;
+pub use meta::{MetaPolicy, SelectorKind};
 pub use predictor::MissPredictor;
 pub use stall_flush::{Flush, Stall};
 pub use taxonomy::{Classification, DetectionMoment, ResponseAction};

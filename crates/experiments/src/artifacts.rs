@@ -34,6 +34,10 @@ struct RunRecord {
     /// skip count is observation-only and deliberately kept out of the
     /// persisted [`SimResult`]).
     skip: Option<(u64, u64)>,
+    /// Fetch-policy switch count when the run executed in this process
+    /// (zero for static policies, `None` for cache-served results — like
+    /// `skip`, the switch log is observational and not persisted).
+    switches: Option<u64>,
 }
 
 /// One recorded run failure (watchdog trip, isolated panic, cache fault).
@@ -69,12 +73,19 @@ pub fn enabled() -> bool {
 
 /// Record a campaign run. No-op unless [`enable`]d.
 pub fn record(key: &RunKey, result: &SimResult) {
-    record_with_skip(key, result, None);
+    record_with_runtime(key, result, None, None);
 }
 
-/// As [`record`], with the run's quiescence-skip accounting when it
-/// executed in this process (`skip = (skipped_cycles, total_cycles)`).
-pub fn record_with_skip(key: &RunKey, result: &SimResult, skip: Option<(u64, u64)>) {
+/// As [`record`], with the run's in-process execution accounting:
+/// quiescence-skip cycles (`skip = (skipped_cycles, total_cycles)`) and
+/// the fetch-policy switch count (non-zero only for the switching
+/// meta-policies). Both are `None` for cache-served results.
+pub fn record_with_runtime(
+    key: &RunKey,
+    result: &SimResult,
+    skip: Option<(u64, u64)>,
+    switches: Option<u64>,
+) {
     let mut sink = crate::lock_unpoisoned(&SINK);
     if let Some(sink) = sink.as_mut() {
         sink.records.push(RunRecord {
@@ -84,6 +95,7 @@ pub fn record_with_skip(key: &RunKey, result: &SimResult, skip: Option<(u64, u64
             policy: key.policy.name().to_string(),
             result: result.clone(),
             skip,
+            switches,
         });
     }
 }
@@ -91,6 +103,21 @@ pub fn record_with_skip(key: &RunKey, result: &SimResult, skip: Option<(u64, u64
 /// Record an arbitrary run (the ablation sweeps build their own
 /// simulators outside the campaign cache). No-op unless [`enable`]d.
 pub fn record_tagged(tag: &str, arch: &str, workload: &str, policy: &str, result: &SimResult) {
+    record_tagged_with_switches(tag, arch, workload, policy, result, None);
+}
+
+/// As [`record_tagged`], carrying the run's live policy-switch count. A
+/// tagged run is always an in-process execution, so callers that have the
+/// count (the `meta` study, the `trace` subcommand) pass `Some` — zero
+/// for a static policy is a real measurement, not a missing one.
+pub fn record_tagged_with_switches(
+    tag: &str,
+    arch: &str,
+    workload: &str,
+    policy: &str,
+    result: &SimResult,
+    switches: Option<u64>,
+) {
     let mut sink = crate::lock_unpoisoned(&SINK);
     if let Some(sink) = sink.as_mut() {
         sink.records.push(RunRecord {
@@ -100,6 +127,7 @@ pub fn record_tagged(tag: &str, arch: &str, workload: &str, policy: &str, result
             policy: policy.to_string(),
             result: result.clone(),
             skip: None,
+            switches,
         });
     }
 }
@@ -169,6 +197,7 @@ pub fn stats_json(tag: &str, arch: &str, workload: &str, policy: &str, result: &
             policy: policy.to_string(),
             result: result.clone(),
             skip: None,
+            switches: None,
         },
         &[],
     )
@@ -320,6 +349,12 @@ fn run_json(rec: &RunRecord, solos: &[(String, String, f64)]) -> Json {
                 })
             }),
         ),
+        // Fetch-policy switches the run's policy performed (zero for the
+        // static policies). Null for cache-served results, like skip_ratio.
+        (
+            "policy_switches",
+            rec.switches.map_or(Json::Null, Json::U64),
+        ),
         ("throughput_ipc", Json::F64(r.throughput())),
         ("hmean_relative_ipc", hmean.map_or(Json::Null, Json::F64)),
         (
@@ -386,6 +421,7 @@ mod tests {
             policy: "DWARN".into(),
             result: fake_result(&[1.0, 1.0]),
             skip: Some((250, 1_000)),
+            switches: Some(3),
         };
         let solos: Vec<(String, String, f64)> = wl
             .benchmarks
@@ -398,6 +434,7 @@ mod tests {
         assert!(doc.contains("\"schema\":\"smt-stats-v2\""), "{doc}");
         assert!(doc.contains("\"schema_version\":2"), "{doc}");
         assert!(doc.contains("\"skip_ratio\":0.25"), "{doc}");
+        assert!(doc.contains("\"policy_switches\":3"), "{doc}");
 
         // Without solo baselines the Hmean is null, not wrong.
         let doc = run_json(&rec, &[]).render();

@@ -15,6 +15,7 @@
 //! | §5 prose ablations | [`ablation`] | `ablation` |
 //! | Table 1 evaluated (incl. DC-PRED) | [`taxonomy`] | `taxonomy` |
 //! | Extension study (DWarn+FLUSH) | [`extensions`] | `extensions` |
+//! | Meta-policy study (adaptive selection + oracle bounds) | [`meta`] | `meta` |
 //!
 //! Run everything: `cargo run --release -p smt-experiments -- all`.
 //! Absolute IPCs come from a synthetic-trace substrate, so the comparison
@@ -44,6 +45,7 @@ pub mod error;
 pub mod extensions;
 pub mod figures;
 pub mod grid;
+pub mod meta;
 pub mod paper;
 pub mod report;
 pub mod runner;

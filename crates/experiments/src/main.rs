@@ -28,7 +28,11 @@ experiments:
   ablation   DG/declare-threshold/hybrid-rule sweeps (text of §3/§5)
   taxonomy   Table 1 evaluated: all 8 policies incl. DC-PRED (§2.1)
   extensions DWarn+FLUSH combination study (beyond the paper)
-  all        everything above
+  meta       adaptive meta-policy study: interval-driven dynamic selection
+             over DWARN/STALL/FLUSH/ICOUNT, with oracle bounds (beyond
+             the paper)
+  all        the cached paper suite (everything above except `meta`,
+             whose oracle runs are live by design -- run it separately)
 
   compare <POLICY>... [@WORKLOAD] [@ARCH]
              ad-hoc comparison, e.g.:  compare DWARN FLUSH @8-MEM @deep
@@ -468,6 +472,10 @@ fn main() {
         std::process::exit(EXIT_USAGE);
     }
     if exps.contains(&"all") {
+        // `meta` is deliberately absent: its oracle math needs full
+        // interval series, so every one of its runs is live (the disk
+        // cache stores only SimResults) and it would break the warm
+        // `all` budget that BENCH_PR5.json gates. Run it as `-- meta`.
         exps = vec![
             "table2a",
             "fig1",

@@ -219,6 +219,10 @@ pub struct Campaign {
     /// [`Campaign::simulate_policy`], drained by `run_protected` into the
     /// stats artifact (`skip_ratio`).
     skip_stats: Mutex<HashMap<String, (u64, u64)>>,
+    /// Per-run fetch-policy switch counts, same lifecycle as `skip_stats`;
+    /// non-zero only for the switching meta-policies. Feeds the
+    /// `policy_switches` field of the stats artifact.
+    switch_stats: Mutex<HashMap<String, u64>>,
     /// Progress of the current prefetch batch, for runs/sec and ETA:
     /// `(batch_total, started, completed_before_batch)`.
     batch: Mutex<Option<(usize, Instant, u64)>>,
@@ -273,6 +277,7 @@ impl Campaign {
             live: false,
             heartbeat: Mutex::new(None),
             skip_stats: Mutex::new(HashMap::new()),
+            switch_stats: Mutex::new(HashMap::new()),
             batch: Mutex::new(None),
         }
     }
@@ -432,6 +437,17 @@ impl Campaign {
         crate::lock_unpoisoned(&self.skip_stats).remove(what)
     }
 
+    /// Stash a fresh run's fetch-policy switch count for the stats
+    /// artifact. Read from the policy's own switch log after the run: the
+    /// simulator does not count switches, the policy does.
+    fn note_switches(&self, what: &str, switches: u64) {
+        crate::lock_unpoisoned(&self.switch_stats).insert(what.to_string(), switches);
+    }
+
+    fn take_switches(&self, what: &str) -> Option<u64> {
+        crate::lock_unpoisoned(&self.switch_stats).remove(what)
+    }
+
     /// Write one run's interval series (`<run>.intervals.jsonl` + Chrome
     /// counter-track export) under the `--intervals` directory. Telemetry
     /// I/O failures are recorded as campaign failures but do not fail the
@@ -506,6 +522,7 @@ impl Campaign {
                     .try_run(self.params.warmup, self.params.measure, &self.watchdog)
                     .map_err(ExpError::from)?;
                 self.note_skip(what, sim.skipped_cycles());
+                self.note_switches(what, sim.policy().switch_log().len() as u64);
                 check_clean(what, sim.sanitizer())?;
                 let series = sim.into_probe().into_series();
                 self.write_intervals(what, specs, &series);
@@ -523,6 +540,7 @@ impl Campaign {
                     .try_run(self.params.warmup, self.params.measure, &self.watchdog)
                     .map_err(ExpError::from)?;
                 self.note_skip(what, sim.skipped_cycles());
+                self.note_switches(what, sim.policy().switch_log().len() as u64);
                 check_clean(what, sim.sanitizer())?;
                 Ok(result)
             }),
@@ -534,6 +552,7 @@ impl Campaign {
                     .try_run(self.params.warmup, self.params.measure, &self.watchdog)
                     .map_err(ExpError::from)?;
                 self.note_skip(what, sim.skipped_cycles());
+                self.note_switches(what, sim.policy().switch_log().len() as u64);
                 let series = sim.into_probe().into_series();
                 self.write_intervals(what, specs, &series);
                 Ok(result)
@@ -545,6 +564,7 @@ impl Campaign {
                     .try_run(self.params.warmup, self.params.measure, &self.watchdog)
                     .map_err(ExpError::from)?;
                 self.note_skip(what, sim.skipped_cycles());
+                self.note_switches(what, sim.policy().switch_log().len() as u64);
                 Ok(result)
             }),
         }
@@ -569,7 +589,7 @@ impl Campaign {
         Ok(describe_run(
             &key.arch.config(),
             &specs,
-            key.policy.name(),
+            &key.policy.cache_desc(),
             self.params,
         ))
     }
@@ -623,7 +643,10 @@ impl Campaign {
         let specs = specs_for(key)?;
         let cfg = key.arch.config();
         cfg.validate(specs.len())?;
-        let desc = describe_run(&cfg, &specs, key.policy.name(), self.params);
+        // `cache_desc` pins the full selector configuration for the
+        // switching meta-policies; for the static policies it equals
+        // `name()`, so pre-existing cache entries stay valid.
+        let desc = describe_run(&cfg, &specs, &key.policy.cache_desc(), self.params);
         let what = format!(
             "{}/{}/{}",
             key.arch.as_str(),
@@ -672,7 +695,12 @@ impl Campaign {
             cfg: &cfg,
             specs: &specs,
         })?;
-        crate::artifacts::record_with_skip(key, &result, self.take_skip(&what));
+        crate::artifacts::record_with_runtime(
+            key,
+            &result,
+            self.take_skip(&what),
+            self.take_switches(&what),
+        );
         self.note_done(&what, "sim");
         if let Some(d) = &self.disk {
             if let Err(e) = d.store_retrying(&desc, &result, 3) {

@@ -3,7 +3,7 @@
 //! target (which times a cold and a warm pass over the same list).
 
 use crate::runner::Campaign;
-use crate::{ablation, extensions, figures, table2a, table4, taxonomy};
+use crate::{ablation, extensions, figures, meta, table2a, table4, taxonomy};
 
 /// An experiment entry point: renders its report against a campaign.
 pub type ExperimentFn = fn(&Campaign) -> String;
@@ -20,6 +20,7 @@ pub const ALL: &[(&str, ExperimentFn)] = &[
     ("ablation", ablation::report),
     ("taxonomy", taxonomy::report),
     ("extensions", extensions::report),
+    ("meta", meta::report),
 ];
 
 /// Find an experiment by CLI name.
@@ -82,7 +83,8 @@ mod tests {
                 "fig5",
                 "ablation",
                 "taxonomy",
-                "extensions"
+                "extensions",
+                "meta"
             ]
         );
     }

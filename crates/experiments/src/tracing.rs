@@ -153,6 +153,11 @@ pub fn run(o: &TraceOpts) -> Result<String, crate::error::ExpError> {
     let mut stats =
         crate::artifacts::stats_json("trace", o.arch.as_str(), &wl.name, o.policy.name(), &result);
     if let Json::Obj(pairs) = &mut stats {
+        // A trace is always a live execution, so the switch count exists
+        // (the generic stats path leaves it null for cache-served runs).
+        if let Some(p) = pairs.iter_mut().find(|(k, _)| k == "policy_switches") {
+            p.1 = Json::U64(probe.policy_switches());
+        }
         pairs.push((
             "capture".to_string(),
             Json::obj(vec![
@@ -186,7 +191,14 @@ pub fn run(o: &TraceOpts) -> Result<String, crate::error::ExpError> {
         ));
     }
     // Also feed the global --stats-json sink, when active.
-    crate::artifacts::record_tagged("trace", o.arch.as_str(), &wl.name, o.policy.name(), &result);
+    crate::artifacts::record_tagged_with_switches(
+        "trace",
+        o.arch.as_str(),
+        &wl.name,
+        o.policy.name(),
+        &result,
+        Some(probe.policy_switches()),
+    );
 
     std::fs::create_dir_all(&o.out_dir).map_err(io(&o.out_dir))?;
     let stem = format!(

@@ -305,6 +305,157 @@ fn sanitized_skipped_run_is_clean_and_identical() {
     assert_eq!(fast_result.digest(), naive_result.digest());
 }
 
+// --- Switching meta-policies ----------------------------------------------
+
+/// The candidate kinds a [`dwarn_core::MetaPolicy`] switches over, paired
+/// with the selector kinds, for the switching-correctness grid below.
+fn meta_kinds() -> [PolicyKind; 3] {
+    PolicyKind::meta_set()
+}
+
+#[test]
+fn locked_meta_is_bit_identical_to_its_static_candidate() {
+    // A MetaPolicy pinned to one candidate adds commit-event accounting
+    // and a skip horizon, but neither may perturb the simulation: the
+    // composite must reproduce the bare candidate's every counter.
+    use smt_pipeline::Simulator;
+    let specs = workload(4, WorkloadClass::Mix).thread_specs();
+    let cfg = smt_pipeline::SimConfig::baseline();
+    for kind in [
+        PolicyKind::DWarn,
+        PolicyKind::Stall,
+        PolicyKind::Flush,
+        PolicyKind::Icount,
+    ] {
+        let mut bare = Simulator::new(cfg.clone(), kind.build(), &specs);
+        let bare_result = bare.run(1_000, 3_000);
+        let mut locked = Simulator::new(
+            cfg.clone(),
+            Box::new(dwarn_core::MetaPolicy::locked(kind.build())),
+            &specs,
+        );
+        let locked_result = locked.run(1_000, 3_000);
+        assert_eq!(
+            bare_result.digest(),
+            locked_result.digest(),
+            "locked meta diverged from static {kind:?}"
+        );
+    }
+}
+
+#[test]
+fn meta_skip_is_bit_identical_across_selectors_and_classes() {
+    // The switching composite under the quiescence engine: the skip
+    // horizon forces every window boundary onto a naive cycle, so skipped
+    // and --no-skip runs must agree bit-for-bit even while switching.
+    let mut total_skipped = 0;
+    for (threads, class) in [
+        (2, WorkloadClass::Ilp),
+        (4, WorkloadClass::Mix),
+        (8, WorkloadClass::Mem),
+    ] {
+        for policy in meta_kinds() {
+            let (fast, naive, skipped) = skip_pair(policy, threads, class);
+            assert_eq!(
+                fast, naive,
+                "skip changed the result for {policy:?} on {threads}-{class:?}"
+            );
+            total_skipped += skipped;
+        }
+    }
+    assert!(
+        total_skipped > 0,
+        "the quiescence engine never engaged under the meta-policies"
+    );
+}
+
+#[test]
+fn sanitized_meta_runs_are_clean_and_actually_switch() {
+    // Every selector on every workload class runs clean under the
+    // cycle-level sanitizer, and the grid as a whole must exercise real
+    // switching (a grid that never switches proves nothing about it).
+    use smt_pipeline::{RecordingSanitizer, Simulator};
+    let cfg = smt_pipeline::SimConfig::baseline();
+    let mut total_switches = 0usize;
+    for (threads, class) in [
+        (2, WorkloadClass::Ilp),
+        (4, WorkloadClass::Mix),
+        (8, WorkloadClass::Mem),
+    ] {
+        let specs = workload(threads, class).thread_specs();
+        for policy in meta_kinds() {
+            let mut sim = Simulator::try_sanitized(
+                cfg.clone(),
+                policy.build(),
+                &specs,
+                RecordingSanitizer::new(),
+            )
+            .unwrap();
+            sim.run(1_000, 7_000);
+            total_switches += sim.policy().switch_log().len();
+            assert!(
+                sim.sanitizer().is_clean(),
+                "sanitizer flagged {policy:?} on {threads}-{class:?}: {:?}",
+                sim.sanitizer().first()
+            );
+        }
+    }
+    assert!(
+        total_switches > 0,
+        "no selector ever switched; the sanitized grid proves nothing"
+    );
+}
+
+#[test]
+fn forced_mid_interval_switch_trips_inv013() {
+    // Mutation test for the audit itself: force a switch onto a cycle
+    // that is not a window boundary and the sanitizer must report INV013
+    // (policy-gating violation). Skip is disabled so the forced cycle is
+    // actually stepped.
+    use smt_pipeline::{InvariantCode, RecordingSanitizer, Simulator};
+    let specs = workload(4, WorkloadClass::Mix).thread_specs();
+    let policy =
+        dwarn_core::MetaPolicy::new(dwarn_core::SelectorKind::Epsilon).force_switch_at(1_500);
+    let mut sim = Simulator::try_sanitized(
+        smt_pipeline::SimConfig::baseline(),
+        Box::new(policy),
+        &specs,
+        RecordingSanitizer::new(),
+    )
+    .unwrap();
+    sim.set_skip_enabled(false);
+    sim.run(1_000, 3_000);
+    let rec = sim.into_sanitizer();
+    assert!(
+        rec.saw(InvariantCode::PolicyGating),
+        "illegal mid-interval switch must trigger INV013; got:\n{}",
+        rec.render_report()
+    );
+}
+
+#[test]
+fn meta_campaign_cache_round_trip_is_bit_identical() {
+    // Meta runs go through the same disk cache as the statics, keyed by
+    // the full selector configuration (PolicyKind::cache_desc).
+    let dir = temp_dir("meta-roundtrip");
+    let wl = workload(4, WorkloadClass::Mem);
+    let keys: Vec<RunKey> = meta_kinds()
+        .iter()
+        .map(|&p| RunKey::workload(Arch::Baseline, &wl, p))
+        .collect();
+    let cold = Campaign::with_disk_cache(quick(), &dir).unwrap();
+    let fresh: Vec<u64> = keys.iter().map(|k| cold.result(k).digest()).collect();
+    let warm = Campaign::with_disk_cache(quick(), &dir).unwrap();
+    for (key, &expect) in keys.iter().zip(&fresh) {
+        assert_eq!(
+            warm.result(key).digest(),
+            expect,
+            "cache round-trip altered {key:?}"
+        );
+    }
+    assert_eq!(warm.disk().unwrap().stats().unwrap().entries, keys.len());
+}
+
 #[test]
 fn sanitize_bypasses_disk_cache_loads_but_still_stores() {
     let dir = temp_dir("sanitize");

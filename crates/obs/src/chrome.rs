@@ -172,6 +172,19 @@ pub fn chrome_trace(
                 e.push(args(vec![("seq", Json::U64(seq)), ("pc", hex(pc))]));
                 Json::Obj(e)
             }
+            EventKind::PolicySwitch { from, to } => {
+                // Process-scoped instant: the switch affects every thread.
+                let mut e = base(
+                    &format!("policy switch: {from} -> {to}"),
+                    "policy",
+                    "i",
+                    cycle,
+                    t,
+                );
+                e.push(("s".to_string(), Json::str("p")));
+                e.push(args(vec![("from", Json::str(from)), ("to", Json::str(to))]));
+                Json::Obj(e)
+            }
         };
         out.push(json);
     }

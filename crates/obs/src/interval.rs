@@ -82,6 +82,11 @@ pub struct Interval {
     pub iq_occ_acc: [u64; 3],
     /// Cycle-integral of physical registers in use (int, fp).
     pub regs_acc: (u64, u64),
+    /// Fetch-policy switches (composite policies handing control to a
+    /// different candidate) that landed in this window. Switches occur
+    /// only on naively stepped boundary cycles, so the count is
+    /// bit-identical across skip modes and *included* in the digest.
+    pub policy_switches: u64,
     pub threads: Vec<ThreadWindow>,
 }
 
@@ -121,6 +126,7 @@ impl IntervalSeries {
             }
             eat(iv.regs_acc.0);
             eat(iv.regs_acc.1);
+            eat(iv.policy_switches);
             eat(iv.threads.len() as u64);
             for t in &iv.threads {
                 eat(t.committed);
@@ -225,6 +231,7 @@ impl IntervalSeries {
                             Json::F64(iv.regs_acc.1 as f64 / c),
                         ]),
                     ),
+                    ("policy_switches", Json::U64(iv.policy_switches)),
                     ("threads", Json::Arr(threads)),
                 ])
                 .render(),
@@ -238,7 +245,9 @@ impl IntervalSeries {
     /// sharing the PR 1 convention — PID 1, one cycle = 1 µs — so a
     /// counter trace stacks with the event-track trace of the same run in
     /// Perfetto. Emits per-thread IPC and L1D-miss tracks, a gate-cycles
-    /// track by reason, shared-occupancy means, and a skipped-cycles track.
+    /// track by reason, shared-occupancy means, a skipped-cycles track,
+    /// and a policy-switch track (non-zero only for switching
+    /// meta-policies).
     pub fn counter_trace(&self, thread_names: &[String]) -> String {
         const PID: u64 = 1;
         let base = |name: &str, cycle: u64| -> Vec<(String, Json)> {
@@ -257,7 +266,7 @@ impl IntervalSeries {
                 .map(|n| format!("t{t} {n}"))
                 .unwrap_or_else(|| format!("t{t}"))
         };
-        let mut out: Vec<Json> = Vec::with_capacity(self.intervals.len() * 5 + 1);
+        let mut out: Vec<Json> = Vec::with_capacity(self.intervals.len() * 6 + 1);
         out.push(Json::Obj(vec![
             ("name".to_string(), Json::str("process_name")),
             ("ph".to_string(), Json::str("M")),
@@ -329,6 +338,12 @@ impl IntervalSeries {
                 Json::obj(vec![("skipped", Json::U64(iv.skipped))]),
             ));
             out.push(Json::Obj(skip));
+            let mut switches = base("policy switches", ts);
+            switches.push((
+                "args".to_string(),
+                Json::obj(vec![("switches", Json::U64(iv.policy_switches))]),
+            ));
+            out.push(Json::Obj(switches));
         }
         Json::obj(vec![
             ("traceEvents", Json::Arr(out)),
@@ -433,6 +448,7 @@ impl IntervalProbe {
     /// Consume the probe, finalizing any trailing partial window.
     pub fn into_series(mut self) -> IntervalSeries {
         if self.cur.cycles > 0
+            || self.cur.policy_switches > 0
             || self
                 .cur
                 .threads
@@ -487,6 +503,11 @@ impl Probe for IntervalProbe {
     fn on_warn_change(&mut self, cycle: u64, thread: usize, _from: u8, _to: u8) {
         self.roll(cycle);
         self.thread_mut(thread).warn_transitions += 1;
+    }
+
+    fn on_policy_switch(&mut self, cycle: u64, _from: &'static str, _to: &'static str) {
+        self.roll(cycle);
+        self.cur.policy_switches += 1;
     }
 
     fn on_cycle_state(&mut self, state: &CycleState<'_>) {
@@ -610,7 +631,7 @@ mod tests {
         p.on_cycle_state(&state(4, &rob, &iqt, &out, &gate));
         let s = p.into_series();
         let trace = s.counter_trace(&["mcf".to_string()]);
-        // Structure: a metadata record plus five counter tracks per interval,
+        // Structure: a metadata record plus six counter tracks per interval,
         // stacking with the PR 1 event tracks (same PID, ts in cycles).
         assert!(trace.starts_with("{\"traceEvents\":["));
         assert!(trace.contains("\"ph\":\"C\""));
@@ -636,8 +657,37 @@ mod tests {
 
     // The recorded golden value lives in a helper so the assertion message
     // above can print the trace on mismatch.
+    // Updated deliberately for PR 7: the export gained the policy-switch
+    // counter track (and interval records gained `policy_switches`).
     fn golden_trace_digest() -> u64 {
-        0xf4ac_5470_b8e6_0ff7
+        0xff0d_ab4a_f9ae_3f9b
+    }
+
+    #[test]
+    fn policy_switches_land_in_their_window_and_feed_the_digest() {
+        let mut p = IntervalProbe::new(IntervalConfig { window: 100 });
+        p.on_commit(5, 0, 0, 0);
+        p.on_policy_switch(100, "DWARN", "FLUSH");
+        p.on_policy_switch(200, "FLUSH", "ICOUNT");
+        p.on_policy_switch(200, "ICOUNT", "DWARN");
+        let s = p.into_series();
+        assert_eq!(s.intervals[0].policy_switches, 0);
+        assert_eq!(s.intervals[1].policy_switches, 1);
+        assert_eq!(s.intervals[2].policy_switches, 2);
+        let jsonl = s.to_jsonl(&["mcf".to_string()]);
+        assert!(jsonl.contains("\"policy_switches\":2"));
+        assert!(s
+            .counter_trace(&[])
+            .contains("\"name\":\"policy switches\""));
+
+        // Unlike `skipped`, the switch count is digest-relevant: switches
+        // happen on naively stepped cycles in both skip modes.
+        let mut q = IntervalProbe::new(IntervalConfig { window: 100 });
+        q.on_commit(5, 0, 0, 0);
+        let mut r = IntervalProbe::new(IntervalConfig { window: 100 });
+        r.on_commit(5, 0, 0, 0);
+        r.on_policy_switch(50, "DWARN", "STALL");
+        assert_ne!(q.into_series().digest(), r.into_series().digest());
     }
 
     #[test]

@@ -187,6 +187,14 @@ pub trait Probe {
     /// The fetch policy's telemetry warn level for a thread changed (e.g.
     /// DWarn's Normal → Dmiss group demotion, or the hybrid L2 gate).
     fn on_warn_change(&mut self, _cycle: u64, _thread: usize, _from: u8, _to: u8) {}
+
+    /// A composite (switching) fetch policy handed control to a different
+    /// candidate: `from`/`to` are candidate names as reported by the
+    /// policy's `active_policy`. Static policies never fire this; switching
+    /// policies fire it only at window boundaries, which are always stepped
+    /// naively (the quiescence engine caps spans at the policy's declared
+    /// horizon), so the delivered cycle is exact in both skip modes.
+    fn on_policy_switch(&mut self, _cycle: u64, _from: &'static str, _to: &'static str) {}
 }
 
 /// The disabled probe: every hook is a no-op and [`Probe::ENABLED`] is
@@ -251,5 +259,8 @@ impl<P: Probe> Probe for &mut P {
     }
     fn on_warn_change(&mut self, cycle: u64, thread: usize, from: u8, to: u8) {
         (**self).on_warn_change(cycle, thread, from, to)
+    }
+    fn on_policy_switch(&mut self, cycle: u64, from: &'static str, to: &'static str) {
+        (**self).on_policy_switch(cycle, from, to)
     }
 }

@@ -52,6 +52,8 @@ pub struct RecordingProbe {
     l1_latency: Vec<Histogram>,
     /// Gate-episode duration in cycles, per thread.
     gate_duration: Vec<Histogram>,
+    /// Fetch-policy switches observed (machine-wide, not per-thread).
+    policy_switches: u64,
 }
 
 impl RecordingProbe {
@@ -67,6 +69,7 @@ impl RecordingProbe {
             open_gate: vec![None; num_threads],
             l1_latency: vec![Histogram::new(); num_threads],
             gate_duration: vec![Histogram::new(); num_threads],
+            policy_switches: 0,
         }
     }
 
@@ -107,6 +110,12 @@ impl RecordingProbe {
         self.open_l1.len()
     }
 
+    /// Fetch-policy switches observed (non-zero only when a switching
+    /// meta-policy is attached).
+    pub fn policy_switches(&self) -> u64 {
+        self.policy_switches
+    }
+
     /// Build the conventional [`Registry`] view of the counters:
     /// `"<metric>/t<thread>"` per-thread counters, bare totals, and the
     /// latency/duration histograms.
@@ -145,6 +154,10 @@ impl RecordingProbe {
         }
         for (t, h) in self.gate_duration.iter().enumerate() {
             merge_histogram(&mut r, &format!("gate_cycles/t{t}"), h);
+        }
+        if self.policy_switches > 0 {
+            // Machine-wide, so no per-thread variant.
+            r.add("policy_switch", self.policy_switches);
         }
         r
     }
@@ -308,6 +321,17 @@ impl Probe for RecordingProbe {
     fn on_sample(&mut self, sample: &OccupancySample) {
         self.samples.push(sample.clone());
     }
+
+    fn on_policy_switch(&mut self, cycle: u64, from: &'static str, to: &'static str) {
+        // Machine-wide lifecycle event: rare (at most one per decision
+        // window), so it always goes in the ring, `detail` or not.
+        self.policy_switches += 1;
+        self.ring.push(TraceEvent {
+            cycle,
+            thread: 0,
+            kind: EventKind::PolicySwitch { from, to },
+        });
+    }
 }
 
 #[cfg(test)]
@@ -380,5 +404,19 @@ mod tests {
         assert_eq!(r.counter("commit/t0"), 1);
         assert_eq!(r.counter("commit/t1"), 2);
         assert_eq!(r.counter("commit"), 3);
+    }
+
+    #[test]
+    fn policy_switches_count_and_enter_the_ring() {
+        let mut p = RecordingProbe::new(1, 64);
+        assert_eq!(p.policy_switches(), 0);
+        p.on_policy_switch(1024, "DWARN", "STALL");
+        p.on_policy_switch(2048, "STALL", "DWARN");
+        assert_eq!(p.policy_switches(), 2);
+        // Lifecycle event: recorded even without --detail.
+        assert_eq!(p.ring().len(), 2);
+        let kinds: Vec<&'static str> = p.ring().iter().map(|e| e.kind.category()).collect();
+        assert_eq!(kinds, vec!["policy-switch", "policy-switch"]);
+        assert_eq!(p.registry().counter("policy_switch"), 2);
     }
 }

@@ -12,18 +12,55 @@ use crate::probe::{GateReason, SquashKind};
 /// What happened. Payload fields mirror the [`crate::Probe`] hook arguments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
-    Fetch { pc: u64, seq: u64, wrong_path: bool },
-    Dispatch { seq: u64 },
-    Issue { seq: u64 },
-    Commit { seq: u64, pc: u64 },
-    Squash { seq: u64, kind: SquashKind },
-    Gate { reason: GateReason },
-    Ungate { reason: GateReason },
-    L1MissBegin { load_id: u64, addr: u64, l2: bool },
-    L1MissEnd { load_id: u64 },
-    L2Declare { load_id: u64 },
-    L2Resolve { load_id: u64 },
-    IfetchMiss { addr: u64, ready_at: u64 },
+    Fetch {
+        pc: u64,
+        seq: u64,
+        wrong_path: bool,
+    },
+    Dispatch {
+        seq: u64,
+    },
+    Issue {
+        seq: u64,
+    },
+    Commit {
+        seq: u64,
+        pc: u64,
+    },
+    Squash {
+        seq: u64,
+        kind: SquashKind,
+    },
+    Gate {
+        reason: GateReason,
+    },
+    Ungate {
+        reason: GateReason,
+    },
+    L1MissBegin {
+        load_id: u64,
+        addr: u64,
+        l2: bool,
+    },
+    L1MissEnd {
+        load_id: u64,
+    },
+    L2Declare {
+        load_id: u64,
+    },
+    L2Resolve {
+        load_id: u64,
+    },
+    IfetchMiss {
+        addr: u64,
+        ready_at: u64,
+    },
+    /// A switching meta-policy handed fetch control to a different
+    /// candidate (machine-wide; the event's `thread` is 0 by convention).
+    PolicySwitch {
+        from: &'static str,
+        to: &'static str,
+    },
 }
 
 impl EventKind {
@@ -42,6 +79,7 @@ impl EventKind {
             EventKind::L2Declare { .. } => "l2-declare",
             EventKind::L2Resolve { .. } => "l2-resolve",
             EventKind::IfetchMiss { .. } => "ifetch-miss",
+            EventKind::PolicySwitch { .. } => "policy-switch",
         }
     }
 }

@@ -43,7 +43,7 @@ pub use config::SimConfig;
 pub use error::{ConfigError, ProgressSnapshot, SimError, ThreadProgress, Watchdog};
 pub use frontend::{CorrectPath, ThreadFront};
 pub use inflight::{Handle, InFlight, Slab, Stage};
-pub use policy::{DeclareAction, FetchPolicy, PolicyEvent, PolicyView, ThreadView};
+pub use policy::{DeclareAction, FetchPolicy, PolicyEvent, PolicySwitch, PolicyView, ThreadView};
 pub use sanitizer::{
     InvariantCode, InvariantViolation, NullSanitizer, RecordingSanitizer, Sanitizer,
 };

@@ -109,6 +109,32 @@ pub enum PolicyEvent {
     /// A previously declared load is about to return (the 2-cycle advance
     /// indication).
     DeclaredLoadResolved { thread: usize, load_id: u64 },
+    /// `count` instructions of this thread retired this cycle. Batched —
+    /// delivered at most once per thread per cycle, with `count` covering
+    /// every retirement of that thread in the cycle — and only to policies
+    /// that opt in through [`FetchPolicy::wants_commit_events`]; the
+    /// commit stage checks a flag cached at construction, so policies
+    /// that keep the default pay one predictable branch per retirement
+    /// and nothing else. Composite policies use this to integrate
+    /// per-interval IPC without reading simulator statistics; batching
+    /// keeps that integration at ~one virtual call per cycle instead of
+    /// one per retired µop (the difference is the bulk of the meta-policy
+    /// overhead `BENCH_PR7.json` gates).
+    Committed { thread: usize, count: u32 },
+}
+
+/// One recorded policy transition of a switching (composite) policy: at
+/// `cycle`, fetch-priority control moved from the `from` candidate to the
+/// `to` candidate. Exposed through [`FetchPolicy::switch_log`] so campaign
+/// code can report switch counts without the simulator tracking them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicySwitch {
+    /// Cycle at which the new candidate took effect (a window boundary).
+    pub cycle: u64,
+    /// Name of the candidate that was active before the switch.
+    pub from: &'static str,
+    /// Name of the candidate that is active from `cycle` on.
+    pub to: &'static str,
 }
 
 /// What the simulator should do when a load is declared an L2 miss.
@@ -204,15 +230,64 @@ pub trait FetchPolicy {
     /// Opting in asserts a contract: [`FetchPolicy::fetch_order_into`] is a
     /// *pure, idempotent* function of the [`PolicyView`] thread states —
     /// it keeps no per-cycle mutable state, does not read
-    /// [`PolicyView::cycle`], and calling it twice with the same view is
-    /// indistinguishable from calling it once. Under that contract, cycles
-    /// in which no thread can fetch, dispatch, issue, or commit produce the
-    /// same fetch order every cycle, so the engine can account for the
-    /// whole idle span in closed form. Policies with per-cycle internal
-    /// dynamics (or resource caps, which feed dispatch every cycle) must
-    /// keep the default `false`, which pins them to the naive loop.
+    /// [`PolicyView::cycle`] (except as allowed by
+    /// [`FetchPolicy::skip_horizon`], below), and calling it twice with the
+    /// same view is indistinguishable from calling it once. Under that
+    /// contract, cycles in which no thread can fetch, dispatch, issue, or
+    /// commit produce the same fetch order every cycle, so the engine can
+    /// account for the whole idle span in closed form. Policies with
+    /// per-cycle internal dynamics (or resource caps, which feed dispatch
+    /// every cycle) must keep the default `false`, which pins them to the
+    /// naive loop.
+    ///
+    /// A switching policy may opt in *and* read [`PolicyView::cycle`] — but
+    /// only to compare it against the boundary it publishes through
+    /// [`FetchPolicy::skip_horizon`]. The engine never skips across that
+    /// boundary and always executes the boundary cycle naively, so between
+    /// boundaries the policy's behavior is cycle-independent and the
+    /// contract holds span by span.
     fn quiescence_safe(&self) -> bool {
         false
+    }
+
+    /// The earliest future cycle this policy must observe *naively* — the
+    /// quiescence engine caps every bulk advance so it never lands past the
+    /// horizon, and runs the horizon cycle itself through the naive loop
+    /// (where [`FetchPolicy::fetch_order_into`] is guaranteed to be
+    /// called). Switching policies return their next window boundary here
+    /// so that selector decisions land on exactly the same cycle whether
+    /// skipping is on or off. `None` (the default, for every static
+    /// policy) leaves spans unbounded.
+    ///
+    /// A returned horizon `<= now` pins the *current* cycle to the naive
+    /// loop (the engine refuses to skip at all this cycle).
+    fn skip_horizon(&self, _now: u64) -> Option<u64> {
+        None
+    }
+
+    /// The name of the policy currently making fetch decisions — for a
+    /// composite (switching) policy, the active candidate; for everything
+    /// else, [`FetchPolicy::name`] itself (the default). The fetch stage
+    /// samples this only when a probe is attached and reports *changes*
+    /// through the probe's `on_policy_switch` hook.
+    fn active_policy(&self) -> &'static str {
+        self.name()
+    }
+
+    /// Whether this policy wants [`PolicyEvent::Committed`] notifications.
+    /// The simulator caches the answer at construction; leaving the default
+    /// `false` keeps the commit stage's retirement loop free of policy
+    /// calls.
+    fn wants_commit_events(&self) -> bool {
+        false
+    }
+
+    /// The transitions a switching policy has performed so far, oldest
+    /// first. Static policies never switch; the default is empty. Campaign
+    /// code reads this after a run to report switch counts in stats
+    /// artifacts.
+    fn switch_log(&self) -> &[PolicySwitch] {
+        &[]
     }
 }
 
@@ -249,6 +324,18 @@ impl<T: FetchPolicy + ?Sized> FetchPolicy for Box<T> {
     }
     fn quiescence_safe(&self) -> bool {
         (**self).quiescence_safe()
+    }
+    fn skip_horizon(&self, now: u64) -> Option<u64> {
+        (**self).skip_horizon(now)
+    }
+    fn active_policy(&self) -> &'static str {
+        (**self).active_policy()
+    }
+    fn wants_commit_events(&self) -> bool {
+        (**self).wants_commit_events()
+    }
+    fn switch_log(&self) -> &[PolicySwitch] {
+        (**self).switch_log()
     }
 }
 

@@ -136,6 +136,11 @@ pub struct Simulator<
     /// Probe-only: the policy warn level last reported per thread
     /// ([`FetchPolicy::warn_level`]). Maintained only when `P::ENABLED`.
     warn_state: Vec<u8>,
+    /// Probe-only: the candidate name the policy last reported as active
+    /// ([`FetchPolicy::active_policy`]); switches are delivered as
+    /// transitions through `on_policy_switch`. Maintained only when
+    /// `P::ENABLED`.
+    active_state: &'static str,
     /// Probe-only scratch for the end-of-cycle [`CycleState`] snapshot:
     /// taken, filled, and restored around the probe call, so the probed
     /// steady-state loop performs no heap allocation either.
@@ -200,6 +205,10 @@ pub struct Simulator<
     /// ([`FetchPolicy::quiescence_safe`] and no resource caps), cached at
     /// construction.
     skip_ok: bool,
+    /// Whether the attached policy opted into [`PolicyEvent::Committed`]
+    /// notifications ([`FetchPolicy::wants_commit_events`]), cached at
+    /// construction so the retirement loop pays one predictable branch.
+    policy_wants_commits: bool,
     /// Cycles advanced in bulk by the quiescence engine (diagnostics).
     skipped_cycles: u64,
     /// Quiescent spans taken (diagnostics).
@@ -462,6 +471,8 @@ impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
         // incompatible with per-cycle resource caps (they feed dispatch
         // every cycle, skipped or not).
         let skip_ok = policy.quiescence_safe() && !policy.uses_resource_caps();
+        let policy_wants_commits = policy.wants_commit_events();
+        let active_state = policy.active_policy();
         let n = fronts.len();
         let reserved = cfg.arch_regs_per_thread() * n as u32;
         let mut hier = MemHierarchy::new(cfg.l1i, cfg.l1d, cfg.l2, cfg.tlb, cfg.timing, n);
@@ -517,12 +528,14 @@ impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
             sanitizer,
             gate_state: vec![None; n],
             warn_state: vec![0; n],
+            active_state,
             obs_rob: Vec::with_capacity(n),
             obs_iq: Vec::with_capacity(n),
             obs_out: Vec::with_capacity(n),
             obs_gate: Vec::with_capacity(n),
             skip_enabled: true,
             skip_ok,
+            policy_wants_commits,
             skipped_cycles: 0,
             skip_spans: 0,
         })
@@ -569,6 +582,12 @@ impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
 
     pub fn policy_name(&self) -> &'static str {
         self.policy.name()
+    }
+
+    /// The attached fetch policy (e.g. to read a switching policy's
+    /// [`FetchPolicy::switch_log`] after a run).
+    pub fn policy(&self) -> &F {
+        &self.policy
     }
 
     pub fn total_committed(&self) -> u64 {
@@ -721,6 +740,17 @@ impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
             return 0;
         }
         let now = self.now;
+        // A switching policy's declared horizon (its next window boundary)
+        // caps every span, and the horizon cycle itself is pinned to the
+        // naive loop: the selector decision then lands on exactly the same
+        // cycle whether skipping is on or off, which is what makes a
+        // cycle-comparing composite policy quiescence-safe at all (see
+        // [`FetchPolicy::skip_horizon`]).
+        let cap = match self.policy.skip_horizon(now) {
+            Some(h) if h <= now => return 0,
+            Some(h) => cap.min(h - now),
+            None => cap,
+        };
         let n = self.num_threads();
 
         // Commit: a Done ROB head retires this cycle.
@@ -1325,6 +1355,7 @@ impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
         let mut budget = self.cfg.commit_width;
         for k in 0..n {
             let t = (self.rr + k) % n;
+            let mut retired = 0u32;
             while budget > 0 {
                 let Some(&h) = self.robs[t].front() else {
                     break;
@@ -1363,6 +1394,7 @@ impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
                 }
                 self.stats[t].committed += 1;
                 self.total_committed += 1;
+                retired += 1;
                 self.probe.on_commit(self.now, t, seq, inst.inst.pc);
                 if inst.inst.class.is_branch() {
                     self.stats[t].branches += 1;
@@ -1370,6 +1402,13 @@ impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
                         self.stats[t].branch_mispredicts += 1;
                     }
                 }
+            }
+            // Batched: one event per thread per cycle, not one per µop.
+            if self.policy_wants_commits && retired > 0 {
+                self.policy.on_event(&PolicyEvent::Committed {
+                    thread: t,
+                    count: retired,
+                });
             }
         }
     }
@@ -1676,6 +1715,15 @@ impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
         // Warn levels likewise report transitions only; `try_skip` performs
         // the identical refresh at the head of a bulk-advanced span.
         if P::ENABLED {
+            // Policy switches happen inside `fetch_order_into` (at window
+            // boundaries, which always step naively), so sampling here sees
+            // every transition on its exact cycle.
+            let active = self.policy.active_policy();
+            if active != self.active_state {
+                self.probe
+                    .on_policy_switch(self.now, self.active_state, active);
+                self.active_state = active;
+            }
             let pv = PolicyView {
                 cycle: self.now,
                 threads: &views,

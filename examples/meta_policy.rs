@@ -1,0 +1,70 @@
+//! Meta-policy demo: run the three adaptive selectors against their four
+//! static candidates on one workload, then show *when* the winner switched
+//! and which candidate held fetch control in each phase.
+//!
+//! ```text
+//! cargo run --release --example meta_policy            # default 4-MEM
+//! cargo run --release --example meta_policy -- 8 MIX
+//! ```
+//!
+//! See EXPERIMENTS.md "Beyond the paper: dynamic policy selection" for the
+//! full study (all workloads, Hmean fairness, and the two oracle bounds);
+//! this example is the minimal programmatic version.
+
+use dwarn_smt::core::PolicyKind;
+use dwarn_smt::metrics::table::TextTable;
+use dwarn_smt::pipeline::{SimConfig, Simulator};
+use dwarn_smt::workloads::{workload, WorkloadClass};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let class = match args.get(1).map(String::as_str) {
+        Some("ILP") => WorkloadClass::Ilp,
+        Some("MIX") => WorkloadClass::Mix,
+        _ => WorkloadClass::Mem,
+    };
+    let wl = workload(threads, class);
+    println!("workload {}: {}\n", wl.name, wl.benchmarks.join(", "));
+
+    let statics = [
+        PolicyKind::DWarn,
+        PolicyKind::Stall,
+        PolicyKind::Flush,
+        PolicyKind::Icount,
+    ];
+    let mut t = TextTable::new(vec!["policy", "tput IPC", "switches", "final active"]);
+    let mut best_meta: Option<(f64, Vec<dwarn_smt::pipeline::PolicySwitch>)> = None;
+
+    for kind in statics.iter().chain(PolicyKind::meta_set().iter()) {
+        let mut sim = Simulator::new(SimConfig::baseline(), kind.build(), &wl.thread_specs());
+        let r = sim.run(20_000, 60_000);
+        let switches = sim.policy().switch_log().to_vec();
+        t.row(vec![
+            kind.name().to_string(),
+            format!("{:.2}", r.throughput()),
+            format!("{}", switches.len()),
+            sim.policy().active_policy().to_string(),
+        ]);
+        if matches!(kind, PolicyKind::Meta(_))
+            && best_meta
+                .as_ref()
+                .is_none_or(|(ipc, _)| r.throughput() > *ipc)
+        {
+            best_meta = Some((r.throughput(), switches));
+        }
+    }
+    println!("{}", t.render());
+
+    // The best selector's decision timeline: each line is one window
+    // boundary where control changed hands (a quiet selector prints few).
+    if let Some((ipc, switches)) = best_meta {
+        println!("best selector ({ipc:.2} IPC) switch timeline:");
+        if switches.is_empty() {
+            println!("  (never switched — DWARN held fetch for the whole run)");
+        }
+        for s in &switches {
+            println!("  cycle {:>6}: {} -> {}", s.cycle, s.from, s.to);
+        }
+    }
+}
