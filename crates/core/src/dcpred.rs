@@ -13,6 +13,7 @@
 //! that are not predicted to miss can clog the shared resources".
 
 use smt_pipeline::{FetchPolicy, PolicyEvent, PolicyView};
+use smt_trace::snapio::{self, SnapError, SnapReader};
 
 use crate::predictor::MissPredictor;
 use crate::taxonomy::{Classification, DetectionMoment, ResponseAction};
@@ -71,6 +72,46 @@ impl DcPred {
                 self.counts[l.thread] -= 1;
             }
         }
+    }
+
+    fn load_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        const MAX_SNAP_ITEMS: usize = 1 << 24;
+        self.predictor.load_state(r)?;
+        let n = r.len_capped(MAX_SNAP_ITEMS)?;
+        self.counts.clear();
+        for _ in 0..n {
+            self.counts.push(r.u32()?);
+        }
+        let n_loads = r.len_capped(MAX_SNAP_ITEMS)?;
+        self.loads.clear();
+        let mut counted = vec![0u32; self.counts.len()];
+        for _ in 0..n_loads {
+            let load_id = r.u64()?;
+            let thread = r.usize()?;
+            if thread >= self.counts.len() {
+                return Err(SnapError::malformed(format!(
+                    "tracked load names thread {thread} beyond the {} counted",
+                    self.counts.len()
+                )));
+            }
+            let l = TrackedLoad {
+                thread,
+                counted: r.bool()?,
+            };
+            if l.counted {
+                counted[thread] += 1;
+            }
+            if self.loads.insert(load_id, l).is_some() {
+                return Err(SnapError::malformed(format!("duplicate load id {load_id}")));
+            }
+        }
+        if counted != self.counts {
+            return Err(SnapError::malformed(
+                "per-thread restriction counters diverge from the counted tracked loads"
+                    .to_string(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -153,6 +194,28 @@ impl FetchPolicy for DcPred {
             }
             _ => {}
         }
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.predictor.save_state(out);
+        snapio::put_usize(out, self.counts.len());
+        for &c in &self.counts {
+            snapio::put_u32(out, c);
+        }
+        let mut loads: Vec<(&u64, &TrackedLoad)> = self.loads.iter().collect();
+        loads.sort_by_key(|(id, _)| **id);
+        snapio::put_usize(out, loads.len());
+        for (id, l) in loads {
+            snapio::put_u64(out, *id);
+            snapio::put_usize(out, l.thread);
+            snapio::put_bool(out, l.counted);
+        }
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = SnapReader::new(bytes);
+        self.load_snap(&mut r).map_err(|e| e.to_string())?;
+        r.finish("DC-PRED policy state").map_err(|e| e.to_string())
     }
 }
 
@@ -266,6 +329,24 @@ mod tests {
         });
         assert_eq!(p.counts[0], 0);
         assert!(p.loads.is_empty());
+    }
+
+    #[test]
+    fn state_round_trips_through_save_and_load() {
+        let mut p = DcPred::new();
+        train_missing(&mut p, 0x900);
+        fetched(&mut p, 0, 0x900, 91); // predicted miss, in flight
+        fetched(&mut p, 1, 0xA00, 92); // cold predictor: untracked
+        let mut bytes = Vec::new();
+        p.save_state(&mut bytes);
+        let mut q = DcPred::new();
+        q.load_state(&bytes).unwrap();
+        assert_eq!(q.counts, p.counts);
+        assert_eq!(q.loads.len(), p.loads.len());
+        let mut again = Vec::new();
+        q.save_state(&mut again);
+        assert_eq!(again, bytes, "reserialization is byte-identical");
+        assert!(DcPred::new().load_state(&bytes[..bytes.len() - 3]).is_err());
     }
 
     #[test]

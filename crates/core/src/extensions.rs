@@ -12,6 +12,7 @@
 //!   misses before demoting a thread).
 
 use smt_pipeline::{DeclareAction, FetchPolicy, PolicyView};
+use smt_trace::snapio::{self, SnapReader};
 
 use crate::dwarn::DWarn;
 
@@ -80,6 +81,19 @@ impl FetchPolicy for DWarnFlush {
     // one: the quiescence engine may skip idle spans.
     fn quiescence_safe(&self) -> bool {
         true
+    }
+
+    // `flushing` is read by `declare_action` between the fetch that set it
+    // and the next one, so it is evolving state a snapshot must carry.
+    fn save_state(&self, out: &mut Vec<u8>) {
+        snapio::put_bool(out, self.flushing);
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = SnapReader::new(bytes);
+        self.flushing = r.bool().map_err(|e| e.to_string())?;
+        r.finish("DWARN+FLUSH policy state")
+            .map_err(|e| e.to_string())
     }
 }
 
@@ -173,6 +187,27 @@ mod tests {
             threads: &threads,
         };
         assert_eq!(p.fetch_order(&v).len(), 1);
+    }
+
+    #[test]
+    fn dwarn_flush_state_round_trips_the_flushing_flag() {
+        let mut p = DWarnFlush::with_flush_threshold(2);
+        let threads = vec![tv(5, 1, 1), tv(1, 1, 2)];
+        let v = PolicyView {
+            cycle: 0,
+            threads: &threads,
+        };
+        let _ = p.fetch_order(&v);
+        assert_eq!(p.declare_action(), DeclareAction::FlushAfterLoad);
+        let mut bytes = Vec::new();
+        p.save_state(&mut bytes);
+        // A fresh policy has not fetched yet: declare_action differs until
+        // the snapshot state is loaded.
+        let mut q = DWarnFlush::with_flush_threshold(2);
+        assert_eq!(q.declare_action(), DeclareAction::None);
+        q.load_state(&bytes).unwrap();
+        assert_eq!(q.declare_action(), DeclareAction::FlushAfterLoad);
+        assert!(q.load_state(&[]).is_err(), "truncated state is an error");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! the misses and destroys memory-level parallelism.
 
 use smt_pipeline::{FetchPolicy, PolicyEvent, PolicyView};
+use smt_trace::snapio::{self, SnapError, SnapReader};
 
 use crate::predictor::MissPredictor;
 use crate::taxonomy::{Classification, DetectionMoment, ResponseAction};
@@ -122,7 +123,50 @@ impl PredictiveDataGating {
             }
         }
     }
+
+    fn load_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.predictor.load_state(r)?;
+        let n = r.len_capped(MAX_SNAP_ITEMS)?;
+        self.counts.clear();
+        for _ in 0..n {
+            self.counts.push(r.u32()?);
+        }
+        let n_loads = r.len_capped(MAX_SNAP_ITEMS)?;
+        self.loads.clear();
+        let mut counted = vec![0u32; self.counts.len()];
+        for _ in 0..n_loads {
+            let load_id = r.u64()?;
+            let thread = r.usize()?;
+            if thread >= self.counts.len() {
+                return Err(SnapError::malformed(format!(
+                    "tracked load names thread {thread} beyond the {} counted",
+                    self.counts.len()
+                )));
+            }
+            let l = PdgLoad {
+                thread,
+                counted: r.bool()?,
+                predicted_miss: r.bool()?,
+            };
+            if l.counted {
+                counted[thread] += 1;
+            }
+            if self.loads.insert(load_id, l).is_some() {
+                return Err(SnapError::malformed(format!("duplicate load id {load_id}")));
+            }
+        }
+        if counted != self.counts {
+            return Err(SnapError::malformed(
+                "per-thread gate counters diverge from the counted tracked loads".to_string(),
+            ));
+        }
+        Ok(())
+    }
 }
+
+/// Cap on serialized per-policy collection lengths: way above anything a
+/// real machine tracks, low enough that a corrupt length cannot OOM.
+const MAX_SNAP_ITEMS: usize = 1 << 24;
 
 impl Default for PredictiveDataGating {
     fn default() -> Self {
@@ -209,6 +253,29 @@ impl FetchPolicy for PredictiveDataGating {
             }
             _ => {}
         }
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.predictor.save_state(out);
+        snapio::put_usize(out, self.counts.len());
+        for &c in &self.counts {
+            snapio::put_u32(out, c);
+        }
+        let mut loads: Vec<(&u64, &PdgLoad)> = self.loads.iter().collect();
+        loads.sort_by_key(|(id, _)| **id);
+        snapio::put_usize(out, loads.len());
+        for (id, l) in loads {
+            snapio::put_u64(out, *id);
+            snapio::put_usize(out, l.thread);
+            snapio::put_bool(out, l.counted);
+            snapio::put_bool(out, l.predicted_miss);
+        }
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = SnapReader::new(bytes);
+        self.load_snap(&mut r).map_err(|e| e.to_string())?;
+        r.finish("PDG policy state").map_err(|e| e.to_string())
     }
 }
 
@@ -367,6 +434,43 @@ mod tests {
         });
         assert_eq!(p.counts[0], 0);
         assert!(p.loads.is_empty());
+    }
+
+    #[test]
+    fn pdg_state_round_trips_and_rejects_corruption() {
+        let mut p = PredictiveDataGating::new();
+        for id in 0..4 {
+            fetched(&mut p, 0, 0x500, id);
+            outcome(&mut p, 0, 0x500, id, true);
+            p.on_event(&PolicyEvent::LoadFilled {
+                thread: 0,
+                pc: 0x500,
+                load_id: id,
+            });
+        }
+        fetched(&mut p, 0, 0x500, 10); // predicted miss, in flight
+        fetched(&mut p, 1, 0x600, 11); // predicted hit, in flight
+        outcome(&mut p, 1, 0x600, 11, true); // late gate
+
+        let mut bytes = Vec::new();
+        p.save_state(&mut bytes);
+        let mut q = PredictiveDataGating::new();
+        q.load_state(&bytes).unwrap();
+        assert_eq!(q.counts, p.counts);
+        assert_eq!(q.loads.len(), p.loads.len());
+        assert_eq!(q.predictor.predictions, p.predictor.predictions);
+        let mut again = Vec::new();
+        q.save_state(&mut again);
+        assert_eq!(again, bytes, "reserialization is byte-identical");
+
+        // Truncation and a counter/load divergence are typed errors.
+        assert!(PredictiveDataGating::new()
+            .load_state(&bytes[..bytes.len() - 1])
+            .is_err());
+        let mut broken = bytes.clone();
+        let counts_at = bytes.len() - 2 * (8 + 8 + 1 + 1) - 8 - 2 * 4;
+        broken[counts_at] ^= 1;
+        assert!(PredictiveDataGating::new().load_state(&broken).is_err());
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //!   per-cycle standard as a static one.
 
 use smt_pipeline::{DeclareAction, FetchPolicy, PolicyEvent, PolicySwitch, PolicyView};
+use smt_trace::snapio::{self, SnapError, SnapReader};
 
 use crate::dwarn::DWarn;
 use crate::icount::Icount;
@@ -66,7 +67,8 @@ pub enum SelectorKind {
     MissRate,
     /// Hysteresis-damped greedy: keep an EMA IPC estimate per candidate,
     /// try every candidate once, then run the argmax — switching only when
-    /// a rival's estimate beats the active one by [`HYSTERESIS`].
+    /// a rival's estimate beats the active one by the hysteresis margin
+    /// (`HYSTERESIS`).
     IpcGreedy,
     /// Epsilon-explore: as greedy (without hysteresis), but on 1-in-8
     /// boundaries a deterministic splitmix64 stream picks a uniformly
@@ -366,6 +368,82 @@ impl MetaPolicy {
         });
         self.active = choice;
     }
+
+    /// Resolve a serialized candidate name back to the `&'static str` the
+    /// constructed candidate set owns; snapshots carry names, not indices,
+    /// so a candidate-set mismatch is a typed error rather than a silent
+    /// mislabel.
+    fn resolve_name(&self, s: &str) -> Result<&'static str, SnapError> {
+        self.candidates
+            .iter()
+            .map(|c| c.name())
+            .find(|n| *n == s)
+            .ok_or_else(|| {
+                SnapError::malformed(format!("switch log names unknown candidate {s:?}"))
+            })
+    }
+
+    fn load_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        const MAX_SWITCHES: usize = 1 << 24;
+        let active = r.usize()?;
+        if active >= self.candidates.len() {
+            return Err(SnapError::malformed(format!(
+                "active candidate {active} out of range (have {})",
+                self.candidates.len()
+            )));
+        }
+        self.active = active;
+        let next_boundary = r.u64()?;
+        if next_boundary == 0 || !next_boundary.is_multiple_of(self.window) {
+            return Err(SnapError::malformed(format!(
+                "next boundary {next_boundary} is not a positive multiple of the \
+                 {}-cycle window",
+                self.window
+            )));
+        }
+        self.next_boundary = next_boundary;
+        self.accum = IntervalAccum {
+            committed: r.u64()?,
+            loads: r.u64()?,
+            l1_misses: r.u64()?,
+            l2_misses: r.u64()?,
+        };
+        let tag = r.u8()?;
+        match (&mut self.selector, tag) {
+            (None, 0) => {}
+            (Some(Selector::MissRate), 1) => {}
+            (Some(Selector::IpcGreedy { est }), 2) => {
+                for e in est.iter_mut() {
+                    *e = r.f64()?;
+                }
+            }
+            (Some(Selector::Epsilon { est, rng }), 3) => {
+                for e in est.iter_mut() {
+                    *e = r.f64()?;
+                }
+                *rng = r.u64()?;
+            }
+            _ => {
+                return Err(SnapError::malformed(format!(
+                    "selector tag {tag} does not match this meta-policy's \
+                     configured selector"
+                )));
+            }
+        }
+        let n_switches = r.len_capped(MAX_SWITCHES)?;
+        self.switches.clear();
+        for _ in 0..n_switches {
+            let cycle = r.u64()?;
+            let from = self.resolve_name(r.str()?)?;
+            let to = self.resolve_name(r.str()?)?;
+            self.switches.push(PolicySwitch { cycle, from, to });
+        }
+        for c in &mut self.candidates {
+            let bytes = r.bytes()?;
+            c.load_state(bytes).map_err(SnapError::malformed)?;
+        }
+        Ok(())
+    }
 }
 
 impl FetchPolicy for MetaPolicy {
@@ -469,6 +547,56 @@ impl FetchPolicy for MetaPolicy {
 
     fn switch_log(&self) -> &[PolicySwitch] {
         &self.switches
+    }
+
+    /// Snapshot everything a mid-window restore needs: the active
+    /// candidate, the open interval's boundary and accumulators, the
+    /// selector's learned state, the switch log (diagnostic, but part of
+    /// the published result), and each candidate's own state. The
+    /// `force_switch_at` test hook is deliberately *not* serialized — it
+    /// is injected per-run by the mutation tests, never by campaigns.
+    fn save_state(&self, out: &mut Vec<u8>) {
+        snapio::put_usize(out, self.active);
+        snapio::put_u64(out, self.next_boundary);
+        snapio::put_u64(out, self.accum.committed);
+        snapio::put_u64(out, self.accum.loads);
+        snapio::put_u64(out, self.accum.l1_misses);
+        snapio::put_u64(out, self.accum.l2_misses);
+        match &self.selector {
+            None => snapio::put_u8(out, 0),
+            Some(Selector::MissRate) => snapio::put_u8(out, 1),
+            Some(Selector::IpcGreedy { est }) => {
+                snapio::put_u8(out, 2);
+                for &e in est {
+                    snapio::put_f64(out, e);
+                }
+            }
+            Some(Selector::Epsilon { est, rng }) => {
+                snapio::put_u8(out, 3);
+                for &e in est {
+                    snapio::put_f64(out, e);
+                }
+                snapio::put_u64(out, *rng);
+            }
+        }
+        snapio::put_usize(out, self.switches.len());
+        for s in &self.switches {
+            snapio::put_u64(out, s.cycle);
+            snapio::put_str(out, s.from);
+            snapio::put_str(out, s.to);
+        }
+        let mut scratch = Vec::new();
+        for c in &self.candidates {
+            scratch.clear();
+            c.save_state(&mut scratch);
+            snapio::put_bytes(out, &scratch);
+        }
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = SnapReader::new(bytes);
+        self.load_snap(&mut r).map_err(|e| e.to_string())?;
+        r.finish("meta-policy state").map_err(|e| e.to_string())
     }
 }
 
@@ -657,6 +785,80 @@ mod tests {
         assert!(!p.uses_resource_caps());
         assert!(p.wants_commit_events());
         assert_eq!(p.skip_horizon(0), Some(DEFAULT_WINDOW));
+    }
+
+    #[test]
+    fn state_round_trips_mid_window_for_every_selector() {
+        let threads = vec![tv(1, 0), tv(2, 0), tv(3, 0), tv(4, 0)];
+        for kind in SelectorKind::all() {
+            let mut p = MetaPolicy::new(kind);
+            // Drive through a few boundaries to exercise the selector,
+            // then leave an interval half-open.
+            for b in 1..=3 {
+                commit_n(&mut p, 100 + b * 64);
+                miss_loads(&mut p, 50, 5 * b);
+                order_at(&mut p, b * DEFAULT_WINDOW, &threads);
+            }
+            commit_n(&mut p, 77);
+            miss_loads(&mut p, 10, 3);
+
+            let mut bytes = Vec::new();
+            p.save_state(&mut bytes);
+            let mut q = MetaPolicy::new(kind);
+            q.load_state(&bytes).unwrap();
+            assert_eq!(q.active_policy(), p.active_policy(), "{kind:?}");
+            assert_eq!(q.switch_log(), p.switch_log(), "{kind:?}");
+            assert_eq!(q.skip_horizon(0), p.skip_horizon(0), "{kind:?}");
+            let mut again = Vec::new();
+            q.save_state(&mut again);
+            assert_eq!(again, bytes, "{kind:?}: reserialization byte-identical");
+
+            // The restored composite keeps making the same decisions.
+            for b in 4..=8 {
+                commit_n(&mut p, 300);
+                commit_n(&mut q, 300);
+                miss_loads(&mut p, 20, 1);
+                miss_loads(&mut q, 20, 1);
+                let a = order_at(&mut p, b * DEFAULT_WINDOW, &threads);
+                let bq = order_at(&mut q, b * DEFAULT_WINDOW, &threads);
+                assert_eq!(a, bq, "{kind:?}: post-restore divergence");
+                assert_eq!(p.active_policy(), q.active_policy(), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn load_state_rejects_shape_and_content_mismatches() {
+        let mut p = MetaPolicy::new(SelectorKind::Epsilon);
+        let threads = vec![tv(1, 0), tv(2, 0), tv(3, 0), tv(4, 0)];
+        commit_n(&mut p, 100);
+        order_at(&mut p, DEFAULT_WINDOW, &threads);
+        let mut bytes = Vec::new();
+        p.save_state(&mut bytes);
+
+        // A different selector refuses the tagged state.
+        let err = MetaPolicy::new(SelectorKind::MissRate)
+            .load_state(&bytes)
+            .unwrap_err();
+        assert!(err.contains("selector"), "{err}");
+
+        // A locked meta has one candidate: the active index is range-checked
+        // (the epsilon snapshot explored past candidate 0 by now).
+        if p.active_policy() != "DWARN" {
+            let err = MetaPolicy::locked(Box::new(DWarn::new()))
+                .load_state(&bytes)
+                .unwrap_err();
+            assert!(!err.is_empty());
+        }
+
+        // Truncation is an error, not a partial load.
+        assert!(MetaPolicy::new(SelectorKind::Epsilon)
+            .load_state(&bytes[..bytes.len() - 1])
+            .is_err());
+
+        // A misaligned boundary is rejected.
+        let mut q = MetaPolicy::with_window(SelectorKind::Epsilon, DEFAULT_WINDOW + 1);
+        assert!(q.load_state(&bytes).is_err());
     }
 
     #[test]

@@ -23,11 +23,11 @@ fn run_policy(
     cfg: SimConfig,
     wl: &Workload,
     desc: &str,
-    policy: Box<dyn FetchPolicy>,
+    policy: impl Fn() -> Box<dyn FetchPolicy>,
     tag: &str,
 ) -> f64 {
-    let name = policy.name();
-    let result = campaign.run_custom(&cfg, &wl.thread_specs(), desc, move || policy);
+    let name = policy().name();
+    let result = campaign.run_custom(&cfg, &wl.thread_specs(), desc, policy);
     crate::artifacts::record_tagged(tag, "baseline", &wl.name, name, &result);
     result.throughput()
 }
@@ -46,7 +46,7 @@ pub fn dg_threshold_sweep(campaign: &Campaign) -> String {
                 SimConfig::baseline(),
                 &wl,
                 &format!("DG(n={n})"),
-                Box::new(DataGating::with_threshold(n)),
+                || Box::new(DataGating::with_threshold(n)),
                 "ablation:dg-threshold",
             );
             row.push(format!("{tput:.2}"));
@@ -56,7 +56,7 @@ pub fn dg_threshold_sweep(campaign: &Campaign) -> String {
             SimConfig::baseline(),
             &wl,
             "ICOUNT",
-            PolicyKind::Icount.build(),
+            || PolicyKind::Icount.build(),
             "ablation:dg-threshold",
         );
         row.push(format!("{ic:.2}"));
@@ -83,7 +83,7 @@ pub fn declare_threshold_sweep(campaign: &Campaign) -> String {
                 cfg,
                 &wl,
                 kind.name(),
-                kind.build(),
+                || kind.build(),
                 &format!("ablation:declare-thr{thr}"),
             );
             row.push(format!("{tput:.2}"));
@@ -120,7 +120,7 @@ pub fn dwarn_hybrid_ablation(campaign: &Campaign) -> String {
             SimConfig::baseline(),
             &wl,
             "DWARN",
-            Box::new(DWarn::new()),
+            || Box::new(DWarn::new()),
             tag,
         );
         let prio = run_policy(
@@ -128,7 +128,7 @@ pub fn dwarn_hybrid_ablation(campaign: &Campaign) -> String {
             SimConfig::baseline(),
             &wl,
             "DWARN(prio-only)",
-            Box::new(DWarn::priority_only()),
+            || Box::new(DWarn::priority_only()),
             tag,
         );
         let ic = run_policy(
@@ -136,7 +136,7 @@ pub fn dwarn_hybrid_ablation(campaign: &Campaign) -> String {
             SimConfig::baseline(),
             &wl,
             "ICOUNT",
-            PolicyKind::Icount.build(),
+            || PolicyKind::Icount.build(),
             tag,
         );
         t.row(vec![
@@ -173,10 +173,17 @@ pub fn fetch_mechanism_sweep(campaign: &Campaign) -> String {
             cfg.clone(),
             &wl,
             "ICOUNT",
-            PolicyKind::Icount.build(),
+            || PolicyKind::Icount.build(),
             &tag,
         );
-        let dw = run_policy(campaign, cfg, &wl, "DWARN", PolicyKind::DWarn.build(), &tag);
+        let dw = run_policy(
+            campaign,
+            cfg,
+            &wl,
+            "DWARN",
+            || PolicyKind::DWarn.build(),
+            &tag,
+        );
         t.row(vec![
             format!("{threads}.{width}"),
             format!("{ic:.2}"),
@@ -221,7 +228,7 @@ mod tests {
             SimConfig::baseline(),
             &wl,
             "DWARN",
-            Box::new(DWarn::new()),
+            || Box::new(DWarn::new()),
             "test",
         );
         let b = run_policy(
@@ -229,7 +236,7 @@ mod tests {
             SimConfig::baseline(),
             &wl,
             "DWARN(prio-only)",
-            Box::new(DWarn::priority_only()),
+            || Box::new(DWarn::priority_only()),
             "test",
         );
         assert_eq!(a, b);

@@ -219,8 +219,12 @@ impl DiskCache {
     }
 
     /// [`DiskCache::store`] with bounded retry for transient I/O failures:
-    /// `attempts` tries total, backing off 5 ms, 10 ms, 20 ms, … between
-    /// them. Returns the last error if every attempt fails.
+    /// `attempts` tries total, backing off 5 ms, 10 ms, 20 ms, … plus a
+    /// deterministic 0–5 ms jitter between them. The jitter decorrelates
+    /// parallel writers contending on one directory (they would otherwise
+    /// all retry on the same schedule) while staying fully reproducible:
+    /// it is a pure function of key, pid, and attempt number.
+    /// Returns the last error if every attempt fails.
     pub fn store_retrying(
         &self,
         key_desc: &str,
@@ -231,7 +235,10 @@ impl DiskCache {
         let mut last = None;
         for attempt in 0..attempts.max(1) {
             if attempt > 0 {
-                std::thread::sleep(delay);
+                let seed = fnv1a(key_desc.as_bytes())
+                    ^ ((std::process::id() as u64) << 32)
+                    ^ attempt as u64;
+                std::thread::sleep(delay + Duration::from_micros(splitmix64(seed) % 5_000));
                 delay *= 2;
             }
             match self.store(key_desc, result) {
@@ -339,9 +346,19 @@ impl DiskCache {
     }
 }
 
+/// SplitMix64 finalizer: one well-mixed draw from a seed. Used for the
+/// deterministic retry jitter — no RNG state, no global entropy.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Whether a process with this pid is currently alive. On Linux this reads
 /// `/proc`; elsewhere it conservatively answers `true` (never steal).
-fn process_alive(pid: u32) -> bool {
+/// Shared with the checkpoint store's stale-temp sweep.
+pub(crate) fn process_alive(pid: u32) -> bool {
     if cfg!(target_os = "linux") {
         Path::new(&format!("/proc/{pid}")).exists()
     } else {

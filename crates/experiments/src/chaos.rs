@@ -3,8 +3,9 @@
 //! The harness drives the same campaign machinery the real experiments use
 //! while injecting faults drawn from a seeded [`smt_trace::Rng`]: truncated
 //! and bit-flipped trace files, corrupted / torn disk-cache entries,
-//! crash-mid-store leftovers, invalid configurations, panicking fetch
-//! policies, and bad user input. Every fault must resolve to either a
+//! crash-mid-store leftovers, damaged resume checkpoints (truncated,
+//! bit-flipped, version-skewed, stale-generation), invalid configurations,
+//! panicking fetch policies, and bad user input. Every fault must resolve to either a
 //! **correct result** (the fault was absorbed and the golden digest still
 //! matches) or a **typed error** recorded as a failure artifact — never a
 //! hang, an escaped panic, or a silently wrong number. Anything else is a
@@ -15,18 +16,23 @@
 //! `chaos --seed 1 --faults 32` replays bit-identically — a violation found
 //! in CI reproduces locally from the seed alone.
 
+use std::cell::Cell;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::Duration;
 
 use dwarn_core::PolicyKind;
-use smt_pipeline::{FetchPolicy, PolicyView, SimConfig, Simulator, ThreadFront, Watchdog};
+use smt_pipeline::{
+    CheckpointOpts, FetchPolicy, MachineSnapshot, PolicyView, RunOutcome, SimConfig, Simulator,
+    ThreadFront, Watchdog,
+};
 use smt_trace::{RecordedTrace, Rng};
 use smt_workloads::WorkloadClass;
 
+use crate::checkpoint::CheckpointStore;
 use crate::error::ExpError;
-use crate::runner::{Arch, Campaign, ExpParams, RunKey};
+use crate::runner::{specs_for, Arch, Campaign, ExpParams, RunKey};
 
 /// Options for a chaos run.
 #[derive(Debug, Clone)]
@@ -60,10 +66,10 @@ impl ChaosOpts {
     }
 }
 
-/// The fault kinds the plan draws from, spanning all three injection
-/// surfaces the acceptance criteria name: trace bytes, disk-cache entries,
-/// and configurations (plus panic and usage faults for the isolation and
-/// typed-input paths).
+/// The fault kinds the plan draws from, spanning every injection surface
+/// the acceptance criteria name: trace bytes, disk-cache entries,
+/// configurations, and resume checkpoints (plus panic and usage faults for
+/// the isolation and typed-input paths).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum FaultKind {
     /// Truncate a serialized trace at a random byte.
@@ -89,9 +95,18 @@ enum FaultKind {
     PolicyPanic,
     /// A run key with an invented workload class.
     BadWorkloadClass,
+    /// Truncate a resume checkpoint mid-file.
+    CkptTruncate,
+    /// Flip one random bit of a resume checkpoint.
+    CkptBitFlip,
+    /// Rewrite a resume checkpoint's format version field.
+    CkptVersionSkew,
+    /// Plant a checkpoint recorded under a *different* run description on
+    /// this run's path (hash collision / code-generation skew).
+    CkptStaleGeneration,
 }
 
-const ALL_KINDS: [FaultKind; 11] = [
+const ALL_KINDS: [FaultKind; 15] = [
     FaultKind::TraceTruncate,
     FaultKind::TraceBitFlip,
     FaultKind::CacheTruncate,
@@ -103,6 +118,10 @@ const ALL_KINDS: [FaultKind; 11] = [
     FaultKind::ConfigNoThreads,
     FaultKind::PolicyPanic,
     FaultKind::BadWorkloadClass,
+    FaultKind::CkptTruncate,
+    FaultKind::CkptBitFlip,
+    FaultKind::CkptVersionSkew,
+    FaultKind::CkptStaleGeneration,
 ];
 
 impl FaultKind {
@@ -119,6 +138,10 @@ impl FaultKind {
             FaultKind::ConfigNoThreads => "config-no-threads",
             FaultKind::PolicyPanic => "policy-panic",
             FaultKind::BadWorkloadClass => "bad-workload-class",
+            FaultKind::CkptTruncate => "ckpt-truncate",
+            FaultKind::CkptBitFlip => "ckpt-bitflip",
+            FaultKind::CkptVersionSkew => "ckpt-version-skew",
+            FaultKind::CkptStaleGeneration => "ckpt-stale-generation",
         }
     }
 
@@ -135,6 +158,10 @@ impl FaultKind {
             | FaultKind::ConfigNoThreads => "config",
             FaultKind::PolicyPanic => "policy",
             FaultKind::BadWorkloadClass => "input",
+            FaultKind::CkptTruncate
+            | FaultKind::CkptBitFlip
+            | FaultKind::CkptVersionSkew
+            | FaultKind::CkptStaleGeneration => "checkpoint",
         }
     }
 }
@@ -439,6 +466,12 @@ fn inject(
         | FaultKind::ConfigNoThreads => config_fault(kind, dir, p, index, no_skip),
         FaultKind::PolicyPanic => policy_panic_fault(rng, dir, p, index, no_skip),
         FaultKind::BadWorkloadClass => bad_input_fault(rng, dir, p, no_skip),
+        FaultKind::CkptTruncate
+        | FaultKind::CkptBitFlip
+        | FaultKind::CkptVersionSkew
+        | FaultKind::CkptStaleGeneration => {
+            ckpt_fault(kind, rng, dir, p, keys, goldens, index, no_skip)
+        }
     }
 }
 
@@ -754,6 +787,151 @@ fn bad_input_fault(rng: &mut Rng, dir: &Path, p: ExpParams, no_skip: bool) -> Ou
     }
 }
 
+// --- Checkpoint faults ----------------------------------------------------
+
+/// Plant a genuine mid-run checkpoint for a golden key in a fresh resume
+/// directory, damage it per `kind`, then re-run the key through a
+/// checkpointing campaign. The damage must surface as a typed `checkpoint`
+/// failure artifact and the re-simulated result must still match the golden
+/// digest — a damaged checkpoint may cost time, never a number.
+#[allow(clippy::too_many_arguments)]
+fn ckpt_fault(
+    kind: FaultKind,
+    rng: &mut Rng,
+    dir: &Path,
+    p: ExpParams,
+    keys: &[RunKey],
+    goldens: &[u64],
+    index: usize,
+    no_skip: bool,
+) -> Outcome {
+    let pick = rng.below(keys.len() as u64) as usize;
+    let key = &keys[pick];
+    let golden = goldens[pick];
+    let violation = |detail: String| Outcome::Violation { detail };
+
+    // A fresh resume directory per fault: the planted damage is the only
+    // checkpoint state the resuming campaign sees (the shared chaos disk
+    // cache is deliberately *not* attached, so the run cannot be served
+    // from cache before the checkpoint path is exercised).
+    let resume = dir.join(format!("ckpt-fault-{index}"));
+    let _ = fs::remove_dir_all(&resume);
+
+    let desc = match Campaign::new(p).describe(key) {
+        Ok(d) => d,
+        Err(e) => return violation(format!("could not derive run description: {e}")),
+    };
+    let specs = match specs_for(key) {
+        Ok(s) => s,
+        Err(e) => return violation(format!("could not derive thread specs: {e}")),
+    };
+
+    // Capture a genuine resumable checkpoint: run the key's own simulation
+    // and stop right after the first periodic snapshot fires.
+    let snap = {
+        let mut sim = match Simulator::try_new(key.arch.config(), key.policy.build(), &specs) {
+            Ok(s) => s,
+            Err(e) => return violation(format!("could not build simulator: {e}")),
+        };
+        sim.set_skip_enabled(!no_skip);
+        let seen = Cell::new(false);
+        let mut sink = |_: &MachineSnapshot| seen.set(true);
+        let stop = || seen.get();
+        let mut opts = CheckpointOpts {
+            interval: 200,
+            sink: &mut sink,
+            stop: Some(&stop),
+        };
+        match sim.try_run_checkpointed(p.warmup, p.measure, &chaos_watchdog(), &mut opts) {
+            Ok(RunOutcome::Interrupted(s)) => s,
+            Ok(RunOutcome::Completed(_)) => {
+                return violation("run completed before a checkpoint could be captured".into())
+            }
+            Err(e) => return violation(format!("could not capture a checkpoint: {e}")),
+        }
+    };
+
+    let store = match CheckpointStore::open(&resume.join("checkpoints")) {
+        Ok(s) => s,
+        Err(e) => return violation(format!("could not open checkpoint store: {e}")),
+    };
+    let path = store.path_for(&desc);
+    let planted = match kind {
+        // A checkpoint recorded under a *different* run description
+        // (another code generation, or a hash collision) landing on this
+        // run's path.
+        FaultKind::CkptStaleGeneration => {
+            let foreign = format!("{desc} [foreign generation]");
+            store
+                .store(&foreign, &snap)
+                .and_then(|()| fs::rename(store.path_for(&foreign), &path))
+        }
+        _ => store.store(&desc, &snap),
+    };
+    if let Err(e) = planted {
+        return violation(format!("could not plant checkpoint: {e}"));
+    }
+    if kind != FaultKind::CkptStaleGeneration {
+        let clean = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) => return violation(format!("planted checkpoint unreadable: {e}")),
+        };
+        let corrupt: Vec<u8> = match kind {
+            FaultKind::CkptTruncate => clean[..rng.below(clean.len() as u64) as usize].to_vec(),
+            FaultKind::CkptBitFlip => {
+                let mut b = clean;
+                let pos = rng.below(b.len() as u64) as usize;
+                b[pos] ^= 1 << rng.below(8);
+                b
+            }
+            // Version skew: only the envelope version field changes. The
+            // version is checked before the checksum, so the entry must
+            // report skew, not corruption.
+            _ => {
+                let mut b = clean;
+                b[8..12].copy_from_slice(&0xDEAD_u32.to_le_bytes());
+                b
+            }
+        };
+        if let Err(e) = fs::write(&path, &corrupt) {
+            return violation(format!("could not damage checkpoint: {e}"));
+        }
+    }
+
+    // Resume through a fresh checkpointing campaign: the damaged entry must
+    // be detected (typed failure), deleted, and the run re-simulated from
+    // scratch to the golden digest.
+    let mut rc = Campaign::new(p);
+    rc.set_watchdog(chaos_watchdog());
+    rc.set_skip(!no_skip);
+    if let Err(e) = rc.set_checkpointing(&resume, 0) {
+        return violation(format!("could not reopen resume dir: {e}"));
+    }
+    let outcome = match rc.try_result(key) {
+        Err(e) => violation(format!(
+            "checkpoint damage failed the run instead of healing: {e}"
+        )),
+        Ok(r) if r.digest() != golden => violation(format!(
+            "checkpoint damage changed the result: digest {:#018x} != golden {:#018x}",
+            r.digest(),
+            golden
+        )),
+        Ok(_) => match rc
+            .failures()
+            .iter()
+            .find(|f| f.error.kind() == "checkpoint")
+        {
+            Some(f) => Outcome::TypedError {
+                kind: "checkpoint",
+                detail: format!("detected and re-simulated: {}", f.error),
+            },
+            None => violation("damaged checkpoint went unnoticed (no typed failure)".into()),
+        },
+    };
+    let _ = fs::remove_dir_all(&resume);
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -774,7 +952,10 @@ mod tests {
     fn every_kind_names_a_surface() {
         for k in ALL_KINDS {
             assert!(!k.name().is_empty());
-            assert!(["trace", "cache", "config", "policy", "input"].contains(&k.surface()));
+            assert!(
+                ["trace", "cache", "config", "policy", "input", "checkpoint"]
+                    .contains(&k.surface())
+            );
         }
     }
 }

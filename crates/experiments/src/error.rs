@@ -14,6 +14,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use smt_pipeline::{ConfigError, SimError};
 
 use crate::cache::CacheFault;
+use crate::checkpoint::CheckpointFault;
 
 /// Everything went fine.
 pub const EXIT_OK: i32 = 0;
@@ -26,6 +27,10 @@ pub const EXIT_PARTIAL: i32 = 3;
 /// The chaos harness observed a robustness violation (escaped panic, hang,
 /// or a silently wrong golden digest).
 pub const EXIT_CHAOS_VIOLATION: i32 = 4;
+/// The campaign was interrupted (Ctrl-C) with resumable checkpoints on
+/// disk: partial results and failure artifacts were flushed, and re-running
+/// with the same `--resume <dir>` continues from the checkpoints.
+pub const EXIT_INTERRUPTED: i32 = 5;
 
 /// A typed campaign-level failure.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +65,16 @@ pub enum ExpError {
     /// A disk-cache entry was present but irregular (recorded as a failure
     /// artifact; the run itself falls back to re-simulation).
     Cache { path: String, fault: CacheFault },
+    /// A checkpoint entry was present but irregular (recorded as a failure
+    /// artifact; the entry is deleted and the run re-simulates from
+    /// scratch).
+    Checkpoint {
+        path: String,
+        fault: CheckpointFault,
+    },
+    /// The run stopped on an interrupt request with a resumable checkpoint
+    /// written; the campaign exits [`EXIT_INTERRUPTED`].
+    Interrupted { what: String },
     /// An I/O failure outside the cache (artifact export, trace files, …).
     Io { context: String, detail: String },
 }
@@ -100,6 +115,12 @@ impl fmt::Display for ExpError {
             ExpError::Cache { path, fault } => {
                 write!(f, "cache entry {path}: {fault} (re-simulated)")
             }
+            ExpError::Checkpoint { path, fault } => {
+                write!(f, "checkpoint entry {path}: {fault} (re-simulated)")
+            }
+            ExpError::Interrupted { what } => {
+                write!(f, "{what}: interrupted with a resumable checkpoint")
+            }
             ExpError::Io { context, detail } => write!(f, "I/O failure ({context}): {detail}"),
         }
     }
@@ -135,18 +156,21 @@ impl ExpError {
             ExpError::Panicked { .. } => "panic",
             ExpError::Invariant { .. } => "invariant",
             ExpError::Cache { .. } => "cache",
+            ExpError::Checkpoint { .. } => "checkpoint",
+            ExpError::Interrupted { .. } => "interrupted",
             ExpError::Io { .. } => "io",
         }
     }
 
     /// The process exit code this error maps to: usage errors exit 2,
-    /// runtime failures exit 1.
+    /// interrupts exit 5, other runtime failures exit 1.
     pub fn exit_code(&self) -> i32 {
         match self {
             ExpError::BadWorkloadName { .. }
             | ExpError::UnknownWorkloadClass { .. }
             | ExpError::UnknownWorkload { .. }
             | ExpError::UnknownBenchmark { .. } => EXIT_USAGE,
+            ExpError::Interrupted { .. } => EXIT_INTERRUPTED,
             _ => EXIT_RUNTIME,
         }
     }

@@ -16,14 +16,14 @@ use crate::runner::Campaign;
 
 /// One cached extension run; `desc` pins the policy and its parameters
 /// for the campaign cache key.
-fn run(campaign: &Campaign, wl: &Workload, desc: &str, policy: Box<dyn FetchPolicy>) -> f64 {
-    let name = policy.name();
-    let result = campaign.run_custom(
-        &SimConfig::baseline(),
-        &wl.thread_specs(),
-        desc,
-        move || policy,
-    );
+fn run(
+    campaign: &Campaign,
+    wl: &Workload,
+    desc: &str,
+    policy: impl Fn() -> Box<dyn FetchPolicy>,
+) -> f64 {
+    let name = policy().name();
+    let result = campaign.run_custom(&SimConfig::baseline(), &wl.thread_specs(), desc, policy);
     crate::artifacts::record_tagged("extensions", "baseline", &wl.name, name, &result);
     result.throughput()
 }
@@ -40,15 +40,12 @@ pub fn report(campaign: &Campaign) -> String {
     let mut wins = 0usize;
     let mut rows = 0usize;
     for wl in all_workloads() {
-        let dwarn = run(campaign, &wl, "DWARN", PolicyKind::DWarn.build());
-        let flush = run(campaign, &wl, "FLUSH", PolicyKind::Flush.build());
-        let combo = run(campaign, &wl, "DWARN+FLUSH", Box::new(DWarnFlush::new()));
-        let k2 = run(
-            campaign,
-            &wl,
-            "DWARN-K(k=2)",
-            Box::new(DWarnThreshold::new(2)),
-        );
+        let dwarn = run(campaign, &wl, "DWARN", || PolicyKind::DWarn.build());
+        let flush = run(campaign, &wl, "FLUSH", || PolicyKind::Flush.build());
+        let combo = run(campaign, &wl, "DWARN+FLUSH", || Box::new(DWarnFlush::new()));
+        let k2 = run(campaign, &wl, "DWARN-K(k=2)", || {
+            Box::new(DWarnThreshold::new(2))
+        });
         if combo >= dwarn.max(flush) * 0.99 {
             wins += 1;
         }
@@ -85,8 +82,8 @@ mod tests {
             measure: 20_000,
         });
         let wl = workload(8, WorkloadClass::Mem);
-        let dwarn = run(&c, &wl, "DWARN", PolicyKind::DWarn.build());
-        let combo = run(&c, &wl, "DWARN+FLUSH", Box::new(DWarnFlush::new()));
+        let dwarn = run(&c, &wl, "DWARN", || PolicyKind::DWarn.build());
+        let combo = run(&c, &wl, "DWARN+FLUSH", || Box::new(DWarnFlush::new()));
         assert!(
             combo > dwarn,
             "DWarn+FLUSH {combo} should beat plain DWarn {dwarn} on 8-MEM"
@@ -101,8 +98,8 @@ mod tests {
             measure: 8_000,
         });
         let wl = workload(4, WorkloadClass::Mix);
-        let dwarn = run(&c, &wl, "DWARN", PolicyKind::DWarn.build());
-        let combo = run(&c, &wl, "DWARN+FLUSH", Box::new(DWarnFlush::new()));
+        let dwarn = run(&c, &wl, "DWARN", || PolicyKind::DWarn.build());
+        let combo = run(&c, &wl, "DWARN+FLUSH", || Box::new(DWarnFlush::new()));
         assert_eq!(dwarn, combo);
     }
 

@@ -41,10 +41,12 @@ pub mod ablation;
 pub mod artifacts;
 pub mod cache;
 pub mod chaos;
+pub mod checkpoint;
 pub mod error;
 pub mod extensions;
 pub mod figures;
 pub mod grid;
+pub mod interrupt;
 pub mod meta;
 pub mod paper;
 pub mod report;
@@ -56,6 +58,7 @@ pub mod taxonomy;
 pub mod tracing;
 
 pub use cache::{CacheFault, DiskCache};
+pub use checkpoint::{CheckpointFault, CheckpointStore, Journal};
 pub use error::{ExpError, RunFailure};
 pub use grid::{GridData, Metric};
 pub use runner::{Arch, Campaign, ExpParams, RunKey};

@@ -10,12 +10,15 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use smt_experiments::error::{self, EXIT_CHAOS_VIOLATION, EXIT_PARTIAL, EXIT_RUNTIME, EXIT_USAGE};
-use smt_experiments::{artifacts, suite, Campaign, DiskCache, ExpParams};
+use smt_experiments::error::{
+    self, EXIT_CHAOS_VIOLATION, EXIT_INTERRUPTED, EXIT_PARTIAL, EXIT_RUNTIME, EXIT_USAGE,
+};
+use smt_experiments::{artifacts, interrupt, suite, Campaign, DiskCache, ExpParams};
 
 const USAGE: &str = "\
 usage: smt-experiments [--quick] [--stats-json <dir>] [--cache-dir <dir>]
-                       [--intervals <dir>] [--live] <experiment>...
+                       [--intervals <dir>] [--resume <dir>] [--live]
+                       <experiment>...
 
 experiments:
   table2a    cache behaviour of isolated benchmarks (Table 2a)
@@ -80,11 +83,21 @@ flags:
   --cache-dir <dir>  persist simulation results across invocations; results
                      are re-simulated (never trusted) if an entry is stale,
                      corrupt, or from a different code version
+  --resume <dir>     make the campaign crash-resumable under <dir>: periodic
+                     machine snapshots for in-flight runs, completed results,
+                     and a journal live there; Ctrl-C (or a crash, or a
+                     watchdog trip) leaves resumable state, and re-running
+                     with the same <dir> continues bit-identically with no
+                     redone work (damaged checkpoints are typed failures
+                     that re-simulate from scratch)
+  --checkpoint-interval <n>
+                     cycles between periodic snapshots (default 20000)
 
 exit codes:
   0  success          1  runtime failure       2  bad usage
   3  partial results (some runs failed)
   4  chaos harness observed a robustness violation
+  5  interrupted (Ctrl-C); resumable via --resume with the same directory
 ";
 
 fn compare(campaign: &Campaign, args: &[&str]) -> String {
@@ -292,6 +305,7 @@ struct CampaignOpts {
     no_skip: bool,
     live: bool,
     intervals: Option<(PathBuf, u64)>,
+    resume: Option<(PathBuf, u64)>,
 }
 
 /// Build the campaign, attaching the persistent cache when requested.
@@ -314,6 +328,15 @@ fn build_campaign(params: ExpParams, cache_dir: Option<&PathBuf>, opts: &Campaig
             eprintln!("--intervals {}: {e}", dir.display());
             std::process::exit(EXIT_RUNTIME);
         }
+    }
+    if let Some((dir, interval)) = &opts.resume {
+        if let Err(e) = campaign.set_checkpointing(dir, *interval) {
+            eprintln!("--resume {}: {e}", dir.display());
+            std::process::exit(EXIT_RUNTIME);
+        }
+        // Ctrl-C on a checkpointing campaign drains to resumable
+        // checkpoints instead of killing the process mid-write.
+        interrupt::install();
     }
     campaign
 }
@@ -366,6 +389,8 @@ fn main() {
     let cache_dir = take_dir_flag(&mut args, "cache-dir");
     let intervals_dir = take_dir_flag(&mut args, "intervals");
     let interval_window = take_num_flag(&mut args, "interval-window", 1024);
+    let resume_dir = take_dir_flag(&mut args, "resume");
+    let checkpoint_interval = take_num_flag(&mut args, "checkpoint-interval", 20_000);
     let quick = args.iter().any(|a| a == "--quick");
     let sanitize = args.iter().any(|a| a == "--sanitize");
     let no_skip = args.iter().any(|a| a == "--no-skip");
@@ -375,6 +400,7 @@ fn main() {
         no_skip,
         live,
         intervals: intervals_dir.clone().map(|dir| (dir, interval_window)),
+        resume: resume_dir.clone().map(|dir| (dir, checkpoint_interval)),
     };
 
     if args.first().map(String::as_str) == Some("lint") {
@@ -528,6 +554,17 @@ fn main() {
     eprintln!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
     if let Some(summary) = campaign.failure_summary() {
         eprintln!("\n{summary}");
+    }
+    // An interrupt takes precedence over the partial-results code: the
+    // partial state here is deliberate and resumable, not a failure.
+    if interrupt::requested() {
+        if let Some((dir, _)) = &opts.resume {
+            eprintln!(
+                "interrupted: partial results flushed; resume with --resume {}",
+                dir.display()
+            );
+        }
+        std::process::exit(EXIT_INTERRUPTED);
     }
     if broken_experiments > 0 || !campaign.failures().is_empty() {
         std::process::exit(if campaign.failures().is_empty() {

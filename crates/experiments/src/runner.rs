@@ -27,11 +27,13 @@ use std::time::Instant;
 use dwarn_core::{PolicyKind, PolicyVisitor};
 use smt_obs::{IntervalConfig, IntervalProbe, IntervalSeries, Json};
 use smt_pipeline::{
-    FetchPolicy, RecordingSanitizer, SimConfig, SimResult, Simulator, ThreadSpec, Watchdog,
+    CheckpointOpts, FetchPolicy, MachineSnapshot, RecordingSanitizer, RunOutcome, SimConfig,
+    SimResult, Simulator, ThreadSpec, Watchdog,
 };
 use smt_workloads::Workload;
 
 use crate::cache::DiskCache;
+use crate::checkpoint::{CheckpointFault, CheckpointStore, Journal};
 use crate::error::{protect, ExpError, RunFailure};
 
 /// Simulation window lengths.
@@ -112,7 +114,7 @@ impl RunKey {
     }
 }
 
-fn specs_for(key: &RunKey) -> Result<Vec<ThreadSpec>, ExpError> {
+pub(crate) fn specs_for(key: &RunKey) -> Result<Vec<ThreadSpec>, ExpError> {
     if let Some(bench) = key.workload.strip_prefix("solo:") {
         let profile = smt_trace::by_name(bench).ok_or_else(|| ExpError::UnknownBenchmark {
             given: bench.to_string(),
@@ -226,6 +228,31 @@ pub struct Campaign {
     /// Progress of the current prefetch batch, for runs/sec and ETA:
     /// `(batch_total, started, completed_before_batch)`.
     batch: Mutex<Option<(usize, Instant, u64)>>,
+    /// Checkpoint/resume state (`--resume <dir>`): periodic machine
+    /// snapshots for every in-flight simulation, a results store for
+    /// completed runs, and the resume journal.
+    ckpt: Option<CkptState>,
+}
+
+/// Everything a checkpointing campaign keeps under its resume directory.
+struct CkptState {
+    /// In-flight run snapshots (`<dir>/checkpoints`).
+    store: CheckpointStore,
+    /// Completed results (`<dir>/results`), so a resumed invocation never
+    /// redoes finished work even when no `--cache-dir` is attached.
+    results: DiskCache,
+    /// Append-only event log (`<dir>/journal.jsonl`).
+    journal: Mutex<Journal>,
+    /// Cycles between periodic snapshots.
+    interval: u64,
+}
+
+impl CkptState {
+    /// Journal writes are best-effort: losing an audit line must never
+    /// fail the run it describes.
+    fn journal_completed(&self, what: &str, digest: u64, source: &str) {
+        let _ = crate::lock_unpoisoned(&self.journal).note_completed(what, digest, source);
+    }
 }
 
 /// Destination and window length for interval telemetry
@@ -279,6 +306,7 @@ impl Campaign {
             skip_stats: Mutex::new(HashMap::new()),
             switch_stats: Mutex::new(HashMap::new()),
             batch: Mutex::new(None),
+            ckpt: None,
         }
     }
 
@@ -297,6 +325,38 @@ impl Campaign {
     /// Override the per-run watchdog (tests, chaos harness).
     pub fn set_watchdog(&mut self, wd: Watchdog) {
         self.watchdog = wd;
+    }
+
+    /// Make this campaign crash-resumable under `dir` (`--resume <dir>`):
+    /// every plain (unsanitized, unprobed) simulation writes a machine
+    /// snapshot every `interval` cycles and on watchdog trips or interrupt
+    /// requests; completed results persist under `dir/results`; and
+    /// `dir/journal.jsonl` logs every completion and interruption. A later
+    /// campaign pointed at the same `dir` restores each in-flight run from
+    /// its checkpoint and continues it bit-identically, serves completed
+    /// runs from the results store, and redoes nothing.
+    ///
+    /// An `interval` of 0 disables periodic snapshots but keeps the
+    /// interrupt/watchdog checkpoints and the results store.
+    pub fn set_checkpointing(&mut self, dir: &Path, interval: u64) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let store = CheckpointStore::open(&dir.join("checkpoints"))?;
+        let results = DiskCache::open(&dir.join("results"))?;
+        let mut journal = Journal::open(&dir.join("journal.jsonl"))?;
+        journal.note_resume()?;
+        self.ckpt = Some(CkptState {
+            store,
+            results,
+            journal: Mutex::new(journal),
+            interval,
+        });
+        Ok(())
+    }
+
+    /// The checkpoint store, when [`Campaign::set_checkpointing`] is
+    /// active (diagnostics, chaos fault injection).
+    pub fn checkpoint_store(&self) -> Option<&CheckpointStore> {
+        self.ckpt.as_ref().map(|c| &c.store)
     }
 
     /// Run every simulation under the cycle-level µarch sanitizer. A run
@@ -488,6 +548,7 @@ impl Campaign {
     fn simulate_policy<F: FetchPolicy + 'static>(
         &self,
         what: &str,
+        desc: Option<&str>,
         cfg: &SimConfig,
         specs: &[ThreadSpec],
         policy: F,
@@ -557,17 +618,101 @@ impl Campaign {
                 self.write_intervals(what, specs, &series);
                 Ok(result)
             }),
-            (false, None) => protect(what, move || {
-                let mut sim = Simulator::try_new(cfg.clone(), policy, specs)?;
-                sim.set_skip_enabled(self.skip);
-                let result = sim
-                    .try_run(self.params.warmup, self.params.measure, &self.watchdog)
-                    .map_err(ExpError::from)?;
-                self.note_skip(what, sim.skipped_cycles());
-                self.note_switches(what, sim.policy().switch_log().len() as u64);
-                Ok(result)
-            }),
+            (false, None) => {
+                // The plain arm is the only checkpointing one: --sanitize
+                // and --intervals already force every run to execute fully
+                // in-process (they bypass cache loads), so a resumable
+                // snapshot would buy nothing there.
+                if let (Some(ck), Some(desc)) = (self.ckpt.as_ref(), desc) {
+                    return self.simulate_checkpointed(what, desc, cfg, specs, policy, ck);
+                }
+                protect(what, move || {
+                    let mut sim = Simulator::try_new(cfg.clone(), policy, specs)?;
+                    sim.set_skip_enabled(self.skip);
+                    let result = sim
+                        .try_run(self.params.warmup, self.params.measure, &self.watchdog)
+                        .map_err(ExpError::from)?;
+                    self.note_skip(what, sim.skipped_cycles());
+                    self.note_switches(what, sim.policy().switch_log().len() as u64);
+                    Ok(result)
+                })
+            }
         }
+    }
+
+    /// The checkpointing variant of the plain simulation arm: restore from
+    /// a prior snapshot when one exists, write periodic snapshots while
+    /// running, and turn interrupt requests into [`ExpError::Interrupted`]
+    /// with a resumable checkpoint on disk. A watchdog trip also leaves a
+    /// resumable checkpoint behind (the engine feeds the sink before
+    /// erroring out). Irregular checkpoints surface as typed
+    /// [`ExpError::Checkpoint`] failures — the caller deletes the entry
+    /// and re-simulates from scratch.
+    fn simulate_checkpointed<F: FetchPolicy + 'static>(
+        &self,
+        what: &str,
+        desc: &str,
+        cfg: &SimConfig,
+        specs: &[ThreadSpec],
+        policy: F,
+        ck: &CkptState,
+    ) -> Result<SimResult, ExpError> {
+        protect(what, move || {
+            let ckpt_err = |fault: CheckpointFault| ExpError::Checkpoint {
+                path: ck.store.path_for(desc).display().to_string(),
+                fault,
+            };
+            let mut sim = Simulator::try_new(cfg.clone(), policy, specs)?;
+            sim.set_skip_enabled(self.skip);
+            let pending = match ck.store.load_checked(desc).map_err(&ckpt_err)? {
+                Some(snap) => Some(
+                    sim.restore_run(&snap)
+                        .map_err(|e| ckpt_err(CheckpointFault::Snapshot(e)))?,
+                ),
+                None => None,
+            };
+            // A failed snapshot write costs resumability, never the run.
+            let mut sink = |snap: &MachineSnapshot| {
+                if let Err(e) = ck.store.store(desc, snap) {
+                    eprintln!("checkpoint: storing snapshot for {what}: {e}");
+                }
+            };
+            let stop = crate::interrupt::requested;
+            let mut opts = CheckpointOpts {
+                interval: ck.interval,
+                sink: &mut sink,
+                stop: Some(&stop),
+            };
+            let outcome = match pending {
+                Some(p) => sim.resume_run(p, &self.watchdog, &mut opts),
+                None => sim.try_run_checkpointed(
+                    self.params.warmup,
+                    self.params.measure,
+                    &self.watchdog,
+                    &mut opts,
+                ),
+            }
+            .map_err(ExpError::from)?;
+            match outcome {
+                RunOutcome::Completed(result) => {
+                    self.note_skip(what, sim.skipped_cycles());
+                    self.note_switches(what, sim.policy().switch_log().len() as u64);
+                    // The run is done: its checkpoint is dead weight.
+                    let _ = ck.store.remove(desc);
+                    Ok(result)
+                }
+                RunOutcome::Interrupted(snap) => {
+                    if let Err(e) = ck.store.store(desc, &snap) {
+                        eprintln!("checkpoint: storing snapshot for {what}: {e}");
+                    }
+                    let _ =
+                        crate::lock_unpoisoned(&ck.journal).note_interrupted(what, snap.cycle());
+                    Err(ExpError::Interrupted {
+                        what: what.to_string(),
+                    })
+                }
+            }
+        })
     }
 
     /// [`Campaign::simulate_policy`] for lazily-built dyn policies (the
@@ -575,11 +720,12 @@ impl Campaign {
     fn simulate(
         &self,
         what: &str,
+        desc: Option<&str>,
         cfg: &SimConfig,
         specs: &[ThreadSpec],
         build: impl FnOnce() -> Box<dyn FetchPolicy>,
     ) -> Result<SimResult, ExpError> {
-        self.simulate_policy(what, cfg, specs, build())
+        self.simulate_policy(what, desc, cfg, specs, build())
     }
 
     /// The canonical cache-key description of `key` (diagnostics and fault
@@ -674,27 +820,76 @@ impl Campaign {
                 }
             }
         }
+        // A resumed campaign serves completed runs from the resume
+        // directory's own results store — no re-done work even when no
+        // `--cache-dir` is attached.
+        if let Some(ck) = self.ckpt.as_ref().filter(|_| !self.bypass_cache_loads()) {
+            match ck.results.load_checked(&desc) {
+                Ok(Some(result)) => {
+                    ck.journal_completed(&what, result.digest(), "resume-cache");
+                    crate::artifacts::record(key, &result);
+                    self.note_done(&what, "disk");
+                    return Ok(result);
+                }
+                Ok(None) => {}
+                Err(fault) => {
+                    let e = ExpError::Cache {
+                        path: ck.results.entry_path(&desc).display().to_string(),
+                        fault,
+                    };
+                    self.note_failure(&desc, &e);
+                }
+            }
+            // Nothing finished: if an interrupt is already latched, don't
+            // start a fresh simulation just to stop it at its first cycle.
+            if crate::interrupt::requested() {
+                return Err(ExpError::Interrupted { what });
+            }
+        }
         // Dispatch the policy at its concrete type: the simulator below is
         // monomorphized per policy, removing the per-cycle virtual call.
         struct GridRun<'a> {
             campaign: &'a Campaign,
             what: &'a str,
+            desc: &'a str,
             cfg: &'a SimConfig,
             specs: &'a [ThreadSpec],
         }
         impl PolicyVisitor for GridRun<'_> {
             type Out = Result<SimResult, ExpError>;
             fn visit<F: FetchPolicy + 'static>(self, policy: F) -> Self::Out {
-                self.campaign
-                    .simulate_policy(self.what, self.cfg, self.specs, policy)
+                self.campaign.simulate_policy(
+                    self.what,
+                    Some(self.desc),
+                    self.cfg,
+                    self.specs,
+                    policy,
+                )
             }
         }
-        let result = key.policy.dispatch(GridRun {
-            campaign: self,
-            what: &what,
-            cfg: &cfg,
-            specs: &specs,
-        })?;
+        let dispatch = || {
+            key.policy.dispatch(GridRun {
+                campaign: self,
+                what: &what,
+                desc: &desc,
+                cfg: &cfg,
+                specs: &specs,
+            })
+        };
+        let result = match dispatch() {
+            Ok(r) => r,
+            // An irregular checkpoint never poisons the result: record the
+            // typed fault, delete the damaged entry (which is what disables
+            // resume), and re-simulate once from scratch.
+            Err(e @ ExpError::Checkpoint { .. }) => {
+                self.note_failure(&what, &e);
+                if let Some(ck) = &self.ckpt {
+                    let _ = ck.store.remove(&desc);
+                }
+                dispatch()?
+            }
+            Err(e) => return Err(e),
+        };
         crate::artifacts::record_with_runtime(
             key,
             &result,
@@ -712,6 +907,17 @@ impl Campaign {
                 self.note_failure(&desc, &e);
             }
         }
+        if let Some(ck) = &self.ckpt {
+            if let Err(e) = ck.results.store_retrying(&desc, &result, 3) {
+                let e = ExpError::Io {
+                    context: format!("storing resume result for {what}"),
+                    detail: e.to_string(),
+                };
+                eprintln!("checkpoint: {e}");
+                self.note_failure(&desc, &e);
+            }
+            ck.journal_completed(&what, result.digest(), "sim");
+        }
         Ok(result)
     }
 
@@ -726,7 +932,7 @@ impl Campaign {
         cfg: &SimConfig,
         specs: &[ThreadSpec],
         policy_desc: &str,
-        build: impl FnOnce() -> Box<dyn FetchPolicy>,
+        build: impl Fn() -> Box<dyn FetchPolicy>,
     ) -> SimResult {
         self.try_run_custom(cfg, specs, policy_desc, build)
             .unwrap_or_else(|e| panic!("custom run {policy_desc} failed: {e}"))
@@ -740,7 +946,7 @@ impl Campaign {
         cfg: &SimConfig,
         specs: &[ThreadSpec],
         policy_desc: &str,
-        build: impl FnOnce() -> Box<dyn FetchPolicy>,
+        build: impl Fn() -> Box<dyn FetchPolicy>,
     ) -> Result<SimResult, ExpError> {
         if let Err(e) = cfg.validate(specs.len()) {
             let e = ExpError::Config(e);
@@ -753,7 +959,7 @@ impl Campaign {
         }
         // As in `run_protected`: --sanitize and --intervals bypass cache
         // loads so the run actually executes under audit / with the probe.
-        let loaded = match self.disk.as_ref().filter(|_| !self.bypass_cache_loads()) {
+        let mut loaded = match self.disk.as_ref().filter(|_| !self.bypass_cache_loads()) {
             Some(d) => match d.load_checked(&desc) {
                 Ok(r) => r,
                 Err(fault) => {
@@ -767,10 +973,47 @@ impl Campaign {
             },
             None => None,
         };
+        // The resume directory's results store also serves custom runs.
+        if let (None, Some(ck)) = (
+            &loaded,
+            self.ckpt.as_ref().filter(|_| !self.bypass_cache_loads()),
+        ) {
+            match ck.results.load_checked(&desc) {
+                Ok(Some(r)) => {
+                    ck.journal_completed(policy_desc, r.digest(), "resume-cache");
+                    loaded = Some(r);
+                }
+                Ok(None) => {
+                    if crate::interrupt::requested() {
+                        return Err(ExpError::Interrupted {
+                            what: policy_desc.to_string(),
+                        });
+                    }
+                }
+                Err(fault) => {
+                    let e = ExpError::Cache {
+                        path: ck.results.entry_path(&desc).display().to_string(),
+                        fault,
+                    };
+                    self.note_failure(&desc, &e);
+                }
+            }
+        }
         let result = match loaded {
             Some(r) => r,
             None => {
-                let run = self.simulate(policy_desc, cfg, specs, build);
+                let run = match self.simulate(policy_desc, Some(&desc), cfg, specs, &build) {
+                    // As on the grid path: an irregular checkpoint is
+                    // recorded, deleted, and re-simulated once from scratch.
+                    Err(e @ ExpError::Checkpoint { .. }) => {
+                        self.note_failure(policy_desc, &e);
+                        if let Some(ck) = &self.ckpt {
+                            let _ = ck.store.remove(&desc);
+                        }
+                        self.simulate(policy_desc, Some(&desc), cfg, specs, &build)
+                    }
+                    other => other,
+                };
                 let r = match run {
                     Ok(r) => r,
                     Err(e) => {
@@ -787,6 +1030,17 @@ impl Campaign {
                         eprintln!("cache: {e}");
                         self.note_failure(&desc, &e);
                     }
+                }
+                if let Some(ck) = &self.ckpt {
+                    if let Err(e) = ck.results.store_retrying(&desc, &r, 3) {
+                        let e = ExpError::Io {
+                            context: format!("storing resume result for {policy_desc}"),
+                            detail: e.to_string(),
+                        };
+                        eprintln!("checkpoint: {e}");
+                        self.note_failure(&desc, &e);
+                    }
+                    ck.journal_completed(policy_desc, r.digest(), "sim");
                 }
                 r
             }
@@ -846,6 +1100,12 @@ impl Campaign {
                     s.spawn(move || loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if i >= missing.len() {
+                            break;
+                        }
+                        // Ctrl-C on a checkpointing campaign: in-flight
+                        // runs drain to resumable checkpoints; keys not
+                        // yet started stay untouched for the resume.
+                        if self.ckpt.is_some() && crate::interrupt::requested() {
                             break;
                         }
                         let k = &missing[i];

@@ -1,7 +1,8 @@
 //! Property-style acceptance tests for the chaos harness.
 //!
 //! The robustness contract (ISSUE 3): a chaos campaign with >= 32
-//! deterministic faults across the trace, cache, and config surfaces must
+//! deterministic faults across the trace, cache, config, and resume
+//! checkpoint surfaces must
 //! complete with partial results, every injected fault must resolve to a
 //! typed error artifact or an absorbed (still bit-identical) result, no
 //! fault may hang or escape as a panic, and every non-faulted golden run
@@ -31,8 +32,8 @@ fn thirty_two_faults_all_resolve_typed_or_recovered() {
         );
     }
 
-    // The plan must actually span all three mandated surfaces.
-    for surface in ["trace", "cache", "config"] {
+    // The plan must actually span every mandated surface.
+    for surface in ["trace", "cache", "config", "checkpoint"] {
         assert!(
             report.faults.iter().any(|f| f.surface == surface),
             "no fault hit the {surface} surface"

@@ -469,6 +469,116 @@ impl IntervalProbe {
     }
 }
 
+// Minimal little-endian u64 framing for the probe's snapshot section.
+// `smt-obs` sits below every other crate and stays dependency-free, so the
+// probe speaks raw bytes rather than the `smt-trace` snapshot vocabulary;
+// the layout is private to this impl (opaque bytes to the snapshot engine).
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn u64(&mut self) -> Result<u64, String> {
+        let end = self.pos + 8;
+        if end > self.buf.len() {
+            return Err("truncated interval-probe state".to_string());
+        }
+        let mut a = [0u8; 8];
+        a.copy_from_slice(&self.buf[self.pos..end]);
+        self.pos = end;
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn len(&mut self, cap: usize) -> Result<usize, String> {
+        let v = self.u64()?;
+        if v > cap as u64 {
+            return Err(format!("interval-probe length {v} exceeds cap {cap}"));
+        }
+        Ok(v as usize)
+    }
+}
+
+fn push_window(out: &mut Vec<u8>, w: &ThreadWindow) {
+    push_u64(out, w.committed);
+    push_u64(out, w.fetched);
+    push_u64(out, w.wrong_path_fetched);
+    for &g in &w.gate_cycles {
+        push_u64(out, g);
+    }
+    push_u64(out, w.l1d_misses);
+    push_u64(out, w.l2_misses);
+    push_u64(out, w.outstanding_acc);
+    push_u64(out, w.rob_acc);
+    push_u64(out, w.iq_acc);
+    push_u64(out, w.warn_transitions);
+}
+
+fn read_window(r: &mut ByteReader<'_>) -> Result<ThreadWindow, String> {
+    let mut w = ThreadWindow {
+        committed: r.u64()?,
+        fetched: r.u64()?,
+        wrong_path_fetched: r.u64()?,
+        ..ThreadWindow::default()
+    };
+    for g in &mut w.gate_cycles {
+        *g = r.u64()?;
+    }
+    w.l1d_misses = r.u64()?;
+    w.l2_misses = r.u64()?;
+    w.outstanding_acc = r.u64()?;
+    w.rob_acc = r.u64()?;
+    w.iq_acc = r.u64()?;
+    w.warn_transitions = r.u64()?;
+    Ok(w)
+}
+
+fn push_interval(out: &mut Vec<u8>, iv: &Interval) {
+    push_u64(out, iv.index);
+    push_u64(out, iv.start_cycle);
+    push_u64(out, iv.cycles);
+    push_u64(out, iv.skipped);
+    for &q in &iv.iq_occ_acc {
+        push_u64(out, q);
+    }
+    push_u64(out, iv.regs_acc.0);
+    push_u64(out, iv.regs_acc.1);
+    push_u64(out, iv.policy_switches);
+    push_u64(out, iv.threads.len() as u64);
+    for w in &iv.threads {
+        push_window(out, w);
+    }
+}
+
+const MAX_SNAPSHOT_THREADS: usize = 1 << 10;
+const MAX_SNAPSHOT_INTERVALS: usize = 1 << 28;
+
+fn read_interval(r: &mut ByteReader<'_>) -> Result<Interval, String> {
+    let mut iv = Interval {
+        index: r.u64()?,
+        start_cycle: r.u64()?,
+        cycles: r.u64()?,
+        skipped: r.u64()?,
+        ..Interval::default()
+    };
+    for q in &mut iv.iq_occ_acc {
+        *q = r.u64()?;
+    }
+    iv.regs_acc.0 = r.u64()?;
+    iv.regs_acc.1 = r.u64()?;
+    iv.policy_switches = r.u64()?;
+    let n = r.len(MAX_SNAPSHOT_THREADS)?;
+    iv.threads.reserve(n);
+    for _ in 0..n {
+        iv.threads.push(read_window(r)?);
+    }
+    Ok(iv)
+}
+
 impl Probe for IntervalProbe {
     fn on_fetch(&mut self, cycle: u64, thread: usize, _pc: u64, _seq: u64, wrong_path: bool) {
         self.roll(cycle);
@@ -528,6 +638,47 @@ impl Probe for IntervalProbe {
             cycle += take;
             left -= take;
         }
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        push_u64(out, self.window);
+        push_u64(out, self.num_threads as u64);
+        push_u64(out, self.cur_start);
+        push_interval(out, &self.cur);
+        push_u64(out, self.intervals.len() as u64);
+        for iv in &self.intervals {
+            push_interval(out, iv);
+        }
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = ByteReader { buf: bytes, pos: 0 };
+        let window = r.u64()?;
+        if window != self.window {
+            return Err(format!(
+                "interval window mismatch: snapshot has {window}, probe has {}",
+                self.window
+            ));
+        }
+        let num_threads = r.len(MAX_SNAPSHOT_THREADS)?;
+        let cur_start = r.u64()?;
+        let cur = read_interval(&mut r)?;
+        let n = r.len(MAX_SNAPSHOT_INTERVALS)?;
+        let mut intervals = Vec::with_capacity(n);
+        for _ in 0..n {
+            intervals.push(read_interval(&mut r)?);
+        }
+        if r.pos != bytes.len() {
+            return Err(format!(
+                "{} bytes of trailing data after interval-probe state",
+                bytes.len() - r.pos
+            ));
+        }
+        self.num_threads = num_threads;
+        self.cur_start = cur_start;
+        self.cur = cur;
+        self.intervals = intervals;
+        Ok(())
     }
 }
 
@@ -688,6 +839,47 @@ mod tests {
         r.on_commit(5, 0, 0, 0);
         r.on_policy_switch(50, "DWARN", "STALL");
         assert_ne!(q.into_series().digest(), r.into_series().digest());
+    }
+
+    #[test]
+    fn probe_state_round_trips_mid_run() {
+        let rob = [3u32, 1];
+        let iqt = [2u32, 0];
+        let out = [1u32, 0];
+        let gate = [None, Some(GateReason::Policy)];
+        let mut orig = IntervalProbe::new(IntervalConfig { window: 100 });
+        for c in 0..250u64 {
+            orig.on_cycle_state(&state(c, &rob, &iqt, &out, &gate));
+        }
+        orig.on_commit(250, 0, 0, 0);
+        orig.on_policy_switch(250, "DWARN", "FLUSH");
+
+        let mut buf = Vec::new();
+        orig.save_state(&mut buf);
+        let mut restored = IntervalProbe::new(IntervalConfig { window: 100 });
+        restored.load_state(&buf).unwrap();
+
+        // Continue both identically; series must match exactly.
+        for p in [&mut orig, &mut restored] {
+            for c in 251..400u64 {
+                p.on_cycle_state(&state(c, &rob, &iqt, &out, &gate));
+            }
+        }
+        let (sa, sb) = (orig.into_series(), restored.into_series());
+        assert_eq!(sa, sb);
+        assert_eq!(sa.digest(), sb.digest());
+
+        // Mismatched window and truncated sections are typed errors.
+        let mut wrong = IntervalProbe::new(IntervalConfig { window: 64 });
+        assert!(wrong.load_state(&buf).is_err());
+        let mut short = IntervalProbe::new(IntervalConfig { window: 100 });
+        assert!(short.load_state(&buf[..buf.len() - 5]).is_err());
+        // Empty bytes are the reset-to-start convention, not an error.
+        let mut fresh = IntervalProbe::new(IntervalConfig { window: 100 });
+        assert!(
+            fresh.load_state(&[]).is_err(),
+            "empty is rejected here: the probe always saves a header"
+        );
     }
 
     #[test]

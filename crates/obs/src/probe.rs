@@ -195,6 +195,19 @@ pub trait Probe {
     /// naively (the quiescence engine caps spans at the policy's declared
     /// horizon), so the delivered cycle is exact in both skip modes.
     fn on_policy_switch(&mut self, _cycle: u64, _from: &'static str, _to: &'static str) {}
+
+    /// Serialize the probe's evolving state for a machine snapshot. Probes
+    /// with no evolving state append nothing. Plain bytes (not a structured
+    /// writer) keep `smt-obs` dependency-free; stateful probes define their
+    /// own layout.
+    fn save_state(&self, _out: &mut Vec<u8>) {}
+
+    /// Restore the state captured by [`Probe::save_state`]. Called with
+    /// exactly the bytes that `save_state` produced for this probe type;
+    /// an error string rejects a section that does not decode.
+    fn load_state(&mut self, _bytes: &[u8]) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// The disabled probe: every hook is a no-op and [`Probe::ENABLED`] is
@@ -262,5 +275,11 @@ impl<P: Probe> Probe for &mut P {
     }
     fn on_policy_switch(&mut self, cycle: u64, from: &'static str, to: &'static str) {
         (**self).on_policy_switch(cycle, from, to)
+    }
+    fn save_state(&self, out: &mut Vec<u8>) {
+        (**self).save_state(out)
+    }
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        (**self).load_state(bytes)
     }
 }

@@ -24,6 +24,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use smt_trace::snapio::{self, SnapError, SnapReader};
+
 use crate::inflight::Handle;
 
 /// Kind of a scheduled pipeline event. The discriminant order is part of
@@ -215,6 +217,66 @@ impl EventWheel {
         }
     }
 
+    /// Serialize every queued event, sorted by the scheduler's total order
+    /// `(at, seq, kind)` — placement (bucket vs. overflow) is a performance
+    /// detail, so sorting makes equal queue *contents* byte-identical
+    /// regardless of how the events arrived.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        let mut evs: Vec<Ev> = Vec::with_capacity(self.len);
+        for bucket in &self.buckets {
+            evs.extend_from_slice(bucket);
+        }
+        evs.extend(self.overflow.iter().map(|&Reverse(ev)| ev));
+        evs.sort_unstable();
+        snapio::put_usize(out, evs.len());
+        for ev in &evs {
+            snapio::put_u64(out, ev.at);
+            snapio::put_u64(out, ev.seq);
+            snapio::put_u8(out, ev_kind_tag(ev.kind));
+            snapio::put_u32(out, ev.h.idx);
+            snapio::put_u32(out, ev.h.gen);
+        }
+    }
+
+    /// Rebuild the queue from a snapshot section, given the restored cycle
+    /// counter. Every event must be due at or after `now` (`INV007`: events
+    /// due exactly at `now` are legal between cycles — they drain at the
+    /// head of the next step). The horizon is construction-derived and not
+    /// serialized; placement replicates [`EventWheel::push`].
+    pub fn load_state(&mut self, now: u64, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        const MAX_EVENTS: usize = 1 << 24;
+        let n = r.len_capped(MAX_EVENTS)?;
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.overflow.clear();
+        self.len = 0;
+        for _ in 0..n {
+            let ev = Ev {
+                at: r.u64()?,
+                seq: r.u64()?,
+                kind: ev_kind_from_tag(r.u8()?)?,
+                h: Handle {
+                    idx: r.u32()?,
+                    gen: r.u32()?,
+                },
+            };
+            if ev.at < now {
+                return Err(SnapError::malformed(format!(
+                    "event for seq {} due at cycle {} is already past (now {now})",
+                    ev.seq, ev.at
+                )));
+            }
+            if ev.at - now < self.buckets.len() as u64 {
+                self.buckets[(ev.at & self.mask) as usize].push(ev);
+            } else {
+                self.overflow.push(Reverse(ev));
+            }
+            self.len += 1;
+        }
+        Ok(())
+    }
+
     /// Mutation-test hook: file `ev` unconditionally, bypassing the
     /// future-only precondition of [`EventWheel::push`]. A past-due event
     /// lands in a bucket `drain_due` will not visit for a full horizon,
@@ -225,6 +287,29 @@ impl EventWheel {
         self.len += 1;
         self.buckets[(ev.at & self.mask) as usize].push(ev);
     }
+}
+
+fn ev_kind_tag(k: EvKind) -> u8 {
+    match k {
+        EvKind::Wakeup => 0,
+        EvKind::Complete => 1,
+        EvKind::L1Outcome => 2,
+        EvKind::Fill => 3,
+        EvKind::ResolveNotice => 4,
+        EvKind::Declare => 5,
+    }
+}
+
+fn ev_kind_from_tag(t: u8) -> Result<EvKind, SnapError> {
+    Ok(match t {
+        0 => EvKind::Wakeup,
+        1 => EvKind::Complete,
+        2 => EvKind::L1Outcome,
+        3 => EvKind::Fill,
+        4 => EvKind::ResolveNotice,
+        5 => EvKind::Declare,
+        _ => return Err(SnapError::malformed(format!("EvKind tag {t}"))),
+    })
 }
 
 /// Result of [`EventWheel::audit`].
@@ -337,6 +422,44 @@ mod tests {
         wheel.drain_due(3, &mut buf);
         assert_eq!(buf.len(), 1);
         assert_eq!(wheel.next_due(4), Some(100), "overflow bounds the frontier");
+    }
+
+    #[test]
+    fn wheel_state_round_trips_and_rejects_past_due() {
+        let mut wheel = EventWheel::new(8);
+        wheel.push(0, ev(3, 1, EvKind::Complete));
+        wheel.push(0, ev(100, 2, EvKind::Fill)); // overflow
+        wheel.push(0, ev(5, 3, EvKind::Wakeup));
+        let mut buf = Vec::new();
+        wheel.save_state(&mut buf);
+
+        let mut back = EventWheel::new(8);
+        let mut r = SnapReader::new(&buf);
+        back.load_state(3, &mut r).unwrap();
+        r.finish("wheel").unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.next_due(3), Some(3), "due-now events survive restore");
+        // Drain order matches the original wheel's.
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let (mut da, mut db) = (Vec::new(), Vec::new());
+        for now in 3..=100 {
+            wheel.drain_due(now, &mut a);
+            back.drain_due(now, &mut b);
+            da.extend(a.iter().copied());
+            db.extend(b.iter().copied());
+        }
+        assert_eq!(da, db);
+        // Restored contents re-serialize byte-identically.
+        let mut wheel2 = EventWheel::new(8);
+        let mut r = SnapReader::new(&buf);
+        wheel2.load_state(3, &mut r).unwrap();
+        let mut buf2 = Vec::new();
+        wheel2.save_state(&mut buf2);
+        assert_eq!(buf2, buf);
+        // An event strictly before `now` is a typed error (INV007).
+        let mut r = SnapReader::new(&buf);
+        let e = EventWheel::new(8).load_state(50, &mut r).unwrap_err();
+        assert!(e.to_string().contains("already past"), "{e}");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use smt_trace::snapio::{self, SnapError, SnapReader};
 use smt_trace::{BenchProfile, DynInst, RecordedTrace, StaticProgram, SynthState, ThreadTrace};
 
 use crate::inflight::Handle;
@@ -200,6 +201,93 @@ impl ThreadFront {
         self.on_wrong_path = false;
     }
 
+    /// Serialize the front-end's evolving state: stream position, wrong-path
+    /// synthesizer, fetch PC / path flag, replay buffer, fetch queue, and
+    /// I-cache wait state. Construction-derived state (program image,
+    /// profile, code base, recorded instruction array) is not written;
+    /// [`ThreadFront::load_state`] restores into an identically-constructed
+    /// front-end.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        match &self.source {
+            CorrectPath::Synthetic(t) => {
+                snapio::put_u8(out, 0);
+                t.save_state(out);
+            }
+            CorrectPath::Recorded { pos, emitted, .. } => {
+                snapio::put_u8(out, 1);
+                snapio::put_usize(out, *pos);
+                snapio::put_u64(out, *emitted);
+            }
+        }
+        self.synth.save_state(out);
+        snapio::put_u64(out, self.fetch_pc);
+        snapio::put_bool(out, self.on_wrong_path);
+        snapio::put_usize(out, self.replay.len());
+        for d in &self.replay {
+            d.save_state(out);
+        }
+        snapio::put_usize(out, self.queue.len());
+        for h in &self.queue {
+            snapio::put_u32(out, h.idx);
+            snapio::put_u32(out, h.gen);
+        }
+        snapio::put_u64(out, self.icache_ready_at);
+    }
+
+    /// Restore evolving state written by [`ThreadFront::save_state`]. The
+    /// stream kind (synthetic vs. recorded) must match the constructed
+    /// front-end; on error the front-end is unspecified and must be
+    /// discarded.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        const MAX_QUEUE: usize = 1 << 20;
+        let tag = r.u8()?;
+        match (&mut self.source, tag) {
+            (CorrectPath::Synthetic(t), 0) => t.load_state(r)?,
+            (
+                CorrectPath::Recorded {
+                    insts,
+                    pos,
+                    emitted,
+                    ..
+                },
+                1,
+            ) => {
+                let new_pos = r.usize()?;
+                if new_pos >= insts.len() {
+                    return Err(SnapError::malformed(format!(
+                        "recorded-trace position {new_pos} out of {} instructions",
+                        insts.len()
+                    )));
+                }
+                *pos = new_pos;
+                *emitted = r.u64()?;
+            }
+            _ => {
+                return Err(SnapError::malformed(format!(
+                    "correct-path stream kind tag {tag} does not match the constructed front-end"
+                )))
+            }
+        }
+        self.synth.load_state(r)?;
+        self.fetch_pc = r.u64()?;
+        self.on_wrong_path = r.bool()?;
+        let n_replay = r.len_capped(MAX_QUEUE)?;
+        self.replay.clear();
+        for _ in 0..n_replay {
+            self.replay.push_back(DynInst::load_state(r)?);
+        }
+        let n_queue = r.len_capped(MAX_QUEUE)?;
+        self.queue.clear();
+        for _ in 0..n_queue {
+            self.queue.push_back(Handle {
+                idx: r.u32()?,
+                gen: r.u32()?,
+            });
+        }
+        self.icache_ready_at = r.u64()?;
+        Ok(())
+    }
+
     /// Structurally unable to fetch this cycle?
     pub fn blocked(&self, now: u64, fetch_queue_cap: u32) -> bool {
         now < self.icache_ready_at || self.queue.len() >= fetch_queue_cap as usize
@@ -262,6 +350,43 @@ mod tests {
         let d = f.next_to_fetch();
         assert!(d.wrong_path);
         assert_eq!(d.pc, 0x40);
+    }
+
+    #[test]
+    fn front_state_round_trips_mid_stream() {
+        let p = gzip();
+        let mut f = ThreadFront::new(&p, 7, 0x2000, 0);
+        // Advance the stream, leave a replay entry and queue contents.
+        let mut last = f.next_to_fetch();
+        for _ in 0..500 {
+            f.fetch_pc = last.next_pc;
+            last = f.next_to_fetch();
+        }
+        f.restore_for_replay(vec![last]);
+        f.queue.push_back(Handle { idx: 3, gen: 1 });
+        f.icache_ready_at = 1234;
+        let mut buf = Vec::new();
+        f.save_state(&mut buf);
+
+        let mut g = ThreadFront::new(&p, 7, 0x2000, 0);
+        let mut r = SnapReader::new(&buf);
+        g.load_state(&mut r).unwrap();
+        r.finish("front").unwrap();
+        assert_eq!(g.fetch_pc, f.fetch_pc);
+        assert_eq!(g.icache_ready_at, 1234);
+        assert_eq!(g.queue, f.queue);
+        // Continuations agree instruction for instruction.
+        for _ in 0..200 {
+            let a = f.next_to_fetch();
+            let b = g.next_to_fetch();
+            assert_eq!(a, b);
+            f.fetch_pc = a.next_pc;
+            g.fetch_pc = b.next_pc;
+        }
+        // A truncated section is a typed error, not a panic.
+        let mut h = ThreadFront::new(&p, 7, 0x2000, 0);
+        let mut r = SnapReader::new(&buf[..buf.len() / 2]);
+        assert!(h.load_state(&mut r).is_err());
     }
 
     #[test]

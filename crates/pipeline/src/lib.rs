@@ -37,6 +37,7 @@ pub mod inflight;
 pub mod policy;
 pub mod sanitizer;
 pub mod sim;
+pub mod snapshot;
 pub mod stats;
 
 pub use config::SimConfig;
@@ -47,6 +48,7 @@ pub use policy::{DeclareAction, FetchPolicy, PolicyEvent, PolicySwitch, PolicyVi
 pub use sanitizer::{
     InvariantCode, InvariantViolation, NullSanitizer, RecordingSanitizer, Sanitizer,
 };
-pub use sim::{Mutation, Simulator, ThreadSpec};
+pub use sim::{CheckpointOpts, Mutation, PendingRun, RunOutcome, Simulator, ThreadSpec};
 pub use smt_obs::{NullProbe, Probe};
+pub use snapshot::{MachineSnapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use stats::{OccupancyStats, SimResult, ThreadStats};

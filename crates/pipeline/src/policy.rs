@@ -289,6 +289,34 @@ pub trait FetchPolicy {
     fn switch_log(&self) -> &[PolicySwitch] {
         &[]
     }
+
+    /// Checkpoint hook: serialize the policy's *evolving* state (per-load
+    /// tracking maps, predictor tables, selector estimates, interval-window
+    /// phase, switch logs) into `out`. Stateless policies — anything whose
+    /// fetch order is a pure function of the view — keep the default empty
+    /// body. The simulator embeds these bytes in its
+    /// [`MachineSnapshot`](crate::snapshot::MachineSnapshot) and hands them
+    /// back through [`FetchPolicy::load_state`] on restore.
+    fn save_state(&self, _out: &mut Vec<u8>) {}
+
+    /// Checkpoint hook: restore state written by
+    /// [`FetchPolicy::save_state`] into an identically-constructed policy.
+    /// Implementations must reject malformed or mismatched bytes with a
+    /// descriptive error (never panic) and should treat their state as
+    /// unspecified after a failure. The default accepts only an empty
+    /// section, so a stateful snapshot can never be silently dropped by a
+    /// stateless policy.
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "policy {} is stateless but the snapshot carries {} bytes of policy state",
+                self.name(),
+                bytes.len()
+            ))
+        }
+    }
 }
 
 /// Boxed policies forward everything, so `Box<dyn FetchPolicy>` is itself
@@ -336,6 +364,12 @@ impl<T: FetchPolicy + ?Sized> FetchPolicy for Box<T> {
     }
     fn switch_log(&self) -> &[PolicySwitch] {
         (**self).switch_log()
+    }
+    fn save_state(&self, out: &mut Vec<u8>) {
+        (**self).save_state(out)
+    }
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        (**self).load_state(bytes)
     }
 }
 

@@ -15,18 +15,21 @@
 use std::collections::VecDeque;
 
 use smt_obs::{CycleState, GateReason, NullProbe, OccupancySample, Probe, SquashKind};
+use smt_trace::snapio::{self, SnapError, SnapReader};
 use smt_trace::{BenchProfile, DynInst, OpClass, INST_BYTES, NUM_ARCH_REGS};
 use smt_uarch::{
     BranchUnit, FuKind, FuPools, IqKind, IssueQueues, MemHierarchy, RegPool, RobCounters,
+    ThreadMemStats,
 };
 
 use crate::config::SimConfig;
 use crate::error::{ConfigError, ProgressSnapshot, SimError, ThreadProgress, Watchdog};
 use crate::events::{Ev, EvKind, EventWheel};
 use crate::frontend::ThreadFront;
-use crate::inflight::{Handle, InFlight, Slab, Stage};
+use crate::inflight::{put_handle, read_handle, Handle, InFlight, Slab, Stage};
 use crate::policy::{DeclareAction, FetchPolicy, PolicyEvent, PolicyView, ThreadView};
 use crate::sanitizer::{InvariantCode, InvariantViolation, NullSanitizer, Sanitizer};
+use crate::snapshot::{cfg_fingerprint, MachineSnapshot, SnapshotError};
 use crate::stats::{SimResult, ThreadStats};
 
 /// Cycle period of the cache tag-array integrity audit (`INV014`): scanning
@@ -667,13 +670,17 @@ impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
         self.obs_gate = gate;
     }
 
-    /// The engine's single clock-advance point (naive steps and bulk
-    /// quiescence skips both come through here; lint rule `SMT006` rejects
-    /// any other write to the cycle counter). Advances the round-robin
-    /// offset exactly as `cycles` naive steps would.
+    /// The engine's single clock-advance point (naive steps, bulk
+    /// quiescence skips, and checkpoint-restore rebases all come through
+    /// here; lint rule `SMT006` rejects any other write to the cycle
+    /// counter). Advances the round-robin offset exactly as `cycles` naive
+    /// steps would. Arithmetic wraps so a restore can rebase onto an
+    /// arbitrary absolute cycle via `target.wrapping_sub(self.now)` — exact
+    /// in u64 even when the target precedes the current clock (the restore
+    /// then reinstates the checkpointed round-robin offset verbatim).
     fn advance_clock(&mut self, cycles: u64) {
-        self.now += cycles;
-        self.rr = ((self.rr as u64 + cycles) % self.num_threads() as u64) as usize;
+        self.now = self.now.wrapping_add(cycles);
+        self.rr = ((self.rr as u64).wrapping_add(cycles) % self.num_threads() as u64) as usize;
     }
 
     /// Disable or re-enable the quiescence-skipping engine (the `--no-skip`
@@ -985,23 +992,8 @@ impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
         watch: &mut WatchState,
         wd: &Watchdog,
     ) -> Result<(), SimError> {
-        let skip = self.skip_active();
-        let mut left = cycles;
-        while left > 0 {
-            if skip {
-                let cap = watch.skip_cap(self, wd).min(left);
-                let k = self.try_skip(cap);
-                if k > 0 {
-                    watch.bulk_advance(k);
-                    left -= k;
-                    continue;
-                }
-            }
-            self.step();
-            watch.check(self, wd)?;
-            left -= 1;
-        }
-        Ok(())
+        let mut progressed = 0;
+        self.run_guarded_counted(cycles, watch, wd, &mut progressed)
     }
 
     /// As [`Simulator::run`], additionally sampling shared-resource
@@ -2631,5 +2623,635 @@ impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
     /// Return] — diagnostics.
     pub fn branch_kind_stats(&self) -> [(u64, u64); 4] {
         self.branches.by_kind
+    }
+}
+
+// ----------------------------------------------------------------------
+// Checkpoint / restore
+// ----------------------------------------------------------------------
+
+fn put_thread_stats(out: &mut Vec<u8>, s: &ThreadStats) {
+    snapio::put_u64(out, s.fetched);
+    snapio::put_u64(out, s.wrong_path_fetched);
+    snapio::put_u64(out, s.committed);
+    snapio::put_u64(out, s.squashed_mispredict);
+    snapio::put_u64(out, s.squashed_flush);
+    snapio::put_u64(out, s.gated_cycles);
+    snapio::put_u64(out, s.blocked_cycles);
+    snapio::put_u64(out, s.dispatch_stalls);
+    snapio::put_u64(out, s.branches);
+    snapio::put_u64(out, s.branch_mispredicts);
+}
+
+fn read_thread_stats(r: &mut SnapReader<'_>) -> Result<ThreadStats, SnapError> {
+    Ok(ThreadStats {
+        fetched: r.u64()?,
+        wrong_path_fetched: r.u64()?,
+        committed: r.u64()?,
+        squashed_mispredict: r.u64()?,
+        squashed_flush: r.u64()?,
+        gated_cycles: r.u64()?,
+        blocked_cycles: r.u64()?,
+        dispatch_stalls: r.u64()?,
+        branches: r.u64()?,
+        branch_mispredicts: r.u64()?,
+    })
+}
+
+fn put_mem_stats(out: &mut Vec<u8>, m: &ThreadMemStats) {
+    snapio::put_u64(out, m.loads);
+    snapio::put_u64(out, m.l1_misses);
+    snapio::put_u64(out, m.l2_misses);
+    snapio::put_u64(out, m.tlb_misses);
+}
+
+fn read_mem_stats(r: &mut SnapReader<'_>) -> Result<ThreadMemStats, SnapError> {
+    Ok(ThreadMemStats {
+        loads: r.u64()?,
+        l1_misses: r.u64()?,
+        l2_misses: r.u64()?,
+        tlb_misses: r.u64()?,
+    })
+}
+
+fn gate_tag(g: GateReason) -> u8 {
+    match g {
+        GateReason::Policy => 0,
+        GateReason::IcacheMiss => 1,
+        GateReason::FetchQueueFull => 2,
+    }
+}
+
+fn gate_from_tag(t: u8) -> Result<GateReason, SnapError> {
+    Ok(match t {
+        0 => GateReason::Policy,
+        1 => GateReason::IcacheMiss,
+        2 => GateReason::FetchQueueFull,
+        _ => return Err(SnapError::malformed(format!("unknown gate reason tag {t}"))),
+    })
+}
+
+/// How a checkpointed run ended: it either ran its budgets to completion
+/// like [`Simulator::try_run`], or a stop request interrupted it and the
+/// resumable machine state is handed back instead.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// The run finished; the measured-window result, exactly as
+    /// [`Simulator::try_run`] would have produced it.
+    Completed(SimResult),
+    /// A [`CheckpointOpts::stop`] request interrupted the run between
+    /// chunks. The snapshot carries run state
+    /// ([`MachineSnapshot::has_run_state`]) and seeds
+    /// [`Simulator::restore_run`] / [`Simulator::resume_run`].
+    Interrupted(MachineSnapshot),
+}
+
+/// Measurement bases captured at the warmup/measure boundary (the window
+/// result is the delta of cumulative counters against these).
+#[derive(Debug)]
+struct RunBases {
+    stats: Vec<ThreadStats>,
+    mem: Vec<ThreadMemStats>,
+    pred: (u64, u64),
+}
+
+/// Where an in-progress guarded run stands: remaining budgets plus the
+/// measurement bases once warmup has completed.
+#[derive(Debug)]
+struct RunPhase {
+    warmup_left: u64,
+    measure_left: u64,
+    measure_total: u64,
+    bases: Option<RunBases>,
+}
+
+/// An in-progress run decoded from a snapshot by
+/// [`Simulator::restore_run`], ready to be continued by
+/// [`Simulator::resume_run`]. Opaque: its contents mirror the private run
+/// bookkeeping of the checkpointed driver.
+#[derive(Debug)]
+pub struct PendingRun {
+    phase: RunPhase,
+    watch_cycles: u64,
+    watch_last_commit_total: u64,
+    watch_last_commit_cycle: u64,
+}
+
+impl PendingRun {
+    /// Guarded cycles already run (warmup + measure) — diagnostics.
+    pub fn cycles_done(&self) -> u64 {
+        self.watch_cycles
+    }
+
+    /// Guarded cycles still to run (warmup + measure) — diagnostics.
+    pub fn cycles_left(&self) -> u64 {
+        self.phase.warmup_left + self.phase.measure_left
+    }
+}
+
+/// Checkpointing controls for [`Simulator::try_run_checkpointed`] /
+/// [`Simulator::resume_run`].
+pub struct CheckpointOpts<'a> {
+    /// Emit a checkpoint every `interval` simulated cycles (the run is
+    /// driven in chunks of this size). `0` disables periodic checkpoints:
+    /// the run executes each phase in one chunk and the sink only sees the
+    /// final watchdog-trip checkpoint, if any.
+    pub interval: u64,
+    /// Receives every emitted checkpoint (periodic ones, and the final
+    /// resumable checkpoint emitted when the watchdog aborts the run).
+    pub sink: &'a mut dyn FnMut(&MachineSnapshot),
+    /// Polled between chunks; returning `true` interrupts the run with
+    /// [`RunOutcome::Interrupted`] (the caller owns the returned snapshot,
+    /// so it is *not* also sent to the sink).
+    pub stop: Option<&'a dyn Fn() -> bool>,
+}
+
+impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
+    /// Serialize the complete evolving machine state (everything
+    /// [`Simulator::step`] can change). Scratch buffers, configuration, and
+    /// construction-time caches are excluded: restore targets an
+    /// identically-constructed simulator that already has them.
+    fn save_machine(&self, out: &mut Vec<u8>) {
+        let n = self.num_threads();
+        snapio::put_u64(out, self.now);
+        snapio::put_u64(out, self.seq);
+        snapio::put_usize(out, self.rr);
+        snapio::put_usize(out, n);
+        for f in &self.fronts {
+            f.save_state(out);
+        }
+        self.slab.save_state(out);
+        for rob in &self.robs {
+            snapio::put_usize(out, rob.len());
+            for &h in rob {
+                put_handle(out, h);
+            }
+        }
+        for table in self.rename_int.iter().chain(self.rename_fp.iter()) {
+            for &slot in table.iter() {
+                snapio::put_opt(out, slot, put_handle);
+            }
+        }
+        self.regs_int.save_state(out);
+        self.regs_fp.save_state(out);
+        self.iqs.save_state(out);
+        self.fus.save_state(out);
+        self.rob_count.save_state(out);
+        self.hier.save_state(out);
+        self.branches.save_state(out);
+        self.events.save_state(out);
+        // Ready lists verbatim, stale handles included: lazy cleanup is
+        // part of machine behavior (a restored run must compact the same
+        // entries on the same cycles the uninterrupted run would).
+        for list in &self.ready {
+            snapio::put_usize(out, list.len());
+            for &h in list {
+                put_handle(out, h);
+            }
+        }
+        for counters in [
+            &self.icount,
+            &self.dmiss,
+            &self.declared,
+            &self.iq_held,
+            &self.regs_held,
+        ] {
+            for &c in counters.iter() {
+                snapio::put_u32(out, c);
+            }
+        }
+        for s in &self.stats {
+            put_thread_stats(out, s);
+        }
+        snapio::put_u64(out, self.total_committed);
+        snapio::put_u64(out, self.skipped_cycles);
+        snapio::put_u64(out, self.skip_spans);
+        for &g in &self.gate_state {
+            snapio::put_opt(out, g, |o, g| snapio::put_u8(o, gate_tag(g)));
+        }
+        for &w in &self.warn_state {
+            snapio::put_u8(out, w);
+        }
+    }
+
+    /// Restore the machine section into this (identically-constructed)
+    /// simulator. On error the machine state is unspecified — discard the
+    /// simulator (the caller-facing [`Simulator::restore`] documents this).
+    fn load_machine(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        const MAX_LIST: usize = 1 << 24;
+        let n = self.num_threads();
+        let now = r.u64()?;
+        let seq = r.u64()?;
+        let rr = r.usize()?;
+        if rr >= n {
+            return Err(SnapError::malformed(format!(
+                "round-robin offset {rr} with {n} threads"
+            )));
+        }
+        let fronts = r.usize()?;
+        if fronts != n {
+            return Err(SnapError::malformed(format!(
+                "snapshot has {fronts} front-ends, simulator has {n}"
+            )));
+        }
+        for f in &mut self.fronts {
+            f.load_state(r)?;
+        }
+        self.slab.load_state(r)?;
+        for rob in &mut self.robs {
+            let len = r.len_capped(MAX_LIST)?;
+            rob.clear();
+            for _ in 0..len {
+                rob.push_back(read_handle(r)?);
+            }
+        }
+        for table in self.rename_int.iter_mut().chain(self.rename_fp.iter_mut()) {
+            for slot in table.iter_mut() {
+                *slot = r.opt(read_handle)?;
+            }
+        }
+        self.regs_int.load_state(r)?;
+        self.regs_fp.load_state(r)?;
+        self.iqs.load_state(r)?;
+        self.fus.load_state(r)?;
+        self.rob_count.load_state(r)?;
+        self.hier.load_state(r)?;
+        self.branches.load_state(r)?;
+        self.events.load_state(now, r)?;
+        for list in &mut self.ready {
+            let len = r.len_capped(MAX_LIST)?;
+            list.clear();
+            for _ in 0..len {
+                list.push(read_handle(r)?);
+            }
+        }
+        for counters in [
+            &mut self.icount,
+            &mut self.dmiss,
+            &mut self.declared,
+            &mut self.iq_held,
+            &mut self.regs_held,
+        ] {
+            for c in counters.iter_mut() {
+                *c = r.u32()?;
+            }
+        }
+        for s in &mut self.stats {
+            *s = read_thread_stats(r)?;
+        }
+        self.total_committed = r.u64()?;
+        self.skipped_cycles = r.u64()?;
+        self.skip_spans = r.u64()?;
+        for g in &mut self.gate_state {
+            *g = r.opt(|r| gate_from_tag(r.u8()?))?;
+        }
+        for w in &mut self.warn_state {
+            *w = r.u8()?;
+        }
+        // Rebase the clock through the engine's single advance point
+        // (`advance_clock`; SMT006): the wrapping delta lands exactly on
+        // the checkpointed cycle even when the snapshot predates this
+        // machine's clock. The round-robin offset it derives is then
+        // replaced by the checkpointed one.
+        let target = now;
+        self.advance_clock(target.wrapping_sub(self.now));
+        self.seq = seq;
+        self.rr = rr;
+        // Scratch hygiene: the hot-loop buffers are rebuilt each cycle, but
+        // a restored simulator should not carry another run's leftovers.
+        self.due_buf.clear();
+        self.cands_buf.clear();
+        self.view_buf.clear();
+        self.order_buf.clear();
+        Ok(())
+    }
+
+    /// Capture the complete machine state as a versioned, checksummed
+    /// [`MachineSnapshot`] (no run-in-progress state; see
+    /// [`Simulator::try_run_checkpointed`] for resumable checkpoints).
+    ///
+    /// The snapshot covers everything [`Simulator::step`] can change —
+    /// front-ends (trace RNGs and positions, fetch queues, replay buffers),
+    /// the in-flight slab, ROBs, rename tables, back-end resource pools,
+    /// the cache hierarchy and predictor tables, the event wheel, per-thread
+    /// counters and statistics, the quiescence diagnostics, and the policy
+    /// and probe state sections — so [`Simulator::restore`] into an
+    /// identically-constructed simulator continues bit-identically.
+    /// Serialization is deterministic: equal machine state produces equal
+    /// bytes (and equal [`MachineSnapshot::digest`]s).
+    pub fn snapshot(&self) -> MachineSnapshot {
+        let mut machine = Vec::with_capacity(4096);
+        self.save_machine(&mut machine);
+        let mut policy = Vec::new();
+        self.policy.save_state(&mut policy);
+        let mut probe = Vec::new();
+        self.probe.save_state(&mut probe);
+        MachineSnapshot {
+            num_threads: self.num_threads(),
+            policy_name: self.policy.name().to_string(),
+            cfg_fingerprint: cfg_fingerprint(&self.cfg),
+            cycle: self.now,
+            machine,
+            policy,
+            probe,
+            run: None,
+        }
+    }
+
+    /// Restore a [`MachineSnapshot`] into this simulator. The simulator
+    /// must be *identically constructed* — same configuration, same thread
+    /// specs, same policy — which the snapshot's identity header verifies
+    /// (thread count, policy name, configuration fingerprint); a mismatch
+    /// is [`SnapshotError::IdentityMismatch`]. After a successful restore,
+    /// stepping this simulator is bit-identical to stepping the one the
+    /// snapshot was taken from.
+    ///
+    /// On error the machine state is unspecified: discard the simulator
+    /// and construct a fresh one (the campaign runner falls back to plain
+    /// re-simulation on any checkpoint defect).
+    pub fn restore(&mut self, snap: &MachineSnapshot) -> Result<(), SnapshotError> {
+        let n = self.num_threads();
+        if snap.num_threads != n {
+            return Err(SnapshotError::IdentityMismatch(format!(
+                "snapshot has {} threads, simulator has {n}",
+                snap.num_threads
+            )));
+        }
+        if snap.policy_name != self.policy.name() {
+            return Err(SnapshotError::IdentityMismatch(format!(
+                "snapshot policy {:?}, simulator policy {:?}",
+                snap.policy_name,
+                self.policy.name()
+            )));
+        }
+        let fp = cfg_fingerprint(&self.cfg);
+        if snap.cfg_fingerprint != fp {
+            return Err(SnapshotError::IdentityMismatch(format!(
+                "snapshot configuration fingerprint {:#018x}, simulator {fp:#018x}",
+                snap.cfg_fingerprint
+            )));
+        }
+        let mut r = SnapReader::new(&snap.machine);
+        self.load_machine(&mut r)?;
+        r.finish("machine section")?;
+        self.policy
+            .load_state(&snap.policy)
+            .map_err(SnapshotError::Policy)?;
+        if P::ENABLED {
+            // The cached active-candidate name is probe bookkeeping derived
+            // from the policy; re-derive it from the just-restored policy
+            // rather than serializing a &'static str.
+            self.active_state = self.policy.active_policy();
+        }
+        self.probe
+            .load_state(&snap.probe)
+            .map_err(SnapshotError::Probe)?;
+        Ok(())
+    }
+
+    /// As [`run_guarded`](Self::run_guarded), additionally reporting how
+    /// many cycles actually advanced through `progressed` — on a watchdog
+    /// abort the caller needs the exact remaining budget for the resumable
+    /// checkpoint. A stepped cycle counts *before* the watchdog verdict:
+    /// the step completed even when the check then aborts the run.
+    fn run_guarded_counted(
+        &mut self,
+        cycles: u64,
+        watch: &mut WatchState,
+        wd: &Watchdog,
+        progressed: &mut u64,
+    ) -> Result<(), SimError> {
+        let skip = self.skip_active();
+        let mut left = cycles;
+        while left > 0 {
+            if skip {
+                let cap = watch.skip_cap(self, wd).min(left);
+                let k = self.try_skip(cap);
+                if k > 0 {
+                    watch.bulk_advance(k);
+                    *progressed += k;
+                    left -= k;
+                    continue;
+                }
+            }
+            self.step();
+            *progressed += 1;
+            watch.check(self, wd)?;
+            left -= 1;
+        }
+        Ok(())
+    }
+
+    /// Snapshot the machine *plus* the state of the in-progress run:
+    /// remaining warmup/measure budgets, the measurement bases (once
+    /// captured), and the watchdog's progress counters. The wall-clock
+    /// start is deliberately not serialized — on resume the wall budget
+    /// restarts, since time spent before a crash is not time spent in the
+    /// resumed process.
+    fn snapshot_with_run(&self, phase: &RunPhase, watch: &WatchState) -> MachineSnapshot {
+        let mut snap = self.snapshot();
+        let mut run = Vec::new();
+        snapio::put_u64(&mut run, phase.warmup_left);
+        snapio::put_u64(&mut run, phase.measure_left);
+        snapio::put_u64(&mut run, phase.measure_total);
+        snapio::put_opt(&mut run, phase.bases.as_ref(), |out, b| {
+            for s in &b.stats {
+                put_thread_stats(out, s);
+            }
+            for m in &b.mem {
+                put_mem_stats(out, m);
+            }
+            snapio::put_u64(out, b.pred.0);
+            snapio::put_u64(out, b.pred.1);
+        });
+        snapio::put_u64(&mut run, watch.cycles);
+        snapio::put_u64(&mut run, watch.last_commit_total);
+        snapio::put_u64(&mut run, watch.last_commit_cycle);
+        snap.run = Some(run);
+        snap
+    }
+
+    /// The checkpointed run driver: advance the run in `interval`-sized
+    /// chunks, emitting a resumable checkpoint after each chunk, polling
+    /// the stop request between chunks, and upgrading a watchdog abort
+    /// with a final resumable checkpoint before returning the typed error.
+    ///
+    /// Chunking is behavior-neutral: the only effect of a chunk boundary
+    /// is that a quiescent span crossing it is taken as two bulk advances
+    /// instead of one, which changes the [`Simulator::skip_spans`]
+    /// diagnostic only — every statistic, probed series sum, and the
+    /// [`SimResult`] are bit-identical to the unchunked run.
+    fn drive_checkpointed(
+        &mut self,
+        phase: &mut RunPhase,
+        watch: &mut WatchState,
+        wd: &Watchdog,
+        opts: &mut CheckpointOpts<'_>,
+    ) -> Result<RunOutcome, SimError> {
+        loop {
+            // The bases are captured at the warmup/measure boundary. A
+            // checkpoint emitted exactly on the boundary carries
+            // `bases: None`; the resumed run re-captures them from the
+            // restored (identical) machine state, so the two capture sites
+            // agree byte for byte.
+            if phase.warmup_left == 0 && phase.bases.is_none() {
+                phase.bases = Some(RunBases {
+                    stats: self.stats.clone(),
+                    mem: (0..self.num_threads())
+                        .map(|t| self.hier.thread_stats(t))
+                        .collect(),
+                    pred: (self.branches.predictions, self.branches.mispredictions),
+                });
+            }
+            let in_warmup = phase.warmup_left > 0;
+            let left = if in_warmup {
+                phase.warmup_left
+            } else {
+                phase.measure_left
+            };
+            if left == 0 {
+                break;
+            }
+            let chunk = if opts.interval == 0 {
+                left
+            } else {
+                opts.interval.min(left)
+            };
+            let mut progressed = 0u64;
+            let res = self.run_guarded_counted(chunk, watch, wd, &mut progressed);
+            if in_warmup {
+                phase.warmup_left -= progressed;
+            } else {
+                phase.measure_left -= progressed;
+            }
+            if let Err(e) = res {
+                // Watchdog trip: alongside the observation-only progress
+                // snapshot inside `e`, leave a *resumable* checkpoint so
+                // the campaign can continue (e.g. with a larger budget)
+                // instead of restarting from cycle zero.
+                let snap = self.snapshot_with_run(phase, watch);
+                (opts.sink)(&snap);
+                return Err(e);
+            }
+            if phase.warmup_left == 0 && phase.measure_left == 0 {
+                break;
+            }
+            if let Some(stop) = opts.stop {
+                if stop() {
+                    return Ok(RunOutcome::Interrupted(
+                        self.snapshot_with_run(phase, watch),
+                    ));
+                }
+            }
+            if opts.interval > 0 {
+                let snap = self.snapshot_with_run(phase, watch);
+                (opts.sink)(&snap);
+            }
+        }
+        let bases = phase
+            .bases
+            .take()
+            .expect("measure complete implies bases captured");
+        Ok(RunOutcome::Completed(self.window_result(
+            phase.measure_total,
+            bases.stats,
+            bases.mem,
+            bases.pred,
+        )))
+    }
+
+    /// As [`Simulator::try_run`], emitting a resumable checkpoint every
+    /// [`CheckpointOpts::interval`] cycles and honoring a stop request
+    /// between chunks. A completed run returns exactly the [`SimResult`]
+    /// `try_run` would have (checkpointing is observation-only); an
+    /// interrupted run hands back the resumable snapshot; a watchdog abort
+    /// emits a final resumable checkpoint through the sink and then
+    /// returns the typed [`SimError`] unchanged.
+    pub fn try_run_checkpointed(
+        &mut self,
+        warmup: u64,
+        measure: u64,
+        wd: &Watchdog,
+        opts: &mut CheckpointOpts<'_>,
+    ) -> Result<RunOutcome, SimError> {
+        let mut watch = WatchState::new(self);
+        let mut phase = RunPhase {
+            warmup_left: warmup,
+            measure_left: measure,
+            measure_total: measure,
+            bases: None,
+        };
+        self.drive_checkpointed(&mut phase, &mut watch, wd, opts)
+    }
+
+    /// Restore a run-carrying snapshot ([`MachineSnapshot::has_run_state`])
+    /// into this identically-constructed simulator and decode the
+    /// in-progress run state. Pass the result to [`Simulator::resume_run`]
+    /// to continue the run. A machine-only snapshot is
+    /// [`SnapshotError::NoRunState`].
+    pub fn restore_run(&mut self, snap: &MachineSnapshot) -> Result<PendingRun, SnapshotError> {
+        let Some(run_bytes) = &snap.run else {
+            return Err(SnapshotError::NoRunState);
+        };
+        self.restore(snap)?;
+        let n = self.num_threads();
+        let mut r = SnapReader::new(run_bytes);
+        let warmup_left = r.u64()?;
+        let measure_left = r.u64()?;
+        let measure_total = r.u64()?;
+        if measure_left > measure_total {
+            return Err(SnapshotError::Malformed(format!(
+                "run section: {measure_left} measure cycles left of {measure_total} total"
+            )));
+        }
+        let bases = r.opt(|r| {
+            let mut stats = Vec::with_capacity(n);
+            for _ in 0..n {
+                stats.push(read_thread_stats(r)?);
+            }
+            let mut mem = Vec::with_capacity(n);
+            for _ in 0..n {
+                mem.push(read_mem_stats(r)?);
+            }
+            let pred = (r.u64()?, r.u64()?);
+            Ok(RunBases { stats, mem, pred })
+        })?;
+        let watch_cycles = r.u64()?;
+        let watch_last_commit_total = r.u64()?;
+        let watch_last_commit_cycle = r.u64()?;
+        r.finish("run section")?;
+        Ok(PendingRun {
+            phase: RunPhase {
+                warmup_left,
+                measure_left,
+                measure_total,
+                bases,
+            },
+            watch_cycles,
+            watch_last_commit_total,
+            watch_last_commit_cycle,
+        })
+    }
+
+    /// Continue a run restored by [`Simulator::restore_run`], with the same
+    /// checkpointing contract as [`Simulator::try_run_checkpointed`]. The
+    /// completed result is bit-identical to the run never having been
+    /// interrupted. One exception by design: the watchdog's *wall-clock*
+    /// budget restarts at resume time (simulated-cycle budgets and the
+    /// no-forward-progress counter carry over exactly).
+    pub fn resume_run(
+        &mut self,
+        pending: PendingRun,
+        wd: &Watchdog,
+        opts: &mut CheckpointOpts<'_>,
+    ) -> Result<RunOutcome, SimError> {
+        let mut phase = pending.phase;
+        let mut watch = WatchState {
+            cycles: pending.watch_cycles,
+            last_commit_total: pending.watch_last_commit_total,
+            last_commit_cycle: pending.watch_last_commit_cycle,
+            started: std::time::Instant::now(),
+        };
+        self.drive_checkpointed(&mut phase, &mut watch, wd, opts)
     }
 }

@@ -1,0 +1,347 @@
+//! Versioned, checksummed machine snapshots.
+//!
+//! A [`MachineSnapshot`] is the serialized form of one [`Simulator`]'s
+//! complete evolving state — front-ends, in-flight slab, event wheel,
+//! back-end resources, cache hierarchy, predictors, policy state, probe
+//! state, statistics — plus, optionally, the state of an in-progress
+//! guarded run (warmup/measure budgets, measurement bases, watchdog
+//! counters). [`Simulator::snapshot`] produces one;
+//! [`Simulator::restore`] consumes one into an identically-constructed
+//! simulator, after which continuing the run is bit-identical to never
+//! having stopped (pinned by the golden restore-equivalence suite).
+//!
+//! # Wire format
+//!
+//! ```text
+//! magic      [u8; 8]   b"DWARNSNP"
+//! version    u32       SNAPSHOT_VERSION
+//! flags      u32       bit 0: a run section is present
+//! threads    u64       hardware context count (identity)
+//! policy     str       policy name (identity)
+//! config     u64       FNV-1a of the SimConfig's Debug rendering (identity)
+//! cycle      u64       cycle counter at capture (convenience, diagnostics)
+//! machine    bytes     simulator core state (length-prefixed)
+//! policy     bytes     FetchPolicy::save_state (length-prefixed)
+//! probe      bytes     Probe::save_state (length-prefixed)
+//! run        bytes     run-in-progress state, only when flags bit 0
+//! checksum   u64       FNV-1a over every preceding byte
+//! ```
+//!
+//! All integers are little-endian fixed-width (the `snapio` conventions).
+//! The trailing checksum makes torn or bit-flipped checkpoint files a typed
+//! [`SnapshotError`] instead of a wrong simulation; the identity fields
+//! reject restoring into a differently-shaped simulator; the version field
+//! rejects snapshots from other format revisions.
+//!
+//! [`Simulator`]: crate::sim::Simulator
+//! [`Simulator::snapshot`]: crate::sim::Simulator::snapshot
+//! [`Simulator::restore`]: crate::sim::Simulator::restore
+
+use std::fmt;
+
+use smt_trace::snapio::{self, fnv1a, SnapError, SnapReader};
+
+/// Leading magic of every snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DWARNSNP";
+
+/// Current snapshot format version. Bump on any wire-format change; restore
+/// rejects other versions with [`SnapshotError::VersionSkew`].
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const FLAG_RUN: u32 = 1;
+
+/// Why a snapshot could not be decoded or restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The buffer ends before the envelope is complete.
+    Truncated {
+        /// Bytes the failing read needed.
+        needed: usize,
+        /// Bytes that were left.
+        left: usize,
+    },
+    /// The snapshot was written by a different format revision.
+    VersionSkew { found: u32, supported: u32 },
+    /// The trailing checksum does not match the content — the file was
+    /// corrupted (torn write, bit rot) after it was written.
+    BadChecksum { stored: u64, computed: u64 },
+    /// The snapshot describes a differently-shaped simulator (thread count,
+    /// policy, or configuration mismatch).
+    IdentityMismatch(String),
+    /// A section decoded to a value the receiving structure cannot accept.
+    Malformed(String),
+    /// The policy rejected its state section.
+    Policy(String),
+    /// The probe rejected its state section.
+    Probe(String),
+    /// The snapshot carries no run section but a resume was requested.
+    NoRunState,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a machine snapshot (bad magic)"),
+            SnapshotError::Truncated { needed, left } => {
+                write!(f, "truncated snapshot: needed {needed} bytes, {left} left")
+            }
+            SnapshotError::VersionSkew { found, supported } => write!(
+                f,
+                "snapshot format version {found} (this build supports {supported})"
+            ),
+            SnapshotError::BadChecksum { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            SnapshotError::IdentityMismatch(m) => write!(f, "snapshot identity mismatch: {m}"),
+            SnapshotError::Malformed(m) => write!(f, "malformed snapshot: {m}"),
+            SnapshotError::Policy(m) => write!(f, "snapshot policy state rejected: {m}"),
+            SnapshotError::Probe(m) => write!(f, "snapshot probe state rejected: {m}"),
+            SnapshotError::NoRunState => {
+                write!(f, "snapshot carries no run section (machine-only snapshot)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<SnapError> for SnapshotError {
+    fn from(e: SnapError) -> SnapshotError {
+        match e {
+            SnapError::Truncated { needed, left } => SnapshotError::Truncated { needed, left },
+            SnapError::Malformed(m) => SnapshotError::Malformed(m),
+        }
+    }
+}
+
+/// One decoded machine snapshot: identity header plus opaque per-layer
+/// sections. Produced by [`Simulator::snapshot`] (in memory) or
+/// [`MachineSnapshot::from_bytes`] (from a checkpoint file); consumed by
+/// [`Simulator::restore`] / [`Simulator::restore_run`].
+///
+/// [`Simulator::snapshot`]: crate::sim::Simulator::snapshot
+/// [`Simulator::restore`]: crate::sim::Simulator::restore
+/// [`Simulator::restore_run`]: crate::sim::Simulator::restore_run
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineSnapshot {
+    pub(crate) num_threads: usize,
+    pub(crate) policy_name: String,
+    pub(crate) cfg_fingerprint: u64,
+    pub(crate) cycle: u64,
+    pub(crate) machine: Vec<u8>,
+    pub(crate) policy: Vec<u8>,
+    pub(crate) probe: Vec<u8>,
+    pub(crate) run: Option<Vec<u8>>,
+}
+
+impl MachineSnapshot {
+    /// Cycle counter at capture time.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Name of the policy that was attached at capture time.
+    pub fn policy_name(&self) -> &str {
+        &self.policy_name
+    }
+
+    /// Hardware context count at capture time.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Whether this snapshot carries run-in-progress state (it can seed
+    /// [`Simulator::restore_run`], not just [`Simulator::restore`]).
+    ///
+    /// [`Simulator::restore`]: crate::sim::Simulator::restore
+    /// [`Simulator::restore_run`]: crate::sim::Simulator::restore_run
+    pub fn has_run_state(&self) -> bool {
+        self.run.is_some()
+    }
+
+    /// Serialize to the checksummed wire format (see the module docs).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out =
+            Vec::with_capacity(64 + self.machine.len() + self.policy.len() + self.probe.len());
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        snapio::put_u32(&mut out, SNAPSHOT_VERSION);
+        let flags = if self.run.is_some() { FLAG_RUN } else { 0 };
+        snapio::put_u32(&mut out, flags);
+        snapio::put_usize(&mut out, self.num_threads);
+        snapio::put_str(&mut out, &self.policy_name);
+        snapio::put_u64(&mut out, self.cfg_fingerprint);
+        snapio::put_u64(&mut out, self.cycle);
+        snapio::put_bytes(&mut out, &self.machine);
+        snapio::put_bytes(&mut out, &self.policy);
+        snapio::put_bytes(&mut out, &self.probe);
+        if let Some(run) = &self.run {
+            snapio::put_bytes(&mut out, run);
+        }
+        let sum = fnv1a(&out);
+        snapio::put_u64(&mut out, sum);
+        out
+    }
+
+    /// Decode and validate the wire format: magic, version, checksum, and
+    /// exact length. Every corruption mode maps to a typed
+    /// [`SnapshotError`]; this function never panics on hostile input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<MachineSnapshot, SnapshotError> {
+        if bytes.len() < SNAPSHOT_MAGIC.len() + 4 {
+            return Err(SnapshotError::Truncated {
+                needed: SNAPSHOT_MAGIC.len() + 4,
+                left: bytes.len(),
+            });
+        }
+        if bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        // Version precedes the checksum check: a snapshot from another
+        // format revision should say so, not "corrupt".
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::VersionSkew {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        if bytes.len() < 12 + 8 {
+            return Err(SnapshotError::Truncated {
+                needed: 20,
+                left: bytes.len(),
+            });
+        }
+        let (content, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().unwrap());
+        let computed = fnv1a(content);
+        if stored != computed {
+            return Err(SnapshotError::BadChecksum { stored, computed });
+        }
+        let mut r = SnapReader::new(&content[12..]);
+        let flags = r.u32()?;
+        let num_threads = r.usize()?;
+        let policy_name = r.str()?.to_string();
+        let cfg_fingerprint = r.u64()?;
+        let cycle = r.u64()?;
+        let machine = r.bytes()?.to_vec();
+        let policy = r.bytes()?.to_vec();
+        let probe = r.bytes()?.to_vec();
+        let run = if flags & FLAG_RUN != 0 {
+            Some(r.bytes()?.to_vec())
+        } else {
+            None
+        };
+        r.finish("snapshot envelope")?;
+        Ok(MachineSnapshot {
+            num_threads,
+            policy_name,
+            cfg_fingerprint,
+            cycle,
+            machine,
+            policy,
+            probe,
+            run,
+        })
+    }
+
+    /// Content digest: the FNV-1a checksum of the serialized snapshot. Two
+    /// snapshots of equal machine state have equal digests (the format is
+    /// deterministic), so the golden restore-equivalence suite compares
+    /// these directly.
+    pub fn digest(&self) -> u64 {
+        fnv1a(&self.to_bytes())
+    }
+}
+
+/// Fingerprint a configuration for the snapshot identity header: FNV-1a
+/// over the `Debug` rendering, which covers every field without a second
+/// serializer. Restore only ever compares fingerprints produced by the
+/// same build, so rendering stability across versions is not required.
+pub(crate) fn cfg_fingerprint(cfg: &crate::config::SimConfig) -> u64 {
+    fnv1a(format!("{cfg:?}").as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MachineSnapshot {
+        MachineSnapshot {
+            num_threads: 4,
+            policy_name: "DWARN".into(),
+            cfg_fingerprint: 0x1234_5678_9ABC_DEF0,
+            cycle: 100_000,
+            machine: vec![1, 2, 3, 4, 5],
+            policy: vec![9, 9],
+            probe: Vec::new(),
+            run: Some(vec![7; 32]),
+        }
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let snap = sample();
+        let bytes = snap.to_bytes();
+        let back = MachineSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.digest(), snap.digest());
+        assert!(back.has_run_state());
+        assert_eq!(back.cycle(), 100_000);
+        assert_eq!(back.policy_name(), "DWARN");
+    }
+
+    #[test]
+    fn truncation_bitflip_magic_and_version_are_typed() {
+        let bytes = sample().to_bytes();
+        // Truncation anywhere: typed error (checksum or truncated), never a
+        // panic.
+        for cut in [0, 4, 11, 20, bytes.len() / 2, bytes.len() - 1] {
+            let e = MachineSnapshot::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    e,
+                    SnapshotError::Truncated { .. }
+                        | SnapshotError::BadChecksum { .. }
+                        | SnapshotError::BadMagic
+                ),
+                "cut {cut}: {e}"
+            );
+        }
+        // A single flipped content bit fails the checksum.
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert!(matches!(
+            MachineSnapshot::from_bytes(&flipped).unwrap_err(),
+            SnapshotError::BadChecksum { .. }
+        ));
+        // Wrong magic.
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        assert_eq!(
+            MachineSnapshot::from_bytes(&wrong).unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        // Version skew reports the found version even with a stale
+        // checksum (version is checked first).
+        let mut skew = bytes.clone();
+        skew[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            MachineSnapshot::from_bytes(&skew).unwrap_err(),
+            SnapshotError::VersionSkew {
+                found: 99,
+                supported: SNAPSHOT_VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn machine_only_snapshots_have_no_run_flag() {
+        let mut snap = sample();
+        snap.run = None;
+        let back = MachineSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert!(!back.has_run_state());
+    }
+}

@@ -2,7 +2,10 @@
 //! (the real policy implementations live in `dwarn-core`, which depends on
 //! this crate).
 
-use smt_pipeline::{FetchPolicy, PolicyView, SimConfig, Simulator, ThreadSpec};
+use smt_pipeline::{
+    CheckpointOpts, FetchPolicy, MachineSnapshot, PolicyView, RunOutcome, SimConfig, Simulator,
+    SnapshotError, ThreadSpec, Watchdog,
+};
 use smt_trace::profile;
 
 struct IcountTest;
@@ -192,4 +195,150 @@ fn fetch_never_exceeds_commit_plus_squash_accounting() {
         // flight; over a long window fetched >= committed.
         assert!(t.fetched >= t.committed);
     }
+}
+
+// ----------------------------------------------------------------------
+// Checkpoint / restore
+// ----------------------------------------------------------------------
+
+#[test]
+fn restore_at_cycle_k_matches_the_straight_run() {
+    let specs = vec![spec(profile::gzip(), 3, 0), spec(profile::mcf(), 4, 0)];
+    let mut a = sim(specs.clone());
+    for _ in 0..3_000 {
+        a.step();
+    }
+    let snap = a.snapshot();
+    assert!(!snap.has_run_state());
+    // The snapshot survives the wire format.
+    let snap = MachineSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+    for _ in 0..6_000 {
+        a.step();
+    }
+    let straight = a.snapshot();
+
+    let mut b = sim(specs);
+    b.restore(&snap).unwrap();
+    // Equal machine state serializes to equal bytes immediately...
+    assert_eq!(b.snapshot().digest(), snap.digest());
+    // ...and continues bit-identically.
+    for _ in 0..6_000 {
+        b.step();
+    }
+    assert_eq!(b.snapshot().digest(), straight.digest());
+    b.check_invariants();
+}
+
+#[test]
+fn restore_rejects_a_differently_shaped_simulator() {
+    let mut one = sim(vec![spec(profile::gzip(), 1, 0)]);
+    one.run(0, 500);
+    let snap = one.snapshot();
+    let mut two = sim(vec![
+        spec(profile::gzip(), 1, 0),
+        spec(profile::mcf(), 2, 0),
+    ]);
+    assert!(matches!(
+        two.restore(&snap).unwrap_err(),
+        SnapshotError::IdentityMismatch(_)
+    ));
+    // A machine-only snapshot cannot seed a resume.
+    let mut same = sim(vec![spec(profile::gzip(), 1, 0)]);
+    assert_eq!(
+        same.restore_run(&snap).unwrap_err(),
+        SnapshotError::NoRunState
+    );
+    // Different configuration, same thread count and policy.
+    let mut small = Simulator::new(
+        SimConfig::small(),
+        Box::new(IcountTest),
+        &[spec(profile::gzip(), 1, 0)],
+    );
+    assert!(matches!(
+        small.restore(&snap).unwrap_err(),
+        SnapshotError::IdentityMismatch(_)
+    ));
+}
+
+#[test]
+fn interrupted_checkpointed_run_resumes_to_the_straight_result() {
+    let specs = vec![spec(profile::twolf(), 5, 0), spec(profile::mcf(), 6, 0)];
+    let wd = Watchdog::default();
+
+    let mut a = sim(specs.clone());
+    let straight = a.try_run(2_000, 10_000, &wd).unwrap();
+
+    // Checkpoint every 1000 cycles; request a stop at the third poll.
+    let polls = std::cell::Cell::new(0u32);
+    let stop = || {
+        polls.set(polls.get() + 1);
+        polls.get() == 3
+    };
+    let mut periodic = Vec::new();
+    let mut sink = |s: &MachineSnapshot| periodic.push(s.to_bytes());
+    let mut opts = CheckpointOpts {
+        interval: 1_000,
+        sink: &mut sink,
+        stop: Some(&stop),
+    };
+    let mut b = sim(specs.clone());
+    let out = b
+        .try_run_checkpointed(2_000, 10_000, &wd, &mut opts)
+        .unwrap();
+    let RunOutcome::Interrupted(snap) = out else {
+        panic!("the stop request must interrupt the run");
+    };
+    assert!(snap.has_run_state());
+    assert!(!periodic.is_empty(), "periodic checkpoints must have fired");
+
+    // A fresh, identically-constructed simulator resumes through the wire
+    // format — with a *different* checkpoint interval, which must not
+    // change the result (chunking is behavior-neutral).
+    let snap = MachineSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+    let mut c = sim(specs);
+    let pending = c.restore_run(&snap).unwrap();
+    assert!(pending.cycles_left() > 0);
+    let mut sink2 = |_: &MachineSnapshot| {};
+    let mut opts2 = CheckpointOpts {
+        interval: 700,
+        sink: &mut sink2,
+        stop: None,
+    };
+    let RunOutcome::Completed(resumed) = c.resume_run(pending, &wd, &mut opts2).unwrap() else {
+        panic!("no stop request on resume: the run must complete");
+    };
+    assert_eq!(resumed.cycles, straight.cycles);
+    assert_eq!(resumed.threads, straight.threads);
+    assert_eq!(resumed.mem, straight.mem);
+    assert_eq!(
+        resumed.branch_mispredict_rate.to_bits(),
+        straight.branch_mispredict_rate.to_bits()
+    );
+    c.check_invariants();
+}
+
+#[test]
+fn checkpointed_run_without_interruption_equals_try_run() {
+    let specs = vec![spec(profile::gzip(), 9, 0), spec(profile::bzip2(), 10, 0)];
+    let wd = Watchdog::default();
+    let mut a = sim(specs.clone());
+    let straight = a.try_run(1_000, 8_000, &wd).unwrap();
+
+    let mut count = 0usize;
+    let mut sink = |_: &MachineSnapshot| count += 1;
+    let mut opts = CheckpointOpts {
+        interval: 500,
+        sink: &mut sink,
+        stop: None,
+    };
+    let mut b = sim(specs);
+    let RunOutcome::Completed(r) = b
+        .try_run_checkpointed(1_000, 8_000, &wd, &mut opts)
+        .unwrap()
+    else {
+        panic!("no stop request: the run must complete");
+    };
+    assert_eq!(r.threads, straight.threads);
+    assert_eq!(r.mem, straight.mem);
+    assert!(count > 0, "periodic checkpoints must have fired");
 }

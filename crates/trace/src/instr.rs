@@ -158,6 +158,96 @@ impl DynInst {
     }
 }
 
+// --- Snapshot serialization (see `snapio`): dynamic instructions appear in
+// --- evolving machine state (replay buffers, in-flight slabs), so they
+// --- round-trip through the checkpoint format with explicit enum tags.
+
+use crate::snapio::{self, SnapError, SnapReader};
+
+impl OpClass {
+    fn snap_tag(self) -> u8 {
+        match self {
+            OpClass::IntAlu => 0,
+            OpClass::IntMul => 1,
+            OpClass::FpAlu => 2,
+            OpClass::Load => 3,
+            OpClass::Store => 4,
+            OpClass::CondBranch => 5,
+            OpClass::Jump => 6,
+        }
+    }
+
+    fn from_snap_tag(t: u8) -> Result<OpClass, SnapError> {
+        Ok(match t {
+            0 => OpClass::IntAlu,
+            1 => OpClass::IntMul,
+            2 => OpClass::FpAlu,
+            3 => OpClass::Load,
+            4 => OpClass::Store,
+            5 => OpClass::CondBranch,
+            6 => OpClass::Jump,
+            _ => return Err(SnapError::malformed(format!("OpClass tag {t}"))),
+        })
+    }
+}
+
+impl CtrlKind {
+    fn snap_tag(self) -> u8 {
+        match self {
+            CtrlKind::None => 0,
+            CtrlKind::CondBr => 1,
+            CtrlKind::Jump => 2,
+            CtrlKind::Call => 3,
+            CtrlKind::Return => 4,
+        }
+    }
+
+    fn from_snap_tag(t: u8) -> Result<CtrlKind, SnapError> {
+        Ok(match t {
+            0 => CtrlKind::None,
+            1 => CtrlKind::CondBr,
+            2 => CtrlKind::Jump,
+            3 => CtrlKind::Call,
+            4 => CtrlKind::Return,
+            _ => return Err(SnapError::malformed(format!("CtrlKind tag {t}"))),
+        })
+    }
+}
+
+impl DynInst {
+    /// Serialize for a machine snapshot.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        snapio::put_u64(out, self.pc);
+        snapio::put_u32(out, self.static_idx);
+        snapio::put_u8(out, self.class.snap_tag());
+        snapio::put_u8(out, self.ctrl.snap_tag());
+        snapio::put_opt(out, self.dest, snapio::put_u8);
+        for s in self.srcs {
+            snapio::put_opt(out, s, snapio::put_u8);
+        }
+        snapio::put_opt(out, self.mem_addr, snapio::put_u64);
+        snapio::put_bool(out, self.taken);
+        snapio::put_u64(out, self.next_pc);
+        snapio::put_bool(out, self.wrong_path);
+    }
+
+    /// Deserialize one instruction from a snapshot section.
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<DynInst, SnapError> {
+        Ok(DynInst {
+            pc: r.u64()?,
+            static_idx: r.u32()?,
+            class: OpClass::from_snap_tag(r.u8()?)?,
+            ctrl: CtrlKind::from_snap_tag(r.u8()?)?,
+            dest: r.opt(|r| r.u8())?,
+            srcs: [r.opt(|r| r.u8())?, r.opt(|r| r.u8())?],
+            mem_addr: r.opt(|r| r.u64())?,
+            taken: r.bool()?,
+            next_pc: r.u64()?,
+            wrong_path: r.bool()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +275,51 @@ mod tests {
         ] {
             assert!(c.base_latency() >= 1);
         }
+    }
+
+    #[test]
+    fn dyn_inst_round_trips_through_snapshot_bytes() {
+        let insts = [
+            DynInst {
+                pc: 0x4000_0010,
+                static_idx: 4,
+                class: OpClass::Load,
+                ctrl: CtrlKind::None,
+                dest: Some(7),
+                srcs: [Some(1), None],
+                mem_addr: Some(0xDEAD_BEE0),
+                taken: false,
+                next_pc: 0x4000_0014,
+                wrong_path: false,
+            },
+            DynInst {
+                pc: 0x4000_0020,
+                static_idx: 8,
+                class: OpClass::CondBranch,
+                ctrl: CtrlKind::CondBr,
+                dest: None,
+                srcs: [Some(3), Some(4)],
+                mem_addr: None,
+                taken: true,
+                next_pc: 0x4000_0000,
+                wrong_path: true,
+            },
+        ];
+        let mut buf = Vec::new();
+        for d in &insts {
+            d.save_state(&mut buf);
+        }
+        let mut r = crate::snapio::SnapReader::new(&buf);
+        for d in &insts {
+            assert_eq!(DynInst::load_state(&mut r).unwrap(), *d);
+        }
+        r.finish("insts").unwrap();
+        // Unknown enum tags are typed errors, not panics.
+        let mut bad = Vec::new();
+        insts[0].save_state(&mut bad);
+        bad[12] = 0xFF; // OpClass tag byte (after pc + static_idx)
+        let mut r = crate::snapio::SnapReader::new(&bad);
+        assert!(DynInst::load_state(&mut r).is_err());
     }
 
     #[test]

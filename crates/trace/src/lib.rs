@@ -27,6 +27,7 @@ pub mod instr;
 pub mod profile;
 pub mod program;
 pub mod rng;
+pub mod snapio;
 pub mod stream;
 
 pub use file::RecordedTrace;

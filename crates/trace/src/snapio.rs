@@ -1,0 +1,344 @@
+//! Minimal binary serialization primitives for machine snapshots.
+//!
+//! The checkpoint/restore engine serializes the complete simulator state —
+//! spread across every crate of the workspace — into one versioned,
+//! checksummed byte buffer. This module is the shared vocabulary: a writer
+//! that appends fixed-width little-endian primitives to a `Vec<u8>` and a
+//! bounds-checked [`SnapReader`] that consumes them in the same order.
+//! It lives here, at the bottom of the dependency chain, so `smt-uarch`,
+//! `smt-pipeline`, and `dwarn-core` can all expose `save_state` /
+//! `load_state` methods over their private fields without a new crate.
+//!
+//! Design rules, shared by every `save_state` in the workspace:
+//!
+//! * **Little-endian, fixed-width.** No varints: snapshots are consumed by
+//!   the producing machine (crash-resume) and compared byte-for-byte by
+//!   the golden restore-equivalence suite, so simplicity beats size.
+//! * **Evolving state only.** Construction-derived state (configs, code
+//!   images, pre-computed tables) is *not* serialized; `load_state`
+//!   restores into an identically-constructed object and validates that
+//!   the construction-derived shape (lengths, capacities) matches.
+//! * **Deterministic order.** Hash-map content is written sorted by key;
+//!   everything else in declaration order. Two snapshots of equal machine
+//!   state are byte-identical.
+//! * **Floats as bit patterns.** `f64` round-trips through `to_bits`, so
+//!   NaN payloads and signed zeros survive exactly.
+
+use std::fmt;
+
+/// A malformed or truncated snapshot section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The reader ran out of bytes mid-field.
+    Truncated {
+        /// Bytes requested by the failing read.
+        needed: usize,
+        /// Bytes remaining in the buffer.
+        left: usize,
+    },
+    /// A field decoded to a value the receiving structure cannot accept
+    /// (length mismatch against the constructed shape, unknown enum tag,
+    /// out-of-range index, ...).
+    Malformed(String),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Truncated { needed, left } => {
+                write!(f, "truncated snapshot: needed {needed} bytes, {left} left")
+            }
+            SnapError::Malformed(m) => write!(f, "malformed snapshot field: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+impl SnapError {
+    /// Shorthand for a [`SnapError::Malformed`] with a formatted message.
+    pub fn malformed(msg: impl Into<String>) -> SnapError {
+        SnapError::Malformed(msg.into())
+    }
+}
+
+// --- Writer side: free functions appending to a Vec<u8>. ---
+
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// `usize` is written as `u64`; snapshots are architecture-portable.
+pub fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+/// `f32` as its bit pattern (exact round-trip).
+pub fn put_f32(out: &mut Vec<u8>, v: f32) {
+    put_u32(out, v.to_bits());
+}
+
+/// `f64` as its bit pattern (exact round-trip, NaN payloads included).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Length-prefixed raw bytes.
+pub fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
+    put_usize(out, v.len());
+    out.extend_from_slice(v);
+}
+
+/// Length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, v: &str) {
+    put_bytes(out, v.as_bytes());
+}
+
+/// `Option<T>` via a presence byte followed by the payload.
+pub fn put_opt<T>(out: &mut Vec<u8>, v: Option<T>, mut put: impl FnMut(&mut Vec<u8>, T)) {
+    match v {
+        None => put_bool(out, false),
+        Some(x) => {
+            put_bool(out, true);
+            put(out, x);
+        }
+    }
+}
+
+/// A bounds-checked cursor over a snapshot section.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    pub fn new(buf: &'a [u8]) -> SnapReader<'a> {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed — `load_state` callers check
+    /// this to reject trailing garbage.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Truncated {
+                needed: n,
+                left: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(SnapError::malformed(format!("bool byte {b:#x}"))),
+        }
+    }
+
+    pub fn u16(&mut self) -> Result<u16, SnapError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    pub fn usize(&mut self) -> Result<usize, SnapError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| SnapError::malformed(format!("usize overflow: {v}")))
+    }
+
+    /// A `usize` additionally bounded by `max` — for collection lengths,
+    /// so a corrupt length field fails fast instead of triggering a huge
+    /// allocation.
+    pub fn len_capped(&mut self, max: usize) -> Result<usize, SnapError> {
+        let v = self.usize()?;
+        if v > max {
+            return Err(SnapError::malformed(format!(
+                "length {v} exceeds cap {max}"
+            )));
+        }
+        Ok(v)
+    }
+
+    pub fn f32(&mut self) -> Result<f32, SnapError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Length-prefixed raw bytes (borrowed from the buffer).
+    pub fn bytes(&mut self) -> Result<&'a [u8], SnapError> {
+        let n = self.usize()?;
+        self.take(n)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, SnapError> {
+        std::str::from_utf8(self.bytes()?)
+            .map_err(|e| SnapError::malformed(format!("invalid utf-8: {e}")))
+    }
+
+    /// `Option<T>` via a presence byte.
+    pub fn opt<T>(
+        &mut self,
+        mut read: impl FnMut(&mut SnapReader<'a>) -> Result<T, SnapError>,
+    ) -> Result<Option<T>, SnapError> {
+        if self.bool()? {
+            Ok(Some(read(self)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Fail unless the section was consumed exactly.
+    pub fn finish(self, what: &str) -> Result<(), SnapError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(SnapError::malformed(format!(
+                "{} bytes of trailing data after {what}",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+/// FNV-1a over a byte slice — the workspace's standard content checksum
+/// (same constants as `SimResult::digest` and the campaign cache).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 0xAB);
+        put_bool(&mut buf, true);
+        put_u16(&mut buf, 0x1234);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 7);
+        put_usize(&mut buf, 123_456);
+        put_f32(&mut buf, -0.0);
+        put_f64(&mut buf, f64::INFINITY);
+        put_bytes(&mut buf, b"abc");
+        put_str(&mut buf, "déjà");
+        put_opt(&mut buf, Some(9u64), put_u64);
+        put_opt::<u64>(&mut buf, None, put_u64);
+
+        let mut r = SnapReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 7);
+        assert_eq!(r.usize().unwrap(), 123_456);
+        assert_eq!(r.f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(r.f64().unwrap(), f64::INFINITY);
+        assert_eq!(r.bytes().unwrap(), b"abc");
+        assert_eq!(r.str().unwrap(), "déjà");
+        assert_eq!(r.opt(|r| r.u64()).unwrap(), Some(9));
+        assert_eq!(r.opt(|r| r.u64()).unwrap(), None);
+        r.finish("test").unwrap();
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        let mut r = SnapReader::new(&buf);
+        let _ = r.u16().unwrap();
+        let e = r.u64().unwrap_err();
+        assert!(matches!(e, SnapError::Truncated { needed: 8, left: 2 }));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 1);
+        put_u8(&mut buf, 0);
+        let mut r = SnapReader::new(&buf);
+        let _ = r.u64().unwrap();
+        let e = r.finish("section").unwrap_err();
+        assert!(e.to_string().contains("trailing data after section"), "{e}");
+    }
+
+    #[test]
+    fn bad_bool_and_length_cap_are_malformed() {
+        let buf = [7u8];
+        assert!(SnapReader::new(&buf).bool().is_err());
+        let mut buf = Vec::new();
+        put_usize(&mut buf, 1 << 40);
+        assert!(SnapReader::new(&buf).len_capped(1024).is_err());
+    }
+
+    #[test]
+    fn nan_payloads_survive() {
+        let weird = f64::from_bits(0x7FF8_0000_0000_1234);
+        let mut buf = Vec::new();
+        put_f64(&mut buf, weird);
+        let back = SnapReader::new(&buf).f64().unwrap();
+        assert_eq!(back.to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // FNV-1a("a") per the published reference values.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

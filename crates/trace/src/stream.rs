@@ -21,6 +21,7 @@ use crate::instr::{CtrlKind, DynInst, MemPool, OpClass, INST_BYTES};
 use crate::profile::BenchProfile;
 use crate::program::StaticProgram;
 use crate::rng::Rng;
+use crate::snapio::{self, SnapError, SnapReader};
 
 /// Size of the L1-resident hot pool (bytes).
 pub const HOT_BYTES: u64 = 4 * 1024;
@@ -179,6 +180,30 @@ impl PoolState {
     pub fn draw_counts(&self) -> (u64, [u64; 3]) {
         (self.n_loads, self.n_pool)
     }
+
+    /// Serialize the evolving draw state (pointers and feedback counters).
+    /// Bases, targets, and capacities are construction-derived and omitted:
+    /// [`PoolState::load_state`] restores into an identically-constructed
+    /// pool.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        snapio::put_u64(out, self.warm_ptr);
+        snapio::put_u64(out, self.cold_ptr);
+        snapio::put_u64(out, self.n_loads);
+        for &n in &self.n_pool {
+            snapio::put_u64(out, n);
+        }
+    }
+
+    /// Restore the evolving draw state captured by [`PoolState::save_state`].
+    pub fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.warm_ptr = r.u64()?;
+        self.cold_ptr = r.u64()?;
+        self.n_loads = r.u64()?;
+        for n in &mut self.n_pool {
+            *n = r.u64()?;
+        }
+        Ok(())
+    }
 }
 
 /// Wrong-path instruction synthesis state (one per hardware context).
@@ -233,6 +258,25 @@ impl SynthState {
     pub fn idx_of_pc(&self, program: &StaticProgram, pc: u64) -> u32 {
         let rel = pc.wrapping_sub(self.code_base) / INST_BYTES;
         (rel % program.len() as u64) as u32
+    }
+
+    /// Serialize the synthesis state (PRNG + pool pointers; `code_base` is
+    /// construction-derived).
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        for w in self.rng.state() {
+            snapio::put_u64(out, w);
+        }
+        self.pools.save_state(out);
+    }
+
+    /// Restore the synthesis state captured by [`SynthState::save_state`].
+    pub fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = r.u64()?;
+        }
+        self.rng = Rng::from_state(s);
+        self.pools.load_state(r)
     }
 }
 
@@ -408,6 +452,74 @@ impl ThreadTrace {
             next_pc: self.pc_of(next_idx),
             wrong_path: false,
         }
+    }
+
+    /// Serialize the walker's evolving position: current index, shadow call
+    /// stack, PRNG, pool pointers, emitted count, and loop counters. The
+    /// static program, profile identity, and address layout are
+    /// construction-derived and omitted.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        snapio::put_u32(out, self.cur_idx);
+        snapio::put_usize(out, self.shadow_stack.len());
+        for &f in &self.shadow_stack {
+            snapio::put_u32(out, f);
+        }
+        for w in self.rng.state() {
+            snapio::put_u64(out, w);
+        }
+        self.pools.save_state(out);
+        snapio::put_u64(out, self.emitted);
+        snapio::put_usize(out, self.loop_counts.len());
+        for &c in &self.loop_counts {
+            snapio::put_u16(out, c);
+        }
+    }
+
+    /// Restore a position captured by [`ThreadTrace::save_state`] into a
+    /// trace built with the same `(profile, seed, addr_base)`. Rejects
+    /// snapshots whose shape (indices, loop-counter length) does not match
+    /// the constructed program.
+    pub fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let prog_len = self.program.len() as u32;
+        let cur_idx = r.u32()?;
+        if cur_idx >= prog_len {
+            return Err(SnapError::malformed(format!(
+                "trace index {cur_idx} out of range for program of {prog_len}"
+            )));
+        }
+        let depth = r.len_capped(SHADOW_STACK_CAP)?;
+        let mut shadow_stack = Vec::with_capacity(SHADOW_STACK_CAP);
+        for _ in 0..depth {
+            let f = r.u32()?;
+            if f >= prog_len {
+                return Err(SnapError::malformed(format!(
+                    "shadow-stack frame {f} out of range for program of {prog_len}"
+                )));
+            }
+            shadow_stack.push(f);
+        }
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = r.u64()?;
+        }
+        let rng = Rng::from_state(s);
+        self.pools.load_state(r)?;
+        let emitted = r.u64()?;
+        let n_counts = r.usize()?;
+        if n_counts != self.loop_counts.len() {
+            return Err(SnapError::malformed(format!(
+                "loop-counter length {n_counts} does not match program of {}",
+                self.loop_counts.len()
+            )));
+        }
+        for c in &mut self.loop_counts {
+            *c = r.u16()?;
+        }
+        self.cur_idx = cur_idx;
+        self.shadow_stack = shadow_stack;
+        self.rng = rng;
+        self.emitted = emitted;
+        Ok(())
     }
 }
 
@@ -625,5 +737,81 @@ mod tests {
         let p = gzip();
         let t = ThreadTrace::new(&p, 1, 0, 500);
         assert_eq!(t.emitted(), 500);
+    }
+
+    #[test]
+    fn trace_state_round_trips_mid_stream() {
+        let p = twolf();
+        let mut orig = ThreadTrace::new(&p, 17, 0x3_0000_0000, 0);
+        for _ in 0..12_345 {
+            orig.next_inst();
+        }
+        let mut buf = Vec::new();
+        orig.save_state(&mut buf);
+
+        // Restore into a freshly-constructed trace at position zero.
+        let mut restored = ThreadTrace::new(&p, 17, 0x3_0000_0000, 0);
+        let mut r = SnapReader::new(&buf);
+        restored.load_state(&mut r).unwrap();
+        r.finish("ThreadTrace").unwrap();
+        assert_eq!(restored.emitted(), orig.emitted());
+        for _ in 0..10_000 {
+            assert_eq!(restored.next_inst(), orig.next_inst());
+        }
+
+        // Equal machine state must serialize byte-identically.
+        let mut again = ThreadTrace::new(&p, 17, 0x3_0000_0000, 0);
+        for _ in 0..12_345 {
+            again.next_inst();
+        }
+        let mut buf2 = Vec::new();
+        again.save_state(&mut buf2);
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn synth_state_round_trips() {
+        let p = gzip();
+        let t = ThreadTrace::new(&p, 5, 0x1000, 0);
+        let prog = t.program().clone();
+        let mut orig = t.make_synth(&p);
+        for pc in 0..500u64 {
+            let _ = orig.synth_at(&prog, 0x1000 + pc * 4);
+        }
+        let mut buf = Vec::new();
+        orig.save_state(&mut buf);
+        let mut restored = t.make_synth(&p);
+        let mut r = SnapReader::new(&buf);
+        restored.load_state(&mut r).unwrap();
+        r.finish("SynthState").unwrap();
+        for pc in 0..500u64 {
+            let a = orig.synth_at(&prog, 0x9000 + pc * 8);
+            let b = restored.synth_at(&prog, 0x9000 + pc * 8);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn trace_restore_rejects_corrupt_state() {
+        let p = gzip();
+        let mut orig = ThreadTrace::new(&p, 5, 0, 0);
+        for _ in 0..100 {
+            orig.next_inst();
+        }
+        let mut buf = Vec::new();
+        orig.save_state(&mut buf);
+
+        // An out-of-range current index is rejected.
+        let mut bad = buf.clone();
+        bad[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut t = ThreadTrace::new(&p, 5, 0, 0);
+        assert!(t.load_state(&mut SnapReader::new(&bad)).is_err());
+
+        // A truncated section is rejected with a typed error.
+        let mut t = ThreadTrace::new(&p, 5, 0, 0);
+        let e = t
+            .load_state(&mut SnapReader::new(&buf[..buf.len() - 3]))
+            .unwrap_err();
+        assert!(matches!(e, SnapError::Truncated { .. }));
     }
 }

@@ -10,6 +10,7 @@
 use crate::fasthash::FastMap;
 
 use smt_obs::{NullProbe, Probe};
+use smt_trace::snapio::{self, SnapError, SnapReader};
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use crate::tlb::{Tlb, TlbConfig};
@@ -370,6 +371,63 @@ impl MemHierarchy {
 
     pub fn l2_stats(&self) -> CacheStats {
         self.l2.stats()
+    }
+
+    /// Serialize the complete evolving hierarchy state: all three cache
+    /// levels, every DTLB, the in-flight fill maps (written sorted by line
+    /// so equal state is byte-identical), the bus schedule, and the
+    /// per-thread counters.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        self.l1i.save_state(out);
+        self.l1d.save_state(out);
+        self.l2.save_state(out);
+        for tlb in &self.dtlbs {
+            tlb.save_state(out);
+        }
+        for map in [&self.inflight_d, &self.inflight_i] {
+            let mut entries: Vec<(u64, u64)> = map.iter().map(|(&k, &v)| (k, v)).collect();
+            entries.sort_unstable();
+            snapio::put_usize(out, entries.len());
+            for (line, at) in entries {
+                snapio::put_u64(out, line);
+                snapio::put_u64(out, at);
+            }
+        }
+        snapio::put_u64(out, self.bus_free);
+        for s in &self.thread_stats {
+            snapio::put_u64(out, s.loads);
+            snapio::put_u64(out, s.l1_misses);
+            snapio::put_u64(out, s.l2_misses);
+            snapio::put_u64(out, s.tlb_misses);
+        }
+    }
+
+    /// Restore the state captured by [`MemHierarchy::save_state`] into an
+    /// identically-configured hierarchy.
+    pub fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.l1i.load_state(r)?;
+        self.l1d.load_state(r)?;
+        self.l2.load_state(r)?;
+        for tlb in &mut self.dtlbs {
+            tlb.load_state(r)?;
+        }
+        for map in [&mut self.inflight_d, &mut self.inflight_i] {
+            let n = r.len_capped(1 << 24)?;
+            map.clear();
+            for _ in 0..n {
+                let line = r.u64()?;
+                let at = r.u64()?;
+                map.insert(line, at);
+            }
+        }
+        self.bus_free = r.u64()?;
+        for s in &mut self.thread_stats {
+            s.loads = r.u64()?;
+            s.l1_misses = r.u64()?;
+            s.l2_misses = r.u64()?;
+            s.tlb_misses = r.u64()?;
+        }
+        Ok(())
     }
 }
 

@@ -7,6 +7,7 @@
 //! at rename/dispatch and a thread stalls when any of them is exhausted —
 //! which is exactly the clog the fetch policies try to prevent.
 
+use smt_trace::snapio::{self, SnapError, SnapReader};
 use smt_trace::OpClass;
 
 /// A counted pool of physical registers (one per class: int / fp).
@@ -65,6 +66,26 @@ impl RegPool {
     pub fn release(&mut self) {
         debug_assert!(self.in_use > 0, "register double-free");
         self.in_use -= 1;
+    }
+
+    /// Serialize the occupancy counters (capacities are construction-derived).
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        snapio::put_u32(out, self.in_use);
+        snapio::put_u32(out, self.peak);
+    }
+
+    /// Restore the counters captured by [`RegPool::save_state`].
+    pub fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let in_use = r.u32()?;
+        if in_use > self.total - self.reserved {
+            return Err(SnapError::malformed(format!(
+                "register occupancy {in_use} exceeds pool of {}",
+                self.total - self.reserved
+            )));
+        }
+        self.in_use = in_use;
+        self.peak = r.u32()?;
+        Ok(())
     }
 }
 
@@ -148,6 +169,30 @@ impl IssueQueues {
     pub fn total_used(&self) -> u32 {
         self.used.iter().sum()
     }
+
+    /// Serialize per-queue occupancy and high-water marks.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        for i in 0..3 {
+            snapio::put_u32(out, self.used[i]);
+            snapio::put_u32(out, self.peaks[i]);
+        }
+    }
+
+    /// Restore the counters captured by [`IssueQueues::save_state`].
+    pub fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        for i in 0..3 {
+            let used = r.u32()?;
+            if used > self.caps[i] {
+                return Err(SnapError::malformed(format!(
+                    "issue-queue occupancy {used} exceeds capacity {}",
+                    self.caps[i]
+                )));
+            }
+            self.used[i] = used;
+            self.peaks[i] = r.u32()?;
+        }
+        Ok(())
+    }
 }
 
 /// Functional-unit pools. The paper's FUs are fully pipelined, so a pool of
@@ -214,6 +259,21 @@ impl FuPools {
         let i = Self::idx(kind);
         self.caps[i] - self.used_this_cycle[i]
     }
+
+    /// Serialize the intra-cycle issue counters.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        for &u in &self.used_this_cycle {
+            snapio::put_u32(out, u);
+        }
+    }
+
+    /// Restore the counters captured by [`FuPools::save_state`].
+    pub fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        for u in &mut self.used_this_cycle {
+            *u = r.u32()?;
+        }
+        Ok(())
+    }
 }
 
 /// Per-thread reorder-buffer occupancy (Table 3: 256 entries per thread; the
@@ -252,6 +312,28 @@ impl RobCounters {
     pub fn release(&mut self, thread: usize) {
         debug_assert!(self.used[thread] > 0, "ROB double-free");
         self.used[thread] -= 1;
+    }
+
+    /// Serialize per-thread ROB occupancy.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        for &u in &self.used {
+            snapio::put_u32(out, u);
+        }
+    }
+
+    /// Restore the counters captured by [`RobCounters::save_state`].
+    pub fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        for u in &mut self.used {
+            let v = r.u32()?;
+            if v > self.cap {
+                return Err(SnapError::malformed(format!(
+                    "ROB occupancy {v} exceeds capacity {}",
+                    self.cap
+                )));
+            }
+            *u = v;
+        }
+        Ok(())
     }
 }
 
