@@ -137,6 +137,13 @@ impl FetchPolicy for DcPred {
         true
     }
 
+    /// Resource caps feed dispatch every cycle, so DC-PRED must stay on
+    /// the naive loop: skipping a span would skip the cap enforcement the
+    /// policy's entire response action lives in.
+    fn quiescence_safe(&self) -> bool {
+        false
+    }
+
     fn resource_caps(&mut self, view: &PolicyView) -> Vec<Option<f32>> {
         self.ensure_threads(view.num_threads());
         (0..view.num_threads())

@@ -53,10 +53,12 @@ experiments:
              and configs, then verify every fault resolves to a typed
              error or a bit-identical golden result
 
-  lint [--verbose]
+  lint [--verbose] [--json PATH] [--cache PATH]
              static analysis over this repository's own sources (the
-             determinism/robustness rules SMT001..SMT007, allowlisted in
-             lint.allow); same pass as `cargo run -p smt-lint`
+             determinism/robustness rules SMT001..SMT012, allowlisted in
+             lint.allow); same pass as `cargo run -p smt-lint`. --json
+             writes machine-readable diagnostics (`-` for stdout);
+             --cache enables the incremental per-file cache
 
   report [<dir>]
              segment the interval time-series a previous `--intervals <dir>`
@@ -344,15 +346,52 @@ fn build_campaign(params: ExpParams, cache_dir: Option<&PathBuf>, opts: &Campaig
 /// The `lint` subcommand: the workspace's own determinism/robustness
 /// static analysis (also available as `cargo run -p smt-lint`).
 fn lint_cmd(args: &[String]) -> ! {
-    let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
+    let mut verbose = false;
+    let mut json_out: Option<PathBuf> = None;
+    let mut cache: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--verbose" | "-v" => verbose = true,
+            "--json" => match it.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("lint: --json needs a path (or `-` for stdout)");
+                    std::process::exit(EXIT_USAGE);
+                }
+            },
+            "--cache" => match it.next() {
+                Some(p) => cache = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("lint: --cache needs a path");
+                    std::process::exit(EXIT_USAGE);
+                }
+            },
+            other => {
+                eprintln!("lint: unknown argument {other:?}");
+                std::process::exit(EXIT_USAGE);
+            }
+        }
+    }
     let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     let Some(root) = smt_lint::find_workspace_root(&cwd) else {
         eprintln!("lint: not inside the cargo workspace");
         std::process::exit(EXIT_USAGE);
     };
-    match smt_lint::run(&root) {
+    match smt_lint::run_with_cache(&root, cache.as_deref()) {
         Ok(report) => {
-            print!("{}", smt_lint::render(&report, verbose));
+            let json = smt_lint::render_json(&report);
+            match &json_out {
+                Some(p) if p.as_os_str() == "-" => print!("{json}"),
+                Some(p) => {
+                    if let Err(e) = std::fs::write(p, &json) {
+                        eprintln!("lint: writing {}: {e}", p.display());
+                        std::process::exit(EXIT_USAGE);
+                    }
+                    print!("{}", smt_lint::render(&report, verbose));
+                }
+                None => print!("{}", smt_lint::render(&report, verbose)),
+            }
             std::process::exit(if report.is_clean() {
                 error::EXIT_OK
             } else {

@@ -13,6 +13,16 @@
 //! suppresses every diagnostic of that code in that file; an entry that
 //! suppresses *nothing* is itself reported as [`RuleCode::Smt005`] so the
 //! list can only shrink as violations are fixed.
+//!
+//! Cross-file rules (SMT008+) report *item-granular* findings, and their
+//! entries name the item after a `#`:
+//!
+//! ```text
+//! SMT008 crates/pipeline/src/sim.rs#Simulator::waiter_pool  free-pool scratch, rebuilt on demand
+//! ```
+//!
+//! An item entry suppresses only that item's finding; a plain path entry
+//! still suppresses every finding of its code in the file.
 
 use crate::rules::{Diagnostic, RuleCode};
 
@@ -20,9 +30,30 @@ use crate::rules::{Diagnostic, RuleCode};
 pub struct AllowEntry {
     pub code: RuleCode,
     pub path: String,
+    /// Item granularity (`Type::field` after a `#` in the entry), if any.
+    pub item: Option<String>,
     pub reason: String,
     /// 1-based line in the allowlist file (for SMT005 reports).
     pub line: usize,
+}
+
+impl AllowEntry {
+    /// The `path` or `path#item` spelling, as written in the file.
+    pub fn target(&self) -> String {
+        match &self.item {
+            Some(it) => format!("{}#{}", self.path, it),
+            None => self.path.clone(),
+        }
+    }
+
+    fn matches(&self, d: &Diagnostic) -> bool {
+        self.code == d.code
+            && self.path == d.path
+            && match &self.item {
+                Some(it) => d.item.as_deref() == Some(it.as_str()),
+                None => true,
+            }
+    }
 }
 
 /// Parse the allowlist text. Returns every malformed line as an error
@@ -37,8 +68,12 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, Vec<String>> {
         }
         let mut parts = line.splitn(3, char::is_whitespace);
         let code = parts.next().unwrap_or("");
-        let path = parts.next().unwrap_or("").trim();
+        let target = parts.next().unwrap_or("").trim();
         let reason = parts.next().unwrap_or("").trim();
+        let (path, item) = match target.split_once('#') {
+            Some((p, it)) if !it.is_empty() => (p, Some(it.to_string())),
+            _ => (target, None),
+        };
         let Some(code) = RuleCode::parse(code) else {
             errors.push(format!("allowlist line {}: unknown code {code:?}", idx + 1));
             continue;
@@ -59,13 +94,14 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, Vec<String>> {
                 "allowlist line {}: entry for {} {} has no justification",
                 idx + 1,
                 code,
-                path
+                target
             ));
             continue;
         }
         entries.push(AllowEntry {
             code,
             path: path.to_string(),
+            item,
             reason: reason.to_string(),
             line: idx + 1,
         });
@@ -87,6 +123,10 @@ pub struct Report {
     pub suppressed: Vec<Diagnostic>,
     /// Files scanned.
     pub files: usize,
+    /// Files served from the incremental cache (0 on cold/uncached runs).
+    pub cache_hits: usize,
+    /// Files freshly analyzed this run.
+    pub cache_misses: usize,
 }
 
 impl Report {
@@ -101,9 +141,12 @@ pub fn apply(diags: Vec<Diagnostic>, allow: &[AllowEntry], allow_path: &str) -> 
     let mut used = vec![false; allow.len()];
     let mut report = Report::default();
     for d in diags {
+        // Prefer the most specific entry (item-granular before whole-file)
+        // so a stale item entry cannot hide behind a broad one.
         let hit = allow
             .iter()
-            .position(|a| a.code == d.code && a.path == d.path);
+            .position(|a| a.item.is_some() && a.matches(&d))
+            .or_else(|| allow.iter().position(|a| a.item.is_none() && a.matches(&d)));
         match hit {
             Some(i) => {
                 used[i] = true;
@@ -118,11 +161,13 @@ pub fn apply(diags: Vec<Diagnostic>, allow: &[AllowEntry], allow_path: &str) -> 
                 code: RuleCode::Smt005,
                 path: allow_path.to_string(),
                 line: a.line,
-                snippet: format!("{} {}  {}", a.code, a.path, a.reason),
+                snippet: format!("{} {}  {}", a.code, a.target(), a.reason),
                 message: format!(
                     "stale allowlist entry: no {} diagnostic in {} — delete it",
-                    a.code, a.path
+                    a.code,
+                    a.target()
                 ),
+                item: None,
             });
         }
     }
@@ -143,6 +188,14 @@ mod tests {
             line: 1,
             snippet: String::new(),
             message: String::new(),
+            item: None,
+        }
+    }
+
+    fn item_diag(code: RuleCode, path: &str, item: &str) -> Diagnostic {
+        Diagnostic {
+            item: Some(item.to_string()),
+            ..diag(code, path)
         }
     }
 
@@ -187,5 +240,57 @@ mod tests {
             .active
             .iter()
             .any(|d| d.code == RuleCode::Smt001 && d.path.ends_with("sim.rs")));
+    }
+
+    #[test]
+    fn item_entries_parse_and_match_only_their_item() {
+        let entries = parse_allowlist(
+            "SMT008 crates/pipeline/src/sim.rs#Simulator::waiter_pool  scratch pool rebuilt on demand\n",
+        )
+        .expect("valid");
+        assert_eq!(entries[0].path, "crates/pipeline/src/sim.rs");
+        assert_eq!(entries[0].item.as_deref(), Some("Simulator::waiter_pool"));
+        let diags = vec![
+            item_diag(
+                RuleCode::Smt008,
+                "crates/pipeline/src/sim.rs",
+                "Simulator::waiter_pool",
+            ),
+            item_diag(
+                RuleCode::Smt008,
+                "crates/pipeline/src/sim.rs",
+                "Simulator::sanitizer",
+            ),
+        ];
+        let r = apply(diags, &entries, "lint.allow");
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(
+            r.suppressed[0].item.as_deref(),
+            Some("Simulator::waiter_pool")
+        );
+        assert!(r
+            .active
+            .iter()
+            .any(|d| d.item.as_deref() == Some("Simulator::sanitizer")));
+        assert!(
+            !r.active.iter().any(|d| d.code == RuleCode::Smt005),
+            "the item entry was used, so it is not stale"
+        );
+    }
+
+    #[test]
+    fn plain_path_entry_still_covers_item_diagnostics() {
+        let entries = parse_allowlist(
+            "SMT008 crates/pipeline/src/sim.rs  whole-file waiver for a migration window\n",
+        )
+        .expect("valid");
+        let diags = vec![item_diag(
+            RuleCode::Smt008,
+            "crates/pipeline/src/sim.rs",
+            "Simulator::waiter_pool",
+        )];
+        let r = apply(diags, &entries, "lint.allow");
+        assert_eq!(r.suppressed.len(), 1);
+        assert!(r.active.is_empty());
     }
 }

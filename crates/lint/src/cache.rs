@@ -1,0 +1,236 @@
+//! Incremental per-file analysis cache, keyed by content hash.
+//!
+//! Each entry stores the FNV-1a hash of a file's bytes together with its
+//! extracted [`FileModel`] and its *local* (line-rule) diagnostics. On a
+//! warm run, files whose bytes are unchanged skip both masking/parsing and
+//! the local rule scan; cross-file rules always recompute from the models
+//! (they are cheap — no I/O, no parsing — and depend on other files).
+//!
+//! The cache degrades safely: a missing, unreadable, corrupt, or
+//! version-skewed cache file is treated as empty, and entries for files
+//! that vanished are dropped on store (only looked-up paths are rewritten).
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use crate::json::{self, Value};
+use crate::model::FileModel;
+use crate::rules::{Diagnostic, RuleCode};
+
+/// Bump when the model schema or any rule's extraction changes; a skewed
+/// cache is discarded wholesale rather than migrated.
+const CACHE_VERSION: i64 = 1;
+
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Entry {
+    hash: u64,
+    model: FileModel,
+    diags: Vec<Diagnostic>,
+}
+
+/// In-memory cache state for one lint run.
+#[derive(Default)]
+pub struct Cache {
+    old: BTreeMap<String, (u64, Value)>,
+    fresh: BTreeMap<String, Entry>,
+    pub hits: usize,
+    pub misses: usize,
+}
+
+impl Cache {
+    /// Load a cache file; any failure yields an empty cache.
+    pub fn load(path: &Path) -> Cache {
+        let mut cache = Cache::default();
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return cache;
+        };
+        let Ok(v) = json::parse(&text) else {
+            return cache;
+        };
+        if v.get("version").and_then(Value::as_int) != Some(CACHE_VERSION) {
+            return cache;
+        }
+        let Some(Value::Obj(files)) = v.get("files") else {
+            return cache;
+        };
+        for (p, entry) in files {
+            let Some(hash) = entry
+                .get("hash")
+                .and_then(Value::as_str)
+                .and_then(|h| u64::from_str_radix(h, 16).ok())
+            else {
+                continue;
+            };
+            cache.old.insert(p.clone(), (hash, entry.clone()));
+        }
+        cache
+    }
+
+    /// Look up a file by content hash. A hit moves the entry into the
+    /// fresh set (so it survives the next store) and returns the cached
+    /// model and local diagnostics.
+    pub fn lookup(&mut self, path: &str, hash: u64) -> Option<(FileModel, Vec<Diagnostic>)> {
+        let hit = match self.old.get(path) {
+            Some((h, entry)) if *h == hash => {
+                let model = entry.get("model").and_then(FileModel::from_value)?;
+                let diags = entry
+                    .get("diags")
+                    .and_then(Value::as_arr)
+                    .and_then(|a| a.iter().map(diag_from).collect::<Option<Vec<_>>>())?;
+                Some((model, diags))
+            }
+            _ => None,
+        };
+        match hit {
+            Some((model, diags)) => {
+                self.hits += 1;
+                self.fresh.insert(
+                    path.to_string(),
+                    Entry {
+                        hash,
+                        model: model.clone(),
+                        diags: diags.clone(),
+                    },
+                );
+                Some((model, diags))
+            }
+            None => None,
+        }
+    }
+
+    /// Record a freshly analyzed file.
+    pub fn insert(&mut self, path: &str, hash: u64, model: FileModel, diags: Vec<Diagnostic>) {
+        self.misses += 1;
+        self.fresh
+            .insert(path.to_string(), Entry { hash, model, diags });
+    }
+
+    /// Persist every fresh entry (hit or newly analyzed). Entries for
+    /// files no longer in the workspace are implicitly pruned.
+    pub fn store(&self, path: &Path) -> io::Result<()> {
+        let files: BTreeMap<String, Value> = self
+            .fresh
+            .iter()
+            .map(|(p, e)| {
+                (
+                    p.clone(),
+                    Value::obj(vec![
+                        ("hash", Value::str(format!("{:016x}", e.hash))),
+                        ("model", e.model.to_value()),
+                        (
+                            "diags",
+                            Value::Arr(e.diags.iter().map(diag_to_value).collect()),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        let doc = Value::obj(vec![
+            ("version", Value::Int(CACHE_VERSION)),
+            ("files", Value::Obj(files)),
+        ]);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, doc.render())
+    }
+}
+
+pub fn diag_to_value(d: &Diagnostic) -> Value {
+    Value::obj(vec![
+        ("code", Value::str(d.code.as_str())),
+        ("path", Value::str(&d.path)),
+        ("line", Value::Int(d.line as i64)),
+        ("snippet", Value::str(&d.snippet)),
+        ("message", Value::str(&d.message)),
+        (
+            "item",
+            d.item.as_deref().map(Value::str).unwrap_or(Value::Null),
+        ),
+    ])
+}
+
+pub fn diag_from(v: &Value) -> Option<Diagnostic> {
+    Some(Diagnostic {
+        code: RuleCode::parse(v.get("code")?.as_str()?)?,
+        path: v.get("path")?.as_str()?.to_string(),
+        line: v.get("line")?.as_int()? as usize,
+        snippet: v.get("snippet")?.as_str()?.to_string(),
+        message: v.get("message")?.as_str()?.to_string(),
+        item: v.get("item")?.as_str().map(str::to_string),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry() -> (FileModel, Vec<Diagnostic>) {
+        let model = crate::model::extract("pub struct S { a: u64 }\n");
+        let diags = vec![Diagnostic {
+            code: RuleCode::Smt001,
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 3,
+            snippet: "let m = HashMap::new();".to_string(),
+            message: "default-hasher map".to_string(),
+            item: None,
+        }];
+        (model, diags)
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("smt-lint-cache-{}", std::process::id()));
+        let file = dir.join("cache.json");
+        let (model, diags) = sample_entry();
+        let mut c = Cache::default();
+        c.insert(
+            "crates/x/src/lib.rs",
+            0xdead_beef,
+            model.clone(),
+            diags.clone(),
+        );
+        c.store(&file).expect("store");
+
+        let mut back = Cache::load(&file);
+        let (m2, d2) = back
+            .lookup("crates/x/src/lib.rs", 0xdead_beef)
+            .expect("hit");
+        assert_eq!(m2, model);
+        assert_eq!(d2.len(), 1);
+        assert_eq!(d2[0].code, diags[0].code);
+        assert_eq!(d2[0].message, diags[0].message);
+        assert_eq!(back.hits, 1);
+
+        // Changed content hash: miss.
+        assert!(back.lookup("crates/x/src/lib.rs", 0x1234).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_skewed_cache_is_empty() {
+        let dir = std::env::temp_dir().join(format!("smt-lint-cachebad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("cache.json");
+        std::fs::write(&file, "{ not json").unwrap();
+        assert!(Cache::load(&file).old.is_empty());
+        std::fs::write(&file, "{\"version\": 999, \"files\": {}}\n").unwrap();
+        assert!(Cache::load(&file).old.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnv1a_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

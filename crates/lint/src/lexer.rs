@@ -235,6 +235,56 @@ fn find_from(s: &str, from: usize, needle: &str) -> Option<usize> {
     s.get(from..).and_then(|t| t.find(needle)).map(|p| p + from)
 }
 
+/// Extract every string literal (plain, byte, raw) with its 1-based start
+/// line. Escape sequences are kept verbatim — consumers do substring
+/// matching, not display. Comments are skipped with the same state machine
+/// as [`mask_source`], so a `"..."` inside a comment is not a string.
+pub fn extract_strings(src: &str) -> Vec<(usize, String)> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut scratch = b.to_vec();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                i = mask_line_comment(b, &mut scratch, i)
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                i = mask_block_comment(b, &mut scratch, i)
+            }
+            b'"' => {
+                let end = mask_string(b, &mut scratch, i);
+                let inner = src[i + 1..end.min(src.len())].trim_end_matches('"');
+                out.push((line_of(src, i), inner.to_string()));
+                i = end;
+            }
+            b'r' | b'b' | b'c' if is_raw_string_start(b, i) => {
+                let start = i;
+                let end = mask_raw_string(b, &mut scratch, i);
+                // Strip the `r##"` opener and `"##` closer.
+                let lit = &src[start..end.min(src.len())];
+                let open = lit.find('"').map(|p| p + 1).unwrap_or(lit.len());
+                let hashes = lit[..open.saturating_sub(1)]
+                    .bytes()
+                    .filter(|&c| c == b'#')
+                    .count();
+                let close = lit.len().saturating_sub(hashes + 1).max(open);
+                out.push((line_of(src, start), lit[open..close].to_string()));
+                i = end;
+            }
+            b'b' if i + 1 < b.len() && b[i + 1] == b'"' => {
+                let end = mask_string(b, &mut scratch, i + 1);
+                let inner = src[i + 2..end.min(src.len())].trim_end_matches('"');
+                out.push((line_of(src, i), inner.to_string()));
+                i = end;
+            }
+            b'\'' => i = mask_char_or_lifetime(b, &mut scratch, i),
+            _ => i += 1,
+        }
+    }
+    out
+}
+
 /// 1-based line number of byte offset `at`.
 pub fn line_of(s: &str, at: usize) -> usize {
     s.as_bytes()[..at.min(s.len())]
@@ -316,6 +366,70 @@ mod tests {
         let src = "let s = \"#[cfg(test)]\";\nlet t = 1;\n";
         let flags = test_region_lines(&mask_source(src));
         assert!(flags.iter().all(|f| !f));
+    }
+
+    #[test]
+    fn raw_string_with_unbalanced_braces_keeps_tree_balanced() {
+        // A raw string containing a lone `{` must not leak into the mask —
+        // the token-tree layer depends on balanced delimiters.
+        let src = r###"fn f() { let s = r#"{ not a block ] ) "#; g(); }"###;
+        let m = mask_source(src);
+        assert_eq!(m.matches('{').count(), 1, "{m}");
+        assert_eq!(m.matches('}').count(), 1, "{m}");
+        assert!(m.contains("g();"));
+    }
+
+    #[test]
+    fn raw_string_hash_fence_inner_quote_hash() {
+        // `"#` inside an `r##"..."##` string does not close it.
+        let src = r####"let s = r##"inner "# still inside"##; tail"####;
+        let m = mask_source(src);
+        assert!(!m.contains("inner"), "{m}");
+        assert!(!m.contains("still"), "{m}");
+        assert!(m.contains("tail"), "{m}");
+    }
+
+    #[test]
+    fn deeply_nested_block_comments() {
+        let src = "a /* 1 /* 2 /* 3 */ 2 */ 1 */ z { /* { */ }";
+        let m = mask_source(src);
+        assert!(m.starts_with("a "));
+        assert!(!m.contains('1'));
+        assert!(!m.contains('3'));
+        // The `{` inside the comment is blanked; the real pair survives.
+        assert_eq!(m.matches('{').count(), 1, "{m}");
+        assert_eq!(m.matches('}').count(), 1, "{m}");
+    }
+
+    #[test]
+    fn char_literals_with_braces_and_quotes() {
+        let src = "let a = '{'; let b = '}'; let c = '\\''; let d = '\"'; end";
+        let m = mask_source(src);
+        assert!(!m.contains('{'), "{m}");
+        assert!(!m.contains('}'), "{m}");
+        assert!(!m.contains('"'), "{m}");
+        assert!(m.contains("end"), "{m}");
+    }
+
+    #[test]
+    fn cfg_test_region_stops_at_matching_brace() {
+        // Nested braces inside the test module must not end the region
+        // early, and the item after the module must be outside it.
+        let src = "#[cfg(test)]\nmod tests {\n  fn t() { if x { y(); } }\n}\nfn real() {}\n";
+        let flags = test_region_lines(&mask_source(src));
+        assert_eq!(flags, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn extract_strings_finds_plain_raw_and_byte() {
+        let src =
+            "let a = \"alpha\";\nlet b = r#\"beta \"q\" \"#;\nlet c = b\"gamma\";\n// \"not me\"\n";
+        let got = extract_strings(src);
+        assert_eq!(got.len(), 3, "{got:?}");
+        assert_eq!(got[0], (1, "alpha".to_string()));
+        assert_eq!(got[1].0, 2);
+        assert!(got[1].1.contains("beta"), "{got:?}");
+        assert_eq!(got[2], (3, "gamma".to_string()));
     }
 
     #[test]

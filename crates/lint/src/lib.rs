@@ -12,22 +12,44 @@
 //! | `SMT004` | no float `==` / `!=` | metrics |
 //! | `SMT005` | no stale allowlist entries | the allowlist itself |
 //! | `SMT006` | cycle counter written only in `advance_clock` | pipeline |
+//! | `SMT007` | observability hooks behind `const ENABLED` (lexical) | pipeline |
+//! | `SMT008` | snapshot fields captured *and* restored | pipeline, uarch |
+//! | `SMT009` | `PolicyKind` dispatch exhaustive; policy contracts explicit | cross-file |
+//! | `SMT010` | every `INVxxx` invariant tested and documented | cross-file |
+//! | `SMT011` | hooks structurally dominated by `ENABLED` (token-tree) | pipeline |
+//! | `SMT012` | exit codes match the documented 0–5 contract | experiments, docs |
 //!
 //! `#[cfg(test)]` modules, `tests/`, `benches/` and `examples/` trees are
 //! exempt throughout: the rules guard production paths.
 //!
+//! SMT001–SMT007 are *local* rules: token scans over one masked file
+//! ([`lexer::mask_source`] → [`rules::scan_file`]). SMT008–SMT012 are
+//! *cross-file* rules: every file is parsed into balanced-delimiter token
+//! trees ([`tokens`]) and distilled into a structural [`model::FileModel`]
+//! (struct fields, enum variants, fns with mention sets, match arms,
+//! consts, strings, hook-call gating); [`xrules::scan_workspace`] then
+//! checks coverage invariants across the whole workspace model plus the
+//! documentation files. Per-file models and local diagnostics are cached
+//! by content hash ([`cache`]), so warm runs re-analyze only edited files
+//! while cross-file rules always see the full, current model.
+//!
 //! Intentional exceptions live in `lint.allow` at the repository root,
-//! one per line with a mandatory justification
-//! (`CODE path  why this is fine`); an entry that stops matching anything
-//! becomes an `SMT005` error so the list can only shrink. Run it as
-//! `cargo run -p smt-lint` or `smt-experiments lint`; CI runs it as the
-//! "Static analysis" gate. The implementation is dependency-free: a
-//! masking lexer ([`lexer::mask_source`]) blanks comments and string
-//! literals, then each rule is a token scan over the masked text.
+//! one per line with a mandatory justification (`CODE path  why`, or
+//! item-granular `CODE path#Type::field  why` for the cross-file rules);
+//! an entry that stops matching anything becomes an `SMT005` error so the
+//! list can only shrink. Run it as `cargo run -p smt-lint` or
+//! `smt-experiments lint`; CI runs it as the "Static analysis" gate. The
+//! implementation is dependency-free, including its JSON reader/writer
+//! ([`json`]) for the cache and `--json` diagnostics.
 
 pub mod allow;
+pub mod cache;
+pub mod json;
 pub mod lexer;
+pub mod model;
 pub mod rules;
+pub mod tokens;
+pub mod xrules;
 
 pub use allow::{apply, parse_allowlist, AllowEntry, Report};
 pub use rules::{scan_file, Diagnostic, RuleCode};
@@ -77,11 +99,27 @@ fn rel(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
-/// Scan the whole workspace and apply the allowlist at
-/// `root/lint.allow` (an absent allowlist means "no exceptions").
-/// `Err` carries usage-level failures: unreadable files, malformed
-/// allowlist.
+/// Auxiliary sources the cross-file rules consult (integration tests that
+/// are not linted locally but whose *contents* are coverage evidence).
+const AUX_SOURCES: [&str; 1] = ["crates/pipeline/tests/sanitizer.rs"];
+
+/// Documentation files the cross-file rules consult.
+const DOC_SOURCES: [&str; 3] = ["DESIGN.md", "README.md", "EXPERIMENTS.md"];
+
+/// Scan the whole workspace and apply the allowlist at `root/lint.allow`
+/// (an absent allowlist means "no exceptions"). Purely in-memory: no
+/// cache file is read or written. `Err` carries usage-level failures:
+/// unreadable files, malformed allowlist.
 pub fn run(root: &Path) -> Result<Report, String> {
+    run_with_cache(root, None)
+}
+
+/// [`run`], optionally with an incremental cache file: per-file models and
+/// local diagnostics are reused when the file's content hash is unchanged,
+/// and the cache is rewritten after the scan. Cross-file rules always
+/// recompute over the (cached or fresh) models, so cached and cold runs
+/// produce identical diagnostics.
+pub fn run_with_cache(root: &Path, cache_path: Option<&Path>) -> Result<Report, String> {
     let allow_path = root.join(ALLOWLIST_NAME);
     let entries = if allow_path.is_file() {
         let text = std::fs::read_to_string(&allow_path)
@@ -94,15 +132,82 @@ pub fn run(root: &Path) -> Result<Report, String> {
     if files.is_empty() {
         return Err(format!("no sources under {}/crates", root.display()));
     }
+    let mut cache = cache_path.map(cache::Cache::load).unwrap_or_default();
     let mut diags = Vec::new();
+    let mut models = Vec::with_capacity(files.len());
     for f in &files {
+        let path = rel(root, f);
         let src =
             std::fs::read_to_string(f).map_err(|e| format!("reading {}: {e}", f.display()))?;
-        diags.extend(scan_file(&rel(root, f), &src));
+        let hash = cache::fnv1a(src.as_bytes());
+        let (m, local) = match cache.lookup(&path, hash) {
+            Some(hit) => hit,
+            None => {
+                let m = model::extract(&src);
+                let local = scan_file(&path, &src);
+                cache.insert(&path, hash, m.clone(), local.clone());
+                (m, local)
+            }
+        };
+        diags.extend(local);
+        models.push((path, m));
     }
+    let mut aux = Vec::new();
+    for a in AUX_SOURCES {
+        let p = root.join(a);
+        if let Ok(src) = std::fs::read_to_string(&p) {
+            aux.push((a.to_string(), model::extract(&src)));
+        }
+    }
+    let mut docs = Vec::new();
+    for d in DOC_SOURCES {
+        if let Ok(text) = std::fs::read_to_string(root.join(d)) {
+            docs.push((d.to_string(), text));
+        }
+    }
+    let ws = xrules::Workspace {
+        files: models,
+        aux,
+        docs,
+    };
+    diags.extend(xrules::scan_workspace(&ws));
     let mut report = apply(diags, &entries, ALLOWLIST_NAME);
     report.files = files.len();
+    if let Some(cp) = cache_path {
+        report.cache_hits = cache.hits;
+        report.cache_misses = cache.misses;
+        cache
+            .store(cp)
+            .map_err(|e| format!("writing cache {}: {e}", cp.display()))?;
+    }
     Ok(report)
+}
+
+/// Machine-readable report: one object with every diagnostic (active and
+/// suppressed), for CI annotation and artifact upload.
+pub fn render_json(report: &Report) -> String {
+    let mut diags: Vec<json::Value> = Vec::new();
+    for (d, allowed) in report
+        .active
+        .iter()
+        .map(|d| (d, false))
+        .chain(report.suppressed.iter().map(|d| (d, true)))
+    {
+        let mut v = cache::diag_to_value(d);
+        if let json::Value::Obj(m) = &mut v {
+            m.insert("allowlisted".to_string(), json::Value::Bool(allowed));
+        }
+        diags.push(v);
+    }
+    json::Value::obj(vec![
+        ("version", json::Value::Int(1)),
+        ("clean", json::Value::Bool(report.is_clean())),
+        ("files", json::Value::Int(report.files as i64)),
+        ("cache_hits", json::Value::Int(report.cache_hits as i64)),
+        ("cache_misses", json::Value::Int(report.cache_misses as i64)),
+        ("diagnostics", json::Value::Arr(diags)),
+    ])
+    .render()
 }
 
 /// Walk upward from `start` to the workspace root (the directory whose
@@ -144,6 +249,12 @@ pub fn render(report: &Report, verbose: bool) -> String {
         report.active.len(),
         report.suppressed.len()
     ));
+    if report.cache_hits + report.cache_misses > 0 {
+        s.push_str(&format!(
+            "cache: {} unchanged, {} re-analyzed\n",
+            report.cache_hits, report.cache_misses
+        ));
+    }
     s
 }
 

@@ -1,8 +1,14 @@
 //! `smt-lint` — CLI for the workspace determinism lint.
 //!
 //! ```text
-//! smt-lint [--root DIR] [--verbose] [--rules]
+//! smt-lint [--root DIR] [--verbose] [--rules] [--json PATH] [--cache PATH]
 //! ```
+//!
+//! `--json PATH` writes machine-readable diagnostics (every finding with
+//! code, file, line, item, message, allowlisted flag) alongside the human
+//! report; `-` writes the JSON to stdout instead of the human report.
+//! `--cache PATH` enables the incremental per-file cache: unchanged files
+//! are served from it, and it is rewritten after the run.
 //!
 //! Exit 0: clean. Exit 1: non-allowlisted diagnostics (printed one per
 //! line as `path:line: CODE message`). Exit 2: usage or I/O failure.
@@ -10,15 +16,28 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str =
+    "usage: smt-lint [--root DIR] [--verbose] [--rules] [--json PATH] [--cache PATH]";
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut verbose = false;
+    let mut json_out: Option<PathBuf> = None;
+    let mut cache: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--root" => match args.next() {
                 Some(d) => root = Some(PathBuf::from(d)),
                 None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => return usage("--json needs a path (or `-` for stdout)"),
+            },
+            "--cache" => match args.next() {
+                Some(p) => cache = Some(PathBuf::from(p)),
+                None => return usage("--cache needs a path"),
             },
             "--verbose" | "-v" => verbose = true,
             "--rules" => {
@@ -28,7 +47,7 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
-                println!("usage: smt-lint [--root DIR] [--verbose] [--rules]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument {other:?}")),
@@ -44,9 +63,20 @@ fn main() -> ExitCode {
             }
         }
     };
-    match smt_lint::run(&root) {
+    match smt_lint::run_with_cache(&root, cache.as_deref()) {
         Ok(report) => {
-            print!("{}", smt_lint::render(&report, verbose));
+            let json = smt_lint::render_json(&report);
+            match &json_out {
+                Some(p) if p.as_os_str() == "-" => print!("{json}"),
+                Some(p) => {
+                    if let Err(e) = std::fs::write(p, &json) {
+                        eprintln!("smt-lint: writing {}: {e}", p.display());
+                        return ExitCode::from(2);
+                    }
+                    print!("{}", smt_lint::render(&report, verbose));
+                }
+                None => print!("{}", smt_lint::render(&report, verbose)),
+            }
             if report.is_clean() {
                 ExitCode::SUCCESS
             } else {
@@ -61,6 +91,6 @@ fn main() -> ExitCode {
 }
 
 fn usage(msg: &str) -> ExitCode {
-    eprintln!("smt-lint: {msg}\nusage: smt-lint [--root DIR] [--verbose] [--rules]");
+    eprintln!("smt-lint: {msg}\n{USAGE}");
     ExitCode::from(2)
 }

@@ -51,10 +51,45 @@ pub enum RuleCode {
     /// every unprobed run pay for telemetry it discards — and breaks the
     /// zero-cost-when-disabled contract bench `pr6` gates.
     Smt007,
+    /// Snapshot-coverage drift (cross-file): a field of a state-bearing
+    /// struct with snapshot machinery (`Simulator`'s save/restore surface,
+    /// or any pipeline/uarch struct with an inherent `save_state` /
+    /// `load_state` pair) is not touched by both the capture and restore
+    /// paths. A forgotten field passes every test today and silently
+    /// corrupts checkpoints after the next refactor; genuinely derived or
+    /// scratch fields carry a justified `path#Type::field` allowlist entry.
+    Smt008,
+    /// `PolicyKind` dispatch exhaustiveness (cross-file): every variant
+    /// must have explicit match arms in `name`/`parse`/`build`/`dispatch`,
+    /// and every concrete policy type routed through `dispatch` must state
+    /// its `quiescence_safe` contract explicitly (plus `audit_order` when
+    /// it defines `warn_level`). A wildcard arm or trait default here turns
+    /// an unhandled new policy into silent misbehavior instead of a lint.
+    Smt009,
+    /// Invariant-coverage drift (cross-file): every `INVxxx` code declared
+    /// on `InvariantCode` in `sanitizer.rs` must have a firing mutation
+    /// test in `crates/pipeline/tests/sanitizer.rs` and a mention in
+    /// DESIGN.md §10. An untested invariant is one refactor away from
+    /// never firing; an undocumented one cannot be triaged.
+    Smt010,
+    /// Structurally ungated observability hook call (cross-file
+    /// generalization of SMT007): a tracked probe/sanitizer hook call in
+    /// the pipeline crate that is not dominated by a positive
+    /// `const ENABLED` branch (or an `if !ENABLED { return }` guard, or
+    /// the body of another tracked hook). Where SMT007 scans lexically,
+    /// this rule walks the token tree, so a hook moved out of its gate
+    /// fires even when `ENABLED` still appears earlier in the function.
+    Smt011,
+    /// Exit-code contract drift (cross-file): the `EXIT_*` constants in
+    /// `crates/experiments/src/error.rs` must form exactly the documented
+    /// 0–5 set, every `process::exit` call must use them (no raw integer
+    /// literals), and the usage text, README.md and EXPERIMENTS.md must
+    /// document every value. Scripts and CI match on these codes.
+    Smt012,
 }
 
 impl RuleCode {
-    pub const ALL: [RuleCode; 7] = [
+    pub const ALL: [RuleCode; 12] = [
         RuleCode::Smt001,
         RuleCode::Smt002,
         RuleCode::Smt003,
@@ -62,6 +97,11 @@ impl RuleCode {
         RuleCode::Smt005,
         RuleCode::Smt006,
         RuleCode::Smt007,
+        RuleCode::Smt008,
+        RuleCode::Smt009,
+        RuleCode::Smt010,
+        RuleCode::Smt011,
+        RuleCode::Smt012,
     ];
 
     pub fn as_str(self) -> &'static str {
@@ -73,6 +113,11 @@ impl RuleCode {
             RuleCode::Smt005 => "SMT005",
             RuleCode::Smt006 => "SMT006",
             RuleCode::Smt007 => "SMT007",
+            RuleCode::Smt008 => "SMT008",
+            RuleCode::Smt009 => "SMT009",
+            RuleCode::Smt010 => "SMT010",
+            RuleCode::Smt011 => "SMT011",
+            RuleCode::Smt012 => "SMT012",
         }
     }
 
@@ -89,6 +134,11 @@ impl RuleCode {
             RuleCode::Smt005 => "stale allowlist entry (suppressed nothing)",
             RuleCode::Smt006 => "cycle counter written outside advance_clock",
             RuleCode::Smt007 => "ungated observability hook call in the cycle loop",
+            RuleCode::Smt008 => "snapshot field not covered by capture+restore",
+            RuleCode::Smt009 => "PolicyKind variant or policy contract not dispatched",
+            RuleCode::Smt010 => "invariant code without mutation test or doc mention",
+            RuleCode::Smt011 => "hook call not structurally dominated by ENABLED",
+            RuleCode::Smt012 => "exit-code contract drift (consts/calls/docs)",
         }
     }
 }
@@ -111,6 +161,21 @@ pub struct Diagnostic {
     /// the report shows what the author wrote).
     pub snippet: String,
     pub message: String,
+    /// Item granularity for cross-file rules (e.g. `Simulator::waiter_pool`
+    /// or `InvariantCode::EventLenMismatch`). An allowlist entry of the
+    /// form `CODE path#item reason` suppresses exactly this finding; plain
+    /// `CODE path` entries still match the whole file.
+    pub item: Option<String>,
+}
+
+impl Diagnostic {
+    /// `path` or `path#item` — the spelling an allowlist entry uses.
+    pub fn target(&self) -> String {
+        match &self.item {
+            Some(it) => format!("{}#{}", self.path, it),
+            None => self.path.clone(),
+        }
+    }
 }
 
 impl std::fmt::Display for Diagnostic {
@@ -122,6 +187,21 @@ impl std::fmt::Display for Diagnostic {
         )
     }
 }
+
+/// The state-constructing observability hooks: the work happens *before*
+/// the call (snapshot vecs, PolicyView, gate classification), so the call
+/// site itself must sit under a `const ENABLED` gate. Shared by SMT007
+/// (lexical scan) and SMT011 (structural walk, see `model`/`xrules`).
+pub const GATED_HOOKS: [&str; 8] = [
+    "on_cycle_state",
+    "on_quiescent_span",
+    "on_sample",
+    "on_gate",
+    "on_ungate",
+    "on_warn_change",
+    "audit_cycle",
+    "feed_cycle_probe",
+];
 
 fn in_crate(path: &str, krate: &str) -> bool {
     path.starts_with(&format!("crates/{krate}/"))
@@ -148,6 +228,7 @@ pub fn scan_file(path: &str, src: &str) -> Vec<Diagnostic> {
             code,
             path: path.to_string(),
             line,
+            item: None,
             snippet: raw_lines
                 .get(line - 1)
                 .map_or(String::new(), |l| l.trim().to_string()),
@@ -293,19 +374,6 @@ pub fn scan_file(path: &str, src: &str) -> Vec<Diagnostic> {
     }
 
     if in_crate(path, "pipeline") {
-        // The state-constructing hooks: the work happens *before* the call
-        // (snapshot vecs, PolicyView, gate classification), so the call
-        // site itself must sit under a `const ENABLED` gate.
-        const GATED_HOOKS: [&str; 8] = [
-            "on_cycle_state",
-            "on_quiescent_span",
-            "on_sample",
-            "on_gate",
-            "on_ungate",
-            "on_warn_change",
-            "audit_cycle",
-            "feed_cycle_probe",
-        ];
         for hook in GATED_HOOKS {
             for at in find_idents(&masked, hook) {
                 let b = masked.as_bytes();

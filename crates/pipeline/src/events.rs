@@ -287,6 +287,14 @@ impl EventWheel {
         self.len += 1;
         self.buckets[(ev.at & self.mask) as usize].push(ev);
     }
+
+    /// Mutation-test hook: inflate the cached length without filing an
+    /// event, mimicking a drain that dropped an event while decrementing
+    /// nothing, so the sanitizer's `INV008` check can be exercised.
+    #[doc(hidden)]
+    pub fn skew_len_for_test(&mut self) {
+        self.len += 1;
+    }
 }
 
 fn ev_kind_tag(k: EvKind) -> u8 {

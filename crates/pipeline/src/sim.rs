@@ -74,9 +74,11 @@ enum SquashReason {
 
 /// A deliberate single-point invariant corruption, applied by
 /// [`Simulator::inject_for_test`] so mutation tests can prove the sanitizer
-/// actually catches each invariant class. All corruptions *inflate* state
+/// actually catches each invariant class. Most corruptions *inflate* state
 /// (leak a resource, add a phantom count) rather than underflow it, so they
-/// reach the audit instead of tripping a fast-path `debug_assert!` first.
+/// reach the audit instead of tripping a fast-path `debug_assert!` first;
+/// the few that remove state ([`Mutation::DropRobEntry`]) rely on the test
+/// forcing an audit before the machine steps again.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum Mutation {
@@ -101,6 +103,14 @@ pub enum Mutation {
     PastDueEvent,
     /// Swap the two oldest ROB entries of thread 0 (`INV005`).
     RobAgeSwap,
+    /// Inflate the event wheel's cached length without filing an event
+    /// (`INV008`).
+    SkewEventLen,
+    /// Drop thread 0's oldest ROB entry without retiring its slab slot —
+    /// a lost in-flight instruction (`INV011`).
+    DropRobEntry,
+    /// Duplicate a valid tag within one cache set (`INV014`).
+    DuplicateCacheTag,
 }
 
 /// The SMT processor simulator.
@@ -2395,6 +2405,14 @@ impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
     pub fn force_audit(&mut self) {
         if S::ENABLED {
             self.audit_cycle();
+            // The tag audit inside `audit_cycle` is periodic (its cost
+            // scales with cache size); a forced audit runs it regardless
+            // so tag mutations get a deterministic verdict.
+            if !self.now.is_multiple_of(TAG_AUDIT_PERIOD) {
+                if let Err(detail) = self.hier.audit_tags() {
+                    self.report_violation(InvariantCode::CacheTagIntegrity, None, 0, 1, detail);
+                }
+            }
         }
     }
 
@@ -2443,6 +2461,12 @@ impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
                     false
                 }
             }
+            Mutation::SkewEventLen => {
+                self.events.skew_len_for_test();
+                true
+            }
+            Mutation::DropRobEntry => self.robs[0].pop_front().is_some(),
+            Mutation::DuplicateCacheTag => self.hier.corrupt_duplicate_tag_for_test(),
         }
     }
 

@@ -138,6 +138,26 @@ fn past_due_event_is_caught() {
 }
 
 #[test]
+fn skewed_event_wheel_length_is_caught() {
+    assert_caught(Mutation::SkewEventLen, InvariantCode::EventLenMismatch);
+}
+
+#[test]
+fn dropped_rob_entry_is_caught() {
+    // A lost in-flight instruction: the slab still counts it live, but no
+    // fetch queue or ROB holds it any more.
+    assert_caught(Mutation::DropRobEntry, InvariantCode::SlabConservation);
+}
+
+#[test]
+fn duplicated_cache_tag_is_caught() {
+    assert_caught(
+        Mutation::DuplicateCacheTag,
+        InvariantCode::CacheTagIntegrity,
+    );
+}
+
+#[test]
 fn past_due_event_also_reports_expected_cycle() {
     let rec = violations_after(Mutation::PastDueEvent);
     let v = rec

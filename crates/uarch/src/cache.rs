@@ -274,6 +274,30 @@ impl Cache {
         }
         Ok(())
     }
+
+    /// Mutation-test hook: copy one valid line's tag onto another valid
+    /// line of the same set — exactly the duplicate [`Cache::audit_tags`]
+    /// exists to catch. Returns false when no set holds two valid lines.
+    #[doc(hidden)]
+    pub fn corrupt_duplicate_tag_for_test(&mut self) -> bool {
+        let w = self.cfg.ways as usize;
+        for lines in self.sets.chunks_mut(w) {
+            let mut first = None;
+            for i in 0..lines.len() {
+                if !lines[i].valid {
+                    continue;
+                }
+                match first {
+                    None => first = Some(i),
+                    Some(f) => {
+                        lines[i].tag = lines[f].tag;
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
 }
 
 #[cfg(test)]

@@ -326,6 +326,16 @@ impl MemHierarchy {
         Ok(())
     }
 
+    /// Mutation-test hook: duplicate a valid tag in the first cache level
+    /// that has a set with two valid lines (L2 first — after pre-warming
+    /// it always does). Returns false when every level is too empty.
+    #[doc(hidden)]
+    pub fn corrupt_duplicate_tag_for_test(&mut self) -> bool {
+        self.l2.corrupt_duplicate_tag_for_test()
+            || self.l1d.corrupt_duplicate_tag_for_test()
+            || self.l1i.corrupt_duplicate_tag_for_test()
+    }
+
     /// Pre-install a region's lines into the L2 (simulating steady-state
     /// residency that a short simulation window cannot establish by demand
     /// misses alone).
