@@ -23,7 +23,7 @@ fn run_policy(
     cfg: SimConfig,
     wl: &Workload,
     desc: &str,
-    policy: impl Fn() -> Box<dyn FetchPolicy>,
+    policy: impl Fn() -> Box<dyn FetchPolicy> + Sync,
     tag: &str,
 ) -> f64 {
     let name = policy().name();

@@ -38,6 +38,11 @@ struct RunRecord {
     /// (zero for static policies, `None` for cache-served results — like
     /// `skip`, the switch log is observational and not persisted).
     switches: Option<u64>,
+    /// `(fragments, fragment_cycles)` when the run executed through the
+    /// time-axis fragment-replay engine; `None` for sequential and
+    /// cache-served runs. Observational, like `skip`: fragmented results
+    /// are proven bit-identical, so nothing else in the record changes.
+    fragments: Option<(u64, u64)>,
 }
 
 /// One recorded run failure (watchdog trip, isolated panic, cache fault).
@@ -73,18 +78,21 @@ pub fn enabled() -> bool {
 
 /// Record a campaign run. No-op unless [`enable`]d.
 pub fn record(key: &RunKey, result: &SimResult) {
-    record_with_runtime(key, result, None, None);
+    record_with_runtime(key, result, None, None, None);
 }
 
 /// As [`record`], with the run's in-process execution accounting:
-/// quiescence-skip cycles (`skip = (skipped_cycles, total_cycles)`) and
-/// the fetch-policy switch count (non-zero only for the switching
-/// meta-policies). Both are `None` for cache-served results.
+/// quiescence-skip cycles (`skip = (skipped_cycles, total_cycles)`), the
+/// fetch-policy switch count (non-zero only for the switching
+/// meta-policies), and the fragment-replay shape
+/// (`fragments = (fragments, fragment_cycles)`, `None` for sequential
+/// runs). All are `None` for cache-served results.
 pub fn record_with_runtime(
     key: &RunKey,
     result: &SimResult,
     skip: Option<(u64, u64)>,
     switches: Option<u64>,
+    fragments: Option<(u64, u64)>,
 ) {
     let mut sink = crate::lock_unpoisoned(&SINK);
     if let Some(sink) = sink.as_mut() {
@@ -96,6 +104,7 @@ pub fn record_with_runtime(
             result: result.clone(),
             skip,
             switches,
+            fragments,
         });
     }
 }
@@ -128,6 +137,7 @@ pub fn record_tagged_with_switches(
             result: result.clone(),
             skip: None,
             switches,
+            fragments: None,
         });
     }
 }
@@ -198,6 +208,7 @@ pub fn stats_json(tag: &str, arch: &str, workload: &str, policy: &str, result: &
             result: result.clone(),
             skip: None,
             switches: None,
+            fragments: None,
         },
         &[],
     )
@@ -329,8 +340,8 @@ fn run_json(rec: &RunRecord, solos: &[(String, String, f64)]) -> Json {
 
     let sum = |f: fn(&ThreadStats) -> u64| -> u64 { r.threads.iter().map(f).sum() };
     Json::obj(vec![
-        ("schema", Json::str("smt-stats-v2")),
-        ("schema_version", Json::U64(2)),
+        ("schema", Json::str("smt-stats-v3")),
+        ("schema_version", Json::U64(3)),
         ("experiment", Json::str(rec.tag.clone())),
         ("arch", Json::str(rec.arch.clone())),
         ("workload", Json::str(rec.workload.clone())),
@@ -354,6 +365,18 @@ fn run_json(rec: &RunRecord, solos: &[(String, String, f64)]) -> Json {
         (
             "policy_switches",
             rec.switches.map_or(Json::Null, Json::U64),
+        ),
+        // Fragment-replay shape (v3): how many time-axis fragments the
+        // run was split into and the fragment length in cycles. Null for
+        // sequential and cache-served runs; fragmented results are proven
+        // digest-identical, so these are purely execution metadata.
+        (
+            "fragments",
+            rec.fragments.map_or(Json::Null, |(n, _)| Json::U64(n)),
+        ),
+        (
+            "fragment_cycles",
+            rec.fragments.map_or(Json::Null, |(_, c)| Json::U64(c)),
         ),
         ("throughput_ipc", Json::F64(r.throughput())),
         ("hmean_relative_ipc", hmean.map_or(Json::Null, Json::F64)),
@@ -422,6 +445,7 @@ mod tests {
             result: fake_result(&[1.0, 1.0]),
             skip: Some((250, 1_000)),
             switches: Some(3),
+            fragments: Some((8, 10_000)),
         };
         let solos: Vec<(String, String, f64)> = wl
             .benchmarks
@@ -431,10 +455,12 @@ mod tests {
         let doc = run_json(&rec, &solos).render();
         assert!(doc.contains("\"hmean_relative_ipc\":0.5"), "{doc}");
         assert!(doc.contains("\"wrong_path_fetched\":20"), "{doc}");
-        assert!(doc.contains("\"schema\":\"smt-stats-v2\""), "{doc}");
-        assert!(doc.contains("\"schema_version\":2"), "{doc}");
+        assert!(doc.contains("\"schema\":\"smt-stats-v3\""), "{doc}");
+        assert!(doc.contains("\"schema_version\":3"), "{doc}");
         assert!(doc.contains("\"skip_ratio\":0.25"), "{doc}");
         assert!(doc.contains("\"policy_switches\":3"), "{doc}");
+        assert!(doc.contains("\"fragments\":8"), "{doc}");
+        assert!(doc.contains("\"fragment_cycles\":10000"), "{doc}");
 
         // Without solo baselines the Hmean is null, not wrong.
         let doc = run_json(&rec, &[]).render();
@@ -452,6 +478,8 @@ mod tests {
         )
         .render();
         assert!(doc.contains("\"skip_ratio\":null"), "{doc}");
+        assert!(doc.contains("\"fragments\":null"), "{doc}");
+        assert!(doc.contains("\"fragment_cycles\":null"), "{doc}");
     }
 
     #[test]

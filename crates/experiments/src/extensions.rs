@@ -20,7 +20,7 @@ fn run(
     campaign: &Campaign,
     wl: &Workload,
     desc: &str,
-    policy: impl Fn() -> Box<dyn FetchPolicy>,
+    policy: impl Fn() -> Box<dyn FetchPolicy> + Sync,
 ) -> f64 {
     let name = policy().name();
     let result = campaign.run_custom(&SimConfig::baseline(), &wl.thread_specs(), desc, policy);

@@ -55,7 +55,7 @@ experiments:
 
   lint [--verbose] [--json PATH] [--cache PATH]
              static analysis over this repository's own sources (the
-             determinism/robustness rules SMT001..SMT012, allowlisted in
+             determinism/robustness rules SMT001..SMT013, allowlisted in
              lint.allow); same pass as `cargo run -p smt-lint`. --json
              writes machine-readable diagnostics (`-` for stdout);
              --cache enables the incremental per-file cache
@@ -94,6 +94,13 @@ flags:
                      that re-simulate from scratch)
   --checkpoint-interval <n>
                      cycles between periodic snapshots (default 20000)
+  --fragments <n>    time-axis parallel fragment replay: when spare cores
+                     exist (pending grid narrower than SMT_JOBS/core count),
+                     each simulation runs a null-observer scout pass that
+                     snapshots the machine every <n> cycles, then replays
+                     the fragments concurrently with the real observers and
+                     stitches a result proven bit-identical to a sequential
+                     run (ignored under --resume)
 
 exit codes:
   0  success          1  runtime failure       2  bad usage
@@ -308,20 +315,29 @@ struct CampaignOpts {
     live: bool,
     intervals: Option<(PathBuf, u64)>,
     resume: Option<(PathBuf, u64)>,
+    /// Fragment length for time-axis parallel replay (0 = sequential).
+    fragments: u64,
 }
 
 /// Build the campaign, attaching the persistent cache when requested.
 fn build_campaign(params: ExpParams, cache_dir: Option<&PathBuf>, opts: &CampaignOpts) -> Campaign {
-    let mut campaign = match cache_dir {
-        Some(dir) => match Campaign::with_disk_cache(params, dir) {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("--cache-dir {}: {e}", dir.display());
-                std::process::exit(EXIT_RUNTIME);
-            }
-        },
-        None => Campaign::new(params),
+    // A malformed SMT_JOBS is a usage error here, not a panic: the CLI is
+    // exactly the caller that can tell the user what to fix.
+    let mut campaign = match Campaign::try_new(params) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}\n");
+            eprint!("{USAGE}");
+            std::process::exit(EXIT_USAGE);
+        }
     };
+    if let Some(dir) = cache_dir {
+        if let Err(e) = campaign.attach_disk_cache(dir) {
+            eprintln!("--cache-dir {}: {e}", dir.display());
+            std::process::exit(EXIT_RUNTIME);
+        }
+    }
+    campaign.set_fragments(opts.fragments);
     campaign.set_sanitize(opts.sanitize);
     campaign.set_skip(!opts.no_skip);
     campaign.set_live(opts.live);
@@ -430,6 +446,7 @@ fn main() {
     let interval_window = take_num_flag(&mut args, "interval-window", 1024);
     let resume_dir = take_dir_flag(&mut args, "resume");
     let checkpoint_interval = take_num_flag(&mut args, "checkpoint-interval", 20_000);
+    let fragments = take_num_flag(&mut args, "fragments", 0);
     let quick = args.iter().any(|a| a == "--quick");
     let sanitize = args.iter().any(|a| a == "--sanitize");
     let no_skip = args.iter().any(|a| a == "--no-skip");
@@ -440,6 +457,7 @@ fn main() {
         live,
         intervals: intervals_dir.clone().map(|dir| (dir, interval_window)),
         resume: resume_dir.clone().map(|dir| (dir, checkpoint_interval)),
+        fragments,
     };
 
     if args.first().map(String::as_str) == Some("lint") {

@@ -20,15 +20,15 @@
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use dwarn_core::{PolicyKind, PolicyVisitor};
 use smt_obs::{IntervalConfig, IntervalProbe, IntervalSeries, Json};
 use smt_pipeline::{
-    CheckpointOpts, FetchPolicy, MachineSnapshot, RecordingSanitizer, RunOutcome, SimConfig,
-    SimResult, Simulator, ThreadSpec, Watchdog,
+    CheckpointOpts, ConfigError, FetchPolicy, FragmentOpts, MachineSnapshot, RecordingSanitizer,
+    RunOutcome, SimConfig, SimError, SimResult, Simulator, ThreadSpec, Watchdog,
 };
 use smt_workloads::Workload;
 
@@ -225,6 +225,18 @@ pub struct Campaign {
     /// non-zero only for the switching meta-policies. Feeds the
     /// `policy_switches` field of the stats artifact.
     switch_stats: Mutex<HashMap<String, u64>>,
+    /// Fragment length in cycles for time-axis parallel replay
+    /// (`--fragments <cycles>`); `None` runs every simulation
+    /// sequentially.
+    fragments: Option<u64>,
+    /// How many campaign workers are currently simulating (1 outside a
+    /// prefetch batch). Fragment replay only engages with the cores the
+    /// batch pool leaves idle: intra-run parallelism is for grids
+    /// *narrower* than the machine, not for competing with the pool.
+    pool_width: AtomicUsize,
+    /// Per-run fragment accounting, same lifecycle as `skip_stats`:
+    /// `(fragments, fragment_cycles)`. Feeds the schema-v3 stats fields.
+    frag_stats: Mutex<HashMap<String, (u64, u64)>>,
     /// Progress of the current prefetch batch, for runs/sec and ETA:
     /// `(batch_total, started, completed_before_batch)`.
     batch: Mutex<Option<(usize, Instant, u64)>>,
@@ -276,20 +288,52 @@ struct Telemetry {
     coalesced: AtomicU64,
 }
 
+/// Fail a sanitized run whose recorder caught invariant violations.
+fn check_clean(what: &str, rec: &RecordingSanitizer) -> Result<(), ExpError> {
+    if rec.is_clean() {
+        Ok(())
+    } else {
+        Err(ExpError::Invariant {
+            what: what.to_string(),
+            violations: rec.total() as usize,
+            first: rec.first().map(ToString::to_string).unwrap_or_default(),
+        })
+    }
+}
+
+/// Resolve a worker count from a raw `SMT_JOBS` value. `None` (variable
+/// unset) falls back to the detected core count; anything set must be a
+/// positive integer — `0`, empty, and non-numeric values are rejected
+/// with a typed error instead of silently defaulting, because a CI box
+/// that *meant* to pin the width must not quietly run at full fan-out.
+pub fn parse_jobs(raw: Option<&str>) -> Result<usize, ConfigError> {
+    match raw {
+        None => Ok(std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(ConfigError::InvalidJobs { got: v.to_string() }),
+        },
+    }
+}
+
 impl Campaign {
+    /// As [`Campaign::try_new`], panicking on a malformed `SMT_JOBS`.
+    /// Kept for the dozens of test/bench call sites, which follow the
+    /// crate's documented fail-fast convention (the CLI goes through
+    /// `try_new` and exits with a usage error instead).
     pub fn new(params: ExpParams) -> Campaign {
-        // `SMT_JOBS` overrides the detected core count (CI runners and
-        // benchmark boxes want a pinned, reproducible width).
-        let parallelism = std::env::var("SMT_JOBS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
-        Campaign {
+        Campaign::try_new(params).unwrap_or_else(|e| panic!("campaign setup failed: {e}"))
+    }
+
+    /// Build a campaign, resolving worker parallelism from the
+    /// `SMT_JOBS` environment variable (CI runners and benchmark boxes
+    /// want a pinned, reproducible width) or the detected core count.
+    pub fn try_new(params: ExpParams) -> Result<Campaign, ConfigError> {
+        let jobs = std::env::var("SMT_JOBS").ok();
+        let parallelism = parse_jobs(jobs.as_deref())?;
+        Ok(Campaign {
             params,
             cache: Mutex::new(HashMap::new()),
             custom: Mutex::new(HashMap::new()),
@@ -305,16 +349,25 @@ impl Campaign {
             heartbeat: Mutex::new(None),
             skip_stats: Mutex::new(HashMap::new()),
             switch_stats: Mutex::new(HashMap::new()),
+            fragments: None,
+            pool_width: AtomicUsize::new(1),
+            frag_stats: Mutex::new(HashMap::new()),
             batch: Mutex::new(None),
             ckpt: None,
-        }
+        })
     }
 
     /// A campaign whose memo persists under `dir` across processes.
     pub fn with_disk_cache(params: ExpParams, dir: &Path) -> std::io::Result<Campaign> {
         let mut c = Campaign::new(params);
-        c.disk = Some(DiskCache::open(dir)?);
+        c.attach_disk_cache(dir)?;
         Ok(c)
+    }
+
+    /// Attach the cross-process persistent store (`--cache-dir <dir>`).
+    pub fn attach_disk_cache(&mut self, dir: &Path) -> std::io::Result<()> {
+        self.disk = Some(DiskCache::open(dir)?);
+        Ok(())
     }
 
     /// The persistent store, if one is attached.
@@ -391,6 +444,45 @@ impl Campaign {
     /// ([`Campaign::set_skip`]).
     pub fn skip(&self) -> bool {
         self.skip
+    }
+
+    /// Enable time-axis parallel fragment replay (`--fragments <cycles>`):
+    /// a simulation whose turn comes when spare cores exist first runs a
+    /// cheap null-observer scout pass that snapshots the machine every
+    /// `cycles` cycles, then re-simulates the fragments concurrently with
+    /// the real observer configuration and stitches the results —
+    /// bit-identical to a sequential run (the engine proves it per run).
+    /// `0` disables. Checkpointing campaigns (`--resume`) ignore it: a
+    /// resumable run must stay a single sequential timeline.
+    pub fn set_fragments(&mut self, cycles: u64) {
+        self.fragments = (cycles > 0).then_some(cycles);
+    }
+
+    /// Whether fragment replay is configured ([`Campaign::set_fragments`]).
+    pub fn fragments_enabled(&self) -> bool {
+        self.fragments.is_some()
+    }
+
+    /// The `(jobs, fragment_cycles)` plan for a run starting now, or
+    /// `None` to simulate sequentially. Fragment workers only use cores
+    /// the batch pool leaves idle: a full-width prefetch already keeps
+    /// the machine busy with run-level parallelism, and oversubscribing
+    /// it would slow both passes down.
+    fn fragment_plan(&self) -> Option<(usize, u64)> {
+        let cycles = self.fragments?;
+        let width = self.pool_width.load(Ordering::Relaxed).max(1);
+        let jobs = self.parallelism / width;
+        (jobs >= 2 && self.ckpt.is_none()).then_some((jobs, cycles))
+    }
+
+    /// Stash a fresh run's fragment accounting for the stats artifact
+    /// (`(fragments, fragment_cycles)`; schema v3).
+    fn note_fragments(&self, what: &str, fragments: u64, cycles: u64) {
+        crate::lock_unpoisoned(&self.frag_stats).insert(what.to_string(), (fragments, cycles));
+    }
+
+    fn take_fragments(&self, what: &str) -> Option<(u64, u64)> {
+        crate::lock_unpoisoned(&self.frag_stats).remove(what)
     }
 
     /// Attach the interval sampler (`--intervals <dir>`): every simulation
@@ -552,17 +644,23 @@ impl Campaign {
         cfg: &SimConfig,
         specs: &[ThreadSpec],
         policy: F,
+        rebuild: Option<&(dyn Fn() -> Box<dyn FetchPolicy> + Sync)>,
     ) -> Result<SimResult, ExpError> {
-        fn check_clean(what: &str, rec: &RecordingSanitizer) -> Result<(), ExpError> {
-            if rec.is_clean() {
-                Ok(())
-            } else {
-                Err(ExpError::Invariant {
-                    what: what.to_string(),
-                    violations: rec.total() as usize,
-                    first: rec.first().map(ToString::to_string).unwrap_or_default(),
-                })
-            }
+        // Fragment replay: when spare cores exist and the caller can
+        // rebuild the policy for the replay workers, split this run
+        // along the time axis instead of simulating it sequentially.
+        // The stitched result is proven digest-identical in-engine, so
+        // caches, artifacts, and downstream figures see no difference.
+        if let (Some((jobs, fragment_cycles)), Some(rebuild)) = (self.fragment_plan(), rebuild) {
+            return self.simulate_fragmented(
+                what,
+                cfg,
+                specs,
+                policy,
+                rebuild,
+                jobs,
+                fragment_cycles,
+            );
         }
         let window = self.intervals.as_ref().map(|o| o.window);
         // Four monomorphized arms: the sanitizer and the interval probe each
@@ -637,6 +735,164 @@ impl Campaign {
                     Ok(result)
                 })
             }
+        }
+    }
+
+    /// Time-axis parallel execution of one run (`--fragments`): a
+    /// null-observer scout pass snapshots the machine every
+    /// `fragment_cycles` cycles, a pool of `jobs` workers re-simulates
+    /// the fragments concurrently with this campaign's real observer
+    /// configuration, and the stitched output — result, interval
+    /// series, switch log, skip accounting — is proven bit-identical
+    /// to a sequential run before anything is recorded. Mirrors the
+    /// four monomorphized observer arms of [`Campaign::simulate_policy`];
+    /// the scout always runs the zero-cost NullProbe/NullSanitizer
+    /// configuration (that is where the speedup comes from), and only
+    /// the replay workers pay the observer tax, in parallel.
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_fragmented<F: FetchPolicy + 'static>(
+        &self,
+        what: &str,
+        cfg: &SimConfig,
+        specs: &[ThreadSpec],
+        policy: F,
+        rebuild: &(dyn Fn() -> Box<dyn FetchPolicy> + Sync),
+        jobs: usize,
+        fragment_cycles: u64,
+    ) -> Result<SimResult, ExpError> {
+        let stitch_err = |detail: String| {
+            ExpError::from(SimError::Fragment {
+                fragment: None,
+                detail,
+            })
+        };
+        let window = self.intervals.as_ref().map(|o| o.window);
+        let opts = FragmentOpts {
+            jobs,
+            fragment_cycles,
+        };
+        match (self.sanitize, window) {
+            (true, Some(window)) => protect(what, move || {
+                let mut scout = Simulator::try_new(cfg.clone(), policy, specs)?;
+                scout.set_skip_enabled(self.skip);
+                let factory = || {
+                    let probe = IntervalProbe::new(IntervalConfig { window });
+                    let mut sim = Simulator::try_with_specs(
+                        cfg.clone(),
+                        rebuild(),
+                        specs,
+                        probe,
+                        RecordingSanitizer::new(),
+                    )?;
+                    sim.set_skip_enabled(self.skip);
+                    Ok(sim)
+                };
+                let report = scout
+                    .try_run_fragmented(
+                        self.params.warmup,
+                        self.params.measure,
+                        &self.watchdog,
+                        &opts,
+                        &factory,
+                    )
+                    .map_err(ExpError::from)?;
+                self.note_skip(what, report.scout_skipped);
+                self.note_switches(what, report.switches.len() as u64);
+                self.note_fragments(what, report.fragments.len() as u64, fragment_cycles);
+                for frag in &report.fragments {
+                    check_clean(what, &frag.sanitizer)?;
+                }
+                let parts: Vec<IntervalSeries> = report
+                    .fragments
+                    .into_iter()
+                    .map(|f| f.probe.into_series())
+                    .collect();
+                let series = IntervalSeries::stitch(parts.iter()).map_err(stitch_err)?;
+                self.write_intervals(what, specs, &series);
+                Ok(report.result)
+            }),
+            (true, None) => protect(what, move || {
+                let mut scout = Simulator::try_new(cfg.clone(), policy, specs)?;
+                scout.set_skip_enabled(self.skip);
+                let factory = || {
+                    let mut sim = Simulator::try_sanitized(
+                        cfg.clone(),
+                        rebuild(),
+                        specs,
+                        RecordingSanitizer::new(),
+                    )?;
+                    sim.set_skip_enabled(self.skip);
+                    Ok(sim)
+                };
+                let report = scout
+                    .try_run_fragmented(
+                        self.params.warmup,
+                        self.params.measure,
+                        &self.watchdog,
+                        &opts,
+                        &factory,
+                    )
+                    .map_err(ExpError::from)?;
+                self.note_skip(what, report.scout_skipped);
+                self.note_switches(what, report.switches.len() as u64);
+                self.note_fragments(what, report.fragments.len() as u64, fragment_cycles);
+                for frag in &report.fragments {
+                    check_clean(what, &frag.sanitizer)?;
+                }
+                Ok(report.result)
+            }),
+            (false, Some(window)) => protect(what, move || {
+                let mut scout = Simulator::try_new(cfg.clone(), policy, specs)?;
+                scout.set_skip_enabled(self.skip);
+                let factory = || {
+                    let probe = IntervalProbe::new(IntervalConfig { window });
+                    let mut sim = Simulator::try_with_probe(cfg.clone(), rebuild(), specs, probe)?;
+                    sim.set_skip_enabled(self.skip);
+                    Ok(sim)
+                };
+                let report = scout
+                    .try_run_fragmented(
+                        self.params.warmup,
+                        self.params.measure,
+                        &self.watchdog,
+                        &opts,
+                        &factory,
+                    )
+                    .map_err(ExpError::from)?;
+                self.note_skip(what, report.scout_skipped);
+                self.note_switches(what, report.switches.len() as u64);
+                self.note_fragments(what, report.fragments.len() as u64, fragment_cycles);
+                let parts: Vec<IntervalSeries> = report
+                    .fragments
+                    .into_iter()
+                    .map(|f| f.probe.into_series())
+                    .collect();
+                let series = IntervalSeries::stitch(parts.iter()).map_err(stitch_err)?;
+                self.write_intervals(what, specs, &series);
+                Ok(report.result)
+            }),
+            (false, None) => protect(what, move || {
+                let mut scout = Simulator::try_new(cfg.clone(), policy, specs)?;
+                scout.set_skip_enabled(self.skip);
+                let factory = || {
+                    let mut sim = Simulator::try_new(cfg.clone(), rebuild(), specs)?;
+                    sim.set_skip_enabled(self.skip);
+                    Ok(sim)
+                };
+                let report = scout
+                    .try_run_fragmented(
+                        self.params.warmup,
+                        self.params.measure,
+                        &self.watchdog,
+                        &opts,
+                        &factory,
+                    )
+                    .map_err(ExpError::from)?;
+                self.note_skip(what, report.scout_skipped);
+                self.note_switches(what, report.switches.len() as u64);
+                self.note_fragments(what, report.fragments.len() as u64, fragment_cycles);
+                Ok(report.result)
+            }),
         }
     }
 
@@ -723,9 +979,9 @@ impl Campaign {
         desc: Option<&str>,
         cfg: &SimConfig,
         specs: &[ThreadSpec],
-        build: impl FnOnce() -> Box<dyn FetchPolicy>,
+        build: &(dyn Fn() -> Box<dyn FetchPolicy> + Sync),
     ) -> Result<SimResult, ExpError> {
-        self.simulate_policy(what, desc, cfg, specs, build())
+        self.simulate_policy(what, desc, cfg, specs, build(), Some(build))
     }
 
     /// The canonical cache-key description of `key` (diagnostics and fault
@@ -854,16 +1110,22 @@ impl Campaign {
             desc: &'a str,
             cfg: &'a SimConfig,
             specs: &'a [ThreadSpec],
+            /// The kind dispatching us, so the fragment-replay workers
+            /// can rebuild fresh copies of the same policy.
+            kind: PolicyKind,
         }
         impl PolicyVisitor for GridRun<'_> {
             type Out = Result<SimResult, ExpError>;
             fn visit<F: FetchPolicy + 'static>(self, policy: F) -> Self::Out {
+                let kind = self.kind;
+                let rebuild = move || kind.build();
                 self.campaign.simulate_policy(
                     self.what,
                     Some(self.desc),
                     self.cfg,
                     self.specs,
                     policy,
+                    Some(&rebuild),
                 )
             }
         }
@@ -874,6 +1136,7 @@ impl Campaign {
                 desc: &desc,
                 cfg: &cfg,
                 specs: &specs,
+                kind: key.policy,
             })
         };
         let result = match dispatch() {
@@ -895,6 +1158,7 @@ impl Campaign {
             &result,
             self.take_skip(&what),
             self.take_switches(&what),
+            self.take_fragments(&what),
         );
         self.note_done(&what, "sim");
         if let Some(d) = &self.disk {
@@ -932,7 +1196,7 @@ impl Campaign {
         cfg: &SimConfig,
         specs: &[ThreadSpec],
         policy_desc: &str,
-        build: impl Fn() -> Box<dyn FetchPolicy>,
+        build: impl Fn() -> Box<dyn FetchPolicy> + Sync,
     ) -> SimResult {
         self.try_run_custom(cfg, specs, policy_desc, build)
             .unwrap_or_else(|e| panic!("custom run {policy_desc} failed: {e}"))
@@ -946,7 +1210,7 @@ impl Campaign {
         cfg: &SimConfig,
         specs: &[ThreadSpec],
         policy_desc: &str,
-        build: impl Fn() -> Box<dyn FetchPolicy>,
+        build: impl Fn() -> Box<dyn FetchPolicy> + Sync,
     ) -> Result<SimResult, ExpError> {
         if let Err(e) = cfg.validate(specs.len()) {
             let e = ExpError::Config(e);
@@ -1081,6 +1345,11 @@ impl Campaign {
             None => missing.len(),
         };
         let workers = self.parallelism.min(pending);
+        // Tell the fragment planner how many cores the batch pool holds:
+        // a narrow batch (fewer pending runs than cores) leaves the
+        // remainder free for intra-run fragment replay, while a full
+        // batch disables it (run-level parallelism already saturates).
+        self.pool_width.store(workers, Ordering::Relaxed);
         if self.live {
             let (hits, sims, _) = self.telemetry_counters();
             *crate::lock_unpoisoned(&self.batch) =
@@ -1141,6 +1410,7 @@ impl Campaign {
                 }
             }
         });
+        self.pool_width.store(1, Ordering::Relaxed);
         if self.live {
             if let Some((total, started, base)) = crate::lock_unpoisoned(&self.batch).take() {
                 let (hits, sims, coalesced) = self.telemetry_counters();
@@ -1471,5 +1741,38 @@ mod tests {
         assert_eq!(c.failures().len(), 2);
         let r = c.workload_result(Arch::Baseline, &wl, PolicyKind::Icount);
         assert!(r.throughput() > 0.0);
+    }
+
+    #[test]
+    fn parse_jobs_accepts_positive_integers_and_defaults_when_unset() {
+        assert_eq!(parse_jobs(Some("4")), Ok(4));
+        assert_eq!(parse_jobs(Some(" 2 ")), Ok(2)); // surrounding whitespace ok
+        assert!(parse_jobs(None).is_ok_and(|n| n >= 1)); // unset -> core count
+    }
+
+    #[test]
+    fn parse_jobs_rejects_zero() {
+        assert!(matches!(
+            parse_jobs(Some("0")),
+            Err(ConfigError::InvalidJobs { got }) if got == "0"
+        ));
+    }
+
+    #[test]
+    fn parse_jobs_rejects_empty() {
+        assert!(matches!(
+            parse_jobs(Some("")),
+            Err(ConfigError::InvalidJobs { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_jobs_rejects_non_numeric() {
+        assert!(matches!(
+            parse_jobs(Some("many")),
+            Err(ConfigError::InvalidJobs { got }) if got == "many"
+        ));
+        assert!(parse_jobs(Some("-3")).is_err());
+        assert!(parse_jobs(Some("2.5")).is_err());
     }
 }

@@ -18,12 +18,13 @@
 //! | `SMT010` | every `INVxxx` invariant tested and documented | cross-file |
 //! | `SMT011` | hooks structurally dominated by `ENABLED` (token-tree) | pipeline |
 //! | `SMT012` | exit codes match the documented 0–5 contract | experiments, docs |
+//! | `SMT013` | fragment-stitch merges cover every stats/series field | pipeline, obs |
 //!
 //! `#[cfg(test)]` modules, `tests/`, `benches/` and `examples/` trees are
 //! exempt throughout: the rules guard production paths.
 //!
 //! SMT001–SMT007 are *local* rules: token scans over one masked file
-//! ([`lexer::mask_source`] → [`rules::scan_file`]). SMT008–SMT012 are
+//! ([`lexer::mask_source`] → [`rules::scan_file`]). SMT008–SMT013 are
 //! *cross-file* rules: every file is parsed into balanced-delimiter token
 //! trees ([`tokens`]) and distilled into a structural [`model::FileModel`]
 //! (struct fields, enum variants, fns with mention sets, match arms,

@@ -86,10 +86,22 @@ pub enum RuleCode {
     /// literals), and the usage text, README.md and EXPERIMENTS.md must
     /// document every value. Scripts and CI match on these codes.
     Smt012,
+    /// Stitch-coverage drift (cross-file): every field of the per-thread
+    /// stats and interval-series records (`ThreadStats`, `Interval`,
+    /// `ThreadWindow`) must be handled by the fragment stitcher's merge
+    /// functions (`stats_delta`/`stats_add` in the pipeline crate,
+    /// `merge_interval`/`merge_thread_window` in obs). Fragment replay
+    /// proves bit-identity by summing per-fragment deltas; a counter added
+    /// to the structs but not to the merges silently under-reports in
+    /// fragmented runs while every sequential test stays green. Fields
+    /// that are deliberately not additive (e.g. identifying indices
+    /// checked for equality instead) carry a `path#Type::field` allowlist
+    /// entry.
+    Smt013,
 }
 
 impl RuleCode {
-    pub const ALL: [RuleCode; 12] = [
+    pub const ALL: [RuleCode; 13] = [
         RuleCode::Smt001,
         RuleCode::Smt002,
         RuleCode::Smt003,
@@ -102,6 +114,7 @@ impl RuleCode {
         RuleCode::Smt010,
         RuleCode::Smt011,
         RuleCode::Smt012,
+        RuleCode::Smt013,
     ];
 
     pub fn as_str(self) -> &'static str {
@@ -118,6 +131,7 @@ impl RuleCode {
             RuleCode::Smt010 => "SMT010",
             RuleCode::Smt011 => "SMT011",
             RuleCode::Smt012 => "SMT012",
+            RuleCode::Smt013 => "SMT013",
         }
     }
 
@@ -139,6 +153,7 @@ impl RuleCode {
             RuleCode::Smt010 => "invariant code without mutation test or doc mention",
             RuleCode::Smt011 => "hook call not structurally dominated by ENABLED",
             RuleCode::Smt012 => "exit-code contract drift (consts/calls/docs)",
+            RuleCode::Smt013 => "stitcher merge fn missing a stats/series field",
         }
     }
 }

@@ -1,4 +1,4 @@
-//! Cross-file rules (SMT008–SMT012) over the workspace model.
+//! Cross-file rules (SMT008–SMT013) over the workspace model.
 //!
 //! These rules never read source text: they run entirely over the
 //! [`FileModel`]s extracted by `model.rs` (which is what makes the
@@ -56,6 +56,7 @@ pub fn scan_workspace(ws: &Workspace) -> Vec<Diagnostic> {
     invariant_coverage(ws, &mut out);
     hook_gating(ws, &mut out);
     exit_code_contract(ws, &mut out);
+    stitch_coverage(ws, &mut out);
     out
 }
 
@@ -508,6 +509,122 @@ fn exit_code_contract(ws: &Workspace, out: &mut Vec<Diagnostic>) {
     }
 }
 
+// ---------------------------------------------------------------------
+// SMT013 — fragment-stitch coverage
+// ---------------------------------------------------------------------
+
+/// One stitched record type: where the struct lives, and the merge
+/// functions that must each handle every one of its fields.
+struct StitchSurface {
+    struct_path: &'static str,
+    struct_name: &'static str,
+    merge_path: &'static str,
+    merge_fns: &'static [&'static str],
+}
+
+/// The fragment stitcher's merge surface. `ThreadStats` is summed as
+/// per-fragment deltas by the replay engine; `Interval`/`ThreadWindow`
+/// are merged index-by-index when per-fragment interval series are
+/// stitched. The merge fns are deliberately written field-exhaustively
+/// (struct literal or one `+=` per field) so this rule can hold them to
+/// the struct definitions.
+const STITCH_SURFACES: [StitchSurface; 3] = [
+    StitchSurface {
+        struct_path: "crates/pipeline/src/stats.rs",
+        struct_name: "ThreadStats",
+        merge_path: "crates/pipeline/src/fragment.rs",
+        merge_fns: &["stats_delta", "stats_add"],
+    },
+    StitchSurface {
+        struct_path: "crates/obs/src/interval.rs",
+        struct_name: "Interval",
+        merge_path: "crates/obs/src/interval.rs",
+        merge_fns: &["merge_interval"],
+    },
+    StitchSurface {
+        struct_path: "crates/obs/src/interval.rs",
+        struct_name: "ThreadWindow",
+        merge_path: "crates/obs/src/interval.rs",
+        merge_fns: &["merge_thread_window"],
+    },
+];
+
+fn stitch_coverage(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for surface in &STITCH_SURFACES {
+        let Some(sm) = ws.file(surface.struct_path) else {
+            continue; // stitcher not in this workspace (synthetic trees)
+        };
+        let Some(s) = sm
+            .structs
+            .iter()
+            .find(|s| !s.in_test && s.name == surface.struct_name)
+        else {
+            continue;
+        };
+        let merge_model = ws.file(surface.merge_path);
+        let merges: Vec<&FnDef> = surface
+            .merge_fns
+            .iter()
+            .filter_map(|name| {
+                merge_model.and_then(|m| {
+                    m.fns
+                        .iter()
+                        .find(|f| !f.in_test && f.owner.is_none() && f.name == *name)
+                })
+            })
+            .collect();
+        if merges.len() != surface.merge_fns.len() {
+            let missing: Vec<&str> = surface
+                .merge_fns
+                .iter()
+                .filter(|n| !merges.iter().any(|f| f.name == **n))
+                .copied()
+                .collect();
+            out.push(diag(
+                RuleCode::Smt013,
+                surface.struct_path,
+                s.line,
+                surface.struct_name.to_string(),
+                format!(
+                    "stitched `{}` has no merge fn(s) {} in {}; fragment replay cannot \
+                     prove bit-identity without them",
+                    surface.struct_name,
+                    missing.join(", "),
+                    surface.merge_path
+                ),
+            ));
+            continue;
+        }
+        for field in &s.fields {
+            let missing: Vec<&str> = merges
+                .iter()
+                .filter(|f| !f.mentions(&field.name))
+                .map(|f| f.name.as_str())
+                .collect();
+            if missing.is_empty() {
+                continue;
+            }
+            out.push(diag(
+                RuleCode::Smt013,
+                surface.struct_path,
+                field.line,
+                format!("{}::{}", surface.struct_name, field.name),
+                format!(
+                    "field `{}` of stitched `{}` is not handled by merge fn(s) {} in {}; \
+                     merge it, or allowlist `{}#{}::{}` with a non-additive justification",
+                    field.name,
+                    surface.struct_name,
+                    missing.join(", "),
+                    surface.merge_path,
+                    surface.struct_path,
+                    surface.struct_name,
+                    field.name
+                ),
+            ));
+        }
+    }
+}
+
 /// True when `text` contains the (single-digit) value as a standalone
 /// number — not as part of a longer number or identifier.
 fn mentions_digit(text: &str, v: i64) -> bool {
@@ -739,5 +856,85 @@ fn main() { std::process::exit(3); }
         assert!(items.contains(&"usage-exit-codes".to_string()), "{items:?}");
         // EXPERIMENTS.md has no section at all
         assert!(items.contains(&"doc-exit-codes".to_string()), "{items:?}");
+    }
+    const STATS_SRC: &str = r#"
+pub struct ThreadStats {
+    pub fetched: u64,
+    pub committed: u64,
+}
+"#;
+
+    #[test]
+    fn smt013_flags_merge_fn_missing_a_field() {
+        // stats_add forgets `committed`.
+        let frag = r#"
+pub fn stats_delta(end: &ThreadStats, start: &ThreadStats) -> ThreadStats {
+    ThreadStats { fetched: end.fetched - start.fetched, committed: end.committed - start.committed }
+}
+pub fn stats_add(acc: &mut ThreadStats, d: &ThreadStats) {
+    acc.fetched += d.fetched;
+}
+"#;
+        let diags = scan_workspace(&ws(vec![
+            ("crates/pipeline/src/stats.rs", STATS_SRC),
+            ("crates/pipeline/src/fragment.rs", frag),
+        ]));
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == RuleCode::Smt013)
+            .collect();
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].item.as_deref(), Some("ThreadStats::committed"));
+        assert!(hits[0].message.contains("stats_add"), "{}", hits[0].message);
+        assert!(
+            !hits[0].message.contains("stats_delta"),
+            "stats_delta does handle the field: {}",
+            hits[0].message
+        );
+    }
+
+    #[test]
+    fn smt013_is_clean_when_every_merge_fn_handles_every_field() {
+        let frag = r#"
+pub fn stats_delta(end: &ThreadStats, start: &ThreadStats) -> ThreadStats {
+    ThreadStats { fetched: end.fetched - start.fetched, committed: end.committed - start.committed }
+}
+pub fn stats_add(acc: &mut ThreadStats, d: &ThreadStats) {
+    acc.fetched += d.fetched;
+    acc.committed += d.committed;
+}
+"#;
+        let diags = scan_workspace(&ws(vec![
+            ("crates/pipeline/src/stats.rs", STATS_SRC),
+            ("crates/pipeline/src/fragment.rs", frag),
+        ]));
+        assert!(
+            diags.iter().all(|d| d.code != RuleCode::Smt013),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn smt013_flags_a_missing_merge_fn_outright() {
+        // The struct is stitched but fragment.rs lost stats_add entirely.
+        let frag = r#"
+pub fn stats_delta(end: &ThreadStats, start: &ThreadStats) -> ThreadStats {
+    ThreadStats { fetched: end.fetched - start.fetched, committed: end.committed - start.committed }
+}
+"#;
+        let diags = scan_workspace(&ws(vec![
+            ("crates/pipeline/src/stats.rs", STATS_SRC),
+            ("crates/pipeline/src/fragment.rs", frag),
+        ]));
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == RuleCode::Smt013)
+            .collect();
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].item.as_deref(), Some("ThreadStats"));
+        assert!(hits[0].message.contains("stats_add"), "{}", hits[0].message);
+        // A workspace without the stitcher files at all stays silent.
+        let diags = scan_workspace(&ws(vec![("crates/pipeline/src/other.rs", "fn f() {}")]));
+        assert!(diags.iter().all(|d| d.code != RuleCode::Smt013));
     }
 }

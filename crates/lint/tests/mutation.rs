@@ -94,6 +94,25 @@ fn ungating_a_hook_fires_smt011() {
 }
 
 #[test]
+fn dropping_a_stitch_field_fires_smt013() {
+    let ws = TempWorkspace::copy_current("smt013");
+    // The fragment stitcher's additive merge forgets one counter: every
+    // sequential test stays green, fragmented runs silently under-report.
+    ws.mutate(
+        "crates/pipeline/src/fragment.rs",
+        "acc.dispatch_stalls += d.dispatch_stalls;",
+        "",
+    );
+    let r = ws.run();
+    assert!(
+        r.active.iter().any(|d| d.code == RuleCode::Smt013
+            && d.item.as_deref() == Some("ThreadStats::dispatch_stalls")),
+        "a merge fn missing a ThreadStats field must fire SMT013:\n{}",
+        smt_lint::render(&r, false)
+    );
+}
+
+#[test]
 fn exit_const_drift_fires_smt012() {
     let ws = TempWorkspace::copy_current("smt012");
     ws.append(

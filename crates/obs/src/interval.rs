@@ -156,6 +156,53 @@ impl IntervalSeries {
         self.intervals.iter().map(|i| i.skipped).sum()
     }
 
+    /// Stitch per-fragment series (from a fragmented replay) into the
+    /// series a sequential run would have produced.
+    ///
+    /// Every fragment's probe starts fresh at cycle 0, so its series
+    /// carries leading empty windows (`roll` keeps series contiguous)
+    /// and `intervals[j].index == j` holds in every part. Stitching is
+    /// therefore a field-wise **sum** by window index: empty leading
+    /// windows add nothing, and the partial window each seam splits in
+    /// two sums back to the sequential window exactly (all counters
+    /// are plain integers or cycle-integrals, both additive). The
+    /// result is digest-identical to the sequential series.
+    pub fn stitch<'a, I>(parts: I) -> Result<IntervalSeries, String>
+    where
+        I: IntoIterator<Item = &'a IntervalSeries>,
+    {
+        let mut acc: Option<IntervalSeries> = None;
+        for part in parts {
+            let acc = match &mut acc {
+                None => {
+                    acc = Some(part.clone());
+                    continue;
+                }
+                Some(a) => a,
+            };
+            if part.window != acc.window {
+                return Err(format!(
+                    "window mismatch while stitching: {} vs {}",
+                    acc.window, part.window
+                ));
+            }
+            acc.num_threads = acc.num_threads.max(part.num_threads);
+            for (j, iv) in part.intervals.iter().enumerate() {
+                if j < acc.intervals.len() {
+                    merge_interval(&mut acc.intervals[j], iv)?;
+                } else {
+                    acc.intervals.push(iv.clone());
+                }
+            }
+        }
+        let mut out = acc.ok_or_else(|| "no series to stitch".to_string())?;
+        let n = out.num_threads;
+        for iv in &mut out.intervals {
+            iv.threads.resize(n, ThreadWindow::default());
+        }
+        Ok(out)
+    }
+
     /// Render the series as JSONL (`smt-intervals-v1`): one header line
     /// naming the window, thread count, and per-thread benchmark labels,
     /// then one line per interval with both raw integer counters and
@@ -469,6 +516,53 @@ impl IntervalProbe {
     }
 }
 
+/// Field-wise sum of one part's interval into the accumulator.
+///
+/// Every [`Interval`] field must be either summed or positionally
+/// checked here — lint rule SMT013 enforces full coverage so a new
+/// counter cannot silently vanish from stitched fragment output.
+fn merge_interval(acc: &mut Interval, part: &Interval) -> Result<(), String> {
+    if acc.index != part.index || acc.start_cycle != part.start_cycle {
+        return Err(format!(
+            "interval alignment mismatch: ({}, {}) vs ({}, {})",
+            acc.index, acc.start_cycle, part.index, part.start_cycle
+        ));
+    }
+    acc.cycles += part.cycles;
+    acc.skipped += part.skipped;
+    for i in 0..3 {
+        acc.iq_occ_acc[i] += part.iq_occ_acc[i];
+    }
+    acc.regs_acc.0 += part.regs_acc.0;
+    acc.regs_acc.1 += part.regs_acc.1;
+    acc.policy_switches += part.policy_switches;
+    if acc.threads.len() < part.threads.len() {
+        acc.threads
+            .resize(part.threads.len(), ThreadWindow::default());
+    }
+    for (t, w) in part.threads.iter().enumerate() {
+        merge_thread_window(&mut acc.threads[t], w);
+    }
+    Ok(())
+}
+
+/// Field-wise sum of one part's per-thread window into the
+/// accumulator. SMT013 requires every [`ThreadWindow`] field here.
+fn merge_thread_window(acc: &mut ThreadWindow, w: &ThreadWindow) {
+    acc.committed += w.committed;
+    acc.fetched += w.fetched;
+    acc.wrong_path_fetched += w.wrong_path_fetched;
+    for i in 0..3 {
+        acc.gate_cycles[i] += w.gate_cycles[i];
+    }
+    acc.l1d_misses += w.l1d_misses;
+    acc.l2_misses += w.l2_misses;
+    acc.outstanding_acc += w.outstanding_acc;
+    acc.rob_acc += w.rob_acc;
+    acc.iq_acc += w.iq_acc;
+    acc.warn_transitions += w.warn_transitions;
+}
+
 // Minimal little-endian u64 framing for the probe's snapshot section.
 // `smt-obs` sits below every other crate and stays dependency-free, so the
 // probe speaks raw bytes rather than the `smt-trace` snapshot vocabulary;
@@ -728,6 +822,53 @@ mod tests {
         assert_eq!(sa.total_skipped(), 0); // only the meta-counter differs
         assert_eq!(sa.intervals[0].threads[0].gate_cycles[0], 1024);
         assert_eq!(sa.intervals[2].cycles, 2500 - 2 * 1024);
+    }
+
+    #[test]
+    fn stitched_fragments_match_the_sequential_series_bit_for_bit() {
+        let rob = [7u32, 2];
+        let iqt = [4u32, 1];
+        let out = [1u32, 0];
+        let gate = [Some(GateReason::Policy), None];
+
+        // Sequential reference: 2500 cycles plus a few discrete events.
+        let mut full = IntervalProbe::new(IntervalConfig { window: 1024 });
+        for c in 0..2500u64 {
+            full.on_cycle_state(&state(c, &rob, &iqt, &out, &gate));
+            if c % 700 == 3 {
+                full.on_commit(c, 0, 0, 0);
+                full.on_l1_miss_begin(c, 1, 0, 0, c % 1400 == 3);
+            }
+        }
+        let full = full.into_series();
+
+        // Fragmented: fresh probes, seams at 900 and 2048 (the latter on
+        // a window boundary, the former mid-window).
+        let seams = [0u64, 900, 2048, 2500];
+        let mut parts = Vec::new();
+        for pair in seams.windows(2) {
+            let mut p = IntervalProbe::new(IntervalConfig { window: 1024 });
+            for c in pair[0]..pair[1] {
+                p.on_cycle_state(&state(c, &rob, &iqt, &out, &gate));
+                if c % 700 == 3 {
+                    p.on_commit(c, 0, 0, 0);
+                    p.on_l1_miss_begin(c, 1, 0, 0, c % 1400 == 3);
+                }
+            }
+            parts.push(p.into_series());
+        }
+
+        let stitched = IntervalSeries::stitch(parts.iter()).unwrap();
+        assert_eq!(stitched, full);
+        assert_eq!(stitched.digest(), full.digest());
+    }
+
+    #[test]
+    fn stitch_rejects_window_mismatch_and_empty_input() {
+        let a = IntervalProbe::new(IntervalConfig { window: 10 }).into_series();
+        let b = IntervalProbe::new(IntervalConfig { window: 20 }).into_series();
+        assert!(IntervalSeries::stitch([&a, &b]).is_err());
+        assert!(IntervalSeries::stitch(std::iter::empty()).is_err());
     }
 
     #[test]

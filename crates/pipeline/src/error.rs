@@ -36,6 +36,14 @@ pub enum ConfigError {
     },
     /// A simulation needs at least one hardware context.
     NoThreads,
+    /// A worker-count setting (e.g. the `SMT_JOBS` environment variable)
+    /// is not a positive integer. Rejected rather than silently defaulted:
+    /// a typo in a CI matrix would otherwise change parallelism — and
+    /// wall-clock baselines — without a trace.
+    InvalidJobs {
+        /// The raw value as given (may be empty).
+        got: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -60,6 +68,11 @@ impl fmt::Display for ConfigError {
                  (got {fetch_threads}.{fetch_width})"
             ),
             ConfigError::NoThreads => write!(f, "need at least one thread"),
+            ConfigError::InvalidJobs { got } => write!(
+                f,
+                "worker count must be a positive integer (got {got:?}); \
+                 unset the variable to use all cores"
+            ),
         }
     }
 }
@@ -168,6 +181,16 @@ pub enum SimError {
         budget: Duration,
         snapshot: Box<ProgressSnapshot>,
     },
+    /// The fragment-replay engine could not reproduce the scout pass: a
+    /// snapshot failed to restore on a replay worker, a fragment seam
+    /// disagreed with its neighbour, or the stitched result's digest
+    /// diverged from the sequential one. Always a defect report, never a
+    /// tolerable outcome — the caller falls back to a sequential run.
+    Fragment {
+        /// Which fragment (0-based), when attributable to one.
+        fragment: Option<usize>,
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -189,6 +212,10 @@ impl fmt::Display for SimError {
                 "wall-clock budget of {:.1}s exceeded at {snapshot}",
                 budget.as_secs_f64()
             ),
+            SimError::Fragment { fragment, detail } => match fragment {
+                Some(i) => write!(f, "fragment replay failed at fragment {i}: {detail}"),
+                None => write!(f, "fragment replay failed: {detail}"),
+            },
         }
     }
 }
@@ -212,7 +239,7 @@ impl SimError {
     /// The abort snapshot, if this error carries one.
     pub fn snapshot(&self) -> Option<&ProgressSnapshot> {
         match self {
-            SimError::Config(_) => None,
+            SimError::Config(_) | SimError::Fragment { .. } => None,
             SimError::NoForwardProgress { snapshot, .. }
             | SimError::CycleBudgetExceeded { snapshot, .. }
             | SimError::WallClockExceeded { snapshot, .. } => Some(snapshot),

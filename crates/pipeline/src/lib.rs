@@ -32,6 +32,7 @@
 pub mod config;
 pub mod error;
 mod events;
+pub mod fragment;
 pub mod frontend;
 pub mod inflight;
 pub mod policy;
@@ -42,6 +43,7 @@ pub mod stats;
 
 pub use config::SimConfig;
 pub use error::{ConfigError, ProgressSnapshot, SimError, ThreadProgress, Watchdog};
+pub use fragment::{FragmentOpts, FragmentReplay, FragmentReport};
 pub use frontend::{CorrectPath, ThreadFront};
 pub use inflight::{Handle, InFlight, Slab, Stage};
 pub use policy::{DeclareAction, FetchPolicy, PolicyEvent, PolicySwitch, PolicyView, ThreadView};

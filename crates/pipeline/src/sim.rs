@@ -581,6 +581,13 @@ impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
         self.probe
     }
 
+    /// Consume the simulator and return both observers (probe and
+    /// sanitizer) — the fragment-replay workers hand both back to the
+    /// stitcher in one move.
+    pub fn into_observers(self) -> (P, S) {
+        (self.probe, self.sanitizer)
+    }
+
     pub fn num_threads(&self) -> usize {
         self.fronts.len()
     }
@@ -3027,10 +3034,48 @@ impl<P: Probe, S: Sanitizer, F: FetchPolicy> Simulator<P, S, F> {
             // rather than serializing a &'static str.
             self.active_state = self.policy.active_policy();
         }
-        self.probe
-            .load_state(&snap.probe)
-            .map_err(SnapshotError::Probe)?;
+        if snap.probe.is_empty() {
+            // A probe-stateless snapshot (taken by a NullProbe host, e.g.
+            // the fragment-replay scout pass): keep this simulator's own
+            // probe untouched and re-prime the warn mirror, which the
+            // stateless host never maintained. `warn_level` is a pure
+            // function of the per-thread dmiss/declared counters, and
+            // those are only mutated by event handlers and squashes —
+            // never by the post-refresh tail of the fetch stage — so the
+            // value computed here equals the one a probed run carried
+            // across this very cycle boundary, and the next fetch (or
+            // span-head) refresh reports exactly the transitions the
+            // sequential probed run would. The gate mirror needs no
+            // priming: per-cycle gate accounting is recomputed from live
+            // machine state before every probe feed (only the episodic
+            // on_gate/on_ungate edge hooks can see one spurious
+            // transition at the seam — a documented seam invariant).
+            if P::ENABLED {
+                let mut views = std::mem::take(&mut self.view_buf);
+                self.fill_thread_views(&mut views);
+                let pv = PolicyView {
+                    cycle: self.now,
+                    threads: &views,
+                };
+                for t in 0..n {
+                    self.warn_state[t] = self.policy.warn_level(&pv, t);
+                }
+                views.clear();
+                self.view_buf = views;
+            }
+        } else {
+            self.probe
+                .load_state(&snap.probe)
+                .map_err(SnapshotError::Probe)?;
+        }
         Ok(())
+    }
+
+    /// Cumulative per-thread statistics since cycle 0 (warmup included).
+    /// The fragment-replay stitcher reads these at fragment seams to prove
+    /// neighbouring fragments agree counter for counter.
+    pub fn all_thread_stats(&self) -> &[ThreadStats] {
+        &self.stats
     }
 
     /// As [`run_guarded`](Self::run_guarded), additionally reporting how
